@@ -1,0 +1,47 @@
+// Ablation: subscription churn.
+//
+// Real dashboards and mobile clients come and go; this sweep varies the
+// inactive fraction of every subscription's lifetime and reports SSD
+// earning and traffic for EB vs FIFO.  The EB advantage should track the
+// *active* population: churn scales the offered load down but does not
+// change who wins.
+#include "bench_util.h"
+
+using namespace bdps;
+
+int main(int argc, char** argv) {
+  const auto opt = bdps_bench::BenchOptions::parse(argc, argv);
+  bdps_bench::banner("Ablation: subscription churn (SSD, rate 12)", opt);
+  ThreadPool pool(opt.threads);
+
+  TextTable table({"inactive frac", "EB earn(k)", "FIFO earn(k)", "EB msgs(k)",
+                   "FIFO msgs(k)"});
+  for (const double churn : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    double earning[2];
+    double traffic[2];
+    int i = 0;
+    for (const StrategyKind strategy :
+         {StrategyKind::kEb, StrategyKind::kFifo}) {
+      SimConfig config =
+          paper_base_config(ScenarioKind::kSsd, 12.0, strategy, opt.seed);
+      opt.apply(config);
+      config.workload.churn_fraction = churn;
+      const ReplicatedResult r =
+          run_replicated(config, opt.replications, &pool);
+      earning[i] = r.earning.mean() / 1000.0;
+      traffic[i] = r.receptions.mean() / 1000.0;
+      ++i;
+    }
+    table.add_row({TextTable::fixed(100.0 * churn, 0) + "%",
+                   TextTable::fixed(earning[0], 2),
+                   TextTable::fixed(earning[1], 2),
+                   TextTable::fixed(traffic[0], 2),
+                   TextTable::fixed(traffic[1], 2)});
+  }
+  table.print(std::cout);
+  bdps_bench::maybe_write_csv(table,
+                              {"churn", "eb_earning_k", "fifo_earning_k",
+                               "eb_msgs_k", "fifo_msgs_k"},
+                              opt.csv_path);
+  return 0;
+}

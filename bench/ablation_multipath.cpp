@@ -1,0 +1,39 @@
+// Ablation: single-path vs multi-path routing (§3.3).
+//
+// The paper chooses single-path routing "to decrease the network traffic"
+// and cites DCP's multi-path as the alternative.  This bench quantifies the
+// trade-off on the paper's own topology: duplicate copies cost receptions
+// (and queue capacity) for a modest freshness benefit, turning negative
+// under congestion.
+#include "bench_util.h"
+
+using namespace bdps;
+
+int main(int argc, char** argv) {
+  const auto opt = bdps_bench::BenchOptions::parse(argc, argv);
+  bdps_bench::banner("Ablation: single-path vs multi-path (PSD, EB)", opt);
+  ThreadPool pool(opt.threads);
+
+  TextTable table({"rate", "1-path rate(%)", "1-path msgs(k)",
+                   "2-path rate(%)", "2-path msgs(k)"});
+  for (const double rate : {3.0, 9.0, 15.0}) {
+    std::vector<std::string> row = {TextTable::fixed(rate, 0)};
+    for (const bool multipath : {false, true}) {
+      SimConfig config = paper_base_config(ScenarioKind::kPsd, rate,
+                                           StrategyKind::kEb, opt.seed);
+      opt.apply(config);
+      config.multipath = multipath;
+      const ReplicatedResult r =
+          run_replicated(config, opt.replications, &pool);
+      row.push_back(TextTable::fixed(100.0 * r.delivery_rate.mean(), 2));
+      row.push_back(TextTable::fixed(r.receptions.mean() / 1000.0, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  bdps_bench::maybe_write_csv(table,
+                              {"rate", "single_rate", "single_msgs_k",
+                               "multi_rate", "multi_msgs_k"},
+                              opt.csv_path);
+  return 0;
+}

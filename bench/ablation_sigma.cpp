@@ -1,0 +1,38 @@
+// Ablation: sensitivity to link-rate variance.
+//
+// The paper fixes sigma = 20 ms/KB on every link.  This sweep scales sigma
+// from 0 (deterministic links) to 40 ms/KB and reports SSD earning for EB
+// and FIFO at rate 12.  Two effects compete: more variance blurs the
+// success estimate (hurting EB's discrimination) and makes real delays
+// heavier-tailed (hurting everyone).
+#include "bench_util.h"
+
+using namespace bdps;
+
+int main(int argc, char** argv) {
+  const auto opt = bdps_bench::BenchOptions::parse(argc, argv);
+  bdps_bench::banner("Ablation: link stddev sweep (SSD, rate 12)", opt);
+  ThreadPool pool(opt.threads);
+
+  TextTable table({"sigma(ms/KB)", "EB earn(k)", "PC earn(k)",
+                   "FIFO earn(k)"});
+  for (const double sigma : {0.0, 5.0, 10.0, 20.0, 30.0, 40.0}) {
+    std::vector<std::string> row = {TextTable::fixed(sigma, 0)};
+    for (const StrategyKind strategy :
+         {StrategyKind::kEb, StrategyKind::kPc, StrategyKind::kFifo}) {
+      SimConfig config =
+          paper_base_config(ScenarioKind::kSsd, 12.0, strategy, opt.seed);
+      opt.apply(config);
+      config.paper_topology.link_stddev_ms_per_kb = sigma;
+      const ReplicatedResult r =
+          run_replicated(config, opt.replications, &pool);
+      row.push_back(TextTable::fixed(r.earning.mean() / 1000.0, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  bdps_bench::maybe_write_csv(
+      table, {"sigma", "eb_earning_k", "pc_earning_k", "fifo_earning_k"},
+      opt.csv_path);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: does the EB advantage survive other overlay shapes?
+//
+// Runs the SSD comparison at rate 12 on the paper's layered mesh, an
+// acyclic tree (fig. 1(a) style), a random mesh and a dumbbell bottleneck.
+#include "bench_util.h"
+
+using namespace bdps;
+
+int main(int argc, char** argv) {
+  const auto opt = bdps_bench::BenchOptions::parse(argc, argv);
+  bdps_bench::banner("Ablation: topology sweep (SSD, rate 12)", opt);
+  ThreadPool pool(opt.threads);
+
+  const TopologyKind kinds[] = {TopologyKind::kPaper, TopologyKind::kAcyclic,
+                                TopologyKind::kRandomMesh,
+                                TopologyKind::kDumbbell};
+
+  TextTable table({"topology", "EB earn(k)", "FIFO earn(k)", "RL earn(k)",
+                   "EB/FIFO"});
+  for (const TopologyKind kind : kinds) {
+    double earnings[3] = {0.0, 0.0, 0.0};
+    int i = 0;
+    for (const StrategyKind strategy :
+         {StrategyKind::kEb, StrategyKind::kFifo,
+          StrategyKind::kRemainingLifetime}) {
+      SimConfig config =
+          paper_base_config(ScenarioKind::kSsd, 12.0, strategy, opt.seed);
+      opt.apply(config);
+      config.topology = kind;
+      // Generic builders: 32 brokers, 4 publishers, 160 subscribers to stay
+      // comparable with the paper's scale.
+      config.broker_count = 32;
+      config.publisher_count = 4;
+      config.subscriber_count = 160;
+      config.extra_edges = 16;
+      earnings[i++] =
+          run_replicated(config, opt.replications, &pool).earning.mean() /
+          1000.0;
+    }
+    table.add_row({topology_name(kind), TextTable::fixed(earnings[0], 2),
+                   TextTable::fixed(earnings[1], 2),
+                   TextTable::fixed(earnings[2], 2),
+                   TextTable::fixed(earnings[0] / std::max(earnings[1], 1e-9),
+                                    2)});
+  }
+  table.print(std::cout);
+  bdps_bench::maybe_write_csv(
+      table,
+      {"topology", "eb_earning_k", "fifo_earning_k", "rl_earning_k",
+       "eb_over_fifo"},
+      opt.csv_path);
+  return 0;
+}

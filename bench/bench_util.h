@@ -1,0 +1,69 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench accepts `key=value` overrides:
+//   reps=N        replications (seeds seed..seed+N-1) per point
+//   seed=S        base seed
+//   minutes=M     publish-window length (default: the paper's 120)
+//   out=FILE.csv  also dump the series as CSV
+//   threads=T     worker threads for the sweep (default: hardware)
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/thread_pool.h"
+#include "experiment/paper.h"
+#include "experiment/sweep.h"
+#include "stats/series.h"
+
+namespace bdps_bench {
+
+struct BenchOptions {
+  std::size_t replications = 3;
+  std::uint64_t seed = 1;
+  double minutes = 120.0;
+  std::string csv_path;
+  std::size_t threads = 0;
+
+  static BenchOptions parse(int argc, char** argv) {
+    const bdps::KeyValueConfig args =
+        bdps::KeyValueConfig::from_args(argc, argv);
+    BenchOptions options;
+    options.replications =
+        static_cast<std::size_t>(args.get_int("reps", 3));
+    options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    options.minutes = args.get_double("minutes", 120.0);
+    options.csv_path = args.get_string("out", "");
+    options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    return options;
+  }
+
+  void apply(bdps::SimConfig& config) const {
+    config.seed = seed;
+    config.workload.duration = bdps::minutes(minutes);
+  }
+};
+
+/// Prints the standard bench banner.
+inline void banner(const std::string& title, const BenchOptions& options) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("window %.0f min, %zu replication(s), base seed %llu\n\n",
+              options.minutes, options.replications,
+              static_cast<unsigned long long>(options.seed));
+}
+
+/// Writes a TextTable to CSV when the user asked for one.
+inline void maybe_write_csv(const bdps::TextTable& table,
+                            const std::vector<std::string>& header,
+                            const std::string& path) {
+  if (path.empty()) return;
+  bdps::CsvWriter csv(path, header);
+  for (const auto& row : table.rows()) csv.row(row);
+  std::printf("\nseries written to %s\n", path.c_str());
+}
+
+}  // namespace bdps_bench

@@ -1,0 +1,74 @@
+// Figure 4: performance of EB, PC and EBPC as the EB weight r varies.
+//
+//   4(a) SSD total earning vs r   (publishing rate 10)
+//   4(b) PSD delivery rate vs r   (publishing rate 10)
+//
+// Paper shape: in SSD, PC < EB and EBPC edges out EB for r in roughly
+// (23%, 100%); in PSD, EB ~= PC and EBPC is consistently slightly better.
+#include "bench_util.h"
+#include "stats/chart.h"
+
+using namespace bdps;
+
+namespace {
+
+void run_scenario(ScenarioKind scenario, const bdps_bench::BenchOptions& opt,
+                  ThreadPool& pool) {
+  const bool ssd = scenario == ScenarioKind::kSsd;
+  std::printf("--- fig 4(%c): %s, metric = %s ---\n", ssd ? 'a' : 'b',
+              scenario_name(scenario).c_str(),
+              ssd ? "total earning (k)" : "delivery rate (%)");
+
+  auto run_point = [&](StrategyKind strategy, double weight) {
+    SimConfig config = paper_base_config(scenario, 10.0, strategy, opt.seed);
+    config.ebpc_weight = weight;
+    opt.apply(config);
+    const ReplicatedResult r =
+        run_replicated(config, opt.replications, &pool);
+    return ssd ? r.earning.mean() / 1000.0
+               : 100.0 * r.delivery_rate.mean();
+  };
+
+  // EB and PC are the r = 1 / r = 0 end points of EBPC but are scheduled
+  // via their own strategy objects, as in the paper's plots.
+  const double eb_line = run_point(StrategyKind::kEb, 1.0);
+  const double pc_line = run_point(StrategyKind::kPc, 0.0);
+
+  TextTable table({"r(%)", "EBPC", "EB", "PC"});
+  std::vector<std::string> csv_header = {"r_percent", "ebpc", "eb", "pc"};
+  std::vector<std::pair<double, double>> ebpc_series;
+  std::vector<std::pair<double, double>> eb_series;
+  std::vector<std::pair<double, double>> pc_series;
+  for (const double weight : paper_ebpc_weights()) {
+    const double ebpc = run_point(StrategyKind::kEbpc, weight);
+    table.add_row({TextTable::fixed(100.0 * weight, 0),
+                   TextTable::fixed(ebpc, 2), TextTable::fixed(eb_line, 2),
+                   TextTable::fixed(pc_line, 2)});
+    ebpc_series.emplace_back(100.0 * weight, ebpc);
+    eb_series.emplace_back(100.0 * weight, eb_line);
+    pc_series.emplace_back(100.0 * weight, pc_line);
+  }
+  table.print(std::cout);
+  AsciiChart chart;
+  chart.add_series("EBPC", ebpc_series);
+  chart.add_series("EB", eb_series);
+  chart.add_series("PC", pc_series);
+  chart.print(std::cout, ssd ? "\nearning (k) vs weight of EB (%)"
+                             : "\ndelivery rate (%) vs weight of EB (%)");
+  const std::string suffix = ssd ? ".ssd.csv" : ".psd.csv";
+  bdps_bench::maybe_write_csv(
+      table, csv_header,
+      opt.csv_path.empty() ? "" : opt.csv_path + suffix);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bdps_bench::BenchOptions::parse(argc, argv);
+  bdps_bench::banner("Figure 4: EBPC weight sweep (publishing rate 10)", opt);
+  ThreadPool pool(opt.threads);
+  run_scenario(ScenarioKind::kSsd, opt, pool);
+  run_scenario(ScenarioKind::kPsd, opt, pool);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 6: PSD scenario across publishing rates, EB vs PC vs FIFO vs RL.
+//
+//   6(a) delivery rate (%) vs publishing rate
+//   6(b) message number (k receptions) vs publishing rate
+//
+// Paper shape: delivery rate decreases with load for every strategy;
+// EB ~= PC on top (paper: 40.1% at rate 15), FIFO in the middle (22.5%),
+// RL at the bottom (11.6%).  EB carries only ~17% more traffic than FIFO
+// and ~60% more than RL at rate 15.
+#include <map>
+
+#include "bench_util.h"
+#include "stats/chart.h"
+
+using namespace bdps;
+
+int main(int argc, char** argv) {
+  const auto opt = bdps_bench::BenchOptions::parse(argc, argv);
+  bdps_bench::banner("Figure 6: PSD delivery rate & traffic vs publishing rate",
+                     opt);
+  ThreadPool pool(opt.threads);
+
+  const auto strategies = paper_comparison_strategies();
+  TextTable delivery({"rate", "EB", "PC", "FIFO", "RL"});
+  TextTable traffic({"rate", "EB", "PC", "FIFO", "RL"});
+  std::map<StrategyKind, std::vector<std::pair<double, double>>>
+      delivery_series;
+  std::map<StrategyKind, std::vector<std::pair<double, double>>>
+      traffic_series;
+
+  for (const double rate : paper_publishing_rates()) {
+    std::vector<std::string> delivery_row = {TextTable::fixed(rate, 0)};
+    std::vector<std::string> traffic_row = {TextTable::fixed(rate, 0)};
+    for (const StrategyKind strategy : strategies) {
+      SimConfig config =
+          paper_base_config(ScenarioKind::kPsd, rate, strategy, opt.seed);
+      opt.apply(config);
+      const ReplicatedResult r =
+          run_replicated(config, opt.replications, &pool);
+      delivery_row.push_back(
+          TextTable::fixed(100.0 * r.delivery_rate.mean(), 2));
+      traffic_row.push_back(
+          TextTable::fixed(r.receptions.mean() / 1000.0, 2));
+      delivery_series[strategy].emplace_back(
+          rate, 100.0 * r.delivery_rate.mean());
+      traffic_series[strategy].emplace_back(rate,
+                                            r.receptions.mean() / 1000.0);
+    }
+    delivery.add_row(std::move(delivery_row));
+    traffic.add_row(std::move(traffic_row));
+  }
+
+  std::printf("--- fig 6(a): delivery rate (%%) ---\n");
+  delivery.print(std::cout);
+  AsciiChart delivery_chart;
+  for (const StrategyKind s : strategies) {
+    delivery_chart.add_series(strategy_name(s), delivery_series[s]);
+  }
+  delivery_chart.print(std::cout, "\ndelivery rate (%) vs publishing rate");
+  std::printf("\n--- fig 6(b): message number (k receptions) ---\n");
+  traffic.print(std::cout);
+  AsciiChart traffic_chart;
+  for (const StrategyKind s : strategies) {
+    traffic_chart.add_series(strategy_name(s), traffic_series[s]);
+  }
+  traffic_chart.print(std::cout, "\nmessage number (k) vs publishing rate");
+
+  const std::vector<std::string> header = {"rate", "eb", "pc", "fifo", "rl"};
+  if (!opt.csv_path.empty()) {
+    bdps_bench::maybe_write_csv(delivery, header,
+                                opt.csv_path + ".delivery.csv");
+    bdps_bench::maybe_write_csv(traffic, header, opt.csv_path + ".traffic.csv");
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Microbenchmark: counting-index matching vs brute-force filter scans.
+//
+// The broker matches every processed message against its subscription
+// table; this is the per-message hot path the SubscriptionIndex exists for.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "message/index.h"
+
+namespace {
+
+using bdps::Filter;
+using bdps::Message;
+using bdps::Op;
+using bdps::Rng;
+using bdps::SubscriptionIndex;
+using bdps::Value;
+
+std::vector<Filter> make_filters(std::size_t count, Rng& rng) {
+  std::vector<Filter> filters;
+  filters.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Filter f;
+    f.where("A1", Op::kLt, Value(rng.uniform(0.0, 10.0)));
+    f.where("A2", Op::kLt, Value(rng.uniform(0.0, 10.0)));
+    filters.push_back(std::move(f));
+  }
+  return filters;
+}
+
+Message make_probe(Rng& rng) {
+  return Message(1, 0, 0.0, 50.0,
+                 {{"A1", Value(rng.uniform(0.0, 10.0))},
+                  {"A2", Value(rng.uniform(0.0, 10.0))}});
+}
+
+void BM_IndexMatch(benchmark::State& state) {
+  Rng rng(1);
+  const auto filters = make_filters(static_cast<std::size_t>(state.range(0)),
+                                    rng);
+  SubscriptionIndex index;
+  for (const Filter& f : filters) index.add(f);
+  const Message probe = make_probe(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.match(probe));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IndexMatch)->Arg(16)->Arg(160)->Arg(1600)->Arg(16000);
+
+void BM_BruteForceMatch(benchmark::State& state) {
+  Rng rng(1);
+  const auto filters = make_filters(static_cast<std::size_t>(state.range(0)),
+                                    rng);
+  const Message probe = make_probe(rng);
+  for (auto _ : state) {
+    std::vector<std::size_t> matched;
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      if (filters[i].matches(probe)) matched.push_back(i);
+    }
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BruteForceMatch)->Arg(16)->Arg(160)->Arg(1600)->Arg(16000);
+
+void BM_IndexAdd(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto filters =
+        make_filters(static_cast<std::size_t>(state.range(0)), rng);
+    SubscriptionIndex index;
+    state.ResumeTiming();
+    for (const Filter& f : filters) index.add(f);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_IndexAdd)->Arg(160)->Arg(1600);
+
+}  // namespace
+
+BENCHMARK_MAIN();

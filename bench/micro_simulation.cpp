@@ -1,0 +1,51 @@
+// Microbenchmark: end-to-end simulator throughput.
+//
+// One iteration = one complete paper-config simulation (5-minute publish
+// window).  Useful for tracking simulator regressions; the figure benches
+// depend on this staying fast enough for multi-seed sweeps.
+#include <benchmark/benchmark.h>
+
+#include "experiment/paper.h"
+#include "experiment/runner.h"
+
+namespace {
+
+using namespace bdps;
+
+void run_sim(benchmark::State& state, ScenarioKind scenario,
+             StrategyKind strategy) {
+  SimConfig config = paper_base_config(scenario, 10.0, strategy, 1);
+  config.workload.duration = minutes(5.0);
+  std::size_t receptions = 0;
+  for (auto _ : state) {
+    const SimResult r = run_simulation(config);
+    receptions += r.receptions;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(receptions));
+  state.SetLabel("receptions/iter=" +
+                 std::to_string(receptions / std::max<std::size_t>(
+                                                 1, state.iterations())));
+}
+
+void BM_SimulatePsdEb(benchmark::State& s) {
+  run_sim(s, ScenarioKind::kPsd, StrategyKind::kEb);
+}
+void BM_SimulatePsdFifo(benchmark::State& s) {
+  run_sim(s, ScenarioKind::kPsd, StrategyKind::kFifo);
+}
+void BM_SimulateSsdEb(benchmark::State& s) {
+  run_sim(s, ScenarioKind::kSsd, StrategyKind::kEb);
+}
+void BM_SimulateSsdEbpc(benchmark::State& s) {
+  run_sim(s, ScenarioKind::kSsd, StrategyKind::kEbpc);
+}
+
+BENCHMARK(BM_SimulatePsdEb)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulatePsdFifo)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateSsdEb)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateSsdEbpc)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Live threaded broker overlay.
+//
+// Runs the same Scheduler implementations as the simulator, but inside
+// real threads: one receiver thread per broker, one sender thread per
+// overlay link, channels for inboxes and a 300x scaled clock so the
+// paper's multi-second transfers finish in a terminal-friendly demo.
+//
+// Demonstrates: LiveNetwork/LiveClock, graceful drain + shutdown, and that
+// scheduling behaviour carries over from the discrete-event model to a
+// concurrent implementation.
+#include <cstdio>
+
+#include "routing/fabric.h"
+#include "runtime/live_network.h"
+
+using namespace bdps;
+
+namespace {
+
+struct DemoResult {
+  std::size_t valid = 0;
+  std::size_t total = 0;
+  std::size_t purged = 0;
+  double earning = 0.0;
+};
+
+DemoResult run_live(StrategyKind strategy) {
+  Rng root(42);
+  Rng topo_rng = root.split();
+  Rng workload_rng = root.split();
+
+  // A small mesh so the demo completes quickly: 12 brokers, 2 publishers,
+  // 24 subscribers.
+  const Topology topo =
+      build_random_mesh(topo_rng, 12, 8, 2, 24, 40.0, 80.0, 15.0);
+
+  std::vector<Subscription> subs;
+  for (std::size_t s = 0; s < topo.subscriber_count(); ++s) {
+    Subscription sub;
+    sub.subscriber = static_cast<SubscriberId>(s);
+    sub.home = topo.subscriber_homes[s];
+    Filter f;
+    f.where("A1", Op::kLt, Value(workload_rng.uniform(0.0, 10.0)));
+    sub.filter = std::move(f);
+    sub.allowed_delay = seconds(4.0 + 4.0 * workload_rng.uniform_index(3));
+    sub.price = 1.0 + workload_rng.uniform_index(3);
+    subs.push_back(std::move(sub));
+  }
+  const RoutingFabric fabric(topo, std::move(subs));
+  const auto scheduler = make_scheduler(strategy, 0.6);
+
+  LiveOptions options;
+  options.processing_delay = 2.0;
+  options.speedup = 300.0;  // 300 simulated ms per real ms.
+  options.purge.epsilon = 0.0005;
+
+  LiveNetwork net(&topo, &fabric, scheduler.get(), options);
+  net.start();
+
+  // Publish 60 messages, in bursts, from alternating publishers.
+  Rng publish_rng = root.split();
+  for (int burst = 0; burst < 6; ++burst) {
+    for (int i = 0; i < 10; ++i) {
+      const Message tick(0, 0, 0.0, 50.0,
+                         {{"A1", Value(publish_rng.uniform(0.0, 10.0))}});
+      net.publish(static_cast<PublisherId>(i % 2), tick);
+    }
+    // Let roughly two transmission times pass between bursts.
+    net.clock().sleep_for(6000.0);
+  }
+
+  net.drain();
+  net.stop();
+
+  DemoResult result;
+  result.total = net.stats().deliveries().size();
+  result.valid = net.stats().valid_deliveries();
+  result.purged = net.stats().purged();
+  result.earning = net.stats().earning();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("live threaded broker overlay (300x scaled clock)\n");
+  std::printf("12 brokers / 2 publishers / 24 subscribers, 60 messages\n\n");
+  for (const StrategyKind strategy :
+       {StrategyKind::kEb, StrategyKind::kFifo}) {
+    const DemoResult r = run_live(strategy);
+    std::printf(
+        "%-5s: %zu deliveries (%zu fresh), %zu copies purged, earning %.0f\n",
+        strategy_name(strategy).c_str(), r.total, r.valid, r.purged,
+        r.earning);
+  }
+  std::printf("\nEvery broker ran as a thread; senders used the same\n"
+              "Scheduler code the discrete-event simulator exercises.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Delay-budget forensics: where do milliseconds go under load?
+//
+// Attaches a trace to two paper-config runs (EB vs FIFO, rate 12) and
+// prints the per-hop decomposition of §3.2's delay model — queueing
+// (scheduling delay), transmission (propagation) — plus delivery-latency
+// distributions.  Shows *why* EB wins: it does not shrink queueing overall,
+// it spends the queueing on messages that no longer matter.
+//
+//   ./examples/trace_analysis [rate=12] [strategy=EB] [csv=trace.csv]
+#include <cstdio>
+
+#include "common/config.h"
+#include "experiment/paper.h"
+#include "routing/fabric.h"
+#include "sim/simulator.h"
+#include "trace/analysis.h"
+#include "workload/generator.h"
+
+using namespace bdps;
+
+namespace {
+
+TraceAnalysis run_traced(StrategyKind strategy, double rate,
+                         const std::string& csv_path) {
+  SimConfig config = paper_base_config(ScenarioKind::kPsd, rate, strategy, 3);
+  config.workload.duration = minutes(15.0);
+
+  Rng root(config.seed);
+  Rng topo_rng = root.split();
+  Rng workload_rng = root.split();
+  Rng link_rng = root.split();
+
+  const Topology topo = build_topology(topo_rng, config);
+  const RoutingFabric fabric(
+      topo, generate_subscriptions(workload_rng, config.workload, topo));
+  const auto scheduler = make_scheduler(strategy);
+
+  SimulatorOptions options;
+  options.processing_delay = config.processing_delay;
+  options.purge = config.purge;
+
+  Simulator sim(&topo, &topo.graph, &fabric, scheduler.get(), options,
+                link_rng);
+  MemoryTrace trace;
+  sim.set_trace(&trace);
+
+  std::unique_ptr<CsvTraceSink> csv;
+  if (!csv_path.empty()) {
+    // Trace both to memory (analysis) and CSV (external tooling) by
+    // chaining: run again is wasteful, so just write memory out at the end.
+  }
+  for (auto& m : generate_messages(workload_rng, config.workload,
+                                   topo.publisher_count())) {
+    sim.schedule_publish(std::move(m));
+  }
+  sim.run();
+
+  if (!csv_path.empty()) {
+    CsvTraceSink sink(csv_path);
+    for (const TraceEvent& event : trace.events()) sink.record(event);
+    std::printf("(full event trace written to %s)\n\n", csv_path.c_str());
+  }
+  return analyze_trace(trace);
+}
+
+void print_analysis(const char* label, const TraceAnalysis& a) {
+  std::printf("--- %s ---\n", label);
+  std::printf("hops completed      %8zu\n", a.hops.size());
+  std::printf("queueing   mean %8.0f ms   max %8.0f ms\n", a.queueing.mean(),
+              a.queueing.max());
+  std::printf("transmission mean %6.0f ms   max %8.0f ms\n",
+              a.transmission.mean(), a.transmission.max());
+  std::printf("queueing share of hop delay: %.1f%%\n",
+              100.0 * a.queueing_share());
+  std::printf("deliveries %zu (%zu fresh); latency fresh mean %.0f ms",
+              a.deliveries, a.valid_deliveries, a.valid_latency.mean());
+  if (a.late_latency.count() > 0) {
+    std::printf(", late mean %.0f ms", a.late_latency.mean());
+  }
+  std::printf("\ncopies purged in transit: %zu\n\n", a.purged_copies);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const KeyValueConfig args = KeyValueConfig::from_args(argc, argv);
+  const double rate = args.get_double("rate", 12.0);
+  const std::string csv = args.get_string("csv", "");
+
+  std::printf("per-hop delay decomposition (PSD, rate %.0f, 15 min)\n\n",
+              rate);
+  print_analysis("EB", run_traced(StrategyKind::kEb, rate, csv));
+  print_analysis("FIFO", run_traced(StrategyKind::kFifo, rate, ""));
+  std::printf(
+      "Reading: both strategies queue heavily at this load; EB's queueing\n"
+      "lands on messages whose deadlines already passed (and are purged),\n"
+      "while FIFO queues everything equally and delivers late.\n");
+  return 0;
+}

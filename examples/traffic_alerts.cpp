@@ -1,0 +1,126 @@
+// Traffic-information dissemination (the paper's motivating PSD example).
+//
+// Publishers are roadside sensors announcing congestion levels for city
+// zones; each alert is stamped with an allowed delay — stale traffic news
+// is worthless.  Subscribers near an incident need the news fast, so the
+// publisher gives severe alerts a tighter bound.
+//
+// Demonstrates: custom filters via the text parser, per-message deadlines
+// (PSD), and how the EB scheduler spends bandwidth on alerts that can
+// still arrive in time.
+#include <cstdio>
+
+#include "experiment/runner.h"
+#include "message/filter_parser.h"
+#include "routing/fabric.h"
+#include "workload/generator.h"
+
+using namespace bdps;
+
+namespace {
+
+/// Builds a metropolitan overlay: the paper's layered mesh, but we name the
+/// roles: layer-1 brokers ingest sensor feeds, layer-4 brokers serve
+/// commuter apps.
+Topology build_city(Rng& rng) { return build_paper_topology(rng); }
+
+/// Commuter subscriptions: zone of interest + minimum severity, written in
+/// the filter language.
+std::vector<Subscription> commuter_subscriptions(const Topology& topo,
+                                                 Rng& rng) {
+  std::vector<Subscription> subs;
+  for (std::size_t s = 0; s < topo.subscriber_count(); ++s) {
+    Subscription sub;
+    sub.subscriber = static_cast<SubscriberId>(s);
+    sub.home = topo.subscriber_homes[s];
+    const int zone = static_cast<int>(rng.uniform_index(8));
+    const int min_severity = 1 + static_cast<int>(rng.uniform_index(3));
+    sub.filter = parse_filter("zone == " + std::to_string(zone) +
+                              " && severity >= " +
+                              std::to_string(min_severity));
+    // PSD: the message's own deadline governs.
+    sub.allowed_delay = kNoDeadline;
+    sub.price = 1.0;
+    subs.push_back(std::move(sub));
+  }
+  return subs;
+}
+
+/// Sensor feed: alerts with zone/severity attributes; severe incidents get
+/// tight deadlines (they page emergency crews), mild ones can lag.
+std::vector<std::shared_ptr<const Message>> sensor_feed(
+    Rng& rng, std::size_t publisher_count, TimeMs duration, double per_min) {
+  std::vector<std::shared_ptr<const Message>> feed;
+  MessageId next_id = 0;
+  const double gap = 60000.0 / per_min;
+  for (std::size_t p = 0; p < publisher_count; ++p) {
+    TimeMs t = rng.exponential(gap);
+    while (t < duration) {
+      const auto severity = static_cast<std::int64_t>(1 + rng.uniform_index(3));
+      const auto zone = static_cast<std::int64_t>(rng.uniform_index(8));
+      const TimeMs deadline =
+          severity == 3 ? seconds(12.0)
+                        : (severity == 2 ? seconds(20.0) : seconds(30.0));
+      feed.push_back(std::make_shared<Message>(
+          next_id++, static_cast<PublisherId>(p), t, 50.0,
+          std::vector<Attribute>{{"zone", Value(zone)},
+                                 {"severity", Value(severity)}},
+          deadline));
+      t += rng.exponential(gap);
+    }
+  }
+  return feed;
+}
+
+struct Outcome {
+  std::size_t offered = 0;
+  std::size_t valid = 0;
+  std::size_t receptions = 0;
+};
+
+Outcome run_city(StrategyKind strategy, std::uint64_t seed) {
+  Rng root(seed);
+  Rng topo_rng = root.split();
+  Rng workload_rng = root.split();
+  Rng link_rng = root.split();
+
+  const Topology topo = build_city(topo_rng);
+  const RoutingFabric fabric(topo,
+                             commuter_subscriptions(topo, workload_rng));
+  const auto scheduler = make_scheduler(strategy);
+
+  SimulatorOptions options;
+  options.processing_delay = 2.0;
+  options.purge.epsilon = 0.0005;
+
+  Simulator sim(&topo, &topo.graph, &fabric, scheduler.get(), options,
+                link_rng);
+  for (auto& alert :
+       sensor_feed(workload_rng, topo.publisher_count(), minutes(20.0),
+                   12.0)) {
+    sim.schedule_publish(std::move(alert));
+  }
+  sim.run();
+  return Outcome{sim.collector().total_interested(),
+                 sim.collector().valid_deliveries(),
+                 sim.collector().receptions()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("traffic-alert dissemination (PSD scenario)\n");
+  std::printf("zone/severity filters, severity-dependent deadlines\n\n");
+  for (const StrategyKind strategy :
+       {StrategyKind::kEb, StrategyKind::kEbpc, StrategyKind::kFifo,
+        StrategyKind::kRemainingLifetime}) {
+    const Outcome o = run_city(strategy, 2026);
+    std::printf("%-5s: %5zu/%5zu alerts fresh on arrival (%.1f%%), traffic %zu msgs\n",
+                strategy_name(strategy).c_str(), o.valid, o.offered,
+                o.offered ? 100.0 * o.valid / o.offered : 0.0, o.receptions);
+  }
+  std::printf("\nSevere alerts carry 12 s bounds; EB-family strategies drop\n"
+              "alerts that can no longer arrive fresh instead of clogging\n"
+              "links with them.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "broker/broker.h"
+
+#include <stdexcept>
+
+namespace bdps {
+
+Broker::Broker(BrokerId id, const RoutingFabric* fabric,
+               const Graph* believed_links)
+    : id_(id), fabric_(fabric) {
+  // One queue per downstream neighbour appearing in the subscription table.
+  for (const SubscriptionEntry& entry : fabric->table(id).entries()) {
+    if (entry.is_local() || queues_.count(entry.next_hop)) continue;
+    const EdgeId edge = believed_links->find_edge(id, entry.next_hop);
+    if (edge == kNoEdge) {
+      throw std::invalid_argument(
+          "subscription table references a neighbour without a link");
+    }
+    queues_.emplace(entry.next_hop,
+                    OutputQueue(entry.next_hop, edge,
+                                believed_links->edge(edge).link.params()));
+  }
+}
+
+Broker::FanOut Broker::process(const std::shared_ptr<const Message>& message,
+                               TimeMs now) {
+  total_size_kb_ += message->size_kb();
+  ++processed_count_;
+
+  FanOut result;
+  // Group the matched rows by downstream neighbour; each group becomes one
+  // queued copy carrying exactly the subscriptions it still serves.
+  std::map<BrokerId, std::vector<const SubscriptionEntry*>> groups;
+  for (const SubscriptionEntry* entry : fabric_->match_at(id_, *message)) {
+    if (!entry->serves_publisher(message->publisher())) continue;
+    if (!entry->subscription->active_at(message->publish_time())) continue;
+    if (entry->is_local()) {
+      result.local.push_back(entry);
+    } else {
+      groups[entry->next_hop].push_back(entry);
+    }
+  }
+
+  for (auto& [neighbor, targets] : groups) {
+    OutputQueue& out = queues_.at(neighbor);
+    const bool was_startable = !out.link_busy();
+    out.enqueue(QueuedMessage{message, now, std::move(targets)});
+    result.enqueued.push_back(neighbor);
+    if (was_startable) result.sendable.push_back(neighbor);
+  }
+  return result;
+}
+
+OutputQueue& Broker::queue(BrokerId neighbor) { return queues_.at(neighbor); }
+
+const OutputQueue& Broker::queue(BrokerId neighbor) const {
+  return queues_.at(neighbor);
+}
+
+bool Broker::has_queue(BrokerId neighbor) const {
+  return queues_.count(neighbor) != 0;
+}
+
+double Broker::average_message_size_kb() const {
+  if (processed_count_ == 0) return 0.0;
+  return total_size_kb_ / static_cast<double>(processed_count_);
+}
+
+SchedulingContext Broker::context(BrokerId neighbor, TimeMs now,
+                                  TimeMs processing_delay) const {
+  const OutputQueue& out = queues_.at(neighbor);
+  return SchedulingContext{
+      now, processing_delay,
+      out.head_of_line_estimate(average_message_size_kb())};
+}
+
+}  // namespace bdps

@@ -1,0 +1,71 @@
+// Message broker node (fig. 2 of the paper).
+//
+// A Broker owns its output queues (one per downstream neighbour present in
+// its subscription table) and implements the message-processing step:
+// match the message against the subscription table, deliver locally, and
+// fan one copy out per downstream neighbour that still has interested
+// subscribers for this message's publisher.  Timing (processing delay,
+// send durations, link events) is driven from outside — the discrete-event
+// simulator and the threaded live runtime share this class.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "broker/output_queue.h"
+#include "routing/fabric.h"
+
+namespace bdps {
+
+class Broker {
+ public:
+  /// `believed_links` provides the link parameters this broker uses for its
+  /// scheduling math (FT); they may deviate from the true simulation links
+  /// in the estimation ablation.
+  Broker(BrokerId id, const RoutingFabric* fabric, const Graph* believed_links);
+
+  BrokerId id() const { return id_; }
+
+  /// Result of processing one message at this broker.
+  struct FanOut {
+    /// Local subscription rows matched by the message.
+    std::vector<const SubscriptionEntry*> local;
+    /// Neighbours whose queue received a copy *and* whose link is idle —
+    /// the caller should start a send on each.
+    std::vector<BrokerId> sendable;
+    /// Every neighbour that received a copy (sendable or not); trace
+    /// support.
+    std::vector<BrokerId> enqueued;
+  };
+
+  /// Matches `message` against the subscription table and enqueues copies
+  /// toward each relevant downstream neighbour (entries are filtered to the
+  /// message's publisher; see SubscriptionEntry::publisher_mask).  Also
+  /// folds the message size into the broker's running average (the basis
+  /// of eq. 6's FT).
+  FanOut process(const std::shared_ptr<const Message>& message, TimeMs now);
+
+  /// The output queue toward `neighbor`; must exist.
+  OutputQueue& queue(BrokerId neighbor);
+  const OutputQueue& queue(BrokerId neighbor) const;
+  bool has_queue(BrokerId neighbor) const;
+  const std::map<BrokerId, OutputQueue>& queues() const { return queues_; }
+
+  /// Running average size of the messages this broker has processed; the
+  /// paper's FT estimates head-of-line transmission time from it.
+  double average_message_size_kb() const;
+
+  /// Builds the SchedulingContext for a pick/purge on `neighbor`'s queue.
+  SchedulingContext context(BrokerId neighbor, TimeMs now,
+                            TimeMs processing_delay) const;
+
+ private:
+  BrokerId id_;
+  const RoutingFabric* fabric_;
+  std::map<BrokerId, OutputQueue> queues_;
+  double total_size_kb_ = 0.0;
+  std::size_t processed_count_ = 0;
+};
+
+}  // namespace bdps

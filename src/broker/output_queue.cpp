@@ -1,0 +1,19 @@
+#include "broker/output_queue.h"
+
+namespace bdps {
+
+std::optional<QueuedMessage> OutputQueue::take_next(
+    const Scheduler& scheduler, const SchedulingContext& context,
+    const PurgePolicy& policy, PurgeStats* purge_stats,
+    std::vector<MessageId>* purged_ids) {
+  const PurgeStats stats = purge_queue(queue_, context, policy, purged_ids);
+  if (purge_stats != nullptr) *purge_stats += stats;
+  if (queue_.empty()) return std::nullopt;
+
+  const std::size_t index = scheduler.pick(queue_, context);
+  QueuedMessage chosen = std::move(queue_[index]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  return chosen;
+}
+
+}  // namespace bdps

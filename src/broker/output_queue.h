@@ -1,0 +1,67 @@
+// Per-neighbour output queue (§3.2, fig. 2).
+//
+// One instance exists per (broker, downstream neighbour) pair.  It owns the
+// waiting messages, the link-busy flag (a send is in flight) and the
+// believed parameters of its link, from which the head-of-line estimate FT
+// of eq. (6) is derived.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "scheduling/purge.h"
+#include "scheduling/scheduler.h"
+#include "topology/graph.h"
+
+namespace bdps {
+
+class OutputQueue {
+ public:
+  OutputQueue(BrokerId neighbor, EdgeId edge, LinkParams believed_link)
+      : neighbor_(neighbor), edge_(edge), believed_link_(believed_link) {}
+
+  BrokerId neighbor() const { return neighbor_; }
+  EdgeId edge() const { return edge_; }
+  const LinkParams& believed_link() const { return believed_link_; }
+  void set_believed_link(LinkParams params) { believed_link_ = params; }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+  const std::vector<QueuedMessage>& messages() const { return queue_; }
+
+  bool link_busy() const { return link_busy_; }
+  void set_link_busy(bool busy) { link_busy_ = busy; }
+
+  void enqueue(QueuedMessage queued) { queue_.push_back(std::move(queued)); }
+
+  /// Drops every queued message (link failure); returns how many.
+  std::size_t clear() {
+    const std::size_t dropped = queue_.size();
+    queue_.clear();
+    return dropped;
+  }
+
+  /// FT of eq. (6): estimated head-of-line transmission time given the
+  /// running average message size.
+  TimeMs head_of_line_estimate(double average_message_size_kb) const {
+    return average_message_size_kb * believed_link_.mean_ms_per_kb;
+  }
+
+  /// Purges invalid messages (eq. 11), then removes and returns the
+  /// scheduler's choice; nullopt when the purge emptied the queue.  The
+  /// caller is responsible for the busy flag (it knows when the send ends).
+  /// `purged_ids` (optional) receives the ids of purged messages.
+  std::optional<QueuedMessage> take_next(
+      const Scheduler& scheduler, const SchedulingContext& context,
+      const PurgePolicy& policy, PurgeStats* purge_stats,
+      std::vector<MessageId>* purged_ids = nullptr);
+
+ private:
+  BrokerId neighbor_;
+  EdgeId edge_;
+  LinkParams believed_link_;
+  std::vector<QueuedMessage> queue_;
+  bool link_busy_ = false;
+};
+
+}  // namespace bdps

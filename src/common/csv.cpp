@@ -1,0 +1,35 @@
+#include "common/csv.h"
+
+namespace bdps {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path, std::ios::trunc) {
+  if (out_) row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (!out_) return;
+  bool first = true;
+  for (const auto& field : fields) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << escape(field);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (const char ch : field) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace bdps

@@ -1,0 +1,47 @@
+// Minimal CSV writer used by the benchmark harnesses to dump figure series
+// next to the human-readable tables they print.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bdps {
+
+/// Streams rows into a CSV file.  Fields containing separators, quotes or
+/// newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// True when the output file opened successfully.
+  bool ok() const { return static_cast<bool>(out_); }
+
+  /// Appends one row; the field count should match the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats arbitrary streamable values into a row.
+  template <typename... Ts>
+  void row_values(const Ts&... values) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(values));
+    (fields.push_back(to_field(values)), ...);
+    row(fields);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_field(const T& value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+
+  static std::string escape(const std::string& field);
+
+  std::ofstream out_;
+};
+
+}  // namespace bdps

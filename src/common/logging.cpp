@@ -1,0 +1,30 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace bdps {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return level_;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  static const char* const kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::fprintf(stderr, "[bdps %s] %s\n",
+               kNames[static_cast<int>(level) & 3], message.c_str());
+}
+
+}  // namespace bdps

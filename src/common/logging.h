@@ -1,0 +1,64 @@
+// Lightweight leveled logger.
+//
+// The simulator is a library first; logging defaults to warnings-only so
+// tests and benches stay quiet, while examples can turn on INFO/DEBUG to
+// narrate broker behaviour.  Thread-safe: the live runtime logs from many
+// broker threads.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace bdps {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global logger configuration and sink.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Writes one line (used by the BDPS_LOG macro; prefer the macro).
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  mutable std::mutex mutex_;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace detail {
+/// Builds a log line in a local stream, then hands it to the logger whole so
+/// concurrent writers never interleave within a line.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace bdps
+
+#define BDPS_LOG(severity)                                          \
+  if (static_cast<int>(severity) <                                  \
+      static_cast<int>(::bdps::Logger::instance().level())) {       \
+  } else                                                            \
+    ::bdps::detail::LogLine(severity)
+
+#define BDPS_DEBUG BDPS_LOG(::bdps::LogLevel::kDebug)
+#define BDPS_INFO BDPS_LOG(::bdps::LogLevel::kInfo)
+#define BDPS_WARN BDPS_LOG(::bdps::LogLevel::kWarn)
+#define BDPS_ERROR BDPS_LOG(::bdps::LogLevel::kError)

@@ -1,0 +1,75 @@
+#include "common/math.h"
+
+#include <cmath>
+#include <limits>
+
+namespace bdps {
+
+double normal_pdf(double z) {
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * z * z);
+}
+
+double normal_cdf(double z) {
+  static const double kInvSqrt2 = 0.7071067811865476;
+  return 0.5 * std::erfc(-z * kInvSqrt2);
+}
+
+double normal_cdf(double x, double mean, double stddev) {
+  if (stddev <= 0.0) {
+    return x >= mean ? 1.0 : 0.0;
+  }
+  return normal_cdf((x - mean) / stddev);
+}
+
+double normal_quantile(double p) {
+  if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+
+  // Acklam's piecewise rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  static const double p_low = 0.02425;
+
+  double x = 0.0;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+
+  // One Halley refinement step pushes the error below 1.2e-8.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * 3.14159265358979323846) *
+                   std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+bool almost_equal(double a, double b, double rel_tol, double abs_tol) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  const double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return diff <= rel_tol * scale;
+}
+
+}  // namespace bdps

@@ -1,0 +1,32 @@
+// Gaussian math used by the delay model.
+//
+// The paper models the per-KB transmission rate of each overlay link as a
+// normal random variable; the success probability of eq. (5) is then a
+// normal CDF evaluation.  These helpers are the single source of truth for
+// that computation across the scheduler, the purge rule and the tests.
+#pragma once
+
+namespace bdps {
+
+/// Standard normal probability density function.
+double normal_pdf(double z);
+
+/// Standard normal cumulative distribution function, Phi(z).
+double normal_cdf(double z);
+
+/// CDF of N(mean, stddev^2) at x.  A degenerate distribution (stddev == 0)
+/// collapses to a step function, which eq. (5) needs when a path has zero
+/// variance (e.g. local delivery).
+double normal_cdf(double x, double mean, double stddev);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.2e-8 after one Halley refinement).  Used by tests and by the
+/// confidence-interval helpers in src/stats.
+double normal_quantile(double p);
+
+/// Relative-tolerance comparison that also accepts tiny absolute error
+/// around zero; shared by tests and assertions.
+bool almost_equal(double a, double b, double rel_tol = 1e-9,
+                  double abs_tol = 1e-12);
+
+}  // namespace bdps

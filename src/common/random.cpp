@@ -1,0 +1,150 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace bdps {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // splitmix64 guarantees the state is never all-zero for any seed.
+  for (auto& word : state_) word = splitmix64(seed);
+}
+
+Rng Rng::split() {
+  // Seed the child from two outputs of the parent so that sibling streams
+  // are decorrelated even for adjacent parent seeds.
+  const std::uint64_t a = next_u64();
+  const std::uint64_t b = next_u64();
+  Rng child(a ^ rotl(b, 17));
+  return child;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  // Lemire's nearly-divisionless bounded generation; the rejection loop
+  // removes modulo bias.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = -n % n;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::standard_normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Marsaglia polar method.
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * standard_normal();
+}
+
+double Rng::truncated_normal(double mean, double stddev, double lo) {
+  if (stddev <= 0.0) return mean > lo ? mean : lo;
+  // Rejection sampling is efficient when the acceptance region holds most of
+  // the mass; the paper's link rates (mu in [50,100]ms, sigma = 20ms) keep
+  // P(X < 0) below 0.7%, so a handful of draws almost always suffices.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = normal(mean, stddev);
+    if (x >= lo) return x;
+  }
+  // Far-tail fallback: exponential proposal around the boundary (Robert 1995
+  // simplified); keeps the sampler total even for pathological parameters.
+  const double alpha = (lo - mean) / stddev;
+  for (;;) {
+    const double z = alpha + exponential(1.0 / alpha);
+    const double rho = std::exp(-0.5 * (z - alpha) * (z - alpha));
+    if (uniform() <= rho) return mean + stddev * z;
+  }
+}
+
+double Rng::exponential(double mean) {
+  // Inverse CDF; guard against log(0).
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::gamma(double shape, double scale) {
+  if (shape < 1.0) {
+    // Boost: Gamma(k) = Gamma(k + 1) * U^(1/k).
+    const double u = std::max(uniform(), 0x1.0p-53);
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000).
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = standard_normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return scale * d * v;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+double Rng::lognormal(double log_mean, double log_stddev) {
+  return std::exp(normal(log_mean, log_stddev));
+}
+
+}  // namespace bdps

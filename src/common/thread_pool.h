@@ -1,0 +1,63 @@
+// Fixed-size worker pool for running independent simulations in parallel.
+//
+// The experiment sweeps (src/experiment/sweep.h) fan whole simulator runs —
+// one per (strategy, publishing rate, seed) triple — across the pool.  Each
+// simulation owns its RNG streams and collectors, so tasks share nothing and
+// the pool needs no more machinery than a locked queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bdps {
+
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t thread_count = 0);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Schedules a callable; the returned future yields its result.
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using Result = std::invoke_result_t<F>;
+    auto packaged = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<F>(task));
+    std::future<Result> result = packaged->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.emplace_back([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Applies `fn` to every index in [0, count) across the pool and blocks
+  /// until all complete.  Exceptions propagate from the first failing index.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace bdps

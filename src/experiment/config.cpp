@@ -1,0 +1,76 @@
+#include "experiment/config.h"
+
+#include <stdexcept>
+
+namespace bdps {
+
+std::string topology_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kPaper:
+      return "paper-layered";
+    case TopologyKind::kAcyclic:
+      return "acyclic-tree";
+    case TopologyKind::kRandomMesh:
+      return "random-mesh";
+    case TopologyKind::kDumbbell:
+      return "dumbbell";
+    case TopologyKind::kRing:
+      return "ring";
+    case TopologyKind::kGrid:
+      return "grid";
+    case TopologyKind::kScaleFree:
+      return "scale-free";
+  }
+  return "?";
+}
+
+Topology build_topology(Rng& rng, const SimConfig& config) {
+  switch (config.topology) {
+    case TopologyKind::kPaper:
+      return build_paper_topology(rng, config.paper_topology);
+    case TopologyKind::kAcyclic:
+      return build_acyclic_topology(
+          rng, config.broker_count, config.publisher_count,
+          config.subscriber_count, config.link_mean_lo_ms_per_kb,
+          config.link_mean_hi_ms_per_kb, config.link_stddev_ms_per_kb);
+    case TopologyKind::kRandomMesh:
+      return build_random_mesh(
+          rng, config.broker_count, config.extra_edges,
+          config.publisher_count, config.subscriber_count,
+          config.link_mean_lo_ms_per_kb, config.link_mean_hi_ms_per_kb,
+          config.link_stddev_ms_per_kb);
+    case TopologyKind::kDumbbell: {
+      const LinkParams edge{config.link_mean_lo_ms_per_kb,
+                            config.link_stddev_ms_per_kb};
+      const LinkParams bottleneck{config.link_mean_hi_ms_per_kb,
+                                  config.link_stddev_ms_per_kb};
+      const std::size_t leaves = std::max<std::size_t>(
+          1, config.publisher_count);
+      const std::size_t subs_per_leaf =
+          std::max<std::size_t>(1, config.subscriber_count / leaves);
+      return build_dumbbell(rng, leaves, subs_per_leaf, edge, bottleneck);
+    }
+    case TopologyKind::kRing:
+      return build_ring(rng, config.broker_count, config.publisher_count,
+                        config.subscriber_count,
+                        config.link_mean_lo_ms_per_kb,
+                        config.link_mean_hi_ms_per_kb,
+                        config.link_stddev_ms_per_kb);
+    case TopologyKind::kGrid:
+      return build_grid(rng, config.grid_rows, config.grid_cols,
+                        config.grid_torus, config.publisher_count,
+                        config.subscriber_count,
+                        config.link_mean_lo_ms_per_kb,
+                        config.link_mean_hi_ms_per_kb,
+                        config.link_stddev_ms_per_kb);
+    case TopologyKind::kScaleFree:
+      return build_scale_free(
+          rng, config.broker_count, config.scale_free_edges_per_node,
+          config.publisher_count, config.subscriber_count,
+          config.link_mean_lo_ms_per_kb, config.link_mean_hi_ms_per_kb,
+          config.link_stddev_ms_per_kb);
+  }
+  throw std::invalid_argument("unknown topology kind");
+}
+
+}  // namespace bdps

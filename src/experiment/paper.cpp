@@ -1,0 +1,36 @@
+#include "experiment/paper.h"
+
+namespace bdps {
+
+SimConfig paper_base_config(ScenarioKind scenario,
+                            double publishing_rate_per_min,
+                            StrategyKind strategy, std::uint64_t seed) {
+  SimConfig config;
+  config.seed = seed;
+  config.strategy = strategy;
+  config.topology = TopologyKind::kPaper;
+  config.paper_topology = PaperTopologyConfig{};  // Fig. 3 defaults.
+  config.processing_delay = 2.0;
+  config.purge.epsilon = 0.0005;  // 0.05% (§5.4).
+  config.purge.drop_expired = true;
+  config.workload.scenario = scenario;
+  config.workload.publishing_rate_per_min = publishing_rate_per_min;
+  config.workload.duration = hours(2.0);
+  config.workload.message_size_kb = 50.0;
+  return config;
+}
+
+std::vector<double> paper_publishing_rates() {
+  return {1.0, 3.0, 6.0, 9.0, 12.0, 15.0};
+}
+
+std::vector<double> paper_ebpc_weights() {
+  return {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+std::vector<StrategyKind> paper_comparison_strategies() {
+  return {StrategyKind::kEb, StrategyKind::kPc, StrategyKind::kFifo,
+          StrategyKind::kRemainingLifetime};
+}
+
+}  // namespace bdps

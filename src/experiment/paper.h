@@ -1,0 +1,28 @@
+// Canonical configurations of the paper's evaluation (§6.1) and the sweep
+// axes of each figure.  Every bench binary starts from these so the
+// reproduction parameters live in exactly one place.
+#pragma once
+
+#include <vector>
+
+#include "experiment/config.h"
+
+namespace bdps {
+
+/// §6.1 base setup: fig. 3 topology, PD = 2 ms, eps = 0.05%, 50 KB
+/// messages, 2 h period, 25%-selectivity workload.
+SimConfig paper_base_config(ScenarioKind scenario,
+                            double publishing_rate_per_min,
+                            StrategyKind strategy, std::uint64_t seed = 1);
+
+/// X axis of figs. 5 and 6 ("publishing rate 0..15"); 0 itself publishes
+/// nothing, so the plotted points start at 1.
+std::vector<double> paper_publishing_rates();
+
+/// X axis of fig. 4: EB weight r from 0 to 100%.
+std::vector<double> paper_ebpc_weights();
+
+/// The strategy set of figs. 5 and 6.
+std::vector<StrategyKind> paper_comparison_strategies();
+
+}  // namespace bdps

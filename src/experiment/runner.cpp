@@ -1,0 +1,127 @@
+#include "experiment/runner.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "routing/fabric.h"
+#include "workload/generator.h"
+
+namespace bdps {
+
+namespace {
+
+/// Copies the true graph, multiplying each link mean by (1 + U(-f, f)).
+/// Brokers then route and score with these perturbed beliefs while sends
+/// sample reality.
+Graph perturb_beliefs(const Graph& truth, double noise_frac, Rng& rng) {
+  Graph believed(truth.broker_count());
+  for (std::size_t e = 0; e < truth.edge_count(); ++e) {
+    const Edge& edge = truth.edge(static_cast<EdgeId>(e));
+    LinkParams params = edge.link.params();
+    params.mean_ms_per_kb *= 1.0 + rng.uniform(-noise_frac, noise_frac);
+    if (params.mean_ms_per_kb < LinkModel::kMinRateMsPerKb) {
+      params.mean_ms_per_kb = LinkModel::kMinRateMsPerKb;
+    }
+    believed.add_edge(edge.from, edge.to, params);
+  }
+  return believed;
+}
+
+}  // namespace
+
+SimResult run_simulation(const SimConfig& config) {
+  Rng root(config.seed);
+  Rng topology_rng = root.split();
+  Rng workload_rng = root.split();
+  Rng link_rng = root.split();
+  Rng belief_rng = root.split();
+
+  Topology topology = build_topology(topology_rng, config);
+  if (config.true_rate_shape != RateShape::kNormal) {
+    for (std::size_t e = 0; e < topology.graph.edge_count(); ++e) {
+      Edge& edge = topology.graph.edge(static_cast<EdgeId>(e));
+      LinkParams params = edge.link.params();
+      params.shape = config.true_rate_shape;
+      edge.link = LinkModel(params);
+    }
+  }
+
+  // The graph brokers *believe* in: identical to truth unless the
+  // estimation ablation injects noise.
+  const Graph believed =
+      config.belief_noise_frac > 0.0
+          ? perturb_beliefs(topology.graph, config.belief_noise_frac,
+                            belief_rng)
+          : topology.graph;
+  Topology believed_topology;
+  believed_topology.graph = believed;
+  believed_topology.publisher_edges = topology.publisher_edges;
+  believed_topology.subscriber_homes = topology.subscriber_homes;
+
+  std::vector<Subscription> subscriptions =
+      generate_subscriptions(workload_rng, config.workload, topology);
+  FabricOptions fabric_options;
+  fabric_options.multipath = config.multipath;
+  const RoutingFabric fabric(believed_topology, std::move(subscriptions),
+                             fabric_options);
+
+  const auto scheduler = make_scheduler(config.strategy, config.ebpc_weight);
+
+  SimulatorOptions options;
+  options.processing_delay = config.processing_delay;
+  options.purge = config.purge;
+  options.horizon = config.workload.duration + config.drain_grace;
+  options.online_estimation = config.online_estimation;
+  options.dedup_arrivals = config.multipath;
+  options.serialize_processing = config.serialize_processing;
+  options.failures = config.link_failures;
+  if (config.random_link_failures > 0 && topology.graph.edge_count() > 0) {
+    Rng failure_rng = root.split();
+    std::set<std::pair<BrokerId, BrokerId>> chosen;
+    const std::size_t limit =
+        std::min(config.random_link_failures,
+                 topology.graph.edge_count() / 2);
+    std::size_t guard = 0;
+    while (chosen.size() < limit && ++guard < 100 * limit) {
+      const Edge& edge = topology.graph.edge(static_cast<EdgeId>(
+          failure_rng.uniform_index(topology.graph.edge_count())));
+      const auto key = std::make_pair(std::min(edge.from, edge.to),
+                                      std::max(edge.from, edge.to));
+      if (!chosen.insert(key).second) continue;
+      options.failures.push_back(LinkFailure{
+          failure_rng.uniform(0.0, config.workload.duration), key.first,
+          key.second});
+    }
+  }
+
+  Simulator simulator(&topology, &believed_topology.graph, &fabric,
+                      scheduler.get(), options, link_rng);
+
+  for (auto& message :
+       generate_messages(workload_rng, config.workload,
+                         topology.publisher_count())) {
+    simulator.schedule_publish(std::move(message));
+  }
+  simulator.run();
+
+  const Collector& collector = simulator.collector();
+  SimResult result;
+  result.published = collector.published();
+  result.receptions = collector.receptions();
+  result.deliveries = collector.deliveries();
+  result.valid_deliveries = collector.valid_deliveries();
+  result.total_interested = collector.total_interested();
+  result.delivery_rate = collector.delivery_rate();
+  result.earning = collector.earning();
+  result.potential_earning = collector.potential_earning();
+  result.purged_expired = collector.purges().expired;
+  result.purged_hopeless = collector.purges().hopeless;
+  result.lost_copies = collector.lost_copies();
+  result.max_input_queue = collector.max_input_queue();
+  result.mean_valid_delay_ms = collector.valid_delay().mean();
+  result.end_time = simulator.now();
+  return result;
+}
+
+}  // namespace bdps

@@ -1,0 +1,36 @@
+// One-shot simulation runner: SimConfig in, SimResult out.
+#pragma once
+
+#include "experiment/config.h"
+#include "sim/simulator.h"
+
+namespace bdps {
+
+/// Aggregated outcome of one simulation run (value type; safe to copy
+/// across threads).
+struct SimResult {
+  std::size_t published = 0;
+  /// "Message number" of §6.1: receptions by all brokers.
+  std::size_t receptions = 0;
+  std::size_t deliveries = 0;
+  std::size_t valid_deliveries = 0;
+  /// sum(ts_i): (message, interested subscriber) pairs offered.
+  std::size_t total_interested = 0;
+  double delivery_rate = 0.0;      // eq. (1)
+  double earning = 0.0;            // eq. (2)
+  double potential_earning = 0.0;  // Oracle ceiling of eq. (2).
+  std::size_t purged_expired = 0;
+  std::size_t purged_hopeless = 0;
+  /// Copies destroyed by injected link failures.
+  std::size_t lost_copies = 0;
+  /// Deepest input queue observed (serialize_processing only; else 0).
+  std::size_t max_input_queue = 0;
+  double mean_valid_delay_ms = 0.0;
+  TimeMs end_time = 0.0;
+};
+
+/// Builds topology + workload + fabric from `config` and runs to
+/// completion.  Deterministic in config.seed.
+SimResult run_simulation(const SimConfig& config);
+
+}  // namespace bdps

@@ -1,0 +1,43 @@
+#include "experiment/sweep.h"
+
+namespace bdps {
+
+std::vector<SimResult> run_batch(const std::vector<SimConfig>& configs,
+                                 ThreadPool* pool) {
+  std::vector<SimResult> results(configs.size());
+  if (pool != nullptr) {
+    pool->parallel_for(configs.size(), [&](std::size_t i) {
+      results[i] = run_simulation(configs[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      results[i] = run_simulation(configs[i]);
+    }
+  }
+  return results;
+}
+
+ReplicatedResult run_replicated(SimConfig base, std::size_t replications,
+                                ThreadPool* pool) {
+  std::vector<SimConfig> configs;
+  configs.reserve(replications);
+  for (std::size_t i = 0; i < replications; ++i) {
+    SimConfig config = base;
+    config.seed = base.seed + i;
+    configs.push_back(config);
+  }
+  const std::vector<SimResult> results = run_batch(configs, pool);
+
+  ReplicatedResult summary;
+  summary.replications = replications;
+  for (const SimResult& r : results) {
+    summary.delivery_rate.add(r.delivery_rate);
+    summary.earning.add(r.earning);
+    summary.receptions.add(static_cast<double>(r.receptions));
+    summary.valid_deliveries.add(static_cast<double>(r.valid_deliveries));
+    summary.mean_valid_delay_ms.add(r.mean_valid_delay_ms);
+  }
+  return summary;
+}
+
+}  // namespace bdps

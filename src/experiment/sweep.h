@@ -1,0 +1,35 @@
+// Batched and replicated experiment execution.
+//
+// Every figure in the paper is a sweep: a list of SimConfigs differing in
+// one knob (publishing rate, EBPC weight, strategy).  These helpers run
+// batches across a thread pool and fold multi-seed replications into
+// mean +/- standard-error summaries.
+#pragma once
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "experiment/runner.h"
+#include "stats/welford.h"
+
+namespace bdps {
+
+/// Runs each config (in order); uses `pool` when provided.
+std::vector<SimResult> run_batch(const std::vector<SimConfig>& configs,
+                                 ThreadPool* pool = nullptr);
+
+/// Mean +/- stderr of the headline metrics across replications.
+struct ReplicatedResult {
+  Welford delivery_rate;
+  Welford earning;
+  Welford receptions;
+  Welford valid_deliveries;
+  Welford mean_valid_delay_ms;
+  std::size_t replications = 0;
+};
+
+/// Runs `base` under each seed (base.seed + i for i in [0, replications)).
+ReplicatedResult run_replicated(SimConfig base, std::size_t replications,
+                                ThreadPool* pool = nullptr);
+
+}  // namespace bdps

@@ -1,0 +1,94 @@
+#include "message/filter.h"
+
+#include <sstream>
+
+namespace bdps {
+
+std::string op_name(Op op) {
+  switch (op) {
+    case Op::kLt:
+      return "<";
+    case Op::kLe:
+      return "<=";
+    case Op::kGt:
+      return ">";
+    case Op::kGe:
+      return ">=";
+    case Op::kEq:
+      return "==";
+    case Op::kNe:
+      return "!=";
+    case Op::kInRange:
+      return "in";
+  }
+  return "?";
+}
+
+bool Predicate::matches_value(const Value& value) const {
+  const int c = value.compare(operand);
+  switch (op) {
+    case Op::kLt:
+      return c == -1;
+    case Op::kLe:
+      return c == -1 || c == 0;
+    case Op::kGt:
+      return c == 1;
+    case Op::kGe:
+      return c == 1 || c == 0;
+    case Op::kEq:
+      return c == 0;
+    case Op::kNe:
+      // A mixed-type comparison is incomparable, not "different"; stay
+      // conservative and report no match.
+      return c == -1 || c == 1;
+    case Op::kInRange: {
+      if (c == Value::kIncomparable) return false;
+      const int c2 = value.compare(operand2);
+      if (c2 == Value::kIncomparable) return false;
+      return c >= 0 && c2 <= 0;
+    }
+  }
+  return false;
+}
+
+bool Predicate::matches(const Message& message) const {
+  const Value* value = message.find(attribute);
+  return value != nullptr && matches_value(*value);
+}
+
+std::string Predicate::to_string() const {
+  std::ostringstream os;
+  if (op == Op::kInRange) {
+    os << attribute << " in [" << operand.to_string() << ", "
+       << operand2.to_string() << "]";
+  } else {
+    os << attribute << " " << op_name(op) << " " << operand.to_string();
+  }
+  return os.str();
+}
+
+Filter& Filter::where(std::string attribute, Op op, Value operand,
+                      Value operand2) {
+  predicates_.push_back(Predicate{std::move(attribute), op, std::move(operand),
+                                  std::move(operand2)});
+  return *this;
+}
+
+bool Filter::matches(const Message& message) const {
+  for (const auto& predicate : predicates_) {
+    if (!predicate.matches(message)) return false;
+  }
+  return true;
+}
+
+std::string Filter::to_string() const {
+  if (predicates_.empty()) return "<any>";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < predicates_.size(); ++i) {
+    if (i > 0) os << " && ";
+    os << predicates_[i].to_string();
+  }
+  return os.str();
+}
+
+}  // namespace bdps

@@ -1,0 +1,70 @@
+// Content-based subscription filters.
+//
+// A filter is a conjunction of attribute predicates, e.g. the paper's
+// workload subscriptions "A1 < x1 && A2 < x2".  Filters evaluate against a
+// message head; a predicate on an attribute missing from the head fails
+// (standard content-based semantics — a subscription only matches messages
+// that actually carry the constrained attribute).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "message/message.h"
+#include "message/value.h"
+
+namespace bdps {
+
+enum class Op {
+  kLt,       // attribute <  operand
+  kLe,       // attribute <= operand
+  kGt,       // attribute >  operand
+  kGe,       // attribute >= operand
+  kEq,       // attribute == operand
+  kNe,       // attribute != operand
+  kInRange,  // operand <= attribute <= operand2
+};
+
+/// Renders an operator for diagnostics ("<", "<=", ...).
+std::string op_name(Op op);
+
+struct Predicate {
+  std::string attribute;
+  Op op = Op::kLt;
+  Value operand;
+  Value operand2;  // Upper bound; only used by kInRange.
+
+  /// Evaluates this predicate against one value.
+  bool matches_value(const Value& value) const;
+
+  /// Evaluates against a message head (missing attribute => false).
+  bool matches(const Message& message) const;
+
+  std::string to_string() const;
+};
+
+class Filter {
+ public:
+  Filter() = default;
+  explicit Filter(std::vector<Predicate> predicates)
+      : predicates_(std::move(predicates)) {}
+
+  /// Fluent builder used by examples and tests.
+  Filter& where(std::string attribute, Op op, Value operand,
+                Value operand2 = Value());
+
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  bool empty() const { return predicates_.empty(); }
+  std::size_t size() const { return predicates_.size(); }
+
+  /// True when every predicate matches (an empty filter matches everything,
+  /// which models a wildcard subscription).
+  bool matches(const Message& message) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Predicate> predicates_;
+};
+
+}  // namespace bdps

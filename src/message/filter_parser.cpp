@@ -1,0 +1,180 @@
+#include "message/filter_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace bdps {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Filter parse() {
+    std::vector<Predicate> predicates;
+    skip_ws();
+    if (at_end()) return Filter{};  // Empty text => wildcard filter.
+    predicates.push_back(parse_predicate());
+    for (;;) {
+      skip_ws();
+      if (at_end()) break;
+      expect("&&");
+      predicates.push_back(parse_predicate());
+    }
+    return Filter(std::move(predicates));
+  }
+
+ private:
+  Predicate parse_predicate() {
+    skip_ws();
+    std::string ident = parse_ident();
+    skip_ws();
+    if (try_consume_keyword("in")) {
+      skip_ws();
+      expect("[");
+      Value lo = parse_literal();
+      skip_ws();
+      expect(",");
+      Value hi = parse_literal();
+      skip_ws();
+      expect("]");
+      return Predicate{std::move(ident), Op::kInRange, std::move(lo),
+                       std::move(hi)};
+    }
+    const Op op = parse_op();
+    Value operand = parse_literal();
+    return Predicate{std::move(ident), op, std::move(operand), Value()};
+  }
+
+  std::string parse_ident() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (!at_end() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected attribute name");
+    return text_.substr(start, pos_ - start);
+  }
+
+  Op parse_op() {
+    skip_ws();
+    if (try_consume("<=")) return Op::kLe;
+    if (try_consume(">=")) return Op::kGe;
+    if (try_consume("==")) return Op::kEq;
+    if (try_consume("!=")) return Op::kNe;
+    if (try_consume("<")) return Op::kLt;
+    if (try_consume(">")) return Op::kGt;
+    fail("expected comparison operator");
+  }
+
+  Value parse_literal() {
+    skip_ws();
+    if (at_end()) fail("expected literal");
+    if (text_[pos_] == '"') {
+      ++pos_;
+      std::string out;
+      while (!at_end() && text_[pos_] != '"') out += text_[pos_++];
+      if (at_end()) fail("unterminated string literal");
+      ++pos_;
+      return Value(std::move(out));
+    }
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) fail("expected number or quoted string");
+    const auto consumed = static_cast<std::size_t>(end - begin);
+    const std::string token = text_.substr(pos_, consumed);
+    pos_ += consumed;
+    // Tokens without '.', 'e' or 'E' stay integer-typed so equality filters
+    // on integer attributes behave as users expect.
+    if (token.find_first_of(".eE") == std::string::npos) {
+      return Value(
+          static_cast<std::int64_t>(std::strtoll(token.c_str(), nullptr, 10)));
+    }
+    return Value(value);
+  }
+
+  bool try_consume_keyword(const std::string& word) {
+    // A keyword must not be followed by an identifier character.
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    const std::size_t next = pos_ + word.size();
+    if (next < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[next])) ||
+         text_[next] == '_')) {
+      return false;
+    }
+    pos_ = next;
+    return true;
+  }
+
+  bool try_consume(const std::string& token) {
+    if (text_.compare(pos_, token.size(), token) != 0) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  void expect(const std::string& token) {
+    skip_ws();
+    if (!try_consume(token)) fail("expected '" + token + "'");
+  }
+
+  void skip_ws() {
+    while (!at_end() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw FilterParseError(what + " at position " + std::to_string(pos_),
+                           pos_);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Filter parse_filter(const std::string& text) { return Parser(text).parse(); }
+
+std::vector<Filter> parse_disjunction(const std::string& text) {
+  // Split on top-level "||" (quote-aware: `sym == "a||b"` stays intact),
+  // then parse each conjunct with the regular filter parser.
+  std::vector<std::string> pieces;
+  std::string current;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '"') in_string = !in_string;
+    if (!in_string && text[i] == '|' && i + 1 < text.size() &&
+        text[i + 1] == '|') {
+      pieces.push_back(current);
+      current.clear();
+      ++i;
+      continue;
+    }
+    current += text[i];
+  }
+  pieces.push_back(current);
+
+  std::vector<Filter> filters;
+  filters.reserve(pieces.size());
+  for (const std::string& piece : pieces) {
+    // An empty piece next to a "||" is almost certainly a typo; the plain
+    // parser would silently turn it into match-everything, so reject it
+    // unless the whole query is empty (the explicit wildcard spelling).
+    if (pieces.size() > 1 &&
+        piece.find_first_not_of(" \t\r\n") == std::string::npos) {
+      throw FilterParseError("empty disjunct beside '||'", 0);
+    }
+    filters.push_back(parse_filter(piece));
+  }
+  return filters;
+}
+
+}  // namespace bdps

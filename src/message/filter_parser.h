@@ -1,0 +1,41 @@
+// Text syntax for filters: `A1 < 5 && A2 >= 2.5 && sym == "HK.0005"`.
+//
+// Grammar (whitespace-insensitive):
+//   filter     := predicate ( "&&" predicate )*
+//   predicate  := ident op literal | ident "in" "[" literal "," literal "]"
+//   op         := "<" | "<=" | ">" | ">=" | "==" | "!="
+//   literal    := number | quoted string
+//
+// Used by examples and tests; the workload generator builds filters
+// programmatically.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "message/filter.h"
+
+namespace bdps {
+
+/// Error thrown on malformed filter text; carries the offending position.
+class FilterParseError : public std::runtime_error {
+ public:
+  FilterParseError(const std::string& what, std::size_t position)
+      : std::runtime_error(what), position_(position) {}
+  std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// Parses the syntax above; throws FilterParseError on malformed input.
+Filter parse_filter(const std::string& text);
+
+/// Parses a disjunction of conjunctive filters:
+///   query := filter ( "||" filter )*
+/// e.g. `A1 < 2 && A2 < 2 || A1 > 8`.  Returns one Filter per disjunct
+/// (at least one); `&&` binds tighter than `||`, parentheses are not
+/// supported (queries are written in disjunctive normal form).
+std::vector<Filter> parse_disjunction(const std::string& text);
+
+}  // namespace bdps

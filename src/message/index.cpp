@@ -1,0 +1,206 @@
+#include "message/index.h"
+
+#include <algorithm>
+
+namespace bdps {
+
+SubscriptionIndex::EntryId SubscriptionIndex::add(const Filter& filter) {
+  const EntryId external = external_count_++;
+  add_internal(filter, external);
+  return external;
+}
+
+void SubscriptionIndex::add_disjunct(EntryId id, const Filter& filter) {
+  add_internal(filter, id);
+}
+
+void SubscriptionIndex::add_internal(const Filter& filter, EntryId external) {
+  const EntryId id = entries_.size();
+  entries_.push_back(Entry{filter, 0, 0, external});
+  Entry& entry = entries_.back();
+
+  if (filter.empty()) {
+    wildcards_.push_back(id);
+  } else {
+    for (const auto& predicate : filter.predicates()) {
+      index_predicate(predicate, id, entry);
+    }
+    if (entry.indexed_predicates == 0) {
+      // Never touched by the counting pass; must be scanned directly.
+      direct_only_cache_valid_ = false;
+    }
+  }
+
+  counter_.push_back(0);
+  generation_.push_back(0);
+  // Numeric predicate lists are (re)sorted lazily on the next match();
+  // sorting per add would make bulk installation quadratic.
+  sorted_ = false;
+}
+
+void SubscriptionIndex::ensure_sorted() const {
+  if (sorted_) return;
+  auto by_threshold = [](const NumericPredicateRef& a,
+                         const NumericPredicateRef& b) {
+    return a.threshold < b.threshold;
+  };
+  for (auto& [name, attr_index] : attributes_) {
+    (void)name;
+    std::sort(attr_index.less_than.begin(), attr_index.less_than.end(),
+              by_threshold);
+    std::sort(attr_index.greater_than.begin(), attr_index.greater_than.end(),
+              by_threshold);
+  }
+  sorted_ = true;
+}
+
+void SubscriptionIndex::index_predicate(const Predicate& predicate,
+                                        EntryId id, Entry& entry) {
+  // String-operand orderings and ranges go to the direct path; numeric
+  // comparisons and both equality types are indexable.
+  const bool numeric_operand = predicate.operand.is_number();
+  AttributeIndex& attr = attributes_[predicate.attribute];
+  switch (predicate.op) {
+    case Op::kLt:
+    case Op::kLe:
+      if (numeric_operand) {
+        attr.less_than.push_back(NumericPredicateRef{
+            predicate.operand.as_double(), id, predicate.op == Op::kLe});
+        ++entry.indexed_predicates;
+        return;
+      }
+      break;
+    case Op::kGt:
+    case Op::kGe:
+      if (numeric_operand) {
+        attr.greater_than.push_back(NumericPredicateRef{
+            predicate.operand.as_double(), id, predicate.op == Op::kGe});
+        ++entry.indexed_predicates;
+        return;
+      }
+      break;
+    case Op::kEq:
+      if (numeric_operand) {
+        attr.numeric_eq[predicate.operand.as_double()].push_back(id);
+      } else {
+        attr.string_eq[predicate.operand.as_string()].push_back(id);
+      }
+      ++entry.indexed_predicates;
+      return;
+    case Op::kNe:
+    case Op::kInRange:
+      break;
+  }
+  ++entry.direct_predicates;
+}
+
+std::vector<SubscriptionIndex::EntryId> SubscriptionIndex::match(
+    const Message& message) const {
+  ensure_sorted();
+  // Start a fresh generation; counters are reset lazily on first touch.
+  ++current_generation_;
+  if (current_generation_ == 0) {
+    // Wrapped around: hard-reset so stale generations cannot alias.
+    std::fill(generation_.begin(), generation_.end(), 0u);
+    current_generation_ = 1;
+  }
+  touched_.clear();
+
+  auto bump = [this](EntryId id) {
+    if (generation_[id] != current_generation_) {
+      generation_[id] = current_generation_;
+      counter_[id] = 0;
+      touched_.push_back(id);
+    }
+    ++counter_[id];
+  };
+
+  for (const auto& attribute : message.head()) {
+    const auto it = attributes_.find(attribute.name);
+    if (it == attributes_.end()) continue;
+    const AttributeIndex& attr = it->second;
+
+    if (attribute.value.is_number()) {
+      const double v = attribute.value.as_double();
+
+      // less_than is ascending; satisfied refs have threshold > v, plus
+      // threshold == v for inclusive (<=) predicates.
+      {
+        const auto begin = std::lower_bound(
+            attr.less_than.begin(), attr.less_than.end(), v,
+            [](const NumericPredicateRef& ref, double value) {
+              return ref.threshold < value;
+            });
+        for (auto ref = begin; ref != attr.less_than.end(); ++ref) {
+          if (ref->threshold > v || ref->inclusive) bump(ref->entry);
+        }
+      }
+
+      // greater_than is ascending; satisfied refs have threshold < v, plus
+      // threshold == v for inclusive (>=) predicates.
+      for (const auto& ref : attr.greater_than) {
+        if (ref.threshold > v) break;
+        if (ref.threshold < v || ref.inclusive) bump(ref.entry);
+      }
+
+      const auto eq = attr.numeric_eq.find(v);
+      if (eq != attr.numeric_eq.end()) {
+        for (const EntryId id : eq->second) bump(id);
+      }
+    } else {
+      const auto eq = attr.string_eq.find(attribute.value.as_string());
+      if (eq != attr.string_eq.end()) {
+        for (const EntryId id : eq->second) bump(id);
+      }
+    }
+  }
+
+  std::vector<EntryId> result;
+  for (const EntryId id : wildcards_) {
+    result.push_back(entries_[id].external);
+  }
+
+  for (const EntryId id : touched_) {
+    const Entry& entry = entries_[id];
+    if (counter_[id] != entry.indexed_predicates) continue;
+    if (entry.direct_predicates > 0 && !entry.filter.matches(message)) {
+      continue;
+    }
+    result.push_back(entry.external);
+  }
+
+  // Entries with no indexable predicate are never counted; scan directly.
+  rebuild_direct_only_cache();
+  for (const EntryId id : direct_only_) {
+    if (entries_[id].filter.matches(message)) {
+      result.push_back(entries_[id].external);
+    }
+  }
+
+  // Several disjuncts of the same id may have fired: report the id once.
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+bool SubscriptionIndex::matches_entry(EntryId id,
+                                      const Message& message) const {
+  for (const Entry& entry : entries_) {
+    if (entry.external == id && entry.filter.matches(message)) return true;
+  }
+  return false;
+}
+
+void SubscriptionIndex::rebuild_direct_only_cache() const {
+  if (direct_only_cache_valid_) return;
+  direct_only_.clear();
+  for (EntryId id = 0; id < entries_.size(); ++id) {
+    const Entry& entry = entries_[id];
+    if (!entry.filter.empty() && entry.indexed_predicates == 0) {
+      direct_only_.push_back(id);
+    }
+  }
+  direct_only_cache_valid_ = true;
+}
+
+}  // namespace bdps

@@ -1,0 +1,111 @@
+// Counting-based subscription matching index.
+//
+// Brokers match every processed message against their subscription table
+// (§4.2); with thousands of subscriptions a linear scan of all filters is
+// the broker's hottest loop.  This index implements the classic counting
+// algorithm (Yan & Garcia-Molina):
+//
+//   * every (attribute, comparison) pair keeps its predicates sorted by
+//     operand, so all satisfied less-than/greater-than predicates form a
+//     contiguous run found by binary search;
+//   * equality predicates hash on the operand;
+//   * a per-candidate counter tracks how many of its predicates matched —
+//     a filter matches when the count reaches its predicate total.
+//
+// Filters with non-indexable pieces (ranges over mixed types, etc.) fall
+// back to direct evaluation, so the index is exactly equivalent to brute
+// force (property-tested in tests/message/index_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "message/filter.h"
+#include "message/message.h"
+
+namespace bdps {
+
+class SubscriptionIndex {
+ public:
+  using EntryId = std::size_t;
+
+  SubscriptionIndex() = default;
+
+  /// Registers a filter; returns a dense id that match() reports back.
+  EntryId add(const Filter& filter);
+
+  /// Registers an additional disjunct for an existing id: the id then
+  /// matches when *any* of its registered conjunctive filters matches —
+  /// OR-queries on top of the conjunctive counting index.
+  void add_disjunct(EntryId id, const Filter& filter);
+
+  /// Number of distinct ids (not internal disjuncts).
+  std::size_t size() const { return external_count_; }
+
+  /// Returns the ids of all subscriptions matching `message`, in ascending
+  /// order, each at most once (even when several disjuncts fire).
+  std::vector<EntryId> match(const Message& message) const;
+
+  /// Brute-force evaluation of one registered id across its disjuncts
+  /// (used by tests and fallback paths).
+  bool matches_entry(EntryId id, const Message& message) const;
+
+ private:
+  struct NumericPredicateRef {
+    double threshold;
+    EntryId entry;
+    bool inclusive;  // kLe/kGe include equality.
+  };
+
+  struct Entry {
+    Filter filter;
+    // Number of predicates resolved through the numeric/equality indexes;
+    // the remainder (non-indexable) are re-evaluated directly.
+    std::size_t indexed_predicates = 0;
+    std::size_t direct_predicates = 0;
+    // The user-visible id this internal (disjunct) entry belongs to.
+    EntryId external = 0;
+  };
+
+  struct AttributeIndex {
+    // Predicates `attr < c` / `attr <= c`, sorted ascending by threshold:
+    // for value v the satisfied set is a suffix.
+    std::vector<NumericPredicateRef> less_than;
+    // Predicates `attr > c` / `attr >= c`, sorted ascending: satisfied set
+    // is a prefix.
+    std::vector<NumericPredicateRef> greater_than;
+    // Equality on doubles is keyed by exact bit value — the workload draws
+    // operands and attributes from the same generator when they are meant
+    // to collide.
+    std::map<double, std::vector<EntryId>> numeric_eq;
+    std::map<std::string, std::vector<EntryId>> string_eq;
+  };
+
+  void index_predicate(const Predicate& predicate, EntryId internal_id,
+                       Entry& entry);
+  void add_internal(const Filter& filter, EntryId external);
+  void rebuild_direct_only_cache() const;
+  void ensure_sorted() const;
+
+  std::size_t external_count_ = 0;
+
+  std::vector<Entry> entries_;
+  // Sorted lazily (ensure_sorted) so bulk adds stay O(n log n) total.
+  mutable std::map<std::string, AttributeIndex> attributes_;
+  mutable bool sorted_ = true;
+  // Entries whose filters are empty (wildcards) match every message.
+  std::vector<EntryId> wildcards_;
+  // Entries with no indexable predicate; rebuilt lazily after adds.
+  mutable std::vector<EntryId> direct_only_;
+  mutable bool direct_only_cache_valid_ = true;
+  // Scratch counters sized to entries_; mutable so match() stays const.
+  mutable std::vector<std::uint32_t> counter_;
+  mutable std::vector<std::uint32_t> generation_;
+  mutable std::vector<EntryId> touched_;
+  mutable std::uint32_t current_generation_ = 0;
+};
+
+}  // namespace bdps

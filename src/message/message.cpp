@@ -1,0 +1,4 @@
+#include "message/message.h"
+
+// Message is header-only today; this TU anchors the header in the build so
+// include hygiene is checked even when no out-of-line member exists.

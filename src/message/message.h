@@ -1,0 +1,66 @@
+// Published messages.
+//
+// A message carries a head of named attributes (the content that filters
+// match on), a payload size in kilobytes (the delay model charges
+// size * TR per link, §3.2), and optionally a publisher-specified delivery
+// deadline (the PSD scenario, §4.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "message/value.h"
+
+namespace bdps {
+
+/// One named attribute in a message head.
+struct Attribute {
+  std::string name;
+  Value value;
+};
+
+class Message {
+ public:
+  Message() = default;
+  Message(MessageId id, PublisherId publisher, TimeMs publish_time,
+          double size_kb, std::vector<Attribute> head,
+          TimeMs allowed_delay = kNoDeadline)
+      : id_(id),
+        publisher_(publisher),
+        publish_time_(publish_time),
+        size_kb_(size_kb),
+        allowed_delay_(allowed_delay),
+        head_(std::move(head)) {}
+
+  MessageId id() const { return id_; }
+  PublisherId publisher() const { return publisher_; }
+  TimeMs publish_time() const { return publish_time_; }
+  double size_kb() const { return size_kb_; }
+  const std::vector<Attribute>& head() const { return head_; }
+
+  /// Publisher-specified allowed delay (PSD); kNoDeadline when unset.
+  TimeMs allowed_delay() const { return allowed_delay_; }
+  bool has_allowed_delay() const { return allowed_delay_ != kNoDeadline; }
+
+  /// Looks up an attribute by name; nullptr when absent.
+  const Value* find(const std::string& name) const {
+    for (const auto& attr : head_) {
+      if (attr.name == name) return &attr.value;
+    }
+    return nullptr;
+  }
+
+  /// hdl(m) from §5.1: the delay already incurred by the message.
+  TimeMs elapsed(TimeMs now) const { return now - publish_time_; }
+
+ private:
+  MessageId id_ = 0;
+  PublisherId publisher_ = 0;
+  TimeMs publish_time_ = 0.0;
+  double size_kb_ = 0.0;
+  TimeMs allowed_delay_ = kNoDeadline;
+  std::vector<Attribute> head_;
+};
+
+}  // namespace bdps

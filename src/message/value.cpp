@@ -1,0 +1,45 @@
+#include "message/value.h"
+
+#include <sstream>
+
+namespace bdps {
+
+double Value::as_double() const {
+  if (const auto* d = std::get_if<double>(&data_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) {
+    return static_cast<double>(*i);
+  }
+  return 0.0;
+}
+
+const std::string& Value::as_string() const {
+  static const std::string kEmpty;
+  if (const auto* s = std::get_if<std::string>(&data_)) return *s;
+  return kEmpty;
+}
+
+int Value::compare(const Value& other) const {
+  if (is_string() != other.is_string()) return kIncomparable;
+  if (is_string()) {
+    const int c = as_string().compare(other.as_string());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  const double a = as_double();
+  const double b = other.as_double();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+std::string Value::to_string() const {
+  if (is_string()) return "\"" + as_string() + "\"";
+  std::ostringstream os;
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) {
+    os << *i;
+  } else {
+    os << as_double();
+  }
+  return os.str();
+}
+
+}  // namespace bdps

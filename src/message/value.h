@@ -1,0 +1,48 @@
+// Typed attribute values carried in message heads and filter operands.
+//
+// The paper's workload uses two double attributes (A1, A2); the library
+// additionally supports integers and strings so the matching engine is a
+// credible general-purpose content-based router.  Cross-type numeric
+// comparison (int vs double) is defined; comparing a string with a number is
+// simply "no match" rather than an error, matching pub/sub convention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace bdps {
+
+class Value {
+ public:
+  Value() : data_(0.0) {}
+  Value(double v) : data_(v) {}                       // NOLINT(runtime/explicit)
+  Value(std::int64_t v) : data_(v) {}                 // NOLINT(runtime/explicit)
+  Value(int v) : data_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Value(std::string v) : data_(std::move(v)) {}       // NOLINT(runtime/explicit)
+  Value(const char* v) : data_(std::string(v)) {}     // NOLINT(runtime/explicit)
+
+  bool is_number() const { return !std::holds_alternative<std::string>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  /// Numeric view; only valid when is_number().
+  double as_double() const;
+
+  /// String view; only valid when is_string().
+  const std::string& as_string() const;
+
+  /// Three-way comparison: -1, 0, +1; returns kIncomparable for mixed
+  /// string/number comparisons.
+  static constexpr int kIncomparable = 2;
+  int compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return compare(other) == 0; }
+
+  /// Human-readable rendering for logs and examples.
+  std::string to_string() const;
+
+ private:
+  std::variant<double, std::int64_t, std::string> data_;
+};
+
+}  // namespace bdps

@@ -1,0 +1,166 @@
+#include "routing/fabric.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace bdps {
+
+namespace {
+
+/// Second-best forwarding choice at `broker` toward the tree's destination:
+/// the out-neighbour v != primary minimising link(broker->v) + dist(v),
+/// skipping neighbours that would immediately bounce the copy back.
+/// Returns kNoBroker when no alternative exists.
+BrokerId second_best_next_hop(const Graph& graph, const ShortestPathTree& tree,
+                              BrokerId broker, BrokerId primary,
+                              PathStats* stats_out) {
+  BrokerId best = kNoBroker;
+  double best_mean = 0.0;
+  PathStats best_stats;
+  for (const EdgeId e : graph.out_edges(broker)) {
+    const Edge& edge = graph.edge(e);
+    const BrokerId v = edge.to;
+    if (v == primary || !tree.reachable[v]) continue;
+    if (tree.next_hop[v] == broker) continue;  // Immediate bounce-back.
+    const PathStats candidate = tree.stats[v].then_link(edge.link.params());
+    if (best == kNoBroker || candidate.mean_ms_per_kb < best_mean) {
+      best = v;
+      best_mean = candidate.mean_ms_per_kb;
+      best_stats = candidate;
+    }
+  }
+  if (best != kNoBroker && stats_out != nullptr) *stats_out = best_stats;
+  return best;
+}
+
+}  // namespace
+
+RoutingFabric::RoutingFabric(const Topology& topology,
+                             std::vector<Subscription> subscriptions,
+                             FabricOptions options)
+    : subscriptions_(std::move(subscriptions)) {
+  const std::size_t n = topology.graph.broker_count();
+  tables_.resize(n);
+  broker_indexes_.resize(n);
+
+  // One shortest-path tree per distinct subscriber home broker.
+  for (const Subscription& sub : subscriptions_) {
+    if (sub.home < 0 || static_cast<std::size_t>(sub.home) >= n) {
+      throw std::invalid_argument("subscription home outside the graph");
+    }
+    if (!trees_.count(sub.home)) {
+      trees_.emplace(sub.home, compute_tree_toward(topology.graph, sub.home));
+    }
+  }
+
+  if (topology.publisher_edges.size() > 64) {
+    throw std::invalid_argument(
+        "RoutingFabric supports at most 64 publishers (publisher_mask)");
+  }
+
+  // Install each subscription on the union of chosen publisher->home paths,
+  // remembering per broker *which* publishers route through it (the
+  // publisher_mask guard; see SubscriptionEntry).
+  for (const Subscription& sub : subscriptions_) {
+    const ShortestPathTree& tree = trees_.at(sub.home);
+    std::map<BrokerId, std::uint64_t> installed;  // broker -> publisher mask
+    for (std::size_t p = 0; p < topology.publisher_edges.size(); ++p) {
+      const BrokerId publisher_edge = topology.publisher_edges[p];
+      if (!tree.reachable[publisher_edge]) continue;
+      for (const BrokerId broker : tree.path_from(publisher_edge)) {
+        installed[broker] |= 1ULL << p;
+      }
+    }
+    // The home broker always carries a local-delivery row serving every
+    // publisher (a message can only arrive there along an installed path).
+    installed[sub.home] = ~0ULL;
+
+    // Multi-path: brokers on a primary path additionally forward toward
+    // their second-best neighbour — which means every broker on that
+    // neighbour's own (primary) path to the home must carry entries too,
+    // or redundant copies would die unrouted.  One level of redundancy:
+    // alternate-path brokers get primary entries only.
+    std::map<BrokerId, BrokerId> alt_hops;  // primary broker -> alt neighbour
+    if (options.multipath) {
+      std::map<BrokerId, std::uint64_t> extra;
+      for (const auto& [broker, mask] : installed) {
+        if (broker == sub.home) continue;
+        const BrokerId alt = second_best_next_hop(
+            topology.graph, tree, broker, tree.next_hop[broker], nullptr);
+        if (alt == kNoBroker) continue;
+        alt_hops[broker] = alt;
+        for (const BrokerId w : tree.path_from(alt)) {
+          extra[w] |= mask;
+        }
+      }
+      for (const auto& [broker, mask] : extra) {
+        installed[broker] |= mask;
+      }
+    }
+
+    for (const auto& [broker, mask] : installed) {
+      SubscriptionEntry entry;
+      entry.subscription = &sub;
+      entry.publisher_mask = mask;
+      if (broker == sub.home) {
+        entry.next_hop = kNoBroker;
+        entry.path = kLocalPath;
+      } else {
+        entry.next_hop = tree.next_hop[broker];
+        entry.path = tree.stats[broker];
+      }
+      tables_[broker].add(entry);
+      {
+        const auto id = broker_indexes_[broker].add(sub.filter);
+        for (const Filter& f : sub.or_filters) {
+          broker_indexes_[broker].add_disjunct(id, f);
+        }
+      }
+
+      const auto alt_it = alt_hops.find(broker);
+      if (alt_it != alt_hops.end()) {
+        PathStats alt_stats;
+        const BrokerId alt = second_best_next_hop(
+            topology.graph, tree, broker, entry.next_hop, &alt_stats);
+        if (alt == alt_it->second) {
+          SubscriptionEntry alt_entry = entry;
+          alt_entry.next_hop = alt;
+          alt_entry.path = alt_stats;
+          tables_[broker].add(alt_entry);
+          const auto alt_id = broker_indexes_[broker].add(sub.filter);
+          for (const Filter& f : sub.or_filters) {
+            broker_indexes_[broker].add_disjunct(alt_id, f);
+          }
+        }
+      }
+    }
+  }
+
+  for (const Subscription& sub : subscriptions_) {
+    const auto id = global_index_.add(sub.filter);
+    for (const Filter& f : sub.or_filters) {
+      global_index_.add_disjunct(id, f);
+    }
+  }
+}
+
+std::vector<const SubscriptionEntry*> RoutingFabric::match_at(
+    BrokerId broker, const Message& message) const {
+  std::vector<const SubscriptionEntry*> matched;
+  const SubscriptionTable& table = tables_[broker];
+  for (const auto id : broker_indexes_[broker].match(message)) {
+    matched.push_back(&table.entries()[id]);
+  }
+  return matched;
+}
+
+std::vector<std::size_t> RoutingFabric::match_all(
+    const Message& message) const {
+  return global_index_.match(message);
+}
+
+const ShortestPathTree& RoutingFabric::tree_toward(BrokerId home) const {
+  return trees_.at(home);
+}
+
+}  // namespace bdps

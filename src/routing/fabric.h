@@ -1,0 +1,84 @@
+// Routing fabric: subscription propagation over the overlay.
+//
+// Builds, for every broker, the §4.2 subscription table.  A subscription
+// hosted at edge broker H is installed at every broker on the chosen
+// (min-mean-rate, §3.3) path from each publisher edge broker to H; the
+// entry's next hop and remaining-path statistics come from the shortest-
+// path tree toward H, so they are publisher-independent (see
+// routing/spt.h on suffix consistency).
+//
+// The fabric also owns the per-broker matching indexes (message/index.h)
+// and a global index used by the metrics to compute ts_i of eq. (1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "message/index.h"
+#include "routing/spt.h"
+#include "routing/subscription.h"
+#include "topology/builders.h"
+
+namespace bdps {
+
+struct FabricOptions {
+  /// Single-path routing (§3.3, the paper's choice) when false.  When true,
+  /// every non-local table row gains a second entry toward the next-best
+  /// neighbour (DCP-style multi-path): the same subscription is served over
+  /// two links, and the simulator's duplicate suppression keeps the copies
+  /// from multiplying.  Reproduces the traffic-vs-reliability trade-off the
+  /// paper cites for preferring single-path.
+  bool multipath = false;
+};
+
+class RoutingFabric {
+ public:
+  /// Builds tables for `topology` with the given subscriptions.  The fabric
+  /// keeps its own copy of the subscriptions; entry pointers refer into it.
+  ///
+  /// Thread-safety: after construction the fabric is logically const, but
+  /// match_at/match_all use per-index scratch state — concurrent calls are
+  /// safe only for *different* broker ids (the live runtime's one-thread-
+  /// per-broker layout) and match_all must not race with itself.
+  RoutingFabric(const Topology& topology,
+                std::vector<Subscription> subscriptions,
+                FabricOptions options = {});
+
+  RoutingFabric(const RoutingFabric&) = delete;
+  RoutingFabric& operator=(const RoutingFabric&) = delete;
+
+  std::size_t broker_count() const { return tables_.size(); }
+  std::size_t subscription_count() const { return subscriptions_.size(); }
+
+  const Subscription& subscription(std::size_t i) const {
+    return subscriptions_[i];
+  }
+
+  const SubscriptionTable& table(BrokerId broker) const {
+    return tables_[broker];
+  }
+
+  /// Table rows of `broker` whose filters match `message` (uses the
+  /// broker's counting index).
+  std::vector<const SubscriptionEntry*> match_at(BrokerId broker,
+                                                 const Message& message) const;
+
+  /// Indices (into subscription(i)) of all subscriptions in the system
+  /// matching `message`; defines ts_i in eq. (1) and the earning ceiling of
+  /// eq. (2).
+  std::vector<std::size_t> match_all(const Message& message) const;
+
+  /// The shortest-path tree toward a subscriber's home broker (shared by
+  /// all subscriptions at that broker); mainly for tests and diagnostics.
+  const ShortestPathTree& tree_toward(BrokerId home) const;
+
+ private:
+  std::vector<Subscription> subscriptions_;
+  std::vector<SubscriptionTable> tables_;
+  std::vector<SubscriptionIndex> broker_indexes_;
+  SubscriptionIndex global_index_;
+  std::map<BrokerId, ShortestPathTree> trees_;
+};
+
+}  // namespace bdps

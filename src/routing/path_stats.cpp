@@ -1,0 +1,3 @@
+#include "routing/path_stats.h"
+
+// PathStats is header-only; this TU anchors the header in the build.

@@ -1,0 +1,45 @@
+// Path statistics algebra.
+//
+// §3.2: links are independent normals, so the per-KB rate of a path is
+// TR_p ~ N(sum mu_i, sum sigma_i^2).  PathStats carries those sums plus the
+// number of downstream brokers NN_p that still charge the processing delay
+// PD (§5.1, eq. 4).  Concatenating path segments is therefore just
+// component-wise addition.
+#pragma once
+
+#include <cmath>
+
+#include "topology/link.h"
+
+namespace bdps {
+
+struct PathStats {
+  /// Brokers after the current one on the remaining path (each adds PD).
+  int hop_brokers = 0;
+  /// Sum of link mean rates along the path (ms per KB).
+  double mean_ms_per_kb = 0.0;
+  /// Sum of link rate variances along the path ((ms per KB)^2).
+  double variance = 0.0;
+
+  double stddev() const { return std::sqrt(variance); }
+
+  /// Path extension: `*this` followed by one more link into one more broker.
+  PathStats then_link(const LinkParams& link) const {
+    return PathStats{hop_brokers + 1, mean_ms_per_kb + link.mean_ms_per_kb,
+                     variance + link.variance()};
+  }
+
+  /// Concatenation of two path segments.
+  friend PathStats operator+(const PathStats& a, const PathStats& b) {
+    return PathStats{a.hop_brokers + b.hop_brokers,
+                     a.mean_ms_per_kb + b.mean_ms_per_kb,
+                     a.variance + b.variance};
+  }
+
+  bool operator==(const PathStats& other) const = default;
+};
+
+/// The empty path (local delivery at the current broker).
+inline constexpr PathStats kLocalPath{};
+
+}  // namespace bdps

@@ -1,0 +1,78 @@
+#include "routing/spt.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace bdps {
+
+std::vector<BrokerId> ShortestPathTree::path_from(BrokerId from) const {
+  std::vector<BrokerId> path;
+  if (from < 0 || static_cast<std::size_t>(from) >= reachable.size() ||
+      !reachable[from]) {
+    return path;
+  }
+  BrokerId current = from;
+  path.push_back(current);
+  while (current != destination) {
+    current = next_hop[current];
+    path.push_back(current);
+  }
+  return path;
+}
+
+ShortestPathTree compute_tree_toward(const Graph& graph,
+                                     BrokerId destination) {
+  const std::size_t n = graph.broker_count();
+  ShortestPathTree tree;
+  tree.destination = destination;
+  tree.next_hop.assign(n, kNoBroker);
+  tree.stats.assign(n, PathStats{});
+  tree.reachable.assign(n, false);
+
+  // Reverse adjacency: incoming edges per broker.
+  std::vector<std::vector<EdgeId>> incoming(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (const EdgeId e : graph.out_edges(static_cast<BrokerId>(b))) {
+      incoming[graph.edge(e).to].push_back(e);
+    }
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+
+  // Min-heap on (mean path rate, broker id); the id component makes the pop
+  // order — and therefore tie resolution — deterministic.
+  using HeapItem = std::pair<double, BrokerId>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+
+  dist[destination] = 0.0;
+  tree.reachable[destination] = true;
+  heap.emplace(0.0, destination);
+
+  std::vector<bool> done(n, false);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (done[u]) continue;
+    done[u] = true;
+
+    for (const EdgeId eid : incoming[u]) {
+      const Edge& e = graph.edge(eid);  // e.from -> u
+      const BrokerId v = e.from;
+      const double candidate = d + e.link.params().mean_ms_per_kb;
+      // Strictly-better relaxation only: a finished vertex can never be
+      // re-parented, so every suffix of a chosen path stays a chosen path.
+      // Ties resolve deterministically through the heap's id ordering.
+      if (done[v] || candidate >= dist[v]) continue;
+      dist[v] = candidate;
+      tree.next_hop[v] = u;
+      tree.stats[v] = tree.stats[u].then_link(e.link.params());
+      tree.reachable[v] = true;
+      heap.emplace(candidate, v);
+    }
+  }
+  return tree;
+}
+
+}  // namespace bdps

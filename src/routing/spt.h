@@ -1,0 +1,39 @@
+// Shortest-path trees over the overlay.
+//
+// §3.3: single-path routing minimising the mean transmission rate of the
+// path.  We run Dijkstra *toward* each destination over reversed edges; the
+// resulting in-tree gives every broker its next hop and the remaining-path
+// statistics (NN_p, mu_p, sigma_p^2) in one pass, and guarantees suffix
+// consistency: the remaining path of a message is independent of which
+// publisher it came from, so one subscription-table entry per subscriber
+// suffices (§4.2).  Ties break on broker id for determinism.
+#pragma once
+
+#include <vector>
+
+#include "routing/path_stats.h"
+#include "topology/graph.h"
+
+namespace bdps {
+
+/// Routing information toward one destination broker.
+struct ShortestPathTree {
+  BrokerId destination = kNoBroker;
+  /// next_hop[b]: neighbour to forward to from broker b (kNoBroker when b
+  /// is the destination or unreachable).
+  std::vector<BrokerId> next_hop;
+  /// stats[b]: PathStats of the chosen path b -> destination.
+  std::vector<PathStats> stats;
+  /// reachable[b]: whether a path exists.
+  std::vector<bool> reachable;
+
+  /// Materialises the broker sequence from `from` to the destination
+  /// (inclusive of both); empty when unreachable.
+  std::vector<BrokerId> path_from(BrokerId from) const;
+};
+
+/// Dijkstra on mean path rate toward `destination`.
+ShortestPathTree compute_tree_toward(const Graph& graph,
+                                     BrokerId destination);
+
+}  // namespace bdps

@@ -1,0 +1,29 @@
+#include "routing/subscription.h"
+
+#include <sstream>
+
+namespace bdps {
+
+std::string SubscriptionTable::to_string() const {
+  std::ostringstream os;
+  for (const auto& entry : entries_) {
+    const Subscription& sub = *entry.subscription;
+    os << "s" << sub.subscriber << " [" << sub.filter.to_string() << "] dl=";
+    if (sub.allowed_delay == kNoDeadline) {
+      os << "msg";
+    } else {
+      os << sub.allowed_delay << "ms";
+    }
+    os << " pr=" << sub.price << " nb=";
+    if (entry.is_local()) {
+      os << "local";
+    } else {
+      os << "B" << entry.next_hop;
+    }
+    os << " NN=" << entry.path.hop_brokers << " mu=" << entry.path.mean_ms_per_kb
+       << " var=" << entry.path.variance << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bdps

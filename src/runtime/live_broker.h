@@ -1,0 +1,77 @@
+// Live (threaded) broker runtime — shared declarations.
+//
+// The discrete-event simulator proves the scheduling *math*; the live
+// runtime demonstrates the same Scheduler/purge code running under real
+// concurrency: every broker is a receiver thread plus one sender thread per
+// downstream link, links "transmit" by sleeping for a sampled duration on a
+// scaled clock, and deliveries are checked against deadlines in (scaled)
+// real time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "broker/broker.h"
+#include "runtime/channel.h"
+
+namespace bdps {
+
+/// Scaled wall clock: `speedup` simulated milliseconds elapse per real
+/// millisecond, so the paper's multi-second transfers run in demo time.
+class LiveClock {
+ public:
+  explicit LiveClock(double speedup = 1.0) : speedup_(speedup) {}
+
+  void start() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Simulated milliseconds since start().
+  TimeMs now() const {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const double real_ms =
+        std::chrono::duration<double, std::milli>(elapsed).count();
+    return real_ms * speedup_;
+  }
+
+  /// Sleeps the calling thread for `sim_ms` simulated milliseconds.
+  void sleep_for(TimeMs sim_ms) const;
+
+  double speedup() const { return speedup_; }
+
+ private:
+  double speedup_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// One message delivery observed by the live runtime.
+struct LiveDelivery {
+  SubscriberId subscriber = 0;
+  MessageId message = 0;
+  TimeMs delay = 0.0;
+  bool valid = false;
+  double price = 0.0;
+};
+
+/// Thread-safe accumulator shared by all live brokers.
+class LiveStats {
+ public:
+  void on_reception() { receptions_.fetch_add(1, std::memory_order_relaxed); }
+  void on_purge(const PurgeStats& stats);
+  void on_delivery(const LiveDelivery& delivery);
+
+  std::size_t receptions() const { return receptions_.load(); }
+  std::size_t purged() const { return purged_.load(); }
+  std::vector<LiveDelivery> deliveries() const;
+  std::size_t valid_deliveries() const;
+  double earning() const;
+
+ private:
+  std::atomic<std::size_t> receptions_{0};
+  std::atomic<std::size_t> purged_{0};
+  mutable std::mutex mutex_;
+  std::vector<LiveDelivery> deliveries_;
+};
+
+}  // namespace bdps

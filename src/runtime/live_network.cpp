@@ -1,0 +1,205 @@
+#include "runtime/live_network.h"
+
+#include <condition_variable>
+#include <set>
+#include <stdexcept>
+
+namespace bdps {
+
+struct LiveNetwork::LinkWorker {
+  BrokerId from = kNoBroker;
+  BrokerId to = kNoBroker;
+  LinkParams believed;
+  LinkModel true_link;
+  Rng rng;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<QueuedMessage> queue;
+
+  LinkWorker(BrokerId f, BrokerId t, LinkParams params, Rng r)
+      : from(f), to(t), believed(params), true_link(params), rng(r) {}
+};
+
+LiveNetwork::LiveNetwork(const Topology* topology, const RoutingFabric* fabric,
+                         const Scheduler* scheduler, LiveOptions options)
+    : topology_(topology),
+      fabric_(fabric),
+      scheduler_(scheduler),
+      options_(options),
+      clock_(options.speedup) {
+  const std::size_t n = topology_->graph.broker_count();
+  inboxes_.reserve(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    inboxes_.push_back(
+        std::make_unique<Channel<std::shared_ptr<const Message>>>());
+  }
+  size_totals_.resize(n);
+  for (auto& t : size_totals_) t = std::make_unique<SizeTotal>();
+
+  // One sender worker per directed link that some subscription routes over.
+  Rng rng(options_.seed);
+  std::set<std::pair<BrokerId, BrokerId>> needed;
+  for (std::size_t b = 0; b < n; ++b) {
+    for (const SubscriptionEntry& entry :
+         fabric_->table(static_cast<BrokerId>(b)).entries()) {
+      if (!entry.is_local()) {
+        needed.emplace(static_cast<BrokerId>(b), entry.next_hop);
+      }
+    }
+  }
+  for (const auto& [from, to] : needed) {
+    const EdgeId edge = topology_->graph.find_edge(from, to);
+    if (edge == kNoEdge) {
+      throw std::invalid_argument("live network: table references missing link");
+    }
+    links_.push_back(std::make_unique<LinkWorker>(
+        from, to, topology_->graph.edge(edge).link.params(), rng.split()));
+    link_map_[{from, to}] = links_.back().get();
+  }
+}
+
+LiveNetwork::~LiveNetwork() { stop(); }
+
+void LiveNetwork::start() {
+  if (started_) return;
+  started_ = true;
+  clock_.start();
+  for (std::size_t b = 0; b < inboxes_.size(); ++b) {
+    threads_.emplace_back(
+        [this, b] { receiver_loop(static_cast<BrokerId>(b)); });
+  }
+  for (auto& link : links_) {
+    threads_.emplace_back([this, worker = link.get()] { sender_loop(*worker); });
+  }
+}
+
+void LiveNetwork::publish(PublisherId publisher,
+                          const Message& template_message) {
+  const BrokerId edge =
+      topology_->publisher_edges.at(static_cast<std::size_t>(publisher));
+  auto message = std::make_shared<Message>(
+      next_message_id_.fetch_add(1), publisher, clock_.now(),
+      template_message.size_kb(), template_message.head(),
+      template_message.allowed_delay());
+  outstanding_.fetch_add(1);
+  if (!inboxes_[edge]->push(std::move(message))) {
+    outstanding_.fetch_sub(1);
+  }
+}
+
+void LiveNetwork::drain() {
+  while (outstanding_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void LiveNetwork::stop() {
+  if (stopping_.exchange(true)) {
+    for (auto& thread : threads_) {
+      if (thread.joinable()) thread.join();
+    }
+    return;
+  }
+  for (auto& inbox : inboxes_) inbox->close();
+  for (auto& link : links_) link->cv.notify_all();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+}
+
+void LiveNetwork::receiver_loop(BrokerId broker) {
+  Channel<std::shared_ptr<const Message>>& inbox = *inboxes_[broker];
+  for (;;) {
+    auto popped = inbox.pop();
+    if (!popped.has_value()) return;  // Closed and drained.
+    const std::shared_ptr<const Message> message = std::move(*popped);
+
+    stats_.on_reception();
+    clock_.sleep_for(options_.processing_delay);
+    const TimeMs now = clock_.now();
+
+    size_totals_[broker]->kb.fetch_add(message->size_kb());
+    size_totals_[broker]->count.fetch_add(1);
+
+    std::map<BrokerId, std::vector<const SubscriptionEntry*>> groups;
+    for (const SubscriptionEntry* entry :
+         fabric_->match_at(broker, *message)) {
+      if (!entry->serves_publisher(message->publisher())) continue;
+      if (entry->is_local()) {
+        const TimeMs delay = message->elapsed(now);
+        const TimeMs deadline = entry->effective_deadline(*message);
+        stats_.on_delivery(LiveDelivery{entry->subscription->subscriber,
+                                        message->id(), delay,
+                                        delay <= deadline,
+                                        entry->subscription->price});
+      } else {
+        groups[entry->next_hop].push_back(entry);
+      }
+    }
+
+    for (auto& [neighbor, targets] : groups) {
+      LinkWorker* worker = link_map_.at({broker, neighbor});
+      outstanding_.fetch_add(1);
+      {
+        const std::lock_guard<std::mutex> lock(worker->mutex);
+        worker->queue.push_back(QueuedMessage{message, now, std::move(targets)});
+      }
+      worker->cv.notify_one();
+    }
+
+    outstanding_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void LiveNetwork::sender_loop(LinkWorker& worker) {
+  for (;;) {
+    QueuedMessage chosen;
+    {
+      std::unique_lock<std::mutex> lock(worker.mutex);
+      worker.cv.wait(lock, [&] {
+        return stopping_.load() || !worker.queue.empty();
+      });
+      if (worker.queue.empty()) return;  // Stopping with nothing queued.
+
+      const SizeTotal& totals = *size_totals_[worker.from];
+      const std::size_t count = totals.count.load();
+      const double average_kb =
+          count == 0 ? 0.0 : totals.kb.load() / static_cast<double>(count);
+      const SchedulingContext context{
+          clock_.now(), options_.processing_delay,
+          average_kb * worker.believed.mean_ms_per_kb};
+
+      PurgeStats purge_stats;
+      auto taken = take_from_queue(worker.queue, context, &purge_stats);
+      stats_.on_purge(purge_stats);
+      if (purge_stats.expired + purge_stats.hopeless > 0) {
+        outstanding_.fetch_sub(purge_stats.expired + purge_stats.hopeless,
+                               std::memory_order_release);
+      }
+      if (!taken.has_value()) continue;  // Queue emptied by the purge.
+      chosen = std::move(*taken);
+    }
+
+    const TimeMs duration =
+        worker.true_link.sample_send_time(worker.rng, chosen.message->size_kb());
+    clock_.sleep_for(duration);
+
+    if (!inboxes_[worker.to]->push(std::move(chosen.message))) {
+      outstanding_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+}
+
+std::optional<QueuedMessage> LiveNetwork::take_from_queue(
+    std::vector<QueuedMessage>& queue, const SchedulingContext& context,
+    PurgeStats* purge_stats) {
+  *purge_stats += purge_queue(queue, context, options_.purge);
+  if (queue.empty()) return std::nullopt;
+  const std::size_t index = scheduler_->pick(queue, context);
+  QueuedMessage chosen = std::move(queue[index]);
+  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+  return chosen;
+}
+
+}  // namespace bdps

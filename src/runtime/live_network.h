@@ -1,0 +1,96 @@
+// Threaded broker overlay.
+//
+// LiveNetwork spawns one receiver thread per broker and one sender thread
+// per directed overlay link that carries subscriptions.  Receivers pop an
+// inbox channel, sleep the processing delay PD, match against the routing
+// fabric and either deliver locally or enqueue into the link's output
+// queue; senders repeatedly purge + pick (using the *same* Scheduler
+// implementations as the simulator), sleep the sampled transmission time
+// and push into the downstream inbox.
+//
+// An outstanding-work counter lets `drain()` block until every copy in
+// flight has been delivered, purged or dropped; `stop()` then closes all
+// channels and joins the threads (also invoked by the destructor).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "runtime/live_broker.h"
+#include "scheduling/purge.h"
+
+namespace bdps {
+
+struct LiveOptions {
+  TimeMs processing_delay = 2.0;
+  PurgePolicy purge;
+  /// Simulated milliseconds per real millisecond.
+  double speedup = 100.0;
+  std::uint64_t seed = 1;
+};
+
+class LiveNetwork {
+ public:
+  /// All referenced objects must outlive the network.
+  LiveNetwork(const Topology* topology, const RoutingFabric* fabric,
+              const Scheduler* scheduler, LiveOptions options);
+  ~LiveNetwork();
+
+  LiveNetwork(const LiveNetwork&) = delete;
+  LiveNetwork& operator=(const LiveNetwork&) = delete;
+
+  /// Starts the clock and all broker threads.
+  void start();
+
+  /// Publishes a message now (the publish timestamp is taken from the live
+  /// clock; `template_message`'s id/head/size/deadline are kept).
+  void publish(PublisherId publisher, const Message& template_message);
+
+  /// Blocks until no message copies remain in flight.
+  void drain();
+
+  /// Stops and joins all threads (idempotent).
+  void stop();
+
+  const LiveStats& stats() const { return stats_; }
+  const LiveClock& clock() const { return clock_; }
+
+ private:
+  struct LinkWorker;
+
+  /// Running totals backing the per-broker average message size (eq. 6).
+  struct SizeTotal {
+    std::atomic<double> kb{0.0};
+    std::atomic<std::size_t> count{0};
+  };
+
+  void receiver_loop(BrokerId broker);
+  void sender_loop(LinkWorker& worker);
+  std::optional<QueuedMessage> take_from_queue(
+      std::vector<QueuedMessage>& queue, const SchedulingContext& context,
+      PurgeStats* purge_stats);
+
+  const Topology* topology_;
+  const RoutingFabric* fabric_;
+  const Scheduler* scheduler_;
+  LiveOptions options_;
+
+  LiveClock clock_;
+  LiveStats stats_;
+
+  std::vector<std::unique_ptr<Channel<std::shared_ptr<const Message>>>>
+      inboxes_;
+  std::vector<std::unique_ptr<SizeTotal>> size_totals_;
+  std::vector<std::unique_ptr<LinkWorker>> links_;
+  std::map<std::pair<BrokerId, BrokerId>, LinkWorker*> link_map_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::atomic<MessageId> next_message_id_{0};
+};
+
+}  // namespace bdps

@@ -1,0 +1,68 @@
+#include "scheduling/purge.h"
+
+#include <algorithm>
+
+namespace bdps {
+
+namespace {
+
+bool all_expired(const QueuedMessage& queued, TimeMs now) {
+  for (const SubscriptionEntry* entry : queued.targets) {
+    const TimeMs lifetime = remaining_lifetime(*entry, *queued.message, now);
+    if (lifetime == kNoDeadline || lifetime > 0.0) return false;
+  }
+  return !queued.targets.empty();
+}
+
+bool all_hopeless(const QueuedMessage& queued,
+                  const SchedulingContext& context, double epsilon) {
+  for (const SubscriptionEntry* entry : queued.targets) {
+    if (success_probability(*entry, *queued.message, context.now,
+                            context.processing_delay) >= epsilon) {
+      return false;
+    }
+  }
+  return !queued.targets.empty();
+}
+
+}  // namespace
+
+bool should_purge(const QueuedMessage& queued,
+                  const SchedulingContext& context,
+                  const PurgePolicy& policy) {
+  if (policy.drop_expired && all_expired(queued, context.now)) return true;
+  if (policy.epsilon > 0.0 && all_hopeless(queued, context, policy.epsilon)) {
+    return true;
+  }
+  return false;
+}
+
+PurgeStats purge_queue(std::vector<QueuedMessage>& queue,
+                       const SchedulingContext& context,
+                       const PurgePolicy& policy,
+                       std::vector<MessageId>* purged_ids) {
+  PurgeStats stats;
+  const auto keep_end = std::remove_if(
+      queue.begin(), queue.end(), [&](const QueuedMessage& queued) {
+        if (policy.drop_expired && all_expired(queued, context.now)) {
+          ++stats.expired;
+          if (purged_ids != nullptr) {
+            purged_ids->push_back(queued.message->id());
+          }
+          return true;
+        }
+        if (policy.epsilon > 0.0 &&
+            all_hopeless(queued, context, policy.epsilon)) {
+          ++stats.hopeless;
+          if (purged_ids != nullptr) {
+            purged_ids->push_back(queued.message->id());
+          }
+          return true;
+        }
+        return false;
+      });
+  queue.erase(keep_end, queue.end());
+  return stats;
+}
+
+}  // namespace bdps

@@ -1,0 +1,49 @@
+// Invalid-message detection (§5.4).
+//
+// Before each send, a broker removes from the output queue:
+//   * messages whose deadline has already passed for every target, and
+//   * messages for which success(s_i, m) < epsilon for every target
+//     (eq. 11; the paper uses epsilon = 0.05%).
+// The first rule is the epsilon -> 0 limit of the second; it is kept
+// separate so the "purge hopeless messages" optimisation can be ablated
+// while still discarding outright-expired traffic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "scheduling/scheduler.h"
+
+namespace bdps {
+
+struct PurgePolicy {
+  /// epsilon of eq. (11); 0 disables the probabilistic purge.
+  double epsilon = 0.0005;
+  /// Whether to drop messages that are already past every target deadline.
+  bool drop_expired = true;
+};
+
+struct PurgeStats {
+  std::size_t expired = 0;   // Dropped because all deadlines passed.
+  std::size_t hopeless = 0;  // Dropped by the eq. (11) threshold.
+
+  PurgeStats& operator+=(const PurgeStats& other) {
+    expired += other.expired;
+    hopeless += other.hopeless;
+    return *this;
+  }
+};
+
+/// True when eq. (11) says the queued message should be deleted.
+bool should_purge(const QueuedMessage& queued, const SchedulingContext& context,
+                  const PurgePolicy& policy);
+
+/// Removes purgeable messages in place (stable order) and reports counts.
+/// When `purged_ids` is non-null the ids of deleted messages are appended
+/// (trace support).
+PurgeStats purge_queue(std::vector<QueuedMessage>& queue,
+                       const SchedulingContext& context,
+                       const PurgePolicy& policy,
+                       std::vector<MessageId>* purged_ids = nullptr);
+
+}  // namespace bdps

@@ -1,0 +1,94 @@
+// Output-queue scheduling interface.
+//
+// §3.2: each broker keeps one output queue per downstream neighbour; when
+// the link becomes free the broker must decide which queued message to send
+// next.  A Scheduler encapsulates that policy.  The simulator (and the
+// threaded live runtime) call `pick` with the current queue contents and a
+// SchedulingContext snapshot; strategies are stateless and shared.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "scheduling/success.h"
+
+namespace bdps {
+
+/// A message waiting in one broker's output queue toward one neighbour,
+/// together with the subscription-table rows it still has to serve through
+/// that neighbour.
+struct QueuedMessage {
+  std::shared_ptr<const Message> message;
+  TimeMs enqueue_time = 0.0;
+  std::vector<const SubscriptionEntry*> targets;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Human-readable strategy name ("EB", "FIFO", ...).
+  virtual std::string name() const = 0;
+
+  /// Index of the message to send next; `queue` is non-empty.
+  virtual std::size_t pick(std::span<const QueuedMessage> queue,
+                           const SchedulingContext& context) const = 0;
+};
+
+/// The five strategies evaluated in the paper, plus the lower-bound
+/// comparator from its related-work discussion (kLowerBound: schedule by
+/// expected benefit computed against the *guaranteed* bandwidth
+/// mu + 2 sigma instead of the full distribution — the OverQoS-style
+/// planning the paper argues is less efficient).
+enum class StrategyKind {
+  kFifo,
+  kRemainingLifetime,
+  kEb,
+  kPc,
+  kEbpc,
+  kLowerBound,
+};
+
+/// Parses "FIFO" / "RL" / "EB" / "PC" / "EBPC" / "LB"; throws
+/// std::invalid_argument on unknown names.
+StrategyKind parse_strategy(const std::string& name);
+std::string strategy_name(StrategyKind kind);
+
+/// Factory.  `ebpc_weight` is the EB weight r of eq. (10); only used by
+/// kEbpc.
+std::unique_ptr<Scheduler> make_scheduler(StrategyKind kind,
+                                          double ebpc_weight = 0.5);
+
+// ---- Metric helpers (exposed for tests, benches and custom strategies) ----
+
+/// EB_m of eq. (3) for a queued message (sum over its queue-local targets).
+double expected_benefit(const QueuedMessage& queued,
+                        const SchedulingContext& context);
+
+/// EB'_m of eq. (8): expected benefit when this broker sends the message in
+/// the second place (the head-of-line estimate FT is added to every fdl).
+double postponed_benefit(const QueuedMessage& queued,
+                         const SchedulingContext& context);
+
+/// PC_m = EB_m - EB'_m (eq. 9).
+double postponing_cost(const QueuedMessage& queued,
+                       const SchedulingContext& context);
+
+/// EBPC_m = r*EB_m + (1-r)*PC_m (eq. 10).
+double ebpc_metric(const QueuedMessage& queued,
+                   const SchedulingContext& context, double weight);
+
+/// Mean remaining lifetime across the message's targets (the paper's SSD
+/// adaptation of the RL baseline; equals the single remaining lifetime
+/// under PSD).
+TimeMs mean_remaining_lifetime(const QueuedMessage& queued, TimeMs now);
+
+/// Lower-bound benefit: sum of price over targets whose deadline holds at
+/// the pessimistic (mu + 2 sigma) path rate — the kLowerBound score.
+double lower_bound_benefit(const QueuedMessage& queued,
+                           const SchedulingContext& context);
+
+}  // namespace bdps

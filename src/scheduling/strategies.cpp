@@ -1,0 +1,214 @@
+#include "scheduling/scheduler.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace bdps {
+
+double expected_benefit(const QueuedMessage& queued,
+                        const SchedulingContext& context) {
+  double total = 0.0;
+  for (const SubscriptionEntry* entry : queued.targets) {
+    total += expected_benefit_term(*entry, *queued.message, context.now,
+                                   context.processing_delay);
+  }
+  return total;
+}
+
+double postponed_benefit(const QueuedMessage& queued,
+                         const SchedulingContext& context) {
+  double total = 0.0;
+  for (const SubscriptionEntry* entry : queued.targets) {
+    total += expected_benefit_term(*entry, *queued.message, context.now,
+                                   context.processing_delay,
+                                   context.head_of_line_estimate);
+  }
+  return total;
+}
+
+double postponing_cost(const QueuedMessage& queued,
+                       const SchedulingContext& context) {
+  return expected_benefit(queued, context) -
+         postponed_benefit(queued, context);
+}
+
+double ebpc_metric(const QueuedMessage& queued,
+                   const SchedulingContext& context, double weight) {
+  return weight * expected_benefit(queued, context) +
+         (1.0 - weight) * postponing_cost(queued, context);
+}
+
+double lower_bound_benefit(const QueuedMessage& queued,
+                           const SchedulingContext& context) {
+  double total = 0.0;
+  for (const SubscriptionEntry* entry : queued.targets) {
+    total += lower_bound_success(*entry, *queued.message, context.now,
+                                 context.processing_delay) *
+             entry->subscription->price;
+  }
+  return total;
+}
+
+TimeMs mean_remaining_lifetime(const QueuedMessage& queued, TimeMs now) {
+  if (queued.targets.empty()) return kNoDeadline;
+  double total = 0.0;
+  std::size_t bounded = 0;
+  for (const SubscriptionEntry* entry : queued.targets) {
+    const TimeMs lifetime = remaining_lifetime(*entry, *queued.message, now);
+    if (lifetime == kNoDeadline) continue;
+    total += lifetime;
+    ++bounded;
+  }
+  if (bounded == 0) return kNoDeadline;
+  return total / static_cast<double>(bounded);
+}
+
+namespace {
+
+/// Shared argmax scan with first-wins tie-breaking (keeps strategies
+/// deterministic for equal scores).
+template <typename ScoreFn>
+std::size_t pick_max(std::span<const QueuedMessage> queue, ScoreFn score) {
+  std::size_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const double s = score(queue[i]);
+    if (s > best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return best;
+}
+
+class FifoScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "FIFO"; }
+  std::size_t pick(std::span<const QueuedMessage> queue,
+                   const SchedulingContext&) const override {
+    // Earliest enqueue time first.
+    return pick_max(queue, [](const QueuedMessage& q) {
+      return -q.enqueue_time;
+    });
+  }
+};
+
+class RemainingLifetimeScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "RL"; }
+  std::size_t pick(std::span<const QueuedMessage> queue,
+                   const SchedulingContext& context) const override {
+    // Minimum (mean) remaining lifetime first.
+    return pick_max(queue, [&](const QueuedMessage& q) {
+      const TimeMs lifetime = mean_remaining_lifetime(q, context.now);
+      return lifetime == kNoDeadline
+                 ? -std::numeric_limits<double>::infinity()
+                 : -lifetime;
+    });
+  }
+};
+
+class ExpectedBenefitScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "EB"; }
+  std::size_t pick(std::span<const QueuedMessage> queue,
+                   const SchedulingContext& context) const override {
+    return pick_max(queue, [&](const QueuedMessage& q) {
+      return expected_benefit(q, context);
+    });
+  }
+};
+
+class PostponingCostScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "PC"; }
+  std::size_t pick(std::span<const QueuedMessage> queue,
+                   const SchedulingContext& context) const override {
+    return pick_max(queue, [&](const QueuedMessage& q) {
+      return postponing_cost(q, context);
+    });
+  }
+};
+
+class LowerBoundScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "LB"; }
+  std::size_t pick(std::span<const QueuedMessage> queue,
+                   const SchedulingContext& context) const override {
+    return pick_max(queue, [&](const QueuedMessage& q) {
+      return lower_bound_benefit(q, context);
+    });
+  }
+};
+
+class EbpcScheduler final : public Scheduler {
+ public:
+  explicit EbpcScheduler(double weight) : weight_(weight) {
+    if (weight < 0.0 || weight > 1.0) {
+      throw std::invalid_argument("EBPC weight r must be in [0, 1]");
+    }
+  }
+  std::string name() const override {
+    return "EBPC(r=" + std::to_string(weight_) + ")";
+  }
+  std::size_t pick(std::span<const QueuedMessage> queue,
+                   const SchedulingContext& context) const override {
+    return pick_max(queue, [&](const QueuedMessage& q) {
+      return ebpc_metric(q, context, weight_);
+    });
+  }
+
+ private:
+  double weight_;
+};
+
+}  // namespace
+
+StrategyKind parse_strategy(const std::string& name) {
+  if (name == "FIFO" || name == "fifo") return StrategyKind::kFifo;
+  if (name == "RL" || name == "rl") return StrategyKind::kRemainingLifetime;
+  if (name == "EB" || name == "eb") return StrategyKind::kEb;
+  if (name == "PC" || name == "pc") return StrategyKind::kPc;
+  if (name == "EBPC" || name == "ebpc") return StrategyKind::kEbpc;
+  if (name == "LB" || name == "lb") return StrategyKind::kLowerBound;
+  throw std::invalid_argument("unknown strategy: " + name);
+}
+
+std::string strategy_name(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kFifo:
+      return "FIFO";
+    case StrategyKind::kRemainingLifetime:
+      return "RL";
+    case StrategyKind::kEb:
+      return "EB";
+    case StrategyKind::kPc:
+      return "PC";
+    case StrategyKind::kEbpc:
+      return "EBPC";
+    case StrategyKind::kLowerBound:
+      return "LB";
+  }
+  return "?";
+}
+
+std::unique_ptr<Scheduler> make_scheduler(StrategyKind kind,
+                                          double ebpc_weight) {
+  switch (kind) {
+    case StrategyKind::kFifo:
+      return std::make_unique<FifoScheduler>();
+    case StrategyKind::kRemainingLifetime:
+      return std::make_unique<RemainingLifetimeScheduler>();
+    case StrategyKind::kEb:
+      return std::make_unique<ExpectedBenefitScheduler>();
+    case StrategyKind::kPc:
+      return std::make_unique<PostponingCostScheduler>();
+    case StrategyKind::kEbpc:
+      return std::make_unique<EbpcScheduler>(ebpc_weight);
+    case StrategyKind::kLowerBound:
+      return std::make_unique<LowerBoundScheduler>();
+  }
+  throw std::invalid_argument("unknown strategy kind");
+}
+
+}  // namespace bdps

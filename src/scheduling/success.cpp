@@ -1,0 +1,54 @@
+#include "scheduling/success.h"
+
+namespace bdps {
+
+TimeMs expected_forward_delay(const SubscriptionEntry& entry,
+                              const Message& message,
+                              TimeMs processing_delay) {
+  return entry.path.hop_brokers * processing_delay +
+         message.size_kb() * entry.path.mean_ms_per_kb;
+}
+
+double success_probability(const SubscriptionEntry& entry,
+                           const Message& message, TimeMs now,
+                           TimeMs processing_delay, TimeMs extra_delay) {
+  const TimeMs deadline = entry.effective_deadline(message);
+  if (deadline == kNoDeadline) return 1.0;  // Unbounded delivery always "succeeds".
+
+  const TimeMs budget = deadline - message.elapsed(now) - extra_delay -
+                        entry.path.hop_brokers * processing_delay;
+  // Remaining random part: size * TR_p with TR_p ~ N(mu_p, sigma_p^2), so
+  // the propagation delay is N(size*mu_p, (size*sigma_p)^2).
+  const double mean = message.size_kb() * entry.path.mean_ms_per_kb;
+  const double stddev = message.size_kb() * entry.path.stddev();
+  return normal_cdf(budget, mean, stddev);
+}
+
+double expected_benefit_term(const SubscriptionEntry& entry,
+                             const Message& message, TimeMs now,
+                             TimeMs processing_delay, TimeMs extra_delay) {
+  return success_probability(entry, message, now, processing_delay,
+                             extra_delay) *
+         entry.subscription->price;
+}
+
+TimeMs remaining_lifetime(const SubscriptionEntry& entry,
+                          const Message& message, TimeMs now) {
+  const TimeMs deadline = entry.effective_deadline(message);
+  if (deadline == kNoDeadline) return kNoDeadline;
+  return deadline - message.elapsed(now);
+}
+
+double lower_bound_success(const SubscriptionEntry& entry,
+                           const Message& message, TimeMs now,
+                           TimeMs processing_delay, double confidence_z) {
+  const TimeMs deadline = entry.effective_deadline(message);
+  if (deadline == kNoDeadline) return 1.0;
+  const TimeMs budget = deadline - message.elapsed(now) -
+                        entry.path.hop_brokers * processing_delay;
+  const double pessimistic_rate =
+      entry.path.mean_ms_per_kb + confidence_z * entry.path.stddev();
+  return message.size_kb() * pessimistic_rate <= budget ? 1.0 : 0.0;
+}
+
+}  // namespace bdps

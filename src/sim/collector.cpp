@@ -1,0 +1,31 @@
+#include "sim/collector.h"
+
+namespace bdps {
+
+void Collector::on_publish(std::size_t interested, double potential_earning) {
+  ++published_;
+  total_interested_ += interested;
+  potential_earning_ += potential_earning;
+}
+
+void Collector::on_delivery(TimeMs delay, TimeMs effective_deadline,
+                            double price) {
+  ++deliveries_;
+  TierStats& tier = tiers_[price];
+  ++tier.deliveries;
+  if (delay <= effective_deadline) {
+    ++valid_deliveries_;
+    earning_ += price;
+    valid_delay_.add(delay);
+    ++tier.valid;
+    tier.earning += price;
+  }
+}
+
+double Collector::delivery_rate() const {
+  if (total_interested_ == 0) return 0.0;
+  return static_cast<double>(valid_deliveries_) /
+         static_cast<double>(total_interested_);
+}
+
+}  // namespace bdps

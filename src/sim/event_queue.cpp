@@ -1,0 +1,43 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace bdps {
+
+void EventQueue::push(Event event) {
+  heap_.push_back(Item{std::move(event), next_sequence_++});
+  sift_up(heap_.size() - 1);
+}
+
+Event EventQueue::pop() {
+  Event result = std::move(heap_.front().event);
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return result;
+}
+
+void EventQueue::sift_up(std::size_t index) {
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / 2;
+    if (!later(heap_[parent], heap_[index])) break;
+    std::swap(heap_[parent], heap_[index]);
+    index = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t index) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * index + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = index;
+    if (left < n && later(heap_[smallest], heap_[left])) smallest = left;
+    if (right < n && later(heap_[smallest], heap_[right])) smallest = right;
+    if (smallest == index) return;
+    std::swap(heap_[index], heap_[smallest]);
+    index = smallest;
+  }
+}
+
+}  // namespace bdps

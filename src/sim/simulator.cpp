@@ -1,0 +1,279 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bdps {
+
+Simulator::Simulator(const Topology* topology, const Graph* believed,
+                     const RoutingFabric* fabric, const Scheduler* scheduler,
+                     SimulatorOptions options, Rng link_rng)
+    : topology_(topology),
+      fabric_(fabric),
+      scheduler_(scheduler),
+      options_(options),
+      link_rng_(link_rng) {
+  brokers_.reserve(topology->graph.broker_count());
+  for (std::size_t b = 0; b < topology->graph.broker_count(); ++b) {
+    brokers_.emplace_back(static_cast<BrokerId>(b), fabric, believed);
+  }
+  if (options_.dedup_arrivals) {
+    seen_.resize(topology->graph.broker_count());
+  }
+  if (options_.serialize_processing) {
+    input_queues_.resize(topology->graph.broker_count());
+    processing_busy_.assign(topology->graph.broker_count(), false);
+  }
+  for (const LinkFailure& failure : options_.failures) {
+    Event event;
+    event.time = failure.at;
+    event.type = EventType::kLinkFailure;
+    event.broker = failure.a;
+    event.neighbor = failure.b;
+    events_.push(std::move(event));
+  }
+}
+
+void Simulator::schedule_publish(std::shared_ptr<const Message> message) {
+  Event event;
+  event.time = message->publish_time();
+  event.type = EventType::kPublish;
+  event.broker =
+      topology_->publisher_edges.at(static_cast<std::size_t>(message->publisher()));
+  event.message = std::move(message);
+  events_.push(std::move(event));
+}
+
+void Simulator::run() {
+  while (!events_.empty()) {
+    if (events_.top().time > options_.horizon) break;
+    const Event event = events_.pop();
+    now_ = event.time;
+    switch (event.type) {
+      case EventType::kPublish:
+        handle_publish(event);
+        break;
+      case EventType::kArrival:
+        handle_arrival(event);
+        break;
+      case EventType::kProcessed:
+        handle_processed(event);
+        break;
+      case EventType::kSendComplete:
+        handle_send_complete(event);
+        break;
+      case EventType::kLinkFailure:
+        handle_link_failure(event);
+        break;
+    }
+  }
+}
+
+void Simulator::trace(TraceEventKind kind, const Message& message,
+                      BrokerId broker, BrokerId neighbor,
+                      SubscriberId subscriber, bool valid) {
+  if (trace_ == nullptr) return;
+  trace_->record(
+      TraceEvent{now_, kind, message.id(), broker, neighbor, subscriber,
+                 valid});
+}
+
+void Simulator::trace_id(TraceEventKind kind, MessageId message,
+                         BrokerId broker, BrokerId neighbor) {
+  if (trace_ == nullptr) return;
+  trace_->record(TraceEvent{now_, kind, message, broker, neighbor, -1, false});
+}
+
+bool Simulator::link_dead(BrokerId a, BrokerId b) const {
+  if (dead_links_.empty()) return false;
+  return dead_links_.count({std::min(a, b), std::max(a, b)}) != 0;
+}
+
+void Simulator::drain_dead_queue(BrokerId broker_id, BrokerId neighbor) {
+  Broker& broker = brokers_[broker_id];
+  if (!broker.has_queue(neighbor)) return;
+  OutputQueue& out = broker.queue(neighbor);
+  if (trace_ != nullptr) {
+    for (const QueuedMessage& queued : out.messages()) {
+      trace_id(TraceEventKind::kLoss, queued.message->id(), broker_id,
+               neighbor);
+    }
+  }
+  const std::size_t dropped = out.clear();
+  if (dropped > 0) collector_.on_loss(dropped);
+}
+
+void Simulator::handle_link_failure(const Event& event) {
+  const BrokerId a = event.broker;
+  const BrokerId b = event.neighbor;
+  dead_links_.insert({std::min(a, b), std::max(a, b)});
+  // Queued copies in both directions are dropped immediately; an in-flight
+  // send is handled (and lost) when its completion event fires.
+  drain_dead_queue(a, b);
+  drain_dead_queue(b, a);
+}
+
+void Simulator::handle_publish(const Event& event) {
+  // ts_i of eq. (1): subscribers interested system-wide (and currently
+  // active), and the matching earning ceiling for eq. (2).
+  std::size_t interested = 0;
+  double potential = 0.0;
+  for (const std::size_t index : fabric_->match_all(*event.message)) {
+    const Subscription& sub = fabric_->subscription(index);
+    if (!sub.active_at(event.message->publish_time())) continue;
+    ++interested;
+    potential += sub.price;
+  }
+  collector_.on_publish(interested, potential);
+  trace(TraceEventKind::kPublish, *event.message, event.broker);
+
+  // Injection into the edge broker is itself a reception: arrival now.
+  Event arrival = event;
+  arrival.type = EventType::kArrival;
+  events_.push(std::move(arrival));
+}
+
+void Simulator::handle_arrival(const Event& event) {
+  collector_.on_reception();
+  trace(TraceEventKind::kArrival, *event.message, event.broker);
+  if (options_.dedup_arrivals &&
+      !seen_[event.broker].insert(event.message->id()).second) {
+    return;  // Duplicate copy over a redundant path; count it, drop it.
+  }
+  if (options_.serialize_processing) {
+    if (processing_busy_[event.broker]) {
+      // Fig. 2's input queue: wait for the processing unit.
+      input_queues_[event.broker].push_back(event.message);
+      collector_.on_input_queue_depth(input_queues_[event.broker].size());
+      return;
+    }
+    processing_busy_[event.broker] = true;
+  }
+  Event processed = event;
+  processed.type = EventType::kProcessed;
+  processed.time = now_ + options_.processing_delay;
+  events_.push(std::move(processed));
+}
+
+void Simulator::handle_processed(const Event& event) {
+  Broker& broker = brokers_[event.broker];
+  trace(TraceEventKind::kProcessed, *event.message, event.broker);
+  const Broker::FanOut fanout = broker.process(event.message, now_);
+
+  for (const SubscriptionEntry* entry : fanout.local) {
+    const TimeMs delay = event.message->elapsed(now_);
+    const TimeMs deadline = entry->effective_deadline(*event.message);
+    collector_.on_delivery(delay, deadline, entry->subscription->price);
+    trace(TraceEventKind::kDeliver, *event.message, event.broker, kNoBroker,
+          entry->subscription->subscriber, delay <= deadline);
+  }
+  for (const BrokerId neighbor : fanout.enqueued) {
+    trace(TraceEventKind::kEnqueue, *event.message, event.broker, neighbor);
+  }
+  for (const BrokerId neighbor : fanout.sendable) {
+    start_send(event.broker, neighbor);
+  }
+
+  if (options_.serialize_processing) {
+    auto& pending = input_queues_[event.broker];
+    if (pending.empty()) {
+      processing_busy_[event.broker] = false;
+    } else {
+      Event next;
+      next.time = now_ + options_.processing_delay;
+      next.type = EventType::kProcessed;
+      next.broker = event.broker;
+      next.message = pending.front();
+      pending.pop_front();
+      events_.push(std::move(next));
+    }
+  }
+}
+
+void Simulator::start_send(BrokerId broker_id, BrokerId neighbor) {
+  if (link_dead(broker_id, neighbor)) {
+    drain_dead_queue(broker_id, neighbor);
+    return;
+  }
+  Broker& broker = brokers_[broker_id];
+  OutputQueue& out = broker.queue(neighbor);
+
+  const SchedulingContext context =
+      broker.context(neighbor, now_, options_.processing_delay);
+  PurgeStats purge_stats;
+  std::vector<MessageId> purged_ids;
+  auto chosen = out.take_next(*scheduler_, context, options_.purge,
+                              &purge_stats,
+                              trace_ != nullptr ? &purged_ids : nullptr);
+  collector_.on_purge(purge_stats);
+  for (const MessageId id : purged_ids) {
+    trace_id(TraceEventKind::kPurge, id, broker_id, neighbor);
+  }
+  if (!chosen.has_value()) return;  // Purge emptied the queue; link idle.
+  trace(TraceEventKind::kSendStart, *chosen->message, broker_id, neighbor);
+
+  const EdgeId true_edge = topology_->graph.find_edge(broker_id, neighbor);
+  if (true_edge == kNoEdge) {
+    throw std::logic_error("send scheduled on a non-existent link");
+  }
+  const TimeMs duration = topology_->graph.edge(true_edge).link.sample_send_time(
+      link_rng_, chosen->message->size_kb());
+
+  out.set_link_busy(true);
+  if (options_.online_estimation) {
+    send_started_[{broker_id, neighbor}] = now_;
+    initial_beliefs_.try_emplace({broker_id, neighbor}, out.believed_link());
+  }
+  Event complete;
+  complete.time = now_ + duration;
+  complete.type = EventType::kSendComplete;
+  complete.broker = broker_id;
+  complete.neighbor = neighbor;
+  complete.message = std::move(chosen->message);
+  events_.push(std::move(complete));
+}
+
+void Simulator::handle_send_complete(const Event& event) {
+  Broker& broker = brokers_[event.broker];
+  OutputQueue& out = broker.queue(event.neighbor);
+  out.set_link_busy(false);
+
+  if (link_dead(event.broker, event.neighbor)) {
+    // The transfer was cut mid-flight: the copy is lost, and anything that
+    // queued up since the failure is unreachable too.
+    collector_.on_loss(1);
+    trace(TraceEventKind::kLoss, *event.message, event.broker,
+          event.neighbor);
+    drain_dead_queue(event.broker, event.neighbor);
+    return;
+  }
+  trace(TraceEventKind::kSendEnd, *event.message, event.broker,
+        event.neighbor);
+
+  if (options_.online_estimation) {
+    const std::pair<BrokerId, BrokerId> key{event.broker, event.neighbor};
+    auto [it, inserted] = estimators_.try_emplace(
+        key, RateEstimator(options_.estimator_min_samples));
+    (void)inserted;
+    it->second.observe(event.message->size_kb(),
+                       now_ - send_started_.at(key));
+    out.set_believed_link(it->second.estimate(initial_beliefs_.at(key)));
+  }
+
+  Event arrival;
+  arrival.time = now_;
+  arrival.type = EventType::kArrival;
+  arrival.broker = event.neighbor;
+  arrival.message = event.message;
+  events_.push(std::move(arrival));
+
+  if (!out.empty()) start_send(event.broker, event.neighbor);
+}
+
+const RateEstimator* Simulator::estimator(BrokerId broker,
+                                          BrokerId neighbor) const {
+  const auto it = estimators_.find({broker, neighbor});
+  return it == estimators_.end() ? nullptr : &it->second;
+}
+
+}  // namespace bdps

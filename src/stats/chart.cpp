@@ -1,0 +1,104 @@
+#include "stats/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace bdps {
+
+namespace {
+constexpr char kMarkers[] = {'*', 'o', '+', 'x', '#', '@'};
+}
+
+AsciiChart::AsciiChart(int width, int height)
+    : width_(std::max(width, 10)), height_(std::max(height, 4)) {}
+
+void AsciiChart::add_series(const std::string& name,
+                            std::vector<std::pair<double, double>> points) {
+  Series series;
+  series.name = name;
+  series.points = std::move(points);
+  series.marker = kMarkers[series_.size() % (sizeof(kMarkers))];
+  series_.push_back(std::move(series));
+}
+
+void AsciiChart::set_y_range(double lo, double hi) {
+  y_fixed_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+void AsciiChart::print(std::ostream& out, const std::string& title) const {
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -x_lo;
+  double y_lo = x_lo;
+  double y_hi = -x_lo;
+  for (const Series& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      x_lo = std::min(x_lo, x);
+      x_hi = std::max(x_hi, x);
+      y_lo = std::min(y_lo, y);
+      y_hi = std::max(y_hi, y);
+    }
+  }
+  if (!std::isfinite(x_lo)) return;  // Nothing to draw.
+  if (x_hi == x_lo) x_hi = x_lo + 1.0;
+  if (y_fixed_) {
+    y_lo = y_lo_;
+    y_hi = y_hi_;
+  } else {
+    const double margin = (y_hi - y_lo) * 0.05;
+    y_lo -= margin;
+    y_hi += margin;
+    if (y_hi == y_lo) y_hi = y_lo + 1.0;
+  }
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_),
+                                            ' '));
+  auto plot = [&](double x, double y, char marker) {
+    const int col = static_cast<int>(
+        std::lround((x - x_lo) / (x_hi - x_lo) * (width_ - 1)));
+    const int row = static_cast<int>(
+        std::lround((y - y_lo) / (y_hi - y_lo) * (height_ - 1)));
+    if (col < 0 || col >= width_ || row < 0 || row >= height_) return;
+    // Row 0 is the bottom of the chart; the grid renders top-down.
+    grid[static_cast<std::size_t>(height_ - 1 - row)]
+        [static_cast<std::size_t>(col)] = marker;
+  };
+  for (const Series& s : series_) {
+    for (const auto& [x, y] : s.points) plot(x, y, s.marker);
+  }
+
+  if (!title.empty()) out << title << '\n';
+  char label[32];
+  for (int r = 0; r < height_; ++r) {
+    // Y labels on the top, middle and bottom rows.
+    const bool labelled = r == 0 || r == height_ - 1 || r == height_ / 2;
+    if (labelled) {
+      const double y =
+          y_hi - (y_hi - y_lo) * static_cast<double>(r) / (height_ - 1);
+      std::snprintf(label, sizeof(label), "%8.1f |", y);
+    } else {
+      std::snprintf(label, sizeof(label), "%8s |", "");
+    }
+    out << label << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << "         +";
+  for (int c = 0; c < width_; ++c) out << '-';
+  out << '\n';
+  std::snprintf(label, sizeof(label), "%8.1f", x_lo);
+  out << "         " << label;
+  for (int c = 0; c < width_ - 16; ++c) out << ' ';
+  std::snprintf(label, sizeof(label), "%8.1f", x_hi);
+  out << label << '\n';
+
+  out << "         ";
+  for (const Series& s : series_) {
+    out << s.marker << " = " << s.name << "   ";
+  }
+  out << '\n';
+}
+
+}  // namespace bdps

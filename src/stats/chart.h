@@ -1,0 +1,46 @@
+// Terminal chart rendering for the figure benches.
+//
+// The paper's evaluation artifacts are *plots*; the bench binaries print
+// both the numeric table and this ASCII rendering so the crossovers and
+// collapses are visible at a glance without leaving the terminal.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bdps {
+
+class AsciiChart {
+ public:
+  /// `width`/`height` of the plotting area in characters (excluding axes).
+  AsciiChart(int width = 60, int height = 16);
+
+  /// Adds one named series; points are (x, y) pairs.  Up to 6 series get
+  /// distinct markers (*, o, +, x, #, @), cycling beyond that.
+  void add_series(const std::string& name,
+                  std::vector<std::pair<double, double>> points);
+
+  /// Forces the y range (default: auto-fit with a small margin).
+  void set_y_range(double lo, double hi);
+
+  /// Renders the chart, axes, and legend.
+  void print(std::ostream& out, const std::string& title = "") const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+    char marker;
+  };
+
+  int width_;
+  int height_;
+  std::vector<Series> series_;
+  bool y_fixed_ = false;
+  double y_lo_ = 0.0;
+  double y_hi_ = 1.0;
+};
+
+}  // namespace bdps

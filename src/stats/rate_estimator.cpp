@@ -1,0 +1,26 @@
+#include "stats/rate_estimator.h"
+
+namespace bdps {
+
+void RateEstimator::observe(double size_kb, double duration_ms) {
+  if (size_kb <= 0.0) return;
+  samples_.add(duration_ms / size_kb);
+}
+
+LinkParams RateEstimator::estimate(const LinkParams& prior) const {
+  const std::size_t n = samples_.count();
+  if (n == 0) return prior;
+
+  LinkParams measured{samples_.mean(), samples_.sample_stddev()};
+  if (n >= min_samples_) return measured;
+
+  // Linear blend toward the prior while the sample is small; avoids wild
+  // early estimates (a single observation has no variance at all).
+  const double w =
+      static_cast<double>(n) / static_cast<double>(min_samples_);
+  return LinkParams{
+      w * measured.mean_ms_per_kb + (1.0 - w) * prior.mean_ms_per_kb,
+      w * measured.stddev_ms_per_kb + (1.0 - w) * prior.stddev_ms_per_kb};
+}
+
+}  // namespace bdps

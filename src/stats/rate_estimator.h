@@ -1,0 +1,42 @@
+// Online estimation of link transmission-rate parameters.
+//
+// §3.2: "Each broker estimates the parameters of the probability
+// distribution of the transmission rate to each neighbor by some tools of
+// network measurement."  We model that tool: every completed send
+// contributes one (size, duration) observation; the estimator maintains
+// the per-KB rate's mean and variance (Welford) and exposes a LinkParams
+// estimate, optionally blended with a prior until enough samples arrive.
+#pragma once
+
+#include <cstddef>
+
+#include "stats/welford.h"
+#include "topology/link.h"
+
+namespace bdps {
+
+class RateEstimator {
+ public:
+  /// `min_samples`: observations required before the estimate leaves the
+  /// prior entirely (below it, prior and data blend linearly).
+  explicit RateEstimator(std::size_t min_samples = 8)
+      : min_samples_(min_samples) {}
+
+  /// Records one completed transfer of `size_kb` that took `duration_ms`.
+  void observe(double size_kb, double duration_ms);
+
+  std::size_t sample_count() const { return samples_.count(); }
+
+  /// Current parameter estimate; falls back toward `prior` when few
+  /// samples exist.
+  LinkParams estimate(const LinkParams& prior) const;
+
+  /// Raw per-KB rate statistics.
+  const Welford& samples() const { return samples_; }
+
+ private:
+  Welford samples_;
+  std::size_t min_samples_;
+};
+
+}  // namespace bdps

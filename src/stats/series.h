@@ -1,0 +1,51 @@
+// Text-table rendering for the bench binaries.
+//
+// Every figure bench prints the series the paper plots as an aligned text
+// table (and dumps the same rows to CSV via common/csv.h).  TextTable keeps
+// that formatting in one place.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bdps {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for streamable values.
+  template <typename... Ts>
+  void add_row_values(const Ts&... values) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(values));
+    (row.push_back(format_value(values)), ...);
+    add_row(std::move(row));
+  }
+
+  /// Renders with column alignment and a header rule.
+  void print(std::ostream& out) const;
+
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Formats a double with `digits` significant decimals (shared helper so
+  /// tables and CSVs agree).
+  static std::string fixed(double value, int digits = 2);
+
+ private:
+  template <typename T>
+  static std::string format_value(const T& value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bdps

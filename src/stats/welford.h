@@ -1,0 +1,44 @@
+// Welford's online mean/variance accumulator.
+//
+// Numerically stable single-pass moments; used by the metrics collector,
+// the link-rate estimator and the multi-seed replication summaries.
+#pragma once
+
+#include <cstddef>
+
+namespace bdps {
+
+class Welford {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (parallel reduction of per-thread stats).
+  void merge(const Welford& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+  /// Population variance (n denominator); 0 with fewer than 2 samples.
+  double variance() const;
+
+  /// Sample variance (n-1 denominator); 0 with fewer than 2 samples.
+  double sample_variance() const;
+
+  double stddev() const;
+  double sample_stddev() const;
+
+  /// Standard error of the mean (sample stddev / sqrt(n)).
+  double standard_error() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace bdps

@@ -1,0 +1,289 @@
+#include "topology/builders.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace bdps {
+
+namespace {
+
+LinkParams random_link(Rng& rng, double mean_lo, double mean_hi,
+                       double stddev) {
+  return LinkParams{rng.uniform(mean_lo, mean_hi), stddev};
+}
+
+/// Picks `k` distinct values from [0, n) uniformly (partial Fisher–Yates).
+std::vector<std::size_t> sample_distinct(Rng& rng, std::size_t n,
+                                         std::size_t k) {
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng.uniform_index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace
+
+Topology build_paper_topology(Rng& rng, const PaperTopologyConfig& config) {
+  if (config.uplinks_per_layer3 > config.layer2 ||
+      config.uplinks_per_layer4 > config.layer3) {
+    throw std::invalid_argument(
+        "paper topology: more uplinks requested than parent brokers");
+  }
+
+  Topology topo;
+  const std::size_t total =
+      config.layer1 + config.layer2 + config.layer3 + config.layer4;
+  topo.graph.resize(total);
+
+  const std::size_t l1_base = 0;
+  const std::size_t l2_base = config.layer1;
+  const std::size_t l3_base = l2_base + config.layer2;
+  const std::size_t l4_base = l3_base + config.layer3;
+
+  auto link = [&] {
+    return random_link(rng, config.link_mean_lo_ms_per_kb,
+                       config.link_mean_hi_ms_per_kb,
+                       config.link_stddev_ms_per_kb);
+  };
+
+  // Layer 1 <-> layer 2: full bipartite mesh.
+  for (std::size_t i = 0; i < config.layer1; ++i) {
+    for (std::size_t j = 0; j < config.layer2; ++j) {
+      topo.graph.add_bidirectional(static_cast<BrokerId>(l1_base + i),
+                                   static_cast<BrokerId>(l2_base + j),
+                                   link());
+    }
+  }
+
+  // Layer 3: each broker picks distinct random parents in layer 2.
+  for (std::size_t i = 0; i < config.layer3; ++i) {
+    for (const std::size_t parent :
+         sample_distinct(rng, config.layer2, config.uplinks_per_layer3)) {
+      topo.graph.add_bidirectional(static_cast<BrokerId>(l3_base + i),
+                                   static_cast<BrokerId>(l2_base + parent),
+                                   link());
+    }
+  }
+
+  // Layer 4: each broker picks distinct random parents in layer 3.
+  for (std::size_t i = 0; i < config.layer4; ++i) {
+    for (const std::size_t parent :
+         sample_distinct(rng, config.layer3, config.uplinks_per_layer4)) {
+      topo.graph.add_bidirectional(static_cast<BrokerId>(l4_base + i),
+                                   static_cast<BrokerId>(l3_base + parent),
+                                   link());
+    }
+  }
+
+  // One publisher behind each layer-1 broker.
+  for (std::size_t i = 0; i < config.layer1; ++i) {
+    topo.publisher_edges.push_back(static_cast<BrokerId>(l1_base + i));
+  }
+
+  // Subscribers attach to layer-4 edge brokers.
+  for (std::size_t i = 0; i < config.layer4; ++i) {
+    for (std::size_t s = 0; s < config.subscribers_per_edge_broker; ++s) {
+      topo.subscriber_homes.push_back(static_cast<BrokerId>(l4_base + i));
+    }
+  }
+  return topo;
+}
+
+Topology build_acyclic_topology(Rng& rng, std::size_t broker_count,
+                                std::size_t publisher_count,
+                                std::size_t subscriber_count,
+                                double link_mean_lo, double link_mean_hi,
+                                double link_stddev) {
+  if (broker_count == 0) throw std::invalid_argument("empty topology");
+  Topology topo;
+  topo.graph.resize(broker_count);
+
+  // Random recursive tree: broker i > 0 attaches to a uniform earlier one.
+  for (std::size_t i = 1; i < broker_count; ++i) {
+    const auto parent = static_cast<BrokerId>(rng.uniform_index(i));
+    topo.graph.add_bidirectional(
+        static_cast<BrokerId>(i), parent,
+        random_link(rng, link_mean_lo, link_mean_hi, link_stddev));
+  }
+
+  for (std::size_t p = 0; p < publisher_count; ++p) {
+    topo.publisher_edges.push_back(
+        static_cast<BrokerId>(rng.uniform_index(broker_count)));
+  }
+  for (std::size_t s = 0; s < subscriber_count; ++s) {
+    topo.subscriber_homes.push_back(
+        static_cast<BrokerId>(rng.uniform_index(broker_count)));
+  }
+  return topo;
+}
+
+Topology build_random_mesh(Rng& rng, std::size_t broker_count,
+                           std::size_t extra_edges,
+                           std::size_t publisher_count,
+                           std::size_t subscriber_count, double link_mean_lo,
+                           double link_mean_hi, double link_stddev) {
+  Topology topo = build_acyclic_topology(rng, broker_count, publisher_count,
+                                         subscriber_count, link_mean_lo,
+                                         link_mean_hi, link_stddev);
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 50 * (extra_edges + 1);
+  while (added < extra_edges && ++attempts < max_attempts) {
+    const auto a = static_cast<BrokerId>(rng.uniform_index(broker_count));
+    const auto b = static_cast<BrokerId>(rng.uniform_index(broker_count));
+    if (a == b || topo.graph.find_edge(a, b) != kNoEdge) continue;
+    topo.graph.add_bidirectional(
+        a, b, random_link(rng, link_mean_lo, link_mean_hi, link_stddev));
+    ++added;
+  }
+  return topo;
+}
+
+Topology build_dumbbell(Rng& rng, std::size_t leaves_per_side,
+                        std::size_t subscribers_per_leaf,
+                        LinkParams edge_link, LinkParams bottleneck_link) {
+  (void)rng;  // Deterministic by construction; kept for interface symmetry.
+  Topology topo;
+  // Brokers: [0] left hub, [1] right hub, then left leaves, right leaves.
+  const std::size_t total = 2 + 2 * leaves_per_side;
+  topo.graph.resize(total);
+  const BrokerId left_hub = 0;
+  const BrokerId right_hub = 1;
+  topo.graph.add_bidirectional(left_hub, right_hub, bottleneck_link);
+
+  for (std::size_t i = 0; i < leaves_per_side; ++i) {
+    const auto left_leaf = static_cast<BrokerId>(2 + i);
+    const auto right_leaf = static_cast<BrokerId>(2 + leaves_per_side + i);
+    topo.graph.add_bidirectional(left_hub, left_leaf, edge_link);
+    topo.graph.add_bidirectional(right_hub, right_leaf, edge_link);
+    topo.publisher_edges.push_back(left_leaf);
+    for (std::size_t s = 0; s < subscribers_per_leaf; ++s) {
+      topo.subscriber_homes.push_back(right_leaf);
+    }
+  }
+  return topo;
+}
+
+Topology build_ring(Rng& rng, std::size_t broker_count,
+                    std::size_t publisher_count,
+                    std::size_t subscriber_count, double link_mean_lo,
+                    double link_mean_hi, double link_stddev) {
+  if (broker_count < 3) throw std::invalid_argument("ring needs >= 3 brokers");
+  Topology topo;
+  topo.graph.resize(broker_count);
+  for (std::size_t i = 0; i < broker_count; ++i) {
+    topo.graph.add_bidirectional(
+        static_cast<BrokerId>(i),
+        static_cast<BrokerId>((i + 1) % broker_count),
+        random_link(rng, link_mean_lo, link_mean_hi, link_stddev));
+  }
+  for (std::size_t p = 0; p < publisher_count; ++p) {
+    topo.publisher_edges.push_back(
+        static_cast<BrokerId>(rng.uniform_index(broker_count)));
+  }
+  for (std::size_t s = 0; s < subscriber_count; ++s) {
+    topo.subscriber_homes.push_back(
+        static_cast<BrokerId>(rng.uniform_index(broker_count)));
+  }
+  return topo;
+}
+
+Topology build_grid(Rng& rng, std::size_t rows, std::size_t cols, bool torus,
+                    std::size_t publisher_count, std::size_t subscriber_count,
+                    double link_mean_lo, double link_mean_hi,
+                    double link_stddev) {
+  if (rows < 2 || cols < 2) {
+    throw std::invalid_argument("grid needs at least 2x2 brokers");
+  }
+  const std::size_t n = rows * cols;
+  Topology topo;
+  topo.graph.resize(n);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<BrokerId>(r * cols + c);
+  };
+  auto link = [&] {
+    return random_link(rng, link_mean_lo, link_mean_hi, link_stddev);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) topo.graph.add_bidirectional(id(r, c), id(r, c + 1), link());
+      if (r + 1 < rows) topo.graph.add_bidirectional(id(r, c), id(r + 1, c), link());
+    }
+  }
+  if (torus) {
+    // Wrap rows and columns (avoid double edges on 2-wide dimensions).
+    if (cols > 2) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        topo.graph.add_bidirectional(id(r, cols - 1), id(r, 0), link());
+      }
+    }
+    if (rows > 2) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        topo.graph.add_bidirectional(id(rows - 1, c), id(0, c), link());
+      }
+    }
+  }
+  // Publishers at the corners (cycling if more than 4 requested).
+  const BrokerId corners[] = {id(0, 0), id(0, cols - 1), id(rows - 1, 0),
+                              id(rows - 1, cols - 1)};
+  for (std::size_t p = 0; p < publisher_count; ++p) {
+    topo.publisher_edges.push_back(corners[p % 4]);
+  }
+  for (std::size_t s = 0; s < subscriber_count; ++s) {
+    topo.subscriber_homes.push_back(
+        static_cast<BrokerId>(rng.uniform_index(n)));
+  }
+  return topo;
+}
+
+Topology build_scale_free(Rng& rng, std::size_t broker_count,
+                          std::size_t edges_per_node,
+                          std::size_t publisher_count,
+                          std::size_t subscriber_count, double link_mean_lo,
+                          double link_mean_hi, double link_stddev) {
+  if (broker_count < 2 || edges_per_node == 0) {
+    throw std::invalid_argument("scale-free graph needs >= 2 brokers, m >= 1");
+  }
+  Topology topo;
+  topo.graph.resize(broker_count);
+  auto link = [&] {
+    return random_link(rng, link_mean_lo, link_mean_hi, link_stddev);
+  };
+  // Degree-proportional target sampling via the repeated-endpoints trick:
+  // every edge endpoint appears once in `endpoints`, so a uniform draw from
+  // it is a preferential draw over brokers.
+  std::vector<BrokerId> endpoints;
+  topo.graph.add_bidirectional(0, 1, link());
+  endpoints.push_back(0);
+  endpoints.push_back(1);
+  for (std::size_t b = 2; b < broker_count; ++b) {
+    const std::size_t m = std::min(edges_per_node, b);
+    std::set<BrokerId> targets;
+    std::size_t guard = 0;
+    while (targets.size() < m && ++guard < 64 * m) {
+      targets.insert(endpoints[rng.uniform_index(endpoints.size())]);
+    }
+    for (const BrokerId t : targets) {
+      topo.graph.add_bidirectional(static_cast<BrokerId>(b), t, link());
+      endpoints.push_back(static_cast<BrokerId>(b));
+      endpoints.push_back(t);
+    }
+  }
+  for (std::size_t p = 0; p < publisher_count; ++p) {
+    topo.publisher_edges.push_back(
+        static_cast<BrokerId>(rng.uniform_index(broker_count)));
+  }
+  for (std::size_t s = 0; s < subscriber_count; ++s) {
+    topo.subscriber_homes.push_back(
+        static_cast<BrokerId>(rng.uniform_index(broker_count)));
+  }
+  return topo;
+}
+
+}  // namespace bdps

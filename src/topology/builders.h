@@ -1,0 +1,94 @@
+// Overlay topology builders.
+//
+// `Topology` bundles the broker graph with the attachment points of
+// publishers and subscribers.  `build_paper_topology` reproduces fig. 3 of
+// the paper exactly; the other builders (acyclic tree — fig. 1(a) —, random
+// mesh, dumbbell, ring) support the ablation benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "topology/graph.h"
+
+namespace bdps {
+
+struct Topology {
+  Graph graph;
+  /// publisher_edges[p] = broker that publisher p injects into.
+  std::vector<BrokerId> publisher_edges;
+  /// subscriber_homes[s] = edge broker serving subscriber s.
+  std::vector<BrokerId> subscriber_homes;
+
+  std::size_t publisher_count() const { return publisher_edges.size(); }
+  std::size_t subscriber_count() const { return subscriber_homes.size(); }
+};
+
+/// Knobs of the paper's layered topology (§6.1 defaults).
+struct PaperTopologyConfig {
+  std::size_t layer1 = 4;   // One publisher behind each.
+  std::size_t layer2 = 4;   // Fully connected to layer 1.
+  std::size_t layer3 = 8;   // Each connects to 2 random layer-2 brokers.
+  std::size_t layer4 = 16;  // Each connects to 2 random layer-3 brokers.
+  std::size_t subscribers_per_edge_broker = 10;
+  std::size_t uplinks_per_layer3 = 2;
+  std::size_t uplinks_per_layer4 = 2;
+  double link_mean_lo_ms_per_kb = 50.0;
+  double link_mean_hi_ms_per_kb = 100.0;
+  double link_stddev_ms_per_kb = 20.0;
+};
+
+/// Layered broker network of fig. 3: 32 brokers in 4 layers, 4 publishers,
+/// 160 subscribers; per-link mean rate ~ U[50,100] ms/KB, stddev 20 ms/KB.
+Topology build_paper_topology(Rng& rng,
+                              const PaperTopologyConfig& config = {});
+
+/// Acyclic (tree) overlay in the style of fig. 1(a): a random tree over
+/// `broker_count` brokers; publishers and subscribers attach to leaves.
+Topology build_acyclic_topology(Rng& rng, std::size_t broker_count,
+                                std::size_t publisher_count,
+                                std::size_t subscriber_count,
+                                double link_mean_lo, double link_mean_hi,
+                                double link_stddev);
+
+/// Random connected mesh: a spanning tree plus `extra_edges` random links.
+Topology build_random_mesh(Rng& rng, std::size_t broker_count,
+                           std::size_t extra_edges,
+                           std::size_t publisher_count,
+                           std::size_t subscriber_count, double link_mean_lo,
+                           double link_mean_hi, double link_stddev);
+
+/// Two hubs joined by a bottleneck link; publishers on one side,
+/// subscribers on the other.  Stresses the scheduler on a single contended
+/// queue.
+Topology build_dumbbell(Rng& rng, std::size_t leaves_per_side,
+                        std::size_t subscribers_per_leaf,
+                        LinkParams edge_link, LinkParams bottleneck_link);
+
+/// Ring of `broker_count` brokers (cyclic mesh with exactly two paths
+/// between any pair) — exercises routing tie-breaking.
+Topology build_ring(Rng& rng, std::size_t broker_count,
+                    std::size_t publisher_count,
+                    std::size_t subscriber_count, double link_mean_lo,
+                    double link_mean_hi, double link_stddev);
+
+/// rows x cols grid (optionally wrapped into a torus): the classic
+/// regular mesh with abundant equal-length paths.  Publishers attach to
+/// corner brokers, subscribers uniformly.
+Topology build_grid(Rng& rng, std::size_t rows, std::size_t cols,
+                    bool torus, std::size_t publisher_count,
+                    std::size_t subscriber_count, double link_mean_lo,
+                    double link_mean_hi, double link_stddev);
+
+/// Barabasi-Albert preferential-attachment graph (`edges_per_node` links
+/// from every new broker to degree-weighted targets): a scale-free overlay
+/// whose hubs stress the per-queue scheduler far more than the paper's
+/// layered mesh.
+Topology build_scale_free(Rng& rng, std::size_t broker_count,
+                          std::size_t edges_per_node,
+                          std::size_t publisher_count,
+                          std::size_t subscriber_count, double link_mean_lo,
+                          double link_mean_hi, double link_stddev);
+
+}  // namespace bdps

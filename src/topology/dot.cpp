@@ -1,0 +1,79 @@
+#include "topology/dot.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace bdps {
+
+namespace {
+
+std::string render(const Topology& topology, const ShortestPathTree* tree) {
+  std::ostringstream os;
+  os << "graph overlay {\n";
+  os << "  node [shape=circle fontsize=10];\n";
+
+  // Node decoration: publishers and subscriber counts.
+  std::set<BrokerId> publisher_edges(topology.publisher_edges.begin(),
+                                     topology.publisher_edges.end());
+  std::map<BrokerId, int> subscriber_counts;
+  for (const BrokerId home : topology.subscriber_homes) {
+    ++subscriber_counts[home];
+  }
+  for (std::size_t b = 0; b < topology.graph.broker_count(); ++b) {
+    const auto id = static_cast<BrokerId>(b);
+    os << "  B" << b << " [label=\"B" << b;
+    if (publisher_edges.count(id)) os << "\\nP";
+    const auto subs = subscriber_counts.find(id);
+    if (subs != subscriber_counts.end()) {
+      os << "\\n" << subs->second << " subs";
+    }
+    os << "\"";
+    if (tree != nullptr && id == tree->destination) {
+      os << " style=filled fillcolor=lightblue";
+    }
+    os << "];\n";
+  }
+
+  // Tree edges (undirected canonical form) for highlighting.
+  std::set<std::pair<BrokerId, BrokerId>> tree_edges;
+  if (tree != nullptr) {
+    for (std::size_t b = 0; b < tree->next_hop.size(); ++b) {
+      const BrokerId next = tree->next_hop[b];
+      if (next == kNoBroker) continue;
+      tree_edges.emplace(std::min(static_cast<BrokerId>(b), next),
+                         std::max(static_cast<BrokerId>(b), next));
+    }
+  }
+
+  // Each undirected link once (skip the reverse direction).
+  std::set<std::pair<BrokerId, BrokerId>> seen;
+  for (std::size_t e = 0; e < topology.graph.edge_count(); ++e) {
+    const Edge& edge = topology.graph.edge(static_cast<EdgeId>(e));
+    const auto key = std::make_pair(std::min(edge.from, edge.to),
+                                    std::max(edge.from, edge.to));
+    if (!seen.insert(key).second) continue;
+    const LinkParams& p = edge.link.params();
+    os << "  B" << key.first << " -- B" << key.second << " [label=\""
+       << static_cast<int>(p.mean_ms_per_kb) << "&plusmn;"
+       << static_cast<int>(p.stddev_ms_per_kb) << "\" fontsize=8";
+    if (tree_edges.count(key)) {
+      os << " color=red penwidth=2";
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_dot(const Topology& topology) {
+  return render(topology, nullptr);
+}
+
+std::string to_dot(const Topology& topology, const ShortestPathTree& tree) {
+  return render(topology, &tree);
+}
+
+}  // namespace bdps

@@ -1,0 +1,25 @@
+// Graphviz DOT export of overlays and routing trees.
+//
+// `dot -Tpng overlay.dot` renders the broker graph with link parameters on
+// the edges, publishers/subscriber counts on the nodes, and (optionally)
+// one subscriber's routing tree highlighted — the fastest way to sanity-
+// check a topology builder or explain a routing decision.
+#pragma once
+
+#include <string>
+
+#include "routing/spt.h"
+#include "topology/builders.h"
+
+namespace bdps {
+
+/// Renders the overlay: one node per broker (publishers marked "P",
+/// subscriber homes labelled with their subscriber count), one undirected
+/// edge per link labelled "mu+/-sigma".
+std::string to_dot(const Topology& topology);
+
+/// Same, with the edges of `tree` (the chosen paths toward
+/// tree.destination) drawn bold/red.
+std::string to_dot(const Topology& topology, const ShortestPathTree& tree);
+
+}  // namespace bdps

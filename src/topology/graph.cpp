@@ -1,0 +1,41 @@
+#include "topology/graph.h"
+
+namespace bdps {
+
+void Graph::resize(std::size_t broker_count) {
+  adjacency_.resize(broker_count);
+}
+
+EdgeId Graph::add_edge(BrokerId from, BrokerId to, LinkParams params) {
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{from, to, LinkModel(params)});
+  adjacency_[from].push_back(id);
+  return id;
+}
+
+EdgeId Graph::add_bidirectional(BrokerId a, BrokerId b, LinkParams params) {
+  const EdgeId forward = add_edge(a, b, params);
+  add_edge(b, a, params);
+  return forward;
+}
+
+EdgeId Graph::find_edge(BrokerId from, BrokerId to) const {
+  for (const EdgeId id : adjacency_[from]) {
+    if (edges_[id].to == to) return id;
+  }
+  return kNoEdge;
+}
+
+bool Graph::validate() const {
+  const auto n = static_cast<BrokerId>(broker_count());
+  for (const Edge& e : edges_) {
+    if (e.from < 0 || e.from >= n) return false;
+    if (e.to < 0 || e.to >= n) return false;
+    if (e.from == e.to) return false;
+    if (e.link.params().mean_ms_per_kb <= 0.0) return false;
+    if (e.link.params().stddev_ms_per_kb < 0.0) return false;
+  }
+  return true;
+}
+
+}  // namespace bdps

@@ -1,0 +1,64 @@
+// Broker overlay graph.
+//
+// Brokers are dense ids [0, n); links are undirected in topology but stored
+// as a pair of directed edges so each direction can later carry its own
+// estimated parameters (asymmetric paths are common on the real Internet).
+// Each directed edge owns a LinkModel.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "topology/link.h"
+
+namespace bdps {
+
+/// Index of a directed edge within the graph's edge array.
+using EdgeId = std::int32_t;
+inline constexpr EdgeId kNoEdge = -1;
+
+struct Edge {
+  BrokerId from = kNoBroker;
+  BrokerId to = kNoBroker;
+  LinkModel link;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t broker_count) { resize(broker_count); }
+
+  void resize(std::size_t broker_count);
+
+  std::size_t broker_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Adds a directed edge; returns its id.
+  EdgeId add_edge(BrokerId from, BrokerId to, LinkParams params);
+
+  /// Adds both directions with the same parameters (the common case for the
+  /// paper's symmetric links); returns the forward edge id.
+  EdgeId add_bidirectional(BrokerId a, BrokerId b, LinkParams params);
+
+  const Edge& edge(EdgeId id) const { return edges_[id]; }
+  Edge& edge(EdgeId id) { return edges_[id]; }
+
+  /// Outgoing edge ids of a broker.
+  const std::vector<EdgeId>& out_edges(BrokerId broker) const {
+    return adjacency_[broker];
+  }
+
+  /// Finds the directed edge from -> to; kNoEdge when absent.
+  EdgeId find_edge(BrokerId from, BrokerId to) const;
+
+  /// True when every edge references valid brokers and no self-loops exist.
+  bool validate() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+};
+
+}  // namespace bdps

@@ -1,0 +1,40 @@
+#include "topology/link.h"
+
+#include <cmath>
+
+namespace bdps {
+
+double LinkModel::sample_rate(Rng& rng) const {
+  const double mean = params_.mean_ms_per_kb;
+  const double stddev = params_.stddev_ms_per_kb;
+  switch (params_.shape) {
+    case RateShape::kNormal:
+      return rng.truncated_normal(mean, stddev, kMinRateMsPerKb);
+    case RateShape::kShiftedGamma: {
+      // Shifted gamma with fixed shape k = 4 (moderate right skew, like the
+      // RIPE measurements the paper cites): X = shift + Gamma(k, theta)
+      // with k*theta = 2*stddev matching the variance (theta = stddev/2)
+      // and shift = mean - 2*stddev matching the mean.
+      if (stddev <= 0.0) return mean;
+      const double k = 4.0;
+      const double theta = stddev / std::sqrt(k);
+      const double shift = mean - k * theta;
+      const double x = shift + rng.gamma(k, theta);
+      return x > kMinRateMsPerKb ? x : kMinRateMsPerKb;
+    }
+    case RateShape::kLognormal: {
+      // Match the first two moments: sigma^2 = ln(1 + s^2/m^2),
+      // mu = ln m - sigma^2 / 2.
+      if (stddev <= 0.0 || mean <= 0.0) {
+        return mean > kMinRateMsPerKb ? mean : kMinRateMsPerKb;
+      }
+      const double ratio = stddev / mean;
+      const double sigma_sq = std::log(1.0 + ratio * ratio);
+      const double mu = std::log(mean) - 0.5 * sigma_sq;
+      return rng.lognormal(mu, std::sqrt(sigma_sq));
+    }
+  }
+  return rng.truncated_normal(mean, stddev, kMinRateMsPerKb);
+}
+
+}  // namespace bdps

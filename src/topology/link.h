@@ -1,0 +1,57 @@
+// Stochastic overlay links.
+//
+// §3.2 of the paper: each overlay link li is a TCP connection whose per-KB
+// transmission rate TRi (milliseconds per kilobyte) follows a normal
+// distribution N(mu_i, sigma_i^2).  A LinkModel holds those parameters and
+// samples the *actual* rate of each individual send; the scheduler sees the
+// parameters (or estimates of them) through the routing fabric.
+#pragma once
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace bdps {
+
+/// Family the *true* per-send rate is drawn from.  The paper models TR as
+/// normal and its schedulers always assume so; the gamma and lognormal
+/// shapes (mean/stddev-matched, right-skewed — the paper itself cites
+/// shifted-gamma measurements of Internet delays in §3.2) exist to test how
+/// the normal assumption holds up when reality is skewed
+/// (bench/ablation_distribution).
+enum class RateShape { kNormal, kShiftedGamma, kLognormal };
+
+/// Parameters of a link's transmission-rate distribution.
+struct LinkParams {
+  double mean_ms_per_kb = 0.0;
+  double stddev_ms_per_kb = 0.0;
+  RateShape shape = RateShape::kNormal;
+
+  double variance() const { return stddev_ms_per_kb * stddev_ms_per_kb; }
+};
+
+class LinkModel {
+ public:
+  LinkModel() = default;
+  explicit LinkModel(LinkParams params) : params_(params) {}
+
+  const LinkParams& params() const { return params_; }
+
+  /// Samples the per-KB rate for one send.  Rates are physically positive:
+  /// the normal is truncated at a small floor (the paper's parameters make
+  /// P(TR <= 0) < 0.7%, so truncation barely distorts the distribution).
+  /// All shapes are matched to the same mean and stddev.
+  double sample_rate(Rng& rng) const;
+
+  /// Duration of sending `size_kb` kilobytes in one sampled transfer.
+  TimeMs sample_send_time(Rng& rng, double size_kb) const {
+    return size_kb * sample_rate(rng);
+  }
+
+  /// Floor applied when truncating sampled rates.
+  static constexpr double kMinRateMsPerKb = 1e-3;
+
+ private:
+  LinkParams params_;
+};
+
+}  // namespace bdps

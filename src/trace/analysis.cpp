@@ -1,0 +1,79 @@
+#include "trace/analysis.h"
+
+#include <tuple>
+
+namespace bdps {
+
+TraceAnalysis analyze_trace(const MemoryTrace& trace) {
+  TraceAnalysis analysis;
+
+  // Publish times for latency computation.
+  std::map<MessageId, TimeMs> publish_time;
+  // Pending queue entries: (message, broker, neighbor) -> enqueue time.
+  // A copy is enqueued at most once per (broker, neighbor) under
+  // single-path routing; multi-path re-sends are keyed identically and the
+  // overwrite-on-enqueue behaviour keeps the later attempt.
+  using HopKey = std::tuple<MessageId, BrokerId, BrokerId>;
+  std::map<HopKey, TimeMs> enqueued;
+  std::map<HopKey, TimeMs> send_started;
+
+  for (const TraceEvent& event : trace.events()) {
+    const HopKey key{event.message, event.broker, event.neighbor};
+    switch (event.kind) {
+      case TraceEventKind::kPublish:
+        publish_time[event.message] = event.time;
+        ++analysis.published;
+        break;
+      case TraceEventKind::kEnqueue:
+        enqueued[key] = event.time;
+        break;
+      case TraceEventKind::kSendStart:
+        send_started[key] = event.time;
+        break;
+      case TraceEventKind::kSendEnd: {
+        HopRecord hop;
+        hop.message = event.message;
+        hop.broker = event.broker;
+        hop.neighbor = event.neighbor;
+        const auto started = send_started.find(key);
+        if (started != send_started.end()) {
+          hop.transmission = event.time - started->second;
+          const auto queued = enqueued.find(key);
+          if (queued != enqueued.end()) {
+            hop.queueing = started->second - queued->second;
+          }
+        }
+        analysis.queueing.add(hop.queueing);
+        analysis.transmission.add(hop.transmission);
+        analysis.hops.push_back(hop);
+        break;
+      }
+      case TraceEventKind::kDeliver: {
+        ++analysis.deliveries;
+        const auto published = publish_time.find(event.message);
+        const TimeMs latency = published != publish_time.end()
+                                   ? event.time - published->second
+                                   : 0.0;
+        if (event.valid) {
+          ++analysis.valid_deliveries;
+          analysis.valid_latency.add(latency);
+        } else {
+          analysis.late_latency.add(latency);
+        }
+        break;
+      }
+      case TraceEventKind::kPurge:
+        ++analysis.purged_copies;
+        break;
+      case TraceEventKind::kLoss:
+        ++analysis.lost_copies;
+        break;
+      case TraceEventKind::kArrival:
+      case TraceEventKind::kProcessed:
+        break;
+    }
+  }
+  return analysis;
+}
+
+}  // namespace bdps

@@ -1,0 +1,59 @@
+// Trace analysis: where does the delay budget actually go?
+//
+// The paper's delay model decomposes end-to-end delay into processing,
+// scheduling (queueing) and propagation components (§3.2).  The analyzer
+// reconstructs exactly that decomposition from a MemoryTrace:
+//   * per (message, broker, neighbor) hop: queueing = send_start - enqueue,
+//     transmission = send_end - send_start;
+//   * per delivery: total latency from publish to hand-off;
+//   * message fates: delivered / purged / lost / stranded.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "stats/welford.h"
+#include "trace/trace.h"
+
+namespace bdps {
+
+struct HopRecord {
+  MessageId message = -1;
+  BrokerId broker = kNoBroker;
+  BrokerId neighbor = kNoBroker;
+  TimeMs queueing = 0.0;
+  TimeMs transmission = 0.0;
+};
+
+struct TraceAnalysis {
+  /// One record per completed hop (send that finished).
+  std::vector<HopRecord> hops;
+  /// Distribution of queueing delays across completed hops.
+  Welford queueing;
+  /// Distribution of transmission times across completed hops.
+  Welford transmission;
+  /// Delivery latency distribution (valid deliveries only).
+  Welford valid_latency;
+  /// Delivery latency distribution (late deliveries).
+  Welford late_latency;
+
+  std::size_t published = 0;
+  std::size_t deliveries = 0;
+  std::size_t valid_deliveries = 0;
+  std::size_t purged_copies = 0;
+  std::size_t lost_copies = 0;
+
+  /// Mean queueing share of (queueing + transmission) per hop, in [0, 1];
+  /// the congestion signature the scheduling strategies act on.
+  double queueing_share() const {
+    const double q = queueing.mean() * static_cast<double>(queueing.count());
+    const double t = transmission.mean() *
+                     static_cast<double>(transmission.count());
+    return (q + t) > 0.0 ? q / (q + t) : 0.0;
+  }
+};
+
+/// Scans a recorded trace once and builds the decomposition above.
+TraceAnalysis analyze_trace(const MemoryTrace& trace);
+
+}  // namespace bdps

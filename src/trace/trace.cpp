@@ -1,0 +1,39 @@
+#include "trace/trace.h"
+
+namespace bdps {
+
+std::string trace_event_kind_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kPublish:
+      return "publish";
+    case TraceEventKind::kArrival:
+      return "arrival";
+    case TraceEventKind::kProcessed:
+      return "processed";
+    case TraceEventKind::kEnqueue:
+      return "enqueue";
+    case TraceEventKind::kSendStart:
+      return "send_start";
+    case TraceEventKind::kSendEnd:
+      return "send_end";
+    case TraceEventKind::kDeliver:
+      return "deliver";
+    case TraceEventKind::kPurge:
+      return "purge";
+    case TraceEventKind::kLoss:
+      return "loss";
+  }
+  return "?";
+}
+
+CsvTraceSink::CsvTraceSink(const std::string& path)
+    : csv_(path, {"time_ms", "event", "message", "broker", "neighbor",
+                  "subscriber", "valid"}) {}
+
+void CsvTraceSink::record(const TraceEvent& event) {
+  csv_.row_values(event.time, trace_event_kind_name(event.kind),
+                  event.message, event.broker, event.neighbor,
+                  event.subscriber, event.valid ? 1 : 0);
+}
+
+}  // namespace bdps

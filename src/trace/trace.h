@@ -1,0 +1,71 @@
+// Event tracing for the simulator.
+//
+// A TraceSink attached to a Simulator receives one TraceEvent per
+// interesting transition (publish, hop arrival, queue enqueue, send start/
+// end, delivery, purge, loss).  The in-memory sink feeds the analyzer in
+// trace/analysis.h — per-hop queueing/transmission breakdowns that the
+// aggregate Collector cannot provide — and the CSV sink writes journeys to
+// disk for external tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/types.h"
+
+namespace bdps {
+
+enum class TraceEventKind {
+  kPublish,    // Message injected (broker = publisher edge).
+  kArrival,    // Message received by broker.
+  kProcessed,  // Processing stage done at broker.
+  kEnqueue,    // Copy queued at broker toward neighbor.
+  kSendStart,  // Copy picked; transmission broker -> neighbor begins.
+  kSendEnd,    // Transmission finished (arrival at neighbor).
+  kDeliver,    // Handed to local subscriber (valid flags deadline met).
+  kPurge,      // Copy deleted by eq. 11 / expiry at broker.
+  kLoss,       // Copy destroyed by link failure.
+};
+
+std::string trace_event_kind_name(TraceEventKind kind);
+
+struct TraceEvent {
+  TimeMs time = 0.0;
+  TraceEventKind kind = TraceEventKind::kPublish;
+  MessageId message = -1;
+  BrokerId broker = kNoBroker;
+  BrokerId neighbor = kNoBroker;      // kEnqueue / kSendStart / kSendEnd.
+  SubscriberId subscriber = -1;       // kDeliver only.
+  bool valid = false;                 // kDeliver only.
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceEvent& event) = 0;
+};
+
+/// Buffers every event in memory (analysis, tests).
+class MemoryTrace final : public TraceSink {
+ public:
+  void record(const TraceEvent& event) override { events_.push_back(event); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Streams events to a CSV file (one row per event).
+class CsvTraceSink final : public TraceSink {
+ public:
+  explicit CsvTraceSink(const std::string& path);
+  void record(const TraceEvent& event) override;
+  bool ok() const { return csv_.ok(); }
+
+ private:
+  CsvWriter csv_;
+};
+
+}  // namespace bdps

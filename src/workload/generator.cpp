@@ -1,0 +1,101 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <string>
+
+namespace bdps {
+
+namespace {
+std::string attribute_name(int index) { return "A" + std::to_string(index + 1); }
+}  // namespace
+
+std::vector<std::shared_ptr<const Message>> generate_messages(
+    Rng& rng, const WorkloadConfig& config, std::size_t publisher_count) {
+  std::vector<std::shared_ptr<const Message>> messages;
+
+  const double mean_gap_ms = 60000.0 / config.publishing_rate_per_min;
+  for (std::size_t p = 0; p < publisher_count; ++p) {
+    // Fixed-interval publishers get a random phase so they do not fire in
+    // lock-step across the system.
+    TimeMs t = config.poisson_arrivals ? rng.exponential(mean_gap_ms)
+                                       : rng.uniform(0.0, mean_gap_ms);
+    while (t < config.duration) {
+      std::vector<Attribute> head;
+      head.reserve(static_cast<std::size_t>(config.attribute_count));
+      for (int a = 0; a < config.attribute_count; ++a) {
+        head.push_back(Attribute{
+            attribute_name(a),
+            Value(rng.uniform(config.attribute_lo, config.attribute_hi))});
+      }
+      const TimeMs allowed =
+          config.scenario == ScenarioKind::kSsd
+              ? kNoDeadline
+              : rng.uniform(config.psd_delay_lo, config.psd_delay_hi);
+      messages.push_back(std::make_shared<Message>(
+          /*id=*/0, static_cast<PublisherId>(p), t, config.message_size_kb,
+          std::move(head), allowed));
+      t += config.poisson_arrivals ? rng.exponential(mean_gap_ms)
+                                   : mean_gap_ms;
+    }
+  }
+
+  std::sort(messages.begin(), messages.end(),
+            [](const auto& a, const auto& b) {
+              if (a->publish_time() != b->publish_time()) {
+                return a->publish_time() < b->publish_time();
+              }
+              return a->publisher() < b->publisher();
+            });
+  // Re-stamp ids in publication order (stable diagnostics across runs).
+  std::vector<std::shared_ptr<const Message>> result;
+  result.reserve(messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const Message& m = *messages[i];
+    result.push_back(std::make_shared<Message>(
+        static_cast<MessageId>(i), m.publisher(), m.publish_time(),
+        m.size_kb(), m.head(), m.allowed_delay()));
+  }
+  return result;
+}
+
+std::vector<Subscription> generate_subscriptions(Rng& rng,
+                                                 const WorkloadConfig& config,
+                                                 const Topology& topology) {
+  std::vector<Subscription> subscriptions;
+  subscriptions.reserve(topology.subscriber_count());
+
+  for (std::size_t s = 0; s < topology.subscriber_count(); ++s) {
+    Subscription sub;
+    sub.subscriber = static_cast<SubscriberId>(s);
+    sub.home = topology.subscriber_homes[s];
+
+    Filter filter;
+    for (int a = 0; a < config.attribute_count; ++a) {
+      filter.where(attribute_name(a), Op::kLt,
+                   Value(rng.uniform(config.attribute_lo,
+                                     config.attribute_hi)));
+    }
+    sub.filter = std::move(filter);
+
+    if (config.scenario == ScenarioKind::kPsd) {
+      sub.allowed_delay = kNoDeadline;  // The message's bound governs.
+      sub.price = 1.0;
+    } else {
+      const auto& tier =
+          config.ssd_tiers[rng.uniform_index(config.ssd_tiers.size())];
+      sub.allowed_delay = tier.allowed_delay;
+      sub.price = tier.price;
+    }
+
+    if (config.churn_fraction > 0.0) {
+      const double f = std::min(config.churn_fraction, 1.0);
+      const TimeMs window = config.duration * (1.0 - f);
+      sub.active_from = rng.uniform(0.0, config.duration - window);
+      sub.active_to = sub.active_from + window;
+    }
+    subscriptions.push_back(std::move(sub));
+  }
+  return subscriptions;
+}
+
+}  // namespace bdps

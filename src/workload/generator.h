@@ -1,0 +1,25 @@
+// Workload generation: the publish schedule and the subscription set.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "routing/subscription.h"
+#include "topology/builders.h"
+#include "workload/scenario.h"
+
+namespace bdps {
+
+/// All messages one run publishes, sorted by publish time, with ids dense
+/// in publication order.
+std::vector<std::shared_ptr<const Message>> generate_messages(
+    Rng& rng, const WorkloadConfig& config, std::size_t publisher_count);
+
+/// One subscription per subscriber in `topology`, with the §6.1 filters and
+/// the scenario's deadline/price assignment.
+std::vector<Subscription> generate_subscriptions(Rng& rng,
+                                                 const WorkloadConfig& config,
+                                                 const Topology& topology);
+
+}  // namespace bdps

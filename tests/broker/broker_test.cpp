@@ -1,0 +1,176 @@
+#include "broker/broker.h"
+
+#include <gtest/gtest.h>
+
+namespace bdps {
+namespace {
+
+/// Star around broker 0: publisher behind 0, subscribers behind 1, 2 and on
+/// 0 itself.
+struct StarRig {
+  Topology topo;
+  std::vector<Subscription> subs;
+  std::unique_ptr<RoutingFabric> fabric;
+
+  StarRig() {
+    topo.graph.resize(3);
+    topo.graph.add_bidirectional(0, 1, LinkParams{50.0, 10.0});
+    topo.graph.add_bidirectional(0, 2, LinkParams{80.0, 10.0});
+    topo.publisher_edges = {0};
+    topo.subscriber_homes = {1, 2, 0};
+
+    for (int s = 0; s < 3; ++s) {
+      Subscription sub;
+      sub.subscriber = s;
+      sub.home = topo.subscriber_homes[s];
+      sub.allowed_delay = seconds(30.0);
+      sub.price = 1.0 + s;
+      subs.push_back(sub);  // Wildcard filters.
+    }
+    fabric = std::make_unique<RoutingFabric>(topo, subs);
+  }
+};
+
+std::shared_ptr<const Message> make_message(double size_kb = 50.0) {
+  return std::make_shared<Message>(1, 0, 0.0, size_kb,
+                                   std::vector<Attribute>{});
+}
+
+TEST(Broker, CreatesOneQueuePerDownstreamNeighbour) {
+  const StarRig rig;
+  const Broker broker(0, rig.fabric.get(), &rig.topo.graph);
+  EXPECT_TRUE(broker.has_queue(1));
+  EXPECT_TRUE(broker.has_queue(2));
+  EXPECT_EQ(broker.queues().size(), 2u);
+}
+
+TEST(Broker, LeafBrokerHasNoQueues) {
+  const StarRig rig;
+  const Broker broker(1, rig.fabric.get(), &rig.topo.graph);
+  EXPECT_TRUE(broker.queues().empty());
+}
+
+TEST(Broker, ProcessFansOutPerNeighbourAndDeliversLocally) {
+  const StarRig rig;
+  Broker broker(0, rig.fabric.get(), &rig.topo.graph);
+  const Broker::FanOut fanout = broker.process(make_message(), 10.0);
+
+  ASSERT_EQ(fanout.local.size(), 1u);
+  EXPECT_EQ(fanout.local[0]->subscription->subscriber, 2);
+
+  ASSERT_EQ(fanout.sendable.size(), 2u);  // Both links were idle.
+  EXPECT_EQ(broker.queue(1).size(), 1u);
+  EXPECT_EQ(broker.queue(2).size(), 1u);
+  // Each copy carries exactly the subscriptions behind that neighbour.
+  EXPECT_EQ(broker.queue(1).messages()[0].targets[0]->subscription->subscriber,
+            0);
+  EXPECT_EQ(broker.queue(2).messages()[0].targets[0]->subscription->subscriber,
+            1);
+}
+
+TEST(Broker, BusyLinkIsNotReportedSendable) {
+  const StarRig rig;
+  Broker broker(0, rig.fabric.get(), &rig.topo.graph);
+  broker.queue(1).set_link_busy(true);
+  const Broker::FanOut fanout = broker.process(make_message(), 0.0);
+  ASSERT_EQ(fanout.sendable.size(), 1u);
+  EXPECT_EQ(fanout.sendable[0], 2);
+  EXPECT_EQ(broker.queue(1).size(), 1u);  // Still enqueued, just not started.
+}
+
+TEST(Broker, RunningAverageMessageSize) {
+  const StarRig rig;
+  Broker broker(0, rig.fabric.get(), &rig.topo.graph);
+  EXPECT_DOUBLE_EQ(broker.average_message_size_kb(), 0.0);
+  broker.process(make_message(40.0), 0.0);
+  broker.process(make_message(60.0), 0.0);
+  EXPECT_DOUBLE_EQ(broker.average_message_size_kb(), 50.0);
+}
+
+TEST(Broker, ContextUsesBelievedLinkForFt) {
+  const StarRig rig;
+  Broker broker(0, rig.fabric.get(), &rig.topo.graph);
+  broker.process(make_message(50.0), 0.0);
+  const SchedulingContext context = broker.context(1, 123.0, 2.0);
+  EXPECT_DOUBLE_EQ(context.now, 123.0);
+  EXPECT_DOUBLE_EQ(context.processing_delay, 2.0);
+  // FT = avg size (50 KB) * believed mean (50 ms/KB) = 2500 ms.
+  EXPECT_DOUBLE_EQ(context.head_of_line_estimate, 2500.0);
+}
+
+TEST(Broker, PublisherMaskFiltersForeignPublishers) {
+  // Two publishers, one subscriber; the topology forces distinct paths, so
+  // each intermediate broker must only forward its own publisher's traffic.
+  Topology topo;
+  topo.graph.resize(4);
+  topo.graph.add_bidirectional(0, 1, LinkParams{50.0, 10.0});
+  topo.graph.add_bidirectional(1, 2, LinkParams{50.0, 10.0});
+  topo.graph.add_bidirectional(3, 2, LinkParams{50.0, 10.0});
+  topo.publisher_edges = {0, 3};
+  topo.subscriber_homes = {2};
+  Subscription sub;
+  sub.subscriber = 0;
+  sub.home = 2;
+  sub.allowed_delay = seconds(30.0);
+  const RoutingFabric fabric(topo, {sub});
+
+  Broker broker1(1, &fabric, &topo.graph);
+  // Publisher 0's message flows through broker 1 ...
+  const auto from_p0 = broker1.process(
+      std::make_shared<Message>(1, 0, 0.0, 50.0, std::vector<Attribute>{}),
+      0.0);
+  EXPECT_EQ(broker1.queue(2).size(), 1u);
+  EXPECT_EQ(from_p0.sendable.size(), 1u);
+  // ... but publisher 1's must not be forwarded by broker 1 even though the
+  // subscription is in its table.
+  const auto from_p1 = broker1.process(
+      std::make_shared<Message>(2, 1, 0.0, 50.0, std::vector<Attribute>{}),
+      0.0);
+  EXPECT_TRUE(from_p1.sendable.empty());
+  EXPECT_EQ(broker1.queue(2).size(), 1u);  // Unchanged.
+}
+
+TEST(OutputQueue, TakeNextRemovesChosenMessage) {
+  const StarRig rig;
+  Broker broker(0, rig.fabric.get(), &rig.topo.graph);
+  broker.process(make_message(), 0.0);
+  broker.process(make_message(), 0.0);
+  OutputQueue& queue = broker.queue(1);
+  ASSERT_EQ(queue.size(), 2u);
+
+  const auto scheduler = make_scheduler(StrategyKind::kFifo);
+  PurgeStats stats;
+  const auto taken = queue.take_next(*scheduler, broker.context(1, 0.0, 2.0),
+                                     PurgePolicy{}, &stats);
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(OutputQueue, TakeNextPurgesFirst) {
+  const StarRig rig;
+  Broker broker(0, rig.fabric.get(), &rig.topo.graph);
+  // A message published 31 s ago is already past the 30 s bound.
+  auto stale = std::make_shared<Message>(9, 0, -seconds(31.0), 50.0,
+                                         std::vector<Attribute>{});
+  broker.process(stale, 0.0);
+  OutputQueue& queue = broker.queue(1);
+  ASSERT_EQ(queue.size(), 1u);
+
+  const auto scheduler = make_scheduler(StrategyKind::kFifo);
+  PurgeStats stats;
+  const auto taken = queue.take_next(*scheduler, broker.context(1, 0.0, 2.0),
+                                     PurgePolicy{}, &stats);
+  EXPECT_FALSE(taken.has_value());
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(OutputQueue, BelievedLinkIsAdjustable) {
+  OutputQueue queue(1, 0, LinkParams{50.0, 20.0});
+  EXPECT_DOUBLE_EQ(queue.head_of_line_estimate(50.0), 2500.0);
+  queue.set_believed_link(LinkParams{80.0, 20.0});
+  EXPECT_DOUBLE_EQ(queue.head_of_line_estimate(50.0), 4000.0);
+}
+
+}  // namespace
+}  // namespace bdps

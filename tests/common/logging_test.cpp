@@ -1,0 +1,66 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace bdps {
+namespace {
+
+// The logger writes to stderr; these tests exercise level gating and
+// thread safety rather than capturing output.
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  LogLevel saved_ = Logger::instance().level();
+  void TearDown() override { Logger::instance().set_level(saved_); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  Logger::instance().set_level(LogLevel::kDebug);
+  EXPECT_EQ(Logger::instance().level(), LogLevel::kDebug);
+  Logger::instance().set_level(LogLevel::kError);
+  EXPECT_EQ(Logger::instance().level(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, MacroShortCircuitsBelowLevel) {
+  Logger::instance().set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "payload";
+  };
+  BDPS_DEBUG << expensive();  // Must not evaluate the argument.
+  EXPECT_EQ(evaluations, 0);
+  BDPS_ERROR << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  int evaluations = 0;
+  BDPS_ERROR << [&] {
+    ++evaluations;
+    return "x";
+  }();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, ConcurrentLoggingDoesNotCrash) {
+  Logger::instance().set_level(LogLevel::kOff);  // Gate at write time.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 200; ++i) {
+        Logger::instance().write(LogLevel::kInfo,
+                                 "thread " + std::to_string(t));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bdps

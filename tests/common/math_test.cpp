@@ -1,0 +1,84 @@
+#include "common/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace bdps {
+namespace {
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145705, 1e-10);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-3.0), 0.0013498980316300933, 1e-10);
+}
+
+TEST(NormalCdf, Symmetry) {
+  for (double z = 0.0; z <= 6.0; z += 0.25) {
+    EXPECT_NEAR(normal_cdf(z) + normal_cdf(-z), 1.0, 1e-12) << "z=" << z;
+  }
+}
+
+TEST(NormalCdf, ParameterizedFormMatchesStandardised) {
+  EXPECT_NEAR(normal_cdf(80.0, 75.0, 20.0), normal_cdf(0.25), 1e-12);
+  EXPECT_NEAR(normal_cdf(0.0, 75.0, 20.0), normal_cdf(-3.75), 1e-12);
+}
+
+TEST(NormalCdf, DegenerateDistributionIsStep) {
+  EXPECT_EQ(normal_cdf(1.0, 2.0, 0.0), 0.0);
+  EXPECT_EQ(normal_cdf(2.0, 2.0, 0.0), 1.0);
+  EXPECT_EQ(normal_cdf(3.0, 2.0, 0.0), 1.0);
+}
+
+TEST(NormalCdf, MonotoneNondecreasing) {
+  double previous = 0.0;
+  for (double z = -8.0; z <= 8.0; z += 0.01) {
+    const double value = normal_cdf(z);
+    ASSERT_GE(value, previous);
+    previous = value;
+  }
+}
+
+TEST(NormalPdf, PeakAndSymmetry) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-12);
+  for (double z = 0.0; z <= 5.0; z += 0.5) {
+    EXPECT_NEAR(normal_pdf(z), normal_pdf(-z), 1e-15);
+  }
+}
+
+class QuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTrip, CdfOfQuantileIsIdentity) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-8) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepP, QuantileRoundTrip,
+                         ::testing::Values(1e-6, 1e-4, 0.01, 0.0005, 0.025,
+                                           0.1, 0.25, 0.5, 0.75, 0.9, 0.975,
+                                           0.99, 0.9999, 1.0 - 1e-6));
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-7);
+  EXPECT_NEAR(normal_quantile(0.0013498980316300933), -3.0, 1e-7);
+}
+
+TEST(NormalQuantile, ExtremesAreInfinite) {
+  EXPECT_EQ(normal_quantile(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(normal_quantile(1.0), std::numeric_limits<double>::infinity());
+}
+
+TEST(AlmostEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(almost_equal(0.0, 1e-13));
+  EXPECT_FALSE(almost_equal(1.0, 1.001));
+  EXPECT_TRUE(almost_equal(1e12, 1e12 + 1.0));
+  EXPECT_FALSE(almost_equal(1.0, -1.0));
+}
+
+}  // namespace
+}  // namespace bdps

@@ -1,0 +1,158 @@
+// Tests for the extension features: the combined PSD+SSD scenario,
+// online link estimation and multi-path routing.
+#include <gtest/gtest.h>
+
+#include "experiment/paper.h"
+#include "experiment/runner.h"
+#include "workload/generator.h"
+
+namespace bdps {
+namespace {
+
+SimConfig quick(ScenarioKind scenario, StrategyKind strategy, double rate,
+                std::uint64_t seed = 5) {
+  SimConfig config = paper_base_config(scenario, rate, strategy, seed);
+  config.workload.duration = minutes(10.0);
+  return config;
+}
+
+TEST(BothScenario, MessagesAndSubscriptionsBothCarryBounds) {
+  Rng rng(1);
+  WorkloadConfig config;
+  config.scenario = ScenarioKind::kBoth;
+  config.duration = minutes(10.0);
+  const auto messages = generate_messages(rng, config, 2);
+  ASSERT_FALSE(messages.empty());
+  for (const auto& m : messages) {
+    EXPECT_TRUE(m->has_allowed_delay());
+  }
+  Rng topo_rng(2);
+  const Topology topo = build_paper_topology(topo_rng);
+  const auto subs = generate_subscriptions(rng, config, topo);
+  for (const auto& sub : subs) {
+    EXPECT_NE(sub.allowed_delay, kNoDeadline);
+    EXPECT_GE(sub.price, 1.0);
+  }
+}
+
+TEST(BothScenario, TighterBoundGovernsEndToEnd) {
+  // BOTH must earn no more than SSD alone under identical conditions: every
+  // (message, subscriber) deadline is min(psd, ssd) <= ssd.
+  const SimResult both =
+      run_simulation(quick(ScenarioKind::kBoth, StrategyKind::kEb, 8.0));
+  const SimResult ssd =
+      run_simulation(quick(ScenarioKind::kSsd, StrategyKind::kEb, 8.0));
+  EXPECT_GT(both.earning, 0.0);
+  EXPECT_LE(both.earning, ssd.earning * 1.02);  // Small slack: different RNG draws.
+}
+
+TEST(BothScenario, ParsesAndNames) {
+  EXPECT_EQ(parse_scenario("BOTH"), ScenarioKind::kBoth);
+  EXPECT_EQ(scenario_name(ScenarioKind::kBoth), "BOTH");
+}
+
+TEST(OnlineEstimation, RecoversFromWrongBeliefs) {
+  // Grossly wrong initial beliefs + online estimation should do at least as
+  // well as wrong beliefs alone (usually strictly better).
+  SimConfig wrong = quick(ScenarioKind::kSsd, StrategyKind::kEb, 12.0);
+  wrong.belief_noise_frac = 0.9;
+  SimConfig corrected = wrong;
+  corrected.online_estimation = true;
+  const SimResult stuck = run_simulation(wrong);
+  const SimResult learned = run_simulation(corrected);
+  EXPECT_GE(learned.earning, stuck.earning * 0.95);
+}
+
+TEST(OnlineEstimation, EstimatorsConvergeInsideTheSimulator) {
+  // Drive a tiny deterministic overlay and inspect the per-link estimator.
+  Topology topo;
+  topo.graph.resize(2);
+  topo.graph.add_bidirectional(0, 1, LinkParams{100.0, 0.0});
+  topo.publisher_edges = {0};
+  topo.subscriber_homes = {1};
+  Subscription sub;
+  sub.subscriber = 0;
+  sub.home = 1;
+  sub.allowed_delay = seconds(60.0);
+  const RoutingFabric fabric(topo, {sub});
+  const auto scheduler = make_scheduler(StrategyKind::kEb);
+  SimulatorOptions options;
+  options.online_estimation = true;
+  options.estimator_min_samples = 2;
+  Simulator sim(&topo, &topo.graph, &fabric, scheduler.get(), options,
+                Rng(1));
+  for (MessageId i = 0; i < 10; ++i) {
+    sim.schedule_publish(std::make_shared<Message>(
+        i, 0, i * 10000.0, 50.0, std::vector<Attribute>{}));
+  }
+  sim.run();
+  const RateEstimator* est = sim.estimator(0, 1);
+  ASSERT_NE(est, nullptr);
+  EXPECT_EQ(est->sample_count(), 10u);
+  // Zero-variance link: every observation is exactly 100 ms/KB.
+  EXPECT_NEAR(est->samples().mean(), 100.0, 1e-9);
+  EXPECT_EQ(sim.estimator(1, 0), nullptr);  // Never carried a send.
+}
+
+TEST(Multipath, TablesGainAlternateEntries) {
+  // Diamond: 0 -> {1, 2} -> 3.  Single-path uses one branch; multi-path
+  // must install both at broker 0.
+  Topology topo;
+  topo.graph.resize(4);
+  topo.graph.add_bidirectional(0, 1, LinkParams{50.0, 10.0});
+  topo.graph.add_bidirectional(0, 2, LinkParams{60.0, 10.0});
+  topo.graph.add_bidirectional(1, 3, LinkParams{50.0, 10.0});
+  topo.graph.add_bidirectional(2, 3, LinkParams{60.0, 10.0});
+  topo.publisher_edges = {0};
+  topo.subscriber_homes = {3};
+  Subscription sub;
+  sub.subscriber = 0;
+  sub.home = 3;
+  sub.allowed_delay = seconds(60.0);
+
+  const RoutingFabric single(topo, {sub});
+  EXPECT_EQ(single.table(0).size(), 1u);
+
+  FabricOptions options;
+  options.multipath = true;
+  const RoutingFabric multi(topo, {sub}, options);
+  ASSERT_EQ(multi.table(0).size(), 2u);
+  const auto& entries = multi.table(0).entries();
+  EXPECT_NE(entries[0].next_hop, entries[1].next_hop);
+  // Primary is the cheaper branch (via 1: 100 total), alternate via 2 (120).
+  EXPECT_EQ(entries[0].next_hop, 1);
+  EXPECT_EQ(entries[1].next_hop, 2);
+  EXPECT_DOUBLE_EQ(entries[0].path.mean_ms_per_kb, 100.0);
+  EXPECT_DOUBLE_EQ(entries[1].path.mean_ms_per_kb, 120.0);
+}
+
+TEST(Multipath, DuplicateSuppressionDeliversOncePerSubscriber) {
+  SimConfig config = quick(ScenarioKind::kPsd, StrategyKind::kEb, 4.0);
+  config.multipath = true;
+  const SimResult multi = run_simulation(config);
+  // Deliveries never exceed offered pairs: duplicates were suppressed.
+  EXPECT_LE(multi.deliveries, multi.total_interested);
+
+  SimConfig single_config = config;
+  single_config.multipath = false;
+  const SimResult single = run_simulation(single_config);
+  // The redundant copies show up as extra receptions.
+  EXPECT_GT(multi.receptions, single.receptions);
+  // At light load the delivery rates stay comparable.
+  EXPECT_NEAR(multi.delivery_rate, single.delivery_rate, 0.12);
+}
+
+TEST(Multipath, CongestionMakesRedundancyExpensive) {
+  SimConfig config = quick(ScenarioKind::kPsd, StrategyKind::kEb, 15.0);
+  SimConfig multi_config = config;
+  multi_config.multipath = true;
+  const SimResult single = run_simulation(config);
+  const SimResult multi = run_simulation(multi_config);
+  EXPECT_GT(multi.receptions, single.receptions);
+  // Duplicates compete with first copies for bandwidth; multi-path must not
+  // beat single-path by any meaningful margin under congestion.
+  EXPECT_LT(multi.delivery_rate, single.delivery_rate + 0.05);
+}
+
+}  // namespace
+}  // namespace bdps

@@ -1,0 +1,140 @@
+#include "experiment/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "experiment/paper.h"
+
+namespace bdps {
+namespace {
+
+SimConfig quick_config(ScenarioKind scenario, StrategyKind strategy,
+                       double rate = 10.0) {
+  SimConfig config = paper_base_config(scenario, rate, strategy, 7);
+  config.workload.duration = minutes(10.0);  // Keep unit tests quick.
+  return config;
+}
+
+TEST(Runner, DeterministicForSameSeed) {
+  const SimConfig config =
+      quick_config(ScenarioKind::kSsd, StrategyKind::kEb);
+  const SimResult a = run_simulation(config);
+  const SimResult b = run_simulation(config);
+  EXPECT_EQ(a.published, b.published);
+  EXPECT_EQ(a.receptions, b.receptions);
+  EXPECT_EQ(a.valid_deliveries, b.valid_deliveries);
+  EXPECT_DOUBLE_EQ(a.earning, b.earning);
+  EXPECT_DOUBLE_EQ(a.mean_valid_delay_ms, b.mean_valid_delay_ms);
+}
+
+TEST(Runner, DifferentSeedsProduceDifferentRuns) {
+  SimConfig config = quick_config(ScenarioKind::kSsd, StrategyKind::kEb);
+  const SimResult a = run_simulation(config);
+  config.seed = 8;
+  const SimResult b = run_simulation(config);
+  EXPECT_NE(a.earning, b.earning);
+}
+
+TEST(Runner, PublishCountMatchesRateRoughly) {
+  const SimConfig config =
+      quick_config(ScenarioKind::kPsd, StrategyKind::kFifo, 12.0);
+  const SimResult r = run_simulation(config);
+  // 4 publishers * 12 msg/min * 10 min = 480 expected (Poisson).
+  EXPECT_GT(r.published, 380u);
+  EXPECT_LT(r.published, 580u);
+}
+
+TEST(Runner, SelectivityNearTwentyFivePercent) {
+  const SimConfig config =
+      quick_config(ScenarioKind::kPsd, StrategyKind::kFifo);
+  const SimResult r = run_simulation(config);
+  const double per_message =
+      static_cast<double>(r.total_interested) /
+      static_cast<double>(r.published) / 160.0;
+  EXPECT_GT(per_message, 0.18);
+  EXPECT_LT(per_message, 0.32);
+}
+
+TEST(Runner, PsdEarningEqualsValidDeliveries) {
+  // Under PSD every price is 1, so eq. (2) degenerates to a delivery count.
+  const SimConfig config =
+      quick_config(ScenarioKind::kPsd, StrategyKind::kEb);
+  const SimResult r = run_simulation(config);
+  EXPECT_DOUBLE_EQ(r.earning, static_cast<double>(r.valid_deliveries));
+}
+
+TEST(Runner, SsdEarningBoundedByPotential) {
+  const SimConfig config =
+      quick_config(ScenarioKind::kSsd, StrategyKind::kEb);
+  const SimResult r = run_simulation(config);
+  EXPECT_GT(r.earning, 0.0);
+  EXPECT_LE(r.earning, r.potential_earning);
+  // Prices are in {1,2,3}: earning must be at least valid_deliveries and at
+  // most 3x.
+  EXPECT_GE(r.earning, static_cast<double>(r.valid_deliveries));
+  EXPECT_LE(r.earning, 3.0 * static_cast<double>(r.valid_deliveries));
+}
+
+TEST(Runner, ZeroRatePublishesNothing) {
+  SimConfig config = quick_config(ScenarioKind::kPsd, StrategyKind::kEb, 0.0);
+  config.workload.poisson_arrivals = false;
+  const SimResult r = run_simulation(config);
+  EXPECT_EQ(r.published, 0u);
+  EXPECT_EQ(r.receptions, 0u);
+  EXPECT_DOUBLE_EQ(r.delivery_rate, 0.0);
+}
+
+TEST(Runner, DeterministicArrivalsMatchRateExactly) {
+  SimConfig config = quick_config(ScenarioKind::kPsd, StrategyKind::kEb, 6.0);
+  config.workload.poisson_arrivals = false;
+  const SimResult r = run_simulation(config);
+  EXPECT_EQ(r.published, 4u * 6u * 10u);  // publishers * rate * minutes.
+}
+
+TEST(Runner, BeliefNoiseDegradesEb) {
+  SimConfig exact = quick_config(ScenarioKind::kSsd, StrategyKind::kEb, 15.0);
+  SimConfig noisy = exact;
+  noisy.belief_noise_frac = 0.9;  // Grossly wrong link beliefs.
+  const SimResult a = run_simulation(exact);
+  const SimResult b = run_simulation(noisy);
+  // Wildly wrong beliefs mis-route and mis-score; earning should not
+  // improve.  (Equality is possible in principle, so allow a small slack.)
+  EXPECT_LE(b.earning, a.earning * 1.05);
+}
+
+TEST(Runner, AllTopologiesRunToCompletion) {
+  for (const TopologyKind kind :
+       {TopologyKind::kPaper, TopologyKind::kAcyclic,
+        TopologyKind::kRandomMesh, TopologyKind::kDumbbell,
+        TopologyKind::kRing, TopologyKind::kGrid,
+        TopologyKind::kScaleFree}) {
+    SimConfig config = quick_config(ScenarioKind::kSsd, StrategyKind::kEb, 3.0);
+    config.topology = kind;
+    config.broker_count = 16;
+    config.subscriber_count = 24;
+    config.publisher_count = 2;
+    config.workload.duration = minutes(5.0);
+    const SimResult r = run_simulation(config);
+    EXPECT_GT(r.published, 0u) << topology_name(kind);
+    EXPECT_GT(r.receptions, 0u) << topology_name(kind);
+  }
+}
+
+TEST(Runner, StricterEpsilonPurgesMore) {
+  SimConfig base = quick_config(ScenarioKind::kPsd, StrategyKind::kFifo, 15.0);
+  SimConfig aggressive = base;
+  aggressive.purge.epsilon = 0.05;  // 5% vs the default 0.05%.
+  const SimResult a = run_simulation(base);
+  const SimResult b = run_simulation(aggressive);
+  EXPECT_GE(b.purged_hopeless, a.purged_hopeless);
+}
+
+TEST(Runner, HigherLoadLowersDeliveryRate) {
+  const SimResult light = run_simulation(
+      quick_config(ScenarioKind::kPsd, StrategyKind::kFifo, 2.0));
+  const SimResult heavy = run_simulation(
+      quick_config(ScenarioKind::kPsd, StrategyKind::kFifo, 15.0));
+  EXPECT_GT(light.delivery_rate, heavy.delivery_rate);
+}
+
+}  // namespace
+}  // namespace bdps

@@ -1,0 +1,88 @@
+#include "experiment/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "experiment/paper.h"
+
+namespace bdps {
+namespace {
+
+SimConfig tiny_config(std::uint64_t seed) {
+  SimConfig config =
+      paper_base_config(ScenarioKind::kSsd, 6.0, StrategyKind::kEb, seed);
+  config.workload.duration = minutes(4.0);
+  return config;
+}
+
+TEST(Sweep, BatchMatchesIndividualRuns) {
+  std::vector<SimConfig> configs = {tiny_config(1), tiny_config(2),
+                                    tiny_config(3)};
+  const auto batch = run_batch(configs);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const SimResult solo = run_simulation(configs[i]);
+    EXPECT_EQ(batch[i].receptions, solo.receptions);
+    EXPECT_DOUBLE_EQ(batch[i].earning, solo.earning);
+  }
+}
+
+TEST(Sweep, BatchWithThreadPoolMatchesSerial) {
+  std::vector<SimConfig> configs;
+  for (std::uint64_t s = 1; s <= 6; ++s) configs.push_back(tiny_config(s));
+  ThreadPool pool(3);
+  const auto parallel = run_batch(configs, &pool);
+  const auto serial = run_batch(configs);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parallel[i].earning, serial[i].earning);
+    EXPECT_EQ(parallel[i].valid_deliveries, serial[i].valid_deliveries);
+  }
+}
+
+TEST(Sweep, ReplicatedUsesConsecutiveSeeds) {
+  const ReplicatedResult summary = run_replicated(tiny_config(10), 3);
+  EXPECT_EQ(summary.replications, 3u);
+  EXPECT_EQ(summary.earning.count(), 3u);
+
+  // Reconstruct by hand.
+  Welford manual;
+  for (std::uint64_t s = 10; s < 13; ++s) {
+    manual.add(run_simulation(tiny_config(s)).earning);
+  }
+  EXPECT_DOUBLE_EQ(summary.earning.mean(), manual.mean());
+  EXPECT_DOUBLE_EQ(summary.earning.sample_stddev(), manual.sample_stddev());
+}
+
+TEST(Sweep, ReplicationVarianceIsFinite) {
+  const ReplicatedResult summary = run_replicated(tiny_config(20), 4);
+  EXPECT_GT(summary.earning.mean(), 0.0);
+  EXPECT_GE(summary.earning.sample_stddev(), 0.0);
+  EXPECT_GT(summary.receptions.mean(), 0.0);
+  EXPECT_GT(summary.delivery_rate.mean(), 0.0);
+  EXPECT_LE(summary.delivery_rate.max(), 1.0);
+}
+
+TEST(PaperDefaults, MatchSection61) {
+  const SimConfig config =
+      paper_base_config(ScenarioKind::kSsd, 10.0, StrategyKind::kEb);
+  EXPECT_DOUBLE_EQ(config.processing_delay, 2.0);
+  EXPECT_DOUBLE_EQ(config.purge.epsilon, 0.0005);
+  EXPECT_DOUBLE_EQ(config.workload.message_size_kb, 50.0);
+  EXPECT_DOUBLE_EQ(config.workload.duration, hours(2.0));
+  EXPECT_EQ(config.topology, TopologyKind::kPaper);
+  EXPECT_EQ(config.paper_topology.layer4, 16u);
+  ASSERT_EQ(config.workload.ssd_tiers.size(), 3u);
+  EXPECT_DOUBLE_EQ(config.workload.ssd_tiers[0].allowed_delay, seconds(10.0));
+  EXPECT_DOUBLE_EQ(config.workload.ssd_tiers[0].price, 3.0);
+}
+
+TEST(PaperDefaults, SweepAxes) {
+  EXPECT_EQ(paper_publishing_rates().size(), 6u);
+  EXPECT_EQ(paper_ebpc_weights().size(), 11u);
+  EXPECT_DOUBLE_EQ(paper_ebpc_weights().front(), 0.0);
+  EXPECT_DOUBLE_EQ(paper_ebpc_weights().back(), 1.0);
+  EXPECT_EQ(paper_comparison_strategies().size(), 4u);
+}
+
+}  // namespace
+}  // namespace bdps

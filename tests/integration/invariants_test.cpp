@@ -1,0 +1,96 @@
+// Property suite: invariants that must hold for *any* configuration.
+// Sweeps randomised configs (scenario x strategy x topology x extensions)
+// and checks conservation laws and metric bounds end to end.
+#include <gtest/gtest.h>
+
+#include "experiment/paper.h"
+#include "experiment/runner.h"
+
+namespace bdps {
+namespace {
+
+/// Derives a pseudo-random but deterministic configuration from a seed.
+SimConfig random_config(std::uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+
+  const ScenarioKind scenarios[] = {ScenarioKind::kPsd, ScenarioKind::kSsd,
+                                    ScenarioKind::kBoth};
+  const StrategyKind strategies[] = {
+      StrategyKind::kEb,   StrategyKind::kPc,
+      StrategyKind::kEbpc, StrategyKind::kFifo,
+      StrategyKind::kRemainingLifetime, StrategyKind::kLowerBound};
+  const TopologyKind topologies[] = {
+      TopologyKind::kPaper,    TopologyKind::kAcyclic,
+      TopologyKind::kRandomMesh, TopologyKind::kRing,
+      TopologyKind::kGrid,     TopologyKind::kScaleFree};
+
+  SimConfig config = paper_base_config(
+      scenarios[rng.uniform_index(3)], 1.0 + rng.uniform(0.0, 14.0),
+      strategies[rng.uniform_index(6)], seed);
+  config.ebpc_weight = rng.uniform(0.0, 1.0);
+  config.topology = topologies[rng.uniform_index(6)];
+  config.broker_count = 8 + rng.uniform_index(24);
+  config.publisher_count = 1 + rng.uniform_index(4);
+  config.subscriber_count = 8 + rng.uniform_index(60);
+  config.grid_rows = 2 + rng.uniform_index(4);
+  config.grid_cols = 2 + rng.uniform_index(5);
+  config.workload.duration = minutes(2.0 + rng.uniform(0.0, 6.0));
+  config.workload.poisson_arrivals = rng.uniform() < 0.5;
+  config.multipath = rng.uniform() < 0.3;
+  config.online_estimation = rng.uniform() < 0.3;
+  config.belief_noise_frac = rng.uniform() < 0.3 ? rng.uniform(0.0, 0.5) : 0.0;
+  config.random_link_failures = rng.uniform() < 0.25 ? rng.uniform_index(4) : 0;
+  if (rng.uniform() < 0.3) {
+    config.true_rate_shape = rng.uniform() < 0.5 ? RateShape::kShiftedGamma
+                                                 : RateShape::kLognormal;
+  }
+  if (rng.uniform() < 0.2) config.purge.epsilon = 0.0;
+  return config;
+}
+
+class SimulatorInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorInvariants, HoldForRandomisedConfigurations) {
+  const SimConfig config = random_config(GetParam());
+  const SimResult r = run_simulation(config);
+
+  // Conservation and bounds.
+  EXPECT_LE(r.valid_deliveries, r.deliveries);
+  EXPECT_LE(r.deliveries, r.total_interested)
+      << "duplicate deliveries leaked through";
+  EXPECT_GE(r.receptions, r.published)
+      << "every published message is received at least by its edge broker";
+  EXPECT_GE(r.delivery_rate, 0.0);
+  EXPECT_LE(r.delivery_rate, 1.0);
+  EXPECT_GE(r.earning, 0.0);
+  EXPECT_LE(r.earning, r.potential_earning + 1e-9);
+  EXPECT_GE(r.mean_valid_delay_ms, 0.0);
+
+  // Scenario-specific bounds.
+  if (config.workload.scenario == ScenarioKind::kPsd) {
+    EXPECT_DOUBLE_EQ(r.earning, static_cast<double>(r.valid_deliveries));
+  } else {
+    EXPECT_GE(r.earning + 1e-9, static_cast<double>(r.valid_deliveries));
+    EXPECT_LE(r.earning, 3.0 * static_cast<double>(r.valid_deliveries) + 1e-9);
+  }
+
+  // Losses only with failures injected.
+  if (config.random_link_failures == 0 && config.link_failures.empty()) {
+    EXPECT_EQ(r.lost_copies, 0u);
+  }
+
+  // The run drained (or hit the generous horizon).
+  EXPECT_LE(r.end_time,
+            config.workload.duration + config.drain_grace + 1e-6);
+
+  // Determinism spot check.
+  const SimResult again = run_simulation(config);
+  EXPECT_EQ(again.receptions, r.receptions);
+  EXPECT_DOUBLE_EQ(again.earning, r.earning);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, SimulatorInvariants,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace bdps

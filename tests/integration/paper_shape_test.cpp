@@ -1,0 +1,132 @@
+// Integration tests: the headline qualitative claims of §6.2 must hold on
+// shortened (but still congested) versions of the paper's experiments.
+// These run the full stack — topology builder, workload, routing fabric,
+// simulator, strategies — end to end.
+#include <gtest/gtest.h>
+
+#include "experiment/paper.h"
+#include "experiment/sweep.h"
+
+namespace bdps {
+namespace {
+
+SimResult run_paper(ScenarioKind scenario, StrategyKind strategy, double rate,
+                    double window_minutes = 30.0, std::uint64_t seed = 1,
+                    double ebpc_weight = 0.5) {
+  SimConfig config = paper_base_config(scenario, rate, strategy, seed);
+  config.workload.duration = minutes(window_minutes);
+  config.ebpc_weight = ebpc_weight;
+  return run_simulation(config);
+}
+
+TEST(PaperShape, SsdEarningOrderingUnderCongestion) {
+  // Paper fig. 5(a) at high rate: EB > PC > {FIFO, RL}.
+  const double eb = run_paper(ScenarioKind::kSsd, StrategyKind::kEb, 12).earning;
+  const double pc = run_paper(ScenarioKind::kSsd, StrategyKind::kPc, 12).earning;
+  const double fifo =
+      run_paper(ScenarioKind::kSsd, StrategyKind::kFifo, 12).earning;
+  const double rl =
+      run_paper(ScenarioKind::kSsd, StrategyKind::kRemainingLifetime, 12)
+          .earning;
+  EXPECT_GT(eb, pc);
+  EXPECT_GT(pc, fifo * 1.5);
+  EXPECT_GT(pc, rl * 1.5);
+  EXPECT_GT(eb, 2.0 * fifo);  // Paper reports ~5x at rate 15.
+}
+
+TEST(PaperShape, PsdDeliveryRateOrderingUnderCongestion) {
+  // Paper fig. 6(a) at rate 15: EB ~40%, FIFO ~22%, RL ~12%.
+  const double eb =
+      run_paper(ScenarioKind::kPsd, StrategyKind::kEb, 15).delivery_rate;
+  const double fifo =
+      run_paper(ScenarioKind::kPsd, StrategyKind::kFifo, 15).delivery_rate;
+  const double rl =
+      run_paper(ScenarioKind::kPsd, StrategyKind::kRemainingLifetime, 15)
+          .delivery_rate;
+  EXPECT_GT(eb, fifo);
+  EXPECT_GT(fifo, rl);
+  EXPECT_GT(eb, 1.5 * fifo);
+  EXPECT_GT(fifo, 1.5 * rl);
+}
+
+TEST(PaperShape, TrafficOverheadIsModest) {
+  // Paper fig. 6(b): EB carries more traffic than FIFO/RL, but bounded
+  // (17% over FIFO, 60% over RL at rate 15).
+  const auto eb = run_paper(ScenarioKind::kPsd, StrategyKind::kEb, 15);
+  const auto fifo = run_paper(ScenarioKind::kPsd, StrategyKind::kFifo, 15);
+  const auto rl =
+      run_paper(ScenarioKind::kPsd, StrategyKind::kRemainingLifetime, 15);
+  EXPECT_GT(eb.receptions, fifo.receptions);
+  EXPECT_LT(eb.receptions, fifo.receptions * 17 / 10);  // < +70%.
+  EXPECT_GT(eb.receptions, rl.receptions);
+  EXPECT_LT(eb.receptions, rl.receptions * 2);
+}
+
+TEST(PaperShape, FifoAndRlCollapseWithLoadWhileEbKeepsEarning) {
+  // Paper fig. 5(a): FIFO/RL earnings peak then fall; EB keeps growing.
+  const double fifo_mid =
+      run_paper(ScenarioKind::kSsd, StrategyKind::kFifo, 4).earning;
+  const double fifo_high =
+      run_paper(ScenarioKind::kSsd, StrategyKind::kFifo, 15).earning;
+  EXPECT_LT(fifo_high, fifo_mid);
+
+  const double eb_mid =
+      run_paper(ScenarioKind::kSsd, StrategyKind::kEb, 4).earning;
+  const double eb_high =
+      run_paper(ScenarioKind::kSsd, StrategyKind::kEb, 15).earning;
+  EXPECT_GT(eb_high, eb_mid);
+}
+
+TEST(PaperShape, StrategiesMatchAtLowLoad) {
+  // Fig. 5(a)/6(a) near rate 1: every strategy performs about the same
+  // (queues are empty, so scheduling rarely matters).
+  const double eb =
+      run_paper(ScenarioKind::kPsd, StrategyKind::kEb, 1).delivery_rate;
+  const double fifo =
+      run_paper(ScenarioKind::kPsd, StrategyKind::kFifo, 1).delivery_rate;
+  EXPECT_NEAR(eb, fifo, 0.05);
+}
+
+TEST(PaperShape, EbpcMidWeightsAtLeastMatchPc) {
+  // Fig. 4: EBPC(r) dominates PC for moderate-to-high r and approaches EB
+  // at r = 1.
+  const double pc =
+      run_paper(ScenarioKind::kSsd, StrategyKind::kPc, 10).earning;
+  const double ebpc_60 = run_paper(ScenarioKind::kSsd, StrategyKind::kEbpc,
+                                   10, 30.0, 1, 0.6)
+                             .earning;
+  EXPECT_GT(ebpc_60, pc);
+}
+
+TEST(PaperShape, PurgeIsLoadBearingForEb) {
+  // Switching eq. 11 off must not improve EB under congestion (it wastes
+  // bandwidth on doomed messages).
+  SimConfig with = paper_base_config(ScenarioKind::kPsd, 15.0,
+                                     StrategyKind::kEb, 3);
+  with.workload.duration = minutes(30.0);
+  SimConfig without = with;
+  without.purge.epsilon = 0.0;
+  without.purge.drop_expired = false;
+  const SimResult a = run_simulation(with);
+  const SimResult b = run_simulation(without);
+  EXPECT_GE(a.delivery_rate, b.delivery_rate * 0.98);
+  // And it must actually fire under load.
+  EXPECT_GT(a.purged_expired + a.purged_hopeless, 0u);
+  EXPECT_EQ(b.purged_expired + b.purged_hopeless, 0u);
+}
+
+TEST(PaperShape, ResultsAreSeedRobust) {
+  // The EB > FIFO separation is not a fluke of one seed.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const double eb =
+        run_paper(ScenarioKind::kSsd, StrategyKind::kEb, 12, 20.0, seed)
+            .earning;
+    const double fifo =
+        run_paper(ScenarioKind::kSsd, StrategyKind::kFifo, 12, 20.0, seed)
+            .earning;
+    EXPECT_GT(eb, 1.5 * fifo) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace bdps

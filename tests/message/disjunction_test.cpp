@@ -1,0 +1,144 @@
+// OR-query support: the disjunction parser, the index's add_disjunct and
+// end-to-end delivery of OR subscriptions.
+#include <gtest/gtest.h>
+
+#include "message/filter_parser.h"
+#include "message/index.h"
+#include "sim/simulator.h"
+
+namespace bdps {
+namespace {
+
+Message probe(double a1, double a2 = 0.0) {
+  return Message(1, 0, 0.0, 50.0, {{"A1", Value(a1)}, {"A2", Value(a2)}});
+}
+
+TEST(ParseDisjunction, SingleConjunctBehavesLikeParseFilter) {
+  const auto filters = parse_disjunction("A1 < 5 && A2 < 5");
+  ASSERT_EQ(filters.size(), 1u);
+  EXPECT_TRUE(filters[0].matches(probe(1.0, 1.0)));
+  EXPECT_FALSE(filters[0].matches(probe(6.0, 1.0)));
+}
+
+TEST(ParseDisjunction, SplitsOnTopLevelOr) {
+  const auto filters = parse_disjunction("A1 < 2 && A2 < 2 || A1 > 8");
+  ASSERT_EQ(filters.size(), 2u);
+  EXPECT_EQ(filters[0].size(), 2u);
+  EXPECT_EQ(filters[1].size(), 1u);
+}
+
+TEST(ParseDisjunction, QuoteAwareSplitting) {
+  const auto filters = parse_disjunction("sym == \"a||b\" || A1 > 5");
+  ASSERT_EQ(filters.size(), 2u);
+  Message m(1, 0, 0.0, 50.0, {{"sym", Value("a||b")}});
+  EXPECT_TRUE(filters[0].matches(m));
+}
+
+TEST(ParseDisjunction, MalformedDisjunctThrows) {
+  EXPECT_THROW(parse_disjunction("A1 < 2 || "), FilterParseError);
+  EXPECT_THROW(parse_disjunction("|| A1 < 2"), FilterParseError);
+  EXPECT_THROW(parse_disjunction("A1 < || A2 < 2"), FilterParseError);
+  // The entirely-empty query remains the explicit wildcard spelling.
+  EXPECT_EQ(parse_disjunction("").size(), 1u);
+  EXPECT_TRUE(parse_disjunction("")[0].empty());
+}
+
+TEST(IndexDisjuncts, IdMatchesWhenAnyDisjunctFires) {
+  SubscriptionIndex index;
+  Filter low;
+  low.where("A1", Op::kLt, Value(2.0));
+  Filter high;
+  high.where("A1", Op::kGt, Value(8.0));
+  const auto id = index.add(low);
+  index.add_disjunct(id, high);
+  EXPECT_EQ(index.size(), 1u);
+
+  EXPECT_EQ(index.match(probe(1.0)).size(), 1u);
+  EXPECT_EQ(index.match(probe(9.0)).size(), 1u);
+  EXPECT_TRUE(index.match(probe(5.0)).empty());
+}
+
+TEST(IndexDisjuncts, OverlappingDisjunctsReportIdOnce) {
+  SubscriptionIndex index;
+  Filter a;
+  a.where("A1", Op::kLt, Value(6.0));
+  Filter b;
+  b.where("A1", Op::kLt, Value(8.0));
+  const auto id = index.add(a);
+  index.add_disjunct(id, b);
+  const auto hits = index.match(probe(5.0));  // Both disjuncts fire.
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], id);
+}
+
+TEST(IndexDisjuncts, InterleavedIdsStayDistinct) {
+  SubscriptionIndex index;
+  Filter f0;
+  f0.where("A1", Op::kLt, Value(2.0));
+  Filter f1;
+  f1.where("A1", Op::kGt, Value(8.0));
+  const auto id0 = index.add(f0);
+  const auto id1 = index.add(f1);
+  Filter f0b;
+  f0b.where("A1", Op::kInRange, Value(4.0), Value(5.0));
+  index.add_disjunct(id0, f0b);
+
+  EXPECT_EQ(index.match(probe(4.5)), std::vector<std::size_t>{id0});
+  EXPECT_EQ(index.match(probe(9.0)), std::vector<std::size_t>{id1});
+  EXPECT_TRUE(index.matches_entry(id0, probe(1.0)));
+  EXPECT_TRUE(index.matches_entry(id0, probe(4.5)));
+  EXPECT_FALSE(index.matches_entry(id0, probe(7.0)));
+}
+
+TEST(OrSubscription, MatchesAcrossDisjuncts) {
+  Subscription sub;
+  Filter f;
+  f.where("A1", Op::kLt, Value(2.0));
+  sub.filter = f;
+  Filter g;
+  g.where("A1", Op::kGt, Value(8.0));
+  sub.or_filters.push_back(g);
+  EXPECT_TRUE(sub.matches(probe(1.0)));
+  EXPECT_TRUE(sub.matches(probe(9.0)));
+  EXPECT_FALSE(sub.matches(probe(5.0)));
+}
+
+TEST(OrSubscription, DeliversThroughTheFullStack) {
+  // Line 0 - 1 - 2 with an OR subscriber at 2: both "cold" (< 2) and
+  // "hot" (> 8) messages must be delivered exactly once, middle ones not
+  // at all.
+  Topology topo;
+  topo.graph.resize(3);
+  topo.graph.add_bidirectional(0, 1, LinkParams{100.0, 0.0});
+  topo.graph.add_bidirectional(1, 2, LinkParams{100.0, 0.0});
+  topo.publisher_edges = {0};
+  topo.subscriber_homes = {2};
+
+  Subscription sub;
+  sub.subscriber = 0;
+  sub.home = 2;
+  sub.allowed_delay = seconds(60.0);
+  const auto disjuncts = parse_disjunction("A1 < 2 || A1 > 8");
+  sub.filter = disjuncts[0];
+  sub.or_filters.assign(disjuncts.begin() + 1, disjuncts.end());
+
+  const RoutingFabric fabric(topo, {sub});
+  const auto scheduler = make_scheduler(StrategyKind::kEb);
+  Simulator sim(&topo, &topo.graph, &fabric, scheduler.get(),
+                SimulatorOptions{}, Rng(1));
+
+  const double values[] = {1.0, 5.0, 9.0};
+  for (MessageId i = 0; i < 3; ++i) {
+    sim.schedule_publish(std::make_shared<Message>(
+        i, 0, i * 20000.0, 50.0,
+        std::vector<Attribute>{{"A1", Value(values[i])}}));
+  }
+  sim.run();
+  const Collector& c = sim.collector();
+  EXPECT_EQ(c.total_interested(), 2u);  // Cold + hot.
+  EXPECT_EQ(c.deliveries(), 2u);
+  EXPECT_EQ(c.valid_deliveries(), 2u);
+}
+
+}  // namespace
+}  // namespace bdps

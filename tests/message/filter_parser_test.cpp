@@ -1,0 +1,109 @@
+#include "message/filter_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace bdps {
+namespace {
+
+Message make_message(std::vector<Attribute> head) {
+  return Message(1, 0, 0.0, 50.0, std::move(head));
+}
+
+TEST(FilterParser, SinglePredicate) {
+  const Filter f = parse_filter("A1 < 5");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.predicates()[0].attribute, "A1");
+  EXPECT_EQ(f.predicates()[0].op, Op::kLt);
+  EXPECT_TRUE(f.matches(make_message({{"A1", Value(4.0)}})));
+  EXPECT_FALSE(f.matches(make_message({{"A1", Value(6.0)}})));
+}
+
+TEST(FilterParser, Conjunction) {
+  const Filter f = parse_filter("A1<5 && A2 >= 2.5");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_TRUE(
+      f.matches(make_message({{"A1", Value(1.0)}, {"A2", Value(2.5)}})));
+  EXPECT_FALSE(
+      f.matches(make_message({{"A1", Value(1.0)}, {"A2", Value(2.0)}})));
+}
+
+TEST(FilterParser, StringLiteral) {
+  const Filter f = parse_filter("sym == \"HK.0005\"");
+  EXPECT_TRUE(f.matches(make_message({{"sym", Value("HK.0005")}})));
+  EXPECT_FALSE(f.matches(make_message({{"sym", Value("HK.0006")}})));
+}
+
+TEST(FilterParser, RangeSyntax) {
+  const Filter f = parse_filter("A1 in [2, 4]");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.predicates()[0].op, Op::kInRange);
+  EXPECT_TRUE(f.matches(make_message({{"A1", Value(3.0)}})));
+  EXPECT_TRUE(f.matches(make_message({{"A1", Value(2.0)}})));
+  EXPECT_FALSE(f.matches(make_message({{"A1", Value(5.0)}})));
+}
+
+TEST(FilterParser, EmptyTextIsWildcard) {
+  EXPECT_TRUE(parse_filter("").empty());
+  EXPECT_TRUE(parse_filter("   ").empty());
+}
+
+TEST(FilterParser, IntegerVsDoubleLiterals) {
+  const Filter fi = parse_filter("n == 3");
+  EXPECT_TRUE(fi.matches(make_message({{"n", Value(3)}})));
+  const Filter fd = parse_filter("x == 3.5");
+  EXPECT_TRUE(fd.matches(make_message({{"x", Value(3.5)}})));
+}
+
+TEST(FilterParser, AttributeNamedInPrefixIsNotKeyword) {
+  // "inx" starts with the keyword "in" but is an ordinary identifier.
+  const Filter f = parse_filter("inx < 5");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.predicates()[0].attribute, "inx");
+}
+
+class FilterParserErrors : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FilterParserErrors, MalformedInputThrows) {
+  EXPECT_THROW(parse_filter(GetParam()), FilterParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, FilterParserErrors,
+                         ::testing::Values("A1 <", "A1", "< 5", "A1 ~ 5",
+                                           "A1 < 5 &&", "A1 < 5 A2 < 3",
+                                           "A1 in [1, 2", "A1 in 1, 2]",
+                                           "A1 == \"unterminated",
+                                           "A1 < abc"));
+
+TEST(FilterParser, ErrorCarriesPosition) {
+  try {
+    parse_filter("A1 < 5 && A2 ~ 3");
+    FAIL() << "expected FilterParseError";
+  } catch (const FilterParseError& e) {
+    EXPECT_GE(e.position(), 13u);
+  }
+}
+
+class FilterParserRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FilterParserRoundTrip, ParseOfToStringMatchesSameMessages) {
+  const Filter original = parse_filter(GetParam());
+  // to_string uses "in [a, b]" and "==" spellings the parser accepts, so a
+  // reparse must behave identically.
+  const Filter reparsed = parse_filter(original.to_string());
+  for (double a1 = 0.0; a1 <= 10.0; a1 += 0.5) {
+    for (double a2 = 0.0; a2 <= 10.0; a2 += 0.5) {
+      const Message m =
+          make_message({{"A1", Value(a1)}, {"A2", Value(a2)}});
+      ASSERT_EQ(original.matches(m), reparsed.matches(m))
+          << GetParam() << " at (" << a1 << "," << a2 << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, FilterParserRoundTrip,
+                         ::testing::Values("A1 < 5", "A1 <= 5 && A2 > 2",
+                                           "A1 in [2, 8] && A2 != 4",
+                                           "A1 >= 9.5 && A2 < 0.5"));
+
+}  // namespace
+}  // namespace bdps

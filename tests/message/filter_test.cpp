@@ -1,0 +1,121 @@
+#include "message/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace bdps {
+namespace {
+
+Message make_message(std::vector<Attribute> head) {
+  return Message(1, 0, 0.0, 50.0, std::move(head));
+}
+
+TEST(Predicate, AllNumericOperators) {
+  const Message m = make_message({{"A1", Value(5.0)}});
+  auto check = [&](Op op, double operand, bool expected) {
+    const Predicate p{"A1", op, Value(operand), Value()};
+    EXPECT_EQ(p.matches(m), expected)
+        << op_name(op) << " " << operand;
+  };
+  check(Op::kLt, 6.0, true);
+  check(Op::kLt, 5.0, false);
+  check(Op::kLe, 5.0, true);
+  check(Op::kLe, 4.9, false);
+  check(Op::kGt, 4.0, true);
+  check(Op::kGt, 5.0, false);
+  check(Op::kGe, 5.0, true);
+  check(Op::kGe, 5.1, false);
+  check(Op::kEq, 5.0, true);
+  check(Op::kEq, 5.1, false);
+  check(Op::kNe, 5.1, true);
+  check(Op::kNe, 5.0, false);
+}
+
+TEST(Predicate, RangeOperator) {
+  const Message m = make_message({{"A1", Value(5.0)}});
+  const Predicate inside{"A1", Op::kInRange, Value(4.0), Value(6.0)};
+  const Predicate boundary_lo{"A1", Op::kInRange, Value(5.0), Value(6.0)};
+  const Predicate boundary_hi{"A1", Op::kInRange, Value(4.0), Value(5.0)};
+  const Predicate outside{"A1", Op::kInRange, Value(5.5), Value(6.0)};
+  EXPECT_TRUE(inside.matches(m));
+  EXPECT_TRUE(boundary_lo.matches(m));
+  EXPECT_TRUE(boundary_hi.matches(m));
+  EXPECT_FALSE(outside.matches(m));
+}
+
+TEST(Predicate, MissingAttributeNeverMatches) {
+  const Message m = make_message({{"A1", Value(5.0)}});
+  const Predicate p{"A2", Op::kLt, Value(100.0), Value()};
+  EXPECT_FALSE(p.matches(m));
+}
+
+TEST(Predicate, MixedTypeComparisonNeverMatches) {
+  const Message m = make_message({{"A1", Value("text")}});
+  const Predicate lt{"A1", Op::kLt, Value(5.0), Value()};
+  const Predicate ne{"A1", Op::kNe, Value(5.0), Value()};
+  EXPECT_FALSE(lt.matches(m));
+  EXPECT_FALSE(ne.matches(m));  // Incomparable stays conservative.
+}
+
+TEST(Predicate, StringEquality) {
+  const Message m = make_message({{"sym", Value("HK.0005")}});
+  const Predicate eq{"sym", Op::kEq, Value("HK.0005"), Value()};
+  const Predicate ne{"sym", Op::kEq, Value("HK.0006"), Value()};
+  EXPECT_TRUE(eq.matches(m));
+  EXPECT_FALSE(ne.matches(m));
+}
+
+TEST(Filter, ConjunctionRequiresAllPredicates) {
+  Filter f;
+  f.where("A1", Op::kLt, Value(5.0)).where("A2", Op::kLt, Value(5.0));
+  EXPECT_TRUE(f.matches(make_message({{"A1", Value(1.0)}, {"A2", Value(2.0)}})));
+  EXPECT_FALSE(
+      f.matches(make_message({{"A1", Value(1.0)}, {"A2", Value(7.0)}})));
+  EXPECT_FALSE(
+      f.matches(make_message({{"A1", Value(9.0)}, {"A2", Value(2.0)}})));
+}
+
+TEST(Filter, EmptyFilterIsWildcard) {
+  const Filter f;
+  EXPECT_TRUE(f.matches(make_message({{"A1", Value(1.0)}})));
+  EXPECT_TRUE(f.matches(make_message({})));
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Filter, PaperWorkloadShape) {
+  // "A1 < x1 && A2 < x2" with x = 5 has 25% selectivity over U(0,10)^2;
+  // check the four quadrants.
+  Filter f;
+  f.where("A1", Op::kLt, Value(5.0)).where("A2", Op::kLt, Value(5.0));
+  EXPECT_TRUE(f.matches(make_message({{"A1", Value(2.0)}, {"A2", Value(2.0)}})));
+  EXPECT_FALSE(
+      f.matches(make_message({{"A1", Value(7.0)}, {"A2", Value(2.0)}})));
+  EXPECT_FALSE(
+      f.matches(make_message({{"A1", Value(2.0)}, {"A2", Value(7.0)}})));
+  EXPECT_FALSE(
+      f.matches(make_message({{"A1", Value(7.0)}, {"A2", Value(7.0)}})));
+}
+
+TEST(Filter, ToStringReadable) {
+  Filter f;
+  f.where("A1", Op::kLt, Value(5.0)).where("sym", Op::kEq, Value("X"));
+  EXPECT_EQ(f.to_string(), "A1 < 5 && sym == \"X\"");
+  EXPECT_EQ(Filter{}.to_string(), "<any>");
+}
+
+TEST(Message, FindAndElapsed) {
+  const Message m(9, 2, 1000.0, 50.0, {{"A1", Value(3.0)}}, seconds(10));
+  ASSERT_NE(m.find("A1"), nullptr);
+  EXPECT_EQ(m.find("nope"), nullptr);
+  EXPECT_DOUBLE_EQ(m.elapsed(4000.0), 3000.0);
+  EXPECT_TRUE(m.has_allowed_delay());
+  EXPECT_DOUBLE_EQ(m.allowed_delay(), 10000.0);
+}
+
+TEST(Message, NoDeadlineByDefault) {
+  const Message m(1, 0, 0.0, 50.0, {});
+  EXPECT_FALSE(m.has_allowed_delay());
+  EXPECT_EQ(m.allowed_delay(), kNoDeadline);
+}
+
+}  // namespace
+}  // namespace bdps

@@ -1,0 +1,175 @@
+#include "scheduling/success.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.h"
+
+namespace bdps {
+namespace {
+
+// Fixture providing a subscription entry with a controlled remaining path
+// and messages with controlled elapsed delay.
+class SuccessMath : public ::testing::Test {
+ protected:
+  Subscription sub_;
+  SubscriptionEntry entry_;
+
+  void SetUp() override {
+    sub_.subscriber = 0;
+    sub_.allowed_delay = seconds(20.0);  // adl = 20 000 ms.
+    sub_.price = 2.0;
+    entry_.subscription = &sub_;
+    entry_.next_hop = 1;
+    // Remaining path: 2 downstream brokers, mu = 150 ms/KB, var = 800.
+    entry_.path = PathStats{2, 150.0, 800.0};
+  }
+
+  // Messages publish at t = 0, so hdl equals the `now` passed to the
+  // success functions.
+  static Message make_message(double size_kb = 50.0) {
+    return Message(1, 0, 0.0, size_kb, {});
+  }
+};
+
+TEST_F(SuccessMath, ExpectedForwardDelayIsEq4) {
+  const Message m = make_message();
+  // fdl mean = NN*PD + size*mu = 2*2 + 50*150 = 7504 ms.
+  EXPECT_DOUBLE_EQ(expected_forward_delay(entry_, m, 2.0), 7504.0);
+}
+
+TEST_F(SuccessMath, SuccessProbabilityIsEq5) {
+  const Message m = make_message();
+  const TimeMs now = 5000.0;  // hdl = 5000 ms.
+  // budget = 20000 - 5000 - 2*2 = 14996; propagation ~ N(7500, (50*sqrt(800))^2).
+  const double stddev = 50.0 * std::sqrt(800.0);
+  const double expected = normal_cdf((14996.0 - 7500.0) / stddev);
+  EXPECT_NEAR(success_probability(entry_, m, now, 2.0), expected, 1e-12);
+}
+
+TEST_F(SuccessMath, ExtraDelayShiftsBudget) {
+  const Message m = make_message();
+  const TimeMs now = 5000.0;
+  const double ft = 3750.0;
+  const double stddev = 50.0 * std::sqrt(800.0);
+  const double expected = normal_cdf((14996.0 - ft - 7500.0) / stddev);
+  EXPECT_NEAR(success_probability(entry_, m, now, 2.0, ft), expected, 1e-12);
+}
+
+TEST_F(SuccessMath, SuccessDecreasesWithElapsedTime) {
+  const Message m = make_message();
+  double previous = 1.0;
+  for (TimeMs now = 0.0; now <= 30000.0; now += 1000.0) {
+    const double p = success_probability(entry_, m, now, 2.0);
+    ASSERT_LE(p, previous);
+    previous = p;
+  }
+}
+
+TEST_F(SuccessMath, SuccessIncreasesWithDeadline) {
+  const Message m = make_message();
+  double previous = 0.0;
+  for (double dl = 1.0; dl <= 60.0; dl += 1.0) {
+    sub_.allowed_delay = seconds(dl);
+    const double p = success_probability(entry_, m, 10000.0, 2.0);
+    ASSERT_GE(p, previous);
+    previous = p;
+  }
+}
+
+TEST_F(SuccessMath, LargerMessagesAreLessLikelyToMakeIt) {
+  // Non-increasing across the whole sweep (Phi saturates to exactly 1.0
+  // for small sizes, so only weak monotonicity holds pointwise) ...
+  double previous = 1.0;
+  for (double size = 10.0; size <= 200.0; size += 10.0) {
+    const Message m = make_message(size);
+    const double p = success_probability(entry_, m, 0.0, 2.0);
+    ASSERT_LE(p, previous);
+    previous = p;
+  }
+  // ... and strictly smaller once the deadline actually binds.
+  const double small = success_probability(entry_, make_message(10.0), 0.0, 2.0);
+  const double large =
+      success_probability(entry_, make_message(200.0), 0.0, 2.0);
+  EXPECT_LT(large, small);
+  EXPECT_LT(large, 0.1);
+}
+
+TEST_F(SuccessMath, ZeroVariancePathIsDeterministic) {
+  entry_.path = PathStats{1, 100.0, 0.0};
+  // fdl = 1*2 + 50*100 = 5002 ms exactly.
+  const Message m = make_message();
+  // At hdl = 14 997: 14997 + 5002 = 19999 <= 20000 -> certain success.
+  EXPECT_DOUBLE_EQ(success_probability(entry_, m, 14997.0, 2.0), 1.0);
+  // At hdl = 14 999: 20001 > 20000 -> certain failure.
+  EXPECT_DOUBLE_EQ(success_probability(entry_, m, 14999.0, 2.0), 0.0);
+}
+
+TEST_F(SuccessMath, LocalPathSucceedsUntilDeadline) {
+  entry_.path = kLocalPath;
+  entry_.next_hop = kNoBroker;
+  const Message m = make_message();
+  EXPECT_DOUBLE_EQ(success_probability(entry_, m, 19999.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(success_probability(entry_, m, 20001.0, 2.0), 0.0);
+}
+
+TEST_F(SuccessMath, UnboundedDeliveryAlwaysSucceeds) {
+  sub_.allowed_delay = kNoDeadline;
+  const Message m = make_message();  // No message deadline either.
+  EXPECT_DOUBLE_EQ(success_probability(entry_, m, 1e9, 2.0), 1.0);
+}
+
+TEST_F(SuccessMath, MessageDeadlineGovernsUnderPsd) {
+  sub_.allowed_delay = kNoDeadline;
+  const Message m(1, 0, 0.0, 50.0, {}, seconds(20.0));
+  const double with_sub_bound = [&] {
+    sub_.allowed_delay = seconds(20.0);
+    const Message unbounded(1, 0, 0.0, 50.0, {});
+    return success_probability(entry_, unbounded, 5000.0, 2.0);
+  }();
+  sub_.allowed_delay = kNoDeadline;
+  EXPECT_DOUBLE_EQ(success_probability(entry_, m, 5000.0, 2.0),
+                   with_sub_bound);
+}
+
+TEST_F(SuccessMath, BenefitTermMultipliesByPrice) {
+  const Message m = make_message();
+  const double p = success_probability(entry_, m, 5000.0, 2.0);
+  EXPECT_DOUBLE_EQ(expected_benefit_term(entry_, m, 5000.0, 2.0), 2.0 * p);
+}
+
+TEST_F(SuccessMath, RemainingLifetime) {
+  const Message m = make_message();
+  EXPECT_DOUBLE_EQ(remaining_lifetime(entry_, m, 5000.0), 15000.0);
+  EXPECT_DOUBLE_EQ(remaining_lifetime(entry_, m, 25000.0), -5000.0);
+  sub_.allowed_delay = kNoDeadline;
+  EXPECT_EQ(remaining_lifetime(entry_, m, 5000.0), kNoDeadline);
+}
+
+/// Property sweep: success is a proper probability for a grid of states.
+class SuccessBounds
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(SuccessBounds, AlwaysInUnitInterval) {
+  const auto [elapsed_s, mu, var] = GetParam();
+  Subscription sub;
+  sub.allowed_delay = seconds(20.0);
+  SubscriptionEntry entry;
+  entry.subscription = &sub;
+  entry.path = PathStats{3, mu, var};
+  const Message m(1, 0, 0.0, 50.0, {});
+  const double p =
+      success_probability(entry, m, seconds(elapsed_s), 2.0);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SuccessBounds,
+    ::testing::Combine(::testing::Values(0.0, 5.0, 19.0, 25.0, 1000.0),
+                       ::testing::Values(10.0, 150.0, 400.0),
+                       ::testing::Values(0.0, 400.0, 3200.0)));
+
+}  // namespace
+}  // namespace bdps

@@ -1,0 +1,95 @@
+#include "sim/collector.h"
+
+#include <gtest/gtest.h>
+
+namespace bdps {
+namespace {
+
+TEST(Collector, StartsEmpty) {
+  const Collector c;
+  EXPECT_EQ(c.published(), 0u);
+  EXPECT_EQ(c.receptions(), 0u);
+  EXPECT_EQ(c.deliveries(), 0u);
+  EXPECT_DOUBLE_EQ(c.delivery_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(c.earning(), 0.0);
+  EXPECT_TRUE(c.tiers().empty());
+}
+
+TEST(Collector, DeliveryRateIsEq1) {
+  Collector c;
+  // Two messages: ts = 3 and ts = 1.
+  c.on_publish(3, 3.0);
+  c.on_publish(1, 1.0);
+  // Three deliveries arrive in time, one late.
+  c.on_delivery(100.0, 200.0, 1.0);
+  c.on_delivery(100.0, 200.0, 1.0);
+  c.on_delivery(100.0, 200.0, 1.0);
+  c.on_delivery(300.0, 200.0, 1.0);
+  EXPECT_EQ(c.total_interested(), 4u);
+  EXPECT_EQ(c.deliveries(), 4u);
+  EXPECT_EQ(c.valid_deliveries(), 3u);
+  EXPECT_DOUBLE_EQ(c.delivery_rate(), 0.75);
+}
+
+TEST(Collector, EarningIsEq2) {
+  Collector c;
+  c.on_publish(2, 5.0);
+  c.on_delivery(10.0, 100.0, 3.0);
+  c.on_delivery(10.0, 100.0, 2.0);
+  c.on_delivery(500.0, 100.0, 3.0);  // Late: no earning.
+  EXPECT_DOUBLE_EQ(c.earning(), 5.0);
+  EXPECT_DOUBLE_EQ(c.potential_earning(), 5.0);
+}
+
+TEST(Collector, BoundaryDeliveryCounts) {
+  Collector c;
+  c.on_publish(1, 1.0);
+  c.on_delivery(200.0, 200.0, 1.0);  // Exactly at the deadline: valid.
+  EXPECT_EQ(c.valid_deliveries(), 1u);
+}
+
+TEST(Collector, TierBreakdownSeparatesPrices) {
+  Collector c;
+  c.on_publish(4, 8.0);
+  c.on_delivery(10.0, 100.0, 3.0);
+  c.on_delivery(10.0, 100.0, 3.0);
+  c.on_delivery(10.0, 100.0, 1.0);
+  c.on_delivery(999.0, 100.0, 1.0);  // Late economy delivery.
+  ASSERT_EQ(c.tiers().size(), 2u);
+  const auto& premium = c.tiers().at(3.0);
+  EXPECT_EQ(premium.deliveries, 2u);
+  EXPECT_EQ(premium.valid, 2u);
+  EXPECT_DOUBLE_EQ(premium.earning, 6.0);
+  const auto& economy = c.tiers().at(1.0);
+  EXPECT_EQ(economy.deliveries, 2u);
+  EXPECT_EQ(economy.valid, 1u);
+  EXPECT_DOUBLE_EQ(economy.earning, 1.0);
+}
+
+TEST(Collector, ValidDelayTracksOnlyValidDeliveries) {
+  Collector c;
+  c.on_publish(2, 2.0);
+  c.on_delivery(100.0, 200.0, 1.0);
+  c.on_delivery(5000.0, 200.0, 1.0);  // Late: excluded from the delay stats.
+  EXPECT_EQ(c.valid_delay().count(), 1u);
+  EXPECT_DOUBLE_EQ(c.valid_delay().mean(), 100.0);
+}
+
+TEST(Collector, PurgeAndLossCountersAccumulate) {
+  Collector c;
+  c.on_purge(PurgeStats{2, 3});
+  c.on_purge(PurgeStats{1, 0});
+  c.on_loss(4);
+  EXPECT_EQ(c.purges().expired, 3u);
+  EXPECT_EQ(c.purges().hopeless, 3u);
+  EXPECT_EQ(c.lost_copies(), 4u);
+}
+
+TEST(Collector, ReceptionsCountEveryCall) {
+  Collector c;
+  for (int i = 0; i < 7; ++i) c.on_reception();
+  EXPECT_EQ(c.receptions(), 7u);
+}
+
+}  // namespace
+}  // namespace bdps

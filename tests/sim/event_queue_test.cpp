@@ -1,0 +1,91 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace bdps {
+namespace {
+
+Event at(TimeMs time, BrokerId broker = 0) {
+  Event e;
+  e.time = time;
+  e.broker = broker;
+  return e;
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(at(30.0));
+  q.push(at(10.0));
+  q.push(at(20.0));
+  EXPECT_DOUBLE_EQ(q.pop().time, 10.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 20.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 30.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SimultaneousEventsPopInInsertionOrder) {
+  EventQueue q;
+  for (BrokerId b = 0; b < 10; ++b) q.push(at(5.0, b));
+  for (BrokerId b = 0; b < 10; ++b) {
+    EXPECT_EQ(q.pop().broker, b);
+  }
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  q.push(at(10.0));
+  q.push(at(5.0));
+  EXPECT_DOUBLE_EQ(q.pop().time, 5.0);
+  q.push(at(1.0));
+  q.push(at(7.0));
+  EXPECT_DOUBLE_EQ(q.pop().time, 1.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 7.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 10.0);
+}
+
+TEST(EventQueue, TopPeeksWithoutRemoving) {
+  EventQueue q;
+  q.push(at(3.0));
+  q.push(at(1.0));
+  EXPECT_DOUBLE_EQ(q.top().time, 1.0);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EventQueue, RandomisedAgainstSortReference) {
+  Rng rng(42);
+  EventQueue q;
+  std::vector<double> reference;
+  for (int i = 0; i < 5000; ++i) {
+    const double t = rng.uniform(0.0, 1000.0);
+    reference.push_back(t);
+    q.push(at(t));
+  }
+  std::sort(reference.begin(), reference.end());
+  for (const double expected : reference) {
+    ASSERT_DOUBLE_EQ(q.pop().time, expected);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CarriesMessagePayload) {
+  EventQueue q;
+  Event e = at(1.0);
+  e.type = EventType::kSendComplete;
+  e.neighbor = 7;
+  e.message = std::make_shared<Message>(99, 0, 0.0, 50.0,
+                                        std::vector<Attribute>{});
+  q.push(std::move(e));
+  const Event popped = q.pop();
+  EXPECT_EQ(popped.type, EventType::kSendComplete);
+  EXPECT_EQ(popped.neighbor, 7);
+  ASSERT_NE(popped.message, nullptr);
+  EXPECT_EQ(popped.message->id(), 99);
+}
+
+}  // namespace
+}  // namespace bdps

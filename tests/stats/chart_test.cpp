@@ -1,0 +1,79 @@
+#include "stats/chart.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bdps {
+namespace {
+
+std::string render(AsciiChart& chart, const std::string& title = "") {
+  std::ostringstream os;
+  chart.print(os, title);
+  return os.str();
+}
+
+TEST(AsciiChart, EmptyChartRendersNothing) {
+  AsciiChart chart;
+  EXPECT_EQ(render(chart), "");
+}
+
+TEST(AsciiChart, TitleAndLegendAppear) {
+  AsciiChart chart(30, 8);
+  chart.add_series("EB", {{0.0, 1.0}, {1.0, 2.0}});
+  const std::string out = render(chart, "my title");
+  EXPECT_NE(out.find("my title"), std::string::npos);
+  EXPECT_NE(out.find("* = EB"), std::string::npos);
+}
+
+TEST(AsciiChart, DistinctMarkersPerSeries) {
+  AsciiChart chart(30, 8);
+  chart.add_series("a", {{0.0, 0.0}});
+  chart.add_series("b", {{1.0, 1.0}});
+  const std::string out = render(chart);
+  EXPECT_NE(out.find("* = a"), std::string::npos);
+  EXPECT_NE(out.find("o = b"), std::string::npos);
+}
+
+TEST(AsciiChart, ExtremePointsLandInCorners) {
+  AsciiChart chart(20, 6);
+  chart.set_y_range(0.0, 10.0);
+  chart.add_series("s", {{0.0, 0.0}, {10.0, 10.0}});
+  const std::string out = render(chart);
+  std::vector<std::string> lines;
+  std::istringstream in(out);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  // First grid row (top) holds the max point at the right edge.
+  EXPECT_EQ(lines[0].back(), '*');
+  // Bottom grid row (height 6 -> index 5) holds the min at the left edge.
+  EXPECT_EQ(lines[5][10], '*');  // 10 = label width ("%8.1f |").
+}
+
+TEST(AsciiChart, AxisLabelsShowRanges) {
+  AsciiChart chart(40, 8);
+  chart.add_series("s", {{2.0, 50.0}, {12.0, 150.0}});
+  const std::string out = render(chart);
+  EXPECT_NE(out.find("2.0"), std::string::npos);
+  EXPECT_NE(out.find("12.0"), std::string::npos);
+  // Y labels include (roughly) the max with margin.
+  EXPECT_NE(out.find("155.0"), std::string::npos);
+}
+
+TEST(AsciiChart, SinglePointDoesNotCrash) {
+  AsciiChart chart(20, 5);
+  chart.add_series("s", {{5.0, 5.0}});
+  const std::string out = render(chart);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, PointsOutsideFixedRangeAreClipped) {
+  AsciiChart chart(20, 5);
+  chart.set_y_range(0.0, 1.0);
+  chart.add_series("s", {{0.0, 100.0}});  // Far above the fixed range.
+  const std::string out = render(chart);
+  // Marker is clipped away, but the frame still renders.
+  EXPECT_EQ(out.find('*'), out.find("* = s"));
+}
+
+}  // namespace
+}  // namespace bdps

@@ -1,0 +1,63 @@
+#include "stats/rate_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace bdps {
+namespace {
+
+const LinkParams kPrior{75.0, 20.0};
+
+TEST(RateEstimator, NoSamplesReturnsPrior) {
+  const RateEstimator est;
+  const LinkParams p = est.estimate(kPrior);
+  EXPECT_DOUBLE_EQ(p.mean_ms_per_kb, 75.0);
+  EXPECT_DOUBLE_EQ(p.stddev_ms_per_kb, 20.0);
+}
+
+TEST(RateEstimator, ObservationsNormaliseBySize) {
+  RateEstimator est(1);
+  est.observe(50.0, 5000.0);  // 100 ms/KB.
+  EXPECT_EQ(est.sample_count(), 1u);
+  EXPECT_DOUBLE_EQ(est.estimate(kPrior).mean_ms_per_kb, 100.0);
+}
+
+TEST(RateEstimator, IgnoresNonPositiveSizes) {
+  RateEstimator est(1);
+  est.observe(0.0, 100.0);
+  est.observe(-5.0, 100.0);
+  EXPECT_EQ(est.sample_count(), 0u);
+}
+
+TEST(RateEstimator, BlendsTowardPriorWhileSampleIsSmall) {
+  RateEstimator est(4);
+  est.observe(1.0, 95.0);
+  est.observe(1.0, 105.0);  // Measured mean 100, halfway to min_samples.
+  const LinkParams p = est.estimate(kPrior);
+  EXPECT_DOUBLE_EQ(p.mean_ms_per_kb, 0.5 * 100.0 + 0.5 * 75.0);
+}
+
+TEST(RateEstimator, ConvergesToTrueParameters) {
+  Rng rng(9);
+  const LinkModel truth(LinkParams{90.0, 15.0});
+  RateEstimator est;
+  for (int i = 0; i < 20000; ++i) {
+    const double duration = truth.sample_send_time(rng, 50.0);
+    est.observe(50.0, duration);
+  }
+  const LinkParams p = est.estimate(kPrior);
+  EXPECT_NEAR(p.mean_ms_per_kb, 90.0, 0.5);
+  EXPECT_NEAR(p.stddev_ms_per_kb, 15.0, 0.5);
+}
+
+TEST(RateEstimator, FullWeightAfterMinSamples) {
+  RateEstimator est(2);
+  est.observe(1.0, 100.0);
+  est.observe(1.0, 100.0);
+  est.observe(1.0, 100.0);
+  EXPECT_DOUBLE_EQ(est.estimate(kPrior).mean_ms_per_kb, 100.0);
+}
+
+}  // namespace
+}  // namespace bdps

@@ -1,0 +1,46 @@
+#include "stats/series.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bdps {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"x", "value"});
+  table.add_row({"1", "10.00"});
+  table.add_row({"15", "7.25"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  // Header present, rule present, both rows present.
+  EXPECT_NE(out.find("x   value"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("15  7.25"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"1"});
+  ASSERT_EQ(table.rows()[0].size(), 3u);
+  EXPECT_EQ(table.rows()[0][2], "");
+}
+
+TEST(TextTable, AddRowValuesFormatsMixedTypes) {
+  TextTable table({"a", "b", "c"});
+  table.add_row_values(1, 2.5, std::string("x"));
+  ASSERT_EQ(table.rows().size(), 1u);
+  EXPECT_EQ(table.rows()[0][0], "1");
+  EXPECT_EQ(table.rows()[0][1], "2.5");
+  EXPECT_EQ(table.rows()[0][2], "x");
+}
+
+TEST(TextTable, FixedFormatsDecimals) {
+  EXPECT_EQ(TextTable::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fixed(10.0, 0), "10");
+  EXPECT_EQ(TextTable::fixed(-1.005, 1), "-1.0");
+}
+
+}  // namespace
+}  // namespace bdps

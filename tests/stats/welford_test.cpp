@@ -1,0 +1,92 @@
+#include "stats/welford.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace bdps {
+namespace {
+
+TEST(Welford, EmptyIsZero) {
+  const Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.standard_error(), 0.0);
+}
+
+TEST(Welford, SingleValue) {
+  Welford w;
+  w.add(5.0);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min(), 5.0);
+  EXPECT_DOUBLE_EQ(w.max(), 5.0);
+}
+
+TEST(Welford, MatchesDirectComputation) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  Welford w;
+  for (const double x : xs) w.add(x);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 4.0);         // Population.
+  EXPECT_DOUBLE_EQ(w.sample_variance(), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(w.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+}
+
+TEST(Welford, StandardError) {
+  Welford w;
+  for (int i = 0; i < 100; ++i) w.add(i % 2 == 0 ? 1.0 : -1.0);
+  // sample stddev ~ 1.005, stderr ~ 0.1005.
+  EXPECT_NEAR(w.standard_error(), w.sample_stddev() / 10.0, 1e-12);
+}
+
+TEST(Welford, MergeEquivalentToSequential) {
+  Rng rng(3);
+  Welford all;
+  Welford left;
+  Welford right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    all.add(x);
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  Welford merged = left;
+  merged.merge(right);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min(), all.min());
+  EXPECT_DOUBLE_EQ(merged.max(), all.max());
+}
+
+TEST(Welford, MergeWithEmptySides) {
+  Welford w;
+  w.add(1.0);
+  w.add(3.0);
+  Welford empty;
+  Welford merged = w;
+  merged.merge(empty);
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_DOUBLE_EQ(merged.mean(), 2.0);
+  Welford from_empty;
+  from_empty.merge(w);
+  EXPECT_EQ(from_empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(from_empty.mean(), 2.0);
+}
+
+TEST(Welford, NumericallyStableForLargeOffsets) {
+  // Classic catastrophic-cancellation case: tiny variance on a huge mean.
+  Welford w;
+  for (int i = 0; i < 1000; ++i) w.add(1e9 + (i % 2));
+  EXPECT_NEAR(w.variance(), 0.25, 1e-6);
+}
+
+}  // namespace
+}  // namespace bdps

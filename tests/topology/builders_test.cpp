@@ -1,0 +1,176 @@
+#include "topology/builders.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace bdps {
+namespace {
+
+/// Undirected connectivity check via DFS over directed edge pairs.
+bool connected(const Graph& g) {
+  if (g.broker_count() == 0) return true;
+  std::vector<bool> seen(g.broker_count(), false);
+  std::vector<BrokerId> stack = {0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const BrokerId u = stack.back();
+    stack.pop_back();
+    for (const EdgeId e : g.out_edges(u)) {
+      const BrokerId v = g.edge(e).to;
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        stack.push_back(v);
+      }
+    }
+  }
+  return visited == g.broker_count();
+}
+
+TEST(PaperTopology, MatchesFig3Counts) {
+  Rng rng(1);
+  const Topology topo = build_paper_topology(rng);
+  EXPECT_EQ(topo.graph.broker_count(), 32u);
+  EXPECT_EQ(topo.publisher_count(), 4u);
+  EXPECT_EQ(topo.subscriber_count(), 160u);
+  // Links: 4*4 (L1-L2 full mesh) + 8*2 (L3 uplinks) + 16*2 (L4 uplinks)
+  // = 64 undirected = 128 directed edges.
+  EXPECT_EQ(topo.graph.edge_count(), 128u);
+  EXPECT_TRUE(topo.graph.validate());
+  EXPECT_TRUE(connected(topo.graph));
+}
+
+TEST(PaperTopology, AttachmentLayersAreCorrect) {
+  Rng rng(2);
+  const Topology topo = build_paper_topology(rng);
+  for (const BrokerId b : topo.publisher_edges) {
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, 4);  // Publishers behind layer-1 brokers.
+  }
+  for (const BrokerId b : topo.subscriber_homes) {
+    EXPECT_GE(b, 16);  // Subscribers on layer-4 brokers (ids 16..31).
+    EXPECT_LT(b, 32);
+  }
+  // Exactly 10 subscribers per layer-4 broker.
+  std::map<BrokerId, int> per_broker;
+  for (const BrokerId b : topo.subscriber_homes) ++per_broker[b];
+  EXPECT_EQ(per_broker.size(), 16u);
+  for (const auto& [broker, count] : per_broker) EXPECT_EQ(count, 10);
+}
+
+TEST(PaperTopology, LinkParametersInConfiguredRange) {
+  Rng rng(3);
+  const Topology topo = build_paper_topology(rng);
+  for (std::size_t e = 0; e < topo.graph.edge_count(); ++e) {
+    const LinkParams& p = topo.graph.edge(static_cast<EdgeId>(e)).link.params();
+    EXPECT_GE(p.mean_ms_per_kb, 50.0);
+    EXPECT_LT(p.mean_ms_per_kb, 100.0);
+    EXPECT_DOUBLE_EQ(p.stddev_ms_per_kb, 20.0);
+  }
+}
+
+TEST(PaperTopology, UplinksAreDistinct) {
+  // sample_distinct must never pick the same parent twice for one broker.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const Topology topo = build_paper_topology(rng);
+    for (std::size_t b = 8; b < 32; ++b) {
+      std::set<BrokerId> parents;
+      for (const EdgeId e : topo.graph.out_edges(static_cast<BrokerId>(b))) {
+        const BrokerId to = topo.graph.edge(e).to;
+        if (to < static_cast<BrokerId>(b)) {
+          // Uplink (parents have smaller layer base => smaller id here).
+          EXPECT_TRUE(parents.insert(to).second)
+              << "broker " << b << " double-linked to " << to;
+        }
+      }
+    }
+  }
+}
+
+TEST(PaperTopology, RejectsImpossibleUplinkCounts) {
+  Rng rng(1);
+  PaperTopologyConfig config;
+  config.uplinks_per_layer3 = 10;  // > layer2 = 4.
+  EXPECT_THROW(build_paper_topology(rng, config), std::invalid_argument);
+}
+
+class AcyclicSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AcyclicSizes, TreeHasExactlyNMinusOneLinks) {
+  Rng rng(7);
+  const std::size_t n = GetParam();
+  const Topology topo =
+      build_acyclic_topology(rng, n, 2, 10, 50.0, 100.0, 20.0);
+  EXPECT_EQ(topo.graph.broker_count(), n);
+  EXPECT_EQ(topo.graph.edge_count(), 2 * (n - 1));  // Directed pairs.
+  EXPECT_TRUE(connected(topo.graph));
+  EXPECT_EQ(topo.publisher_count(), 2u);
+  EXPECT_EQ(topo.subscriber_count(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AcyclicSizes,
+                         ::testing::Values(1u, 2u, 5u, 16u, 64u, 200u));
+
+TEST(AcyclicTopology, ZeroBrokersRejected) {
+  Rng rng(1);
+  EXPECT_THROW(build_acyclic_topology(rng, 0, 1, 1, 50.0, 100.0, 20.0),
+               std::invalid_argument);
+}
+
+TEST(RandomMesh, AddsRequestedExtraEdges) {
+  Rng rng(11);
+  const Topology topo =
+      build_random_mesh(rng, 20, 15, 2, 10, 50.0, 100.0, 20.0);
+  EXPECT_EQ(topo.graph.edge_count(), 2 * (19 + 15));
+  EXPECT_TRUE(connected(topo.graph));
+  EXPECT_TRUE(topo.graph.validate());
+}
+
+TEST(RandomMesh, NoDuplicateLinks) {
+  Rng rng(12);
+  const Topology topo =
+      build_random_mesh(rng, 10, 20, 1, 5, 50.0, 100.0, 20.0);
+  std::set<std::pair<BrokerId, BrokerId>> seen;
+  for (std::size_t e = 0; e < topo.graph.edge_count(); ++e) {
+    const Edge& edge = topo.graph.edge(static_cast<EdgeId>(e));
+    EXPECT_TRUE(seen.emplace(edge.from, edge.to).second);
+  }
+}
+
+TEST(Dumbbell, StructureAndAttachment) {
+  Rng rng(1);
+  const Topology topo = build_dumbbell(rng, 3, 5, LinkParams{10.0, 1.0},
+                                       LinkParams{100.0, 20.0});
+  EXPECT_EQ(topo.graph.broker_count(), 8u);  // 2 hubs + 3 + 3 leaves.
+  EXPECT_EQ(topo.publisher_count(), 3u);
+  EXPECT_EQ(topo.subscriber_count(), 15u);
+  EXPECT_TRUE(connected(topo.graph));
+  // The bottleneck is the hub-hub link.
+  const EdgeId hub = topo.graph.find_edge(0, 1);
+  ASSERT_NE(hub, kNoEdge);
+  EXPECT_DOUBLE_EQ(topo.graph.edge(hub).link.params().mean_ms_per_kb, 100.0);
+}
+
+TEST(Ring, HasCycleAndBothDirections) {
+  Rng rng(5);
+  const Topology topo = build_ring(rng, 6, 2, 4, 50.0, 100.0, 20.0);
+  EXPECT_EQ(topo.graph.broker_count(), 6u);
+  EXPECT_EQ(topo.graph.edge_count(), 12u);
+  EXPECT_TRUE(connected(topo.graph));
+  EXPECT_NE(topo.graph.find_edge(0, 5), kNoEdge);  // Wrap-around link.
+}
+
+TEST(Ring, TooSmallRejected) {
+  Rng rng(1);
+  EXPECT_THROW(build_ring(rng, 2, 1, 1, 50.0, 100.0, 20.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bdps

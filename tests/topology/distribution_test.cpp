@@ -1,0 +1,150 @@
+// Moment-matching and shape properties of the link-rate distributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "experiment/paper.h"
+#include "experiment/runner.h"
+#include "topology/link.h"
+
+namespace bdps {
+namespace {
+
+struct Moments {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double skew = 0.0;
+  double min = 0.0;
+};
+
+Moments sample_moments(const LinkModel& link, int n = 200000) {
+  Rng rng(7);
+  double sum = 0.0;
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (auto& x : xs) {
+    x = link.sample_rate(rng);
+    sum += x;
+  }
+  Moments m;
+  m.mean = sum / n;
+  double var = 0.0;
+  double cubed = 0.0;
+  m.min = xs[0];
+  for (const double x : xs) {
+    const double d = x - m.mean;
+    var += d * d;
+    cubed += d * d * d;
+    if (x < m.min) m.min = x;
+  }
+  var /= n;
+  m.stddev = std::sqrt(var);
+  m.skew = (cubed / n) / (var * m.stddev);
+  return m;
+}
+
+class ShapeMoments : public ::testing::TestWithParam<RateShape> {};
+
+TEST_P(ShapeMoments, MeanAndStddevAreMatched) {
+  LinkParams params{75.0, 20.0, GetParam()};
+  const Moments m = sample_moments(LinkModel(params));
+  EXPECT_NEAR(m.mean, 75.0, 0.5);
+  // The truncated normal loses a sliver of its lower tail; allow 5%.
+  EXPECT_NEAR(m.stddev, 20.0, 1.0);
+  EXPECT_GT(m.min, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShapeMoments,
+                         ::testing::Values(RateShape::kNormal,
+                                           RateShape::kShiftedGamma,
+                                           RateShape::kLognormal));
+
+TEST(ShapeSkewness, GammaAndLognormalAreRightSkewedNormalIsNot) {
+  const Moments normal =
+      sample_moments(LinkModel(LinkParams{75.0, 20.0, RateShape::kNormal}));
+  const Moments gamma = sample_moments(
+      LinkModel(LinkParams{75.0, 20.0, RateShape::kShiftedGamma}));
+  const Moments lognormal = sample_moments(
+      LinkModel(LinkParams{75.0, 20.0, RateShape::kLognormal}));
+  EXPECT_NEAR(normal.skew, 0.0, 0.1);
+  EXPECT_GT(gamma.skew, 0.5);      // k = 4 gamma: skew = 2/sqrt(k) = 1.
+  EXPECT_GT(lognormal.skew, 0.4);  // cv ~ 0.27: skew ~ 0.82.
+}
+
+TEST(ShapeSkewness, GammaHasHardLowerBound) {
+  // shift = mean - 2*stddev = 35: no sample may fall below it.
+  const LinkModel link(LinkParams{75.0, 20.0, RateShape::kShiftedGamma});
+  Rng rng(3);
+  for (int i = 0; i < 50000; ++i) {
+    ASSERT_GE(link.sample_rate(rng), 35.0);
+  }
+}
+
+TEST(ShapeDegenerate, ZeroStddevIsDeterministicForAllShapes) {
+  Rng rng(1);
+  for (const RateShape shape :
+       {RateShape::kNormal, RateShape::kShiftedGamma,
+        RateShape::kLognormal}) {
+    const LinkModel link(LinkParams{75.0, 0.0, shape});
+    EXPECT_DOUBLE_EQ(link.sample_rate(rng), 75.0);
+  }
+}
+
+TEST(RngGamma, MomentsMatchTheory) {
+  Rng rng(5);
+  const double k = 4.0;
+  const double theta = 10.0;
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(k, theta);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, k * theta, 0.5);          // 40.
+  EXPECT_NEAR(var, k * theta * theta, 10.0);  // 400.
+}
+
+TEST(RngGamma, SmallShapeBoostWorks) {
+  Rng rng(6);
+  const double k = 0.5;
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(k, 2.0);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.05);  // mean = k * theta = 1.
+}
+
+TEST(RngLognormal, MedianIsExpOfMu) {
+  Rng rng(8);
+  const int n = 100001;
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.lognormal(2.0, 0.5);
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], std::exp(2.0), 0.1);
+}
+
+TEST(ModelMismatch, SimulationStillFavoursEbUnderSkewedReality) {
+  for (const RateShape shape :
+       {RateShape::kShiftedGamma, RateShape::kLognormal}) {
+    SimConfig eb = paper_base_config(ScenarioKind::kSsd, 12.0,
+                                     StrategyKind::kEb, 9);
+    eb.workload.duration = minutes(10.0);
+    eb.true_rate_shape = shape;
+    SimConfig fifo = eb;
+    fifo.strategy = StrategyKind::kFifo;
+    const SimResult a = run_simulation(eb);
+    const SimResult b = run_simulation(fifo);
+    EXPECT_GT(a.earning, 1.5 * b.earning)
+        << "shape " << static_cast<int>(shape);
+  }
+}
+
+}  // namespace
+}  // namespace bdps

@@ -1,0 +1,82 @@
+#include "topology/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace bdps {
+namespace {
+
+TEST(Graph, AddAndFindEdges) {
+  Graph g(3);
+  const EdgeId e01 = g.add_edge(0, 1, LinkParams{50.0, 20.0});
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.find_edge(0, 1), e01);
+  EXPECT_EQ(g.find_edge(1, 0), kNoEdge);
+  EXPECT_EQ(g.find_edge(0, 2), kNoEdge);
+  EXPECT_DOUBLE_EQ(g.edge(e01).link.params().mean_ms_per_kb, 50.0);
+}
+
+TEST(Graph, BidirectionalAddsBothDirections) {
+  Graph g(2);
+  g.add_bidirectional(0, 1, LinkParams{60.0, 20.0});
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_NE(g.find_edge(0, 1), kNoEdge);
+  EXPECT_NE(g.find_edge(1, 0), kNoEdge);
+}
+
+TEST(Graph, OutEdgesList) {
+  Graph g(4);
+  g.add_edge(0, 1, LinkParams{50.0, 1.0});
+  g.add_edge(0, 2, LinkParams{50.0, 1.0});
+  g.add_edge(0, 3, LinkParams{50.0, 1.0});
+  g.add_edge(1, 0, LinkParams{50.0, 1.0});
+  EXPECT_EQ(g.out_edges(0).size(), 3u);
+  EXPECT_EQ(g.out_edges(1).size(), 1u);
+  EXPECT_TRUE(g.out_edges(2).empty());
+}
+
+TEST(Graph, ValidateAcceptsWellFormed) {
+  Graph g(3);
+  g.add_bidirectional(0, 1, LinkParams{50.0, 20.0});
+  g.add_bidirectional(1, 2, LinkParams{80.0, 20.0});
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, ValidateRejectsNonPositiveMean) {
+  Graph g(2);
+  g.add_edge(0, 1, LinkParams{0.0, 20.0});
+  EXPECT_FALSE(g.validate());
+}
+
+TEST(Graph, ValidateRejectsNegativeStddev) {
+  Graph g(2);
+  g.add_edge(0, 1, LinkParams{50.0, -1.0});
+  EXPECT_FALSE(g.validate());
+}
+
+TEST(LinkModel, SamplesArePositiveAndCentered) {
+  const LinkModel link(LinkParams{75.0, 20.0});
+  Rng rng(1);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double r = link.sample_rate(rng);
+    ASSERT_GT(r, 0.0);
+    sum += r;
+  }
+  EXPECT_NEAR(sum / n, 75.0, 0.5);
+}
+
+TEST(LinkModel, SendTimeScalesWithSize) {
+  const LinkModel link(LinkParams{100.0, 0.0});  // Deterministic.
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(link.sample_send_time(rng, 50.0), 5000.0);
+  EXPECT_DOUBLE_EQ(link.sample_send_time(rng, 1.0), 100.0);
+}
+
+TEST(LinkParams, VarianceIsStddevSquared) {
+  const LinkParams p{50.0, 20.0};
+  EXPECT_DOUBLE_EQ(p.variance(), 400.0);
+}
+
+}  // namespace
+}  // namespace bdps

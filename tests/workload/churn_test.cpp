@@ -1,0 +1,105 @@
+// Subscription churn (activation windows).
+#include <gtest/gtest.h>
+
+#include "experiment/paper.h"
+#include "experiment/runner.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace bdps {
+namespace {
+
+TEST(Churn, DefaultSubscriptionIsAlwaysActive) {
+  const Subscription sub;
+  EXPECT_TRUE(sub.active_at(0.0));
+  EXPECT_TRUE(sub.active_at(hours(100.0)));
+}
+
+TEST(Churn, WindowBoundariesAreHalfOpen) {
+  Subscription sub;
+  sub.active_from = 1000.0;
+  sub.active_to = 2000.0;
+  EXPECT_FALSE(sub.active_at(999.9));
+  EXPECT_TRUE(sub.active_at(1000.0));
+  EXPECT_TRUE(sub.active_at(1999.9));
+  EXPECT_FALSE(sub.active_at(2000.0));
+}
+
+TEST(Churn, GeneratorAssignsWindowsCoveringTheConfiguredFraction) {
+  Rng rng(1);
+  Rng topo_rng(2);
+  const Topology topo = build_paper_topology(topo_rng);
+  WorkloadConfig config;
+  config.scenario = ScenarioKind::kSsd;
+  config.duration = hours(1.0);
+  config.churn_fraction = 0.4;
+  const auto subs = generate_subscriptions(rng, config, topo);
+  for (const auto& sub : subs) {
+    EXPECT_GE(sub.active_from, 0.0);
+    EXPECT_LE(sub.active_to, config.duration + 1e-6);
+    EXPECT_NEAR(sub.active_to - sub.active_from, 0.6 * config.duration,
+                1e-6);
+  }
+}
+
+TEST(Churn, ZeroChurnLeavesSubscriptionsUnbounded) {
+  Rng rng(3);
+  Rng topo_rng(4);
+  const Topology topo = build_paper_topology(topo_rng);
+  WorkloadConfig config;
+  const auto subs = generate_subscriptions(rng, config, topo);
+  for (const auto& sub : subs) {
+    EXPECT_EQ(sub.active_from, -kNoDeadline);
+    EXPECT_EQ(sub.active_to, kNoDeadline);
+  }
+}
+
+TEST(Churn, InactiveSubscriberReceivesNothing) {
+  // Line 0 - 1; one subscriber active only in [10 s, 20 s).
+  Topology topo;
+  topo.graph.resize(2);
+  topo.graph.add_bidirectional(0, 1, LinkParams{10.0, 0.0});
+  topo.publisher_edges = {0};
+  topo.subscriber_homes = {1};
+  Subscription sub;
+  sub.subscriber = 0;
+  sub.home = 1;
+  sub.allowed_delay = seconds(60.0);
+  sub.active_from = seconds(10.0);
+  sub.active_to = seconds(20.0);
+  const RoutingFabric fabric(topo, {sub});
+  const auto scheduler = make_scheduler(StrategyKind::kEb);
+  Simulator sim(&topo, &topo.graph, &fabric, scheduler.get(),
+                SimulatorOptions{}, Rng(1));
+  // Publish before, inside and after the window.
+  for (const double t : {0.0, 15000.0, 25000.0}) {
+    sim.schedule_publish(std::make_shared<Message>(
+        static_cast<MessageId>(t), 0, t, 50.0, std::vector<Attribute>{}));
+  }
+  sim.run();
+  const Collector& c = sim.collector();
+  EXPECT_EQ(c.total_interested(), 1u);
+  EXPECT_EQ(c.deliveries(), 1u);
+  // Only the injection receptions for inactive messages: no forwarding.
+  EXPECT_EQ(c.receptions(), 3u + 1u);  // 3 injections + 1 forwarded copy.
+}
+
+TEST(Churn, ReducesOfferedLoadProportionally) {
+  SimConfig steady = paper_base_config(ScenarioKind::kSsd, 8.0,
+                                       StrategyKind::kEb, 19);
+  steady.workload.duration = minutes(10.0);
+  SimConfig churny = steady;
+  churny.workload.churn_fraction = 0.5;
+  const SimResult a = run_simulation(steady);
+  const SimResult b = run_simulation(churny);
+  // Half the subscription-time is gone: offered pairs drop to ~50%.
+  const double ratio = static_cast<double>(b.total_interested) /
+                       static_cast<double>(a.total_interested);
+  EXPECT_GT(ratio, 0.35);
+  EXPECT_LT(ratio, 0.65);
+  // And so does traffic, since brokers stop forwarding to inactive subs.
+  EXPECT_LT(b.receptions, a.receptions);
+}
+
+}  // namespace
+}  // namespace bdps

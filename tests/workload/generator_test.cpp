@@ -1,0 +1,179 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace bdps {
+namespace {
+
+WorkloadConfig quick_workload(ScenarioKind scenario) {
+  WorkloadConfig config;
+  config.scenario = scenario;
+  config.publishing_rate_per_min = 10.0;
+  config.duration = minutes(30.0);
+  return config;
+}
+
+TEST(GenerateMessages, CountApproximatesRate) {
+  Rng rng(1);
+  const auto messages =
+      generate_messages(rng, quick_workload(ScenarioKind::kPsd), 4);
+  // Expected 4 * 10 * 30 = 1200 (Poisson).
+  EXPECT_GT(messages.size(), 1000u);
+  EXPECT_LT(messages.size(), 1400u);
+}
+
+TEST(GenerateMessages, SortedAndDenselyIdentified) {
+  Rng rng(2);
+  const auto messages =
+      generate_messages(rng, quick_workload(ScenarioKind::kPsd), 4);
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(messages[i]->id(), static_cast<MessageId>(i));
+    if (i > 0) {
+      EXPECT_GE(messages[i]->publish_time(), messages[i - 1]->publish_time());
+    }
+    EXPECT_LT(messages[i]->publish_time(), minutes(30.0));
+    EXPECT_GE(messages[i]->publish_time(), 0.0);
+  }
+}
+
+TEST(GenerateMessages, HeadsFollowTheConfiguredAttributeSpace) {
+  Rng rng(3);
+  const auto messages =
+      generate_messages(rng, quick_workload(ScenarioKind::kPsd), 2);
+  for (const auto& m : messages) {
+    ASSERT_EQ(m->head().size(), 2u);
+    EXPECT_EQ(m->head()[0].name, "A1");
+    EXPECT_EQ(m->head()[1].name, "A2");
+    for (const auto& attr : m->head()) {
+      EXPECT_GE(attr.value.as_double(), 0.0);
+      EXPECT_LT(attr.value.as_double(), 10.0);
+    }
+    EXPECT_DOUBLE_EQ(m->size_kb(), 50.0);
+  }
+}
+
+TEST(GenerateMessages, PsdDeadlinesInConfiguredRange) {
+  Rng rng(4);
+  const auto messages =
+      generate_messages(rng, quick_workload(ScenarioKind::kPsd), 2);
+  for (const auto& m : messages) {
+    ASSERT_TRUE(m->has_allowed_delay());
+    EXPECT_GE(m->allowed_delay(), seconds(10.0));
+    EXPECT_LT(m->allowed_delay(), seconds(30.0));
+  }
+}
+
+TEST(GenerateMessages, SsdMessagesCarryNoDeadline) {
+  Rng rng(5);
+  const auto messages =
+      generate_messages(rng, quick_workload(ScenarioKind::kSsd), 2);
+  for (const auto& m : messages) {
+    EXPECT_FALSE(m->has_allowed_delay());
+  }
+}
+
+TEST(GenerateMessages, PublishersAllContribute) {
+  Rng rng(6);
+  const auto messages =
+      generate_messages(rng, quick_workload(ScenarioKind::kPsd), 4);
+  std::vector<int> per_publisher(4, 0);
+  for (const auto& m : messages) {
+    ASSERT_GE(m->publisher(), 0);
+    ASSERT_LT(m->publisher(), 4);
+    ++per_publisher[m->publisher()];
+  }
+  for (const int count : per_publisher) EXPECT_GT(count, 200);
+}
+
+TEST(GenerateMessages, DeterministicIntervalsAreExact) {
+  Rng rng(7);
+  WorkloadConfig config = quick_workload(ScenarioKind::kPsd);
+  config.poisson_arrivals = false;
+  const auto messages = generate_messages(rng, config, 1);
+  EXPECT_EQ(messages.size(), 300u);  // 10/min * 30 min.
+  // Gaps are exactly 6 s after the random phase.
+  for (std::size_t i = 2; i < messages.size(); ++i) {
+    EXPECT_NEAR(messages[i]->publish_time() - messages[i - 1]->publish_time(),
+                6000.0, 1e-9);
+  }
+}
+
+TEST(GenerateSubscriptions, OnePerSubscriberWithPaperFilters) {
+  Rng rng(8);
+  Rng topo_rng(9);
+  const Topology topo = build_paper_topology(topo_rng);
+  const auto subs =
+      generate_subscriptions(rng, quick_workload(ScenarioKind::kSsd), topo);
+  ASSERT_EQ(subs.size(), 160u);
+  for (std::size_t s = 0; s < subs.size(); ++s) {
+    EXPECT_EQ(subs[s].subscriber, static_cast<SubscriberId>(s));
+    EXPECT_EQ(subs[s].home, topo.subscriber_homes[s]);
+    ASSERT_EQ(subs[s].filter.size(), 2u);
+    for (const auto& p : subs[s].filter.predicates()) {
+      EXPECT_EQ(p.op, Op::kLt);
+    }
+  }
+}
+
+TEST(GenerateSubscriptions, SsdTiersAssignPaperPrices) {
+  Rng rng(10);
+  Rng topo_rng(11);
+  const Topology topo = build_paper_topology(topo_rng);
+  const auto subs =
+      generate_subscriptions(rng, quick_workload(ScenarioKind::kSsd), topo);
+  int tier_counts[3] = {0, 0, 0};
+  for (const auto& sub : subs) {
+    if (sub.allowed_delay == seconds(10.0)) {
+      EXPECT_DOUBLE_EQ(sub.price, 3.0);
+      ++tier_counts[0];
+    } else if (sub.allowed_delay == seconds(30.0)) {
+      EXPECT_DOUBLE_EQ(sub.price, 2.0);
+      ++tier_counts[1];
+    } else {
+      EXPECT_DOUBLE_EQ(sub.allowed_delay, seconds(60.0));
+      EXPECT_DOUBLE_EQ(sub.price, 1.0);
+      ++tier_counts[2];
+    }
+  }
+  // All three tiers occur (uniform over 160 draws).
+  EXPECT_GT(tier_counts[0], 20);
+  EXPECT_GT(tier_counts[1], 20);
+  EXPECT_GT(tier_counts[2], 20);
+}
+
+TEST(GenerateSubscriptions, PsdSubscribersAreUnbounded) {
+  Rng rng(12);
+  Rng topo_rng(13);
+  const Topology topo = build_paper_topology(topo_rng);
+  const auto subs =
+      generate_subscriptions(rng, quick_workload(ScenarioKind::kPsd), topo);
+  for (const auto& sub : subs) {
+    EXPECT_EQ(sub.allowed_delay, kNoDeadline);
+    EXPECT_DOUBLE_EQ(sub.price, 1.0);
+  }
+}
+
+TEST(GenerateSubscriptions, AverageSelectivityNearQuarter) {
+  // Monte-Carlo estimate of E[match] for the paper's workload: ~25%.
+  Rng rng(14);
+  Rng topo_rng(15);
+  const Topology topo = build_paper_topology(topo_rng);
+  WorkloadConfig config = quick_workload(ScenarioKind::kPsd);
+  const auto subs = generate_subscriptions(rng, config, topo);
+  const auto messages = generate_messages(rng, config, 4);
+  std::size_t matched = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(messages.size(), 300);
+       ++i) {
+    for (const auto& sub : subs) {
+      matched += sub.filter.matches(*messages[i]) ? 1 : 0;
+      ++total;
+    }
+  }
+  const double selectivity = static_cast<double>(matched) / total;
+  EXPECT_GT(selectivity, 0.20);
+  EXPECT_LT(selectivity, 0.30);
+}
+
+}  // namespace
+}  // namespace bdps

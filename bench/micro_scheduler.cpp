@@ -21,11 +21,13 @@ struct Rig {
   Rig(std::size_t queue_depth, std::size_t targets_per_message) {
     Rng rng(1);
     for (std::size_t m = 0; m < queue_depth; ++m) {
+      const TimeMs age = rng.uniform(0.0, 30000.0);
       auto message = std::make_shared<Message>(
-          static_cast<MessageId>(m), 0,
-          context.now - rng.uniform(0.0, 30000.0), 50.0,
+          static_cast<MessageId>(m), 0, context.now - age, 50.0,
           std::vector<Attribute>{});
-      QueuedMessage queued{std::move(message), context.now, {}};
+      // Enqueued when published: distinct enqueue instants, as in a real
+      // queue (identical ones would make every pick a pure tie scan).
+      QueuedMessage queued{std::move(message), context.now - age, {}};
       for (std::size_t t = 0; t < targets_per_message; ++t) {
         auto sub = std::make_unique<Subscription>();
         sub->allowed_delay = seconds(10.0 + 10.0 * rng.uniform_index(5));
@@ -37,6 +39,9 @@ struct Rig {
         subs.push_back(std::move(sub));
         entries.push_back(std::move(entry));
       }
+      // Fold the scoring kernel as Broker::process does at enqueue time, so
+      // the timed loops measure the steady-state pick/purge path.
+      precompute_scores(queued, context.processing_delay);
       queue.push_back(std::move(queued));
     }
   }

@@ -1,12 +1,14 @@
 #include "broker/broker.h"
 
+#include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace bdps {
 
 Broker::Broker(BrokerId id, const RoutingFabric* fabric,
-               const Graph* believed_links)
-    : id_(id), fabric_(fabric) {
+               const Graph* believed_links, TimeMs processing_delay)
+    : id_(id), fabric_(fabric), processing_delay_(processing_delay) {
   // One queue per downstream neighbour appearing in the subscription table.
   for (const SubscriptionEntry& entry : fabric->table(id).entries()) {
     if (entry.is_local() || queues_.count(entry.next_hop)) continue;
@@ -19,6 +21,14 @@ Broker::Broker(BrokerId id, const RoutingFabric* fabric,
                     OutputQueue(entry.next_hop, edge,
                                 believed_links->edge(edge).link.params()));
   }
+  // One reusable grouping slot per neighbour, in ascending BrokerId order
+  // (the degree is fixed for the broker's lifetime).
+  group_scratch_.reserve(queues_.size());
+  for (const auto& [neighbor, queue] : queues_) {
+    (void)queue;
+    group_scratch_.emplace_back(neighbor,
+                                std::vector<const SubscriptionEntry*>{});
+  }
 }
 
 Broker::FanOut Broker::process(const std::shared_ptr<const Message>& message,
@@ -28,22 +38,39 @@ Broker::FanOut Broker::process(const std::shared_ptr<const Message>& message,
 
   FanOut result;
   // Group the matched rows by downstream neighbour; each group becomes one
-  // queued copy carrying exactly the subscriptions it still serves.
-  std::map<BrokerId, std::vector<const SubscriptionEntry*>> groups;
-  for (const SubscriptionEntry* entry : fabric_->match_at(id_, *message)) {
+  // queued copy carrying exactly the subscriptions it still serves.  The
+  // grouping slots are a reused member (sorted by neighbour id, binary
+  // searched — broker degree is small), so the fan-out allocates nothing
+  // beyond the targets vector each queued copy must own anyway.
+  for (auto& [neighbor, targets] : group_scratch_) {
+    (void)neighbor;
+    targets.clear();
+  }
+  fabric_->match_at(id_, *message, match_scratch_);
+  for (const SubscriptionEntry* entry : match_scratch_) {
     if (!entry->serves_publisher(message->publisher())) continue;
     if (!entry->subscription->active_at(message->publish_time())) continue;
     if (entry->is_local()) {
       result.local.push_back(entry);
     } else {
-      groups[entry->next_hop].push_back(entry);
+      const auto slot = std::lower_bound(
+          group_scratch_.begin(), group_scratch_.end(), entry->next_hop,
+          [](const auto& group, BrokerId id) { return group.first < id; });
+      assert(slot != group_scratch_.end() && slot->first == entry->next_hop);
+      slot->second.push_back(entry);
     }
   }
 
-  for (auto& [neighbor, targets] : groups) {
+  for (auto& [neighbor, targets] : group_scratch_) {
+    if (targets.empty()) continue;
     OutputQueue& out = queues_.at(neighbor);
     const bool was_startable = !out.link_busy();
-    out.enqueue(QueuedMessage{message, now, std::move(targets)});
+    QueuedMessage queued{message, now, std::move(targets)};
+    targets = {};  // Moved-from: reset to a clean empty slot.
+    // Fold the time-invariant scoring constants now, while the rows are
+    // cache-hot, so picks and purges never touch the subscription table.
+    precompute_scores(queued, processing_delay_);
+    out.enqueue(std::move(queued));
     result.enqueued.push_back(neighbor);
     if (was_startable) result.sendable.push_back(neighbor);
   }

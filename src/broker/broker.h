@@ -22,8 +22,10 @@ class Broker {
  public:
   /// `believed_links` provides the link parameters this broker uses for its
   /// scheduling math (FT); they may deviate from the true simulation links
-  /// in the estimation ablation.
-  Broker(BrokerId id, const RoutingFabric* fabric, const Graph* believed_links);
+  /// in the estimation ablation.  `processing_delay` (PD) is folded into the
+  /// precomputed scoring kernel of every enqueued copy.
+  Broker(BrokerId id, const RoutingFabric* fabric, const Graph* believed_links,
+         TimeMs processing_delay = 0.0);
 
   BrokerId id() const { return id_; }
 
@@ -63,9 +65,15 @@ class Broker {
  private:
   BrokerId id_;
   const RoutingFabric* fabric_;
+  TimeMs processing_delay_;
   std::map<BrokerId, OutputQueue> queues_;
   double total_size_kb_ = 0.0;
   std::size_t processed_count_ = 0;
+  // Scratch buffers reused across process() calls (no per-message allocation
+  // for the match result or the per-neighbour grouping).
+  std::vector<const SubscriptionEntry*> match_scratch_;
+  std::vector<std::pair<BrokerId, std::vector<const SubscriptionEntry*>>>
+      group_scratch_;
 };
 
 }  // namespace bdps

@@ -10,10 +10,7 @@ std::optional<QueuedMessage> OutputQueue::take_next(
   if (purge_stats != nullptr) *purge_stats += stats;
   if (queue_.empty()) return std::nullopt;
 
-  const std::size_t index = scheduler.pick(queue_, context);
-  QueuedMessage chosen = std::move(queue_[index]);
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
-  return chosen;
+  return take_at(queue_, scheduler.pick(queue_, context));
 }
 
 }  // namespace bdps

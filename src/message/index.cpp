@@ -1,11 +1,14 @@
 #include "message/index.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace bdps {
 
 SubscriptionIndex::EntryId SubscriptionIndex::add(const Filter& filter) {
   const EntryId external = external_count_++;
+  external_generation_.push_back(0);
   add_internal(filter, external);
   return external;
 }
@@ -18,12 +21,13 @@ void SubscriptionIndex::add_internal(const Filter& filter, EntryId external) {
   const EntryId id = entries_.size();
   entries_.push_back(Entry{filter, 0, 0, external});
   Entry& entry = entries_.back();
+  entry_map_valid_ = false;
 
   if (filter.empty()) {
     wildcards_.push_back(id);
   } else {
     for (const auto& predicate : filter.predicates()) {
-      index_predicate(predicate, id, entry);
+      index_predicate(predicate, static_cast<InternalId>(id), entry);
     }
     if (entry.indexed_predicates == 0) {
       // Never touched by the counting pass; must be scanned directly.
@@ -31,8 +35,10 @@ void SubscriptionIndex::add_internal(const Filter& filter, EntryId external) {
     }
   }
 
-  counter_.push_back(0);
-  generation_.push_back(0);
+  required_.push_back(static_cast<std::uint32_t>(entry.indexed_predicates));
+  external_of_.push_back(static_cast<std::uint32_t>(external));
+  needs_direct_.push_back(entry.direct_predicates > 0 ? 1 : 0);
+  counter_gen_.push_back(0);
   // Numeric predicate lists are (re)sorted lazily on the next match();
   // sorting per add would make bulk installation quadratic.
   sorted_ = false;
@@ -40,53 +46,89 @@ void SubscriptionIndex::add_internal(const Filter& filter, EntryId external) {
 
 void SubscriptionIndex::ensure_sorted() const {
   if (sorted_) return;
-  auto by_threshold = [](const NumericPredicateRef& a,
-                         const NumericPredicateRef& b) {
-    return a.threshold < b.threshold;
+  auto by_key = [](const std::pair<double, InternalId>& a,
+                   const std::pair<double, InternalId>& b) {
+    return a.first < b.first;
+  };
+  auto rebuild = [&](std::vector<std::pair<double, InternalId>>& build,
+                     std::vector<double>& keys,
+                     std::vector<InternalId>& entries) {
+    std::sort(build.begin(), build.end(), by_key);
+    keys.clear();
+    entries.clear();
+    keys.reserve(build.size());
+    entries.reserve(build.size());
+    for (const auto& [key, id] : build) {
+      keys.push_back(key);
+      entries.push_back(id);
+    }
   };
   for (auto& [name, attr_index] : attributes_) {
     (void)name;
-    std::sort(attr_index.less_than.begin(), attr_index.less_than.end(),
-              by_threshold);
-    std::sort(attr_index.greater_than.begin(), attr_index.greater_than.end(),
-              by_threshold);
+    rebuild(attr_index.less_build, attr_index.less_keys,
+            attr_index.less_entries);
+    rebuild(attr_index.greater_build, attr_index.greater_keys,
+            attr_index.greater_entries);
   }
   sorted_ = true;
 }
 
 void SubscriptionIndex::index_predicate(const Predicate& predicate,
-                                        EntryId id, Entry& entry) {
-  // String-operand orderings and ranges go to the direct path; numeric
-  // comparisons and both equality types are indexable.
-  const bool numeric_operand = predicate.operand.is_number();
-  AttributeIndex& attr = attributes_[predicate.attribute];
+                                        InternalId id, Entry& entry) {
+  // String-operand orderings, ranges and non-finite operands go to the
+  // direct path; finite numeric comparisons and both equality types are
+  // indexable.  (Non-finite thresholds would break the nextafter key
+  // folding below, and NaN never hash-matches — direct evaluation keeps
+  // the index exactly equivalent to brute force.)
+  const bool indexable_operand =
+      predicate.operand.is_number() &&
+      std::isfinite(predicate.operand.as_double());
   switch (predicate.op) {
     case Op::kLt:
     case Op::kLe:
-      if (numeric_operand) {
-        attr.less_than.push_back(NumericPredicateRef{
-            predicate.operand.as_double(), id, predicate.op == Op::kLe});
+      if (indexable_operand) {
+        // Satisfied iff key > v, where kLe's closed bound becomes the
+        // half-open key nextafter(c, +inf): c >= v  <=>  nextafter(c) > v.
+        const double c = predicate.operand.as_double();
+        const double key =
+            predicate.op == Op::kLe
+                ? std::nextafter(c, std::numeric_limits<double>::infinity())
+                : c;
+        attributes_[predicate.attribute].less_build.emplace_back(key, id);
         ++entry.indexed_predicates;
         return;
       }
       break;
     case Op::kGt:
     case Op::kGe:
-      if (numeric_operand) {
-        attr.greater_than.push_back(NumericPredicateRef{
-            predicate.operand.as_double(), id, predicate.op == Op::kGe});
+      if (indexable_operand) {
+        // Satisfied iff key < v; kGe stores nextafter(c, -inf).
+        const double c = predicate.operand.as_double();
+        const double key =
+            predicate.op == Op::kGe
+                ? std::nextafter(c, -std::numeric_limits<double>::infinity())
+                : c;
+        attributes_[predicate.attribute].greater_build.emplace_back(key, id);
         ++entry.indexed_predicates;
         return;
       }
       break;
     case Op::kEq:
-      if (numeric_operand) {
-        attr.numeric_eq[predicate.operand.as_double()].push_back(id);
-      } else {
-        attr.string_eq[predicate.operand.as_string()].push_back(id);
+      if (indexable_operand) {
+        attributes_[predicate.attribute]
+            .numeric_eq[predicate.operand.as_double()]
+            .push_back(id);
+        ++entry.indexed_predicates;
+        return;
       }
-      ++entry.indexed_predicates;
-      return;
+      if (predicate.operand.is_string()) {
+        attributes_[predicate.attribute]
+            .string_eq[predicate.operand.as_string()]
+            .push_back(id);
+        ++entry.indexed_predicates;
+        return;
+      }
+      break;
     case Op::kNe:
     case Op::kInRange:
       break;
@@ -94,99 +136,122 @@ void SubscriptionIndex::index_predicate(const Predicate& predicate,
   ++entry.direct_predicates;
 }
 
-std::vector<SubscriptionIndex::EntryId> SubscriptionIndex::match(
+const std::vector<SubscriptionIndex::EntryId>& SubscriptionIndex::match(
     const Message& message) const {
   ensure_sorted();
-  // Start a fresh generation; counters are reset lazily on first touch.
+  // Start a fresh generation; counters and external marks are reset lazily
+  // on first touch.
   ++current_generation_;
   if (current_generation_ == 0) {
     // Wrapped around: hard-reset so stale generations cannot alias.
-    std::fill(generation_.begin(), generation_.end(), 0u);
+    std::fill(counter_gen_.begin(), counter_gen_.end(), std::uint64_t{0});
+    std::fill(external_generation_.begin(), external_generation_.end(), 0u);
     current_generation_ = 1;
   }
-  touched_.clear();
+  candidates_.clear();
+  result_.clear();
 
-  auto bump = [this](EntryId id) {
-    if (generation_[id] != current_generation_) {
-      generation_[id] = current_generation_;
-      counter_[id] = 0;
-      touched_.push_back(id);
+  // One satisfied predicate for internal entry `id`.  The per-entry word
+  // packs (generation << 32 | count): a stale generation resets the count
+  // in-register, and the entry joins candidates_ exactly once — the moment
+  // its count crosses its predicate total.
+  const std::uint64_t tagged =
+      static_cast<std::uint64_t>(current_generation_) << 32;
+  auto bump = [&](InternalId id) {
+    std::uint64_t cg = counter_gen_[id];
+    if ((cg >> 32) != current_generation_) cg = tagged;
+    ++cg;
+    counter_gen_[id] = cg;
+    if (static_cast<std::uint32_t>(cg) == required_[id]) {
+      candidates_.push_back(id);
     }
-    ++counter_[id];
+  };
+
+  // Emits an external id into the (reused) result buffer at most once per
+  // match — generation marks replace the former sort + unique pass.
+  auto emit = [this](EntryId external) {
+    if (external_generation_[external] == current_generation_) return;
+    external_generation_[external] = current_generation_;
+    result_.push_back(external);
   };
 
   for (const auto& attribute : message.head()) {
-    const auto it = attributes_.find(attribute.name);
+    const auto it = attributes_.find(std::string_view(attribute.name));
     if (it == attributes_.end()) continue;
     const AttributeIndex& attr = it->second;
 
     if (attribute.value.is_number()) {
       const double v = attribute.value.as_double();
 
-      // less_than is ascending; satisfied refs have threshold > v, plus
-      // threshold == v for inclusive (<=) predicates.
+      // Satisfied less-than keys form the suffix with key > v.
       {
-        const auto begin = std::lower_bound(
-            attr.less_than.begin(), attr.less_than.end(), v,
-            [](const NumericPredicateRef& ref, double value) {
-              return ref.threshold < value;
-            });
-        for (auto ref = begin; ref != attr.less_than.end(); ++ref) {
-          if (ref->threshold > v || ref->inclusive) bump(ref->entry);
+        const auto begin = std::upper_bound(attr.less_keys.begin(),
+                                            attr.less_keys.end(), v);
+        const std::size_t first =
+            static_cast<std::size_t>(begin - attr.less_keys.begin());
+        for (std::size_t i = first; i < attr.less_entries.size(); ++i) {
+          bump(attr.less_entries[i]);
         }
       }
 
-      // greater_than is ascending; satisfied refs have threshold < v, plus
-      // threshold == v for inclusive (>=) predicates.
-      for (const auto& ref : attr.greater_than) {
-        if (ref.threshold > v) break;
-        if (ref.threshold < v || ref.inclusive) bump(ref.entry);
+      // Satisfied greater-than keys form the prefix with key < v.
+      {
+        const auto end = std::lower_bound(attr.greater_keys.begin(),
+                                          attr.greater_keys.end(), v);
+        const std::size_t count =
+            static_cast<std::size_t>(end - attr.greater_keys.begin());
+        for (std::size_t i = 0; i < count; ++i) {
+          bump(attr.greater_entries[i]);
+        }
       }
 
       const auto eq = attr.numeric_eq.find(v);
       if (eq != attr.numeric_eq.end()) {
-        for (const EntryId id : eq->second) bump(id);
+        for (const InternalId id : eq->second) bump(id);
       }
     } else {
-      const auto eq = attr.string_eq.find(attribute.value.as_string());
+      const auto eq =
+          attr.string_eq.find(std::string_view(attribute.value.as_string()));
       if (eq != attr.string_eq.end()) {
-        for (const EntryId id : eq->second) bump(id);
+        for (const InternalId id : eq->second) bump(id);
       }
     }
   }
 
-  std::vector<EntryId> result;
   for (const EntryId id : wildcards_) {
-    result.push_back(entries_[id].external);
+    emit(external_of_[id]);
   }
 
-  for (const EntryId id : touched_) {
-    const Entry& entry = entries_[id];
-    if (counter_[id] != entry.indexed_predicates) continue;
-    if (entry.direct_predicates > 0 && !entry.filter.matches(message)) {
+  for (const InternalId id : candidates_) {
+    if (needs_direct_[id] && !entries_[id].filter.matches(message)) {
       continue;
     }
-    result.push_back(entry.external);
+    emit(external_of_[id]);
   }
 
   // Entries with no indexable predicate are never counted; scan directly.
   rebuild_direct_only_cache();
   for (const EntryId id : direct_only_) {
     if (entries_[id].filter.matches(message)) {
-      result.push_back(entries_[id].external);
+      emit(external_of_[id]);
     }
   }
 
-  // Several disjuncts of the same id may have fired: report the id once.
-  std::sort(result.begin(), result.end());
-  result.erase(std::unique(result.begin(), result.end()), result.end());
-  return result;
+  return result_;
 }
 
 bool SubscriptionIndex::matches_entry(EntryId id,
                                       const Message& message) const {
-  for (const Entry& entry : entries_) {
-    if (entry.external == id && entry.filter.matches(message)) return true;
+  if (id >= external_count_) return false;
+  if (!entry_map_valid_) {
+    internal_by_external_.assign(external_count_, {});
+    for (EntryId internal = 0; internal < entries_.size(); ++internal) {
+      internal_by_external_[entries_[internal].external].push_back(internal);
+    }
+    entry_map_valid_ = true;
+  }
+  for (const EntryId internal : internal_by_external_[id]) {
+    if (entries_[internal].filter.matches(message)) return true;
   }
   return false;
 }

@@ -12,21 +12,44 @@
 //   * a per-candidate counter tracks how many of its predicates matched —
 //     a filter matches when the count reaches its predicate total.
 //
-// Filters with non-indexable pieces (ranges over mixed types, etc.) fall
-// back to direct evaluation, so the index is exactly equivalent to brute
-// force (property-tested in tests/message/index_test.cpp).
+// Hot-path layout: attribute lookup is a hash probe (heterogeneous
+// string_view keys, no per-match allocation), the satisfied runs are flat
+// id arrays scanned branch-free (inclusive bounds are folded into the
+// sorted keys via nextafter at insert time), the result buffer is reused
+// across match() calls, and duplicate disjunct hits are suppressed by
+// generation marks on external ids instead of a final sort + unique.
+//
+// Filters with non-indexable pieces (ranges over mixed types, non-finite
+// operands, etc.) fall back to direct evaluation, so the index is exactly
+// equivalent to brute force (property-tested in
+// tests/message/index_test.cpp) for messages whose attribute names are
+// unique — Message::find consults only the first occurrence of a repeated
+// name, while the counting pass sees every occurrence, so heads with
+// duplicate names are outside the equivalence contract (as before this
+// layout).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
+#include <functional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "message/filter.h"
 #include "message/message.h"
 
 namespace bdps {
+
+/// Transparent hash so unordered_map lookups accept string_view / char*
+/// without materialising a std::string key.
+struct StringViewHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 class SubscriptionIndex {
  public:
@@ -45,21 +68,17 @@ class SubscriptionIndex {
   /// Number of distinct ids (not internal disjuncts).
   std::size_t size() const { return external_count_; }
 
-  /// Returns the ids of all subscriptions matching `message`, in ascending
-  /// order, each at most once (even when several disjuncts fire).
-  std::vector<EntryId> match(const Message& message) const;
+  /// Returns the ids of all subscriptions matching `message`, each exactly
+  /// once (even when several disjuncts fire), in unspecified — but
+  /// deterministic — order.  The reference points into a scratch buffer
+  /// reused by the next match() call on this index; copy it to keep it.
+  const std::vector<EntryId>& match(const Message& message) const;
 
-  /// Brute-force evaluation of one registered id across its disjuncts
-  /// (used by tests and fallback paths).
+  /// Direct evaluation of one registered id across its disjuncts (used by
+  /// tests and fallback paths); only this id's filters are consulted.
   bool matches_entry(EntryId id, const Message& message) const;
 
  private:
-  struct NumericPredicateRef {
-    double threshold;
-    EntryId entry;
-    bool inclusive;  // kLe/kGe include equality.
-  };
-
   struct Entry {
     Filter filter;
     // Number of predicates resolved through the numeric/equality indexes;
@@ -70,21 +89,34 @@ class SubscriptionIndex {
     EntryId external = 0;
   };
 
+  /// Internal (disjunct) entry ids are stored 32-bit in the hot scan
+  /// arrays to halve their cache footprint.
+  using InternalId = std::uint32_t;
+
   struct AttributeIndex {
-    // Predicates `attr < c` / `attr <= c`, sorted ascending by threshold:
-    // for value v the satisfied set is a suffix.
-    std::vector<NumericPredicateRef> less_than;
-    // Predicates `attr > c` / `attr >= c`, sorted ascending: satisfied set
-    // is a prefix.
-    std::vector<NumericPredicateRef> greater_than;
-    // Equality on doubles is keyed by exact bit value — the workload draws
+    // Build-side predicate lists: (adjusted key, internal id).  Inclusive
+    // bounds are pre-folded into the key (kLe stores nextafter(c, +inf),
+    // kGe stores nextafter(c, -inf)), so the match scan needs no
+    // per-element inclusivity branch or key re-check.
+    std::vector<std::pair<double, InternalId>> less_build;
+    std::vector<std::pair<double, InternalId>> greater_build;
+    // Match-side structure-of-arrays mirrors, rebuilt by ensure_sorted():
+    // for value v the satisfied less-than set is the suffix with key > v,
+    // the satisfied greater-than set is the prefix with key < v.
+    std::vector<double> less_keys;
+    std::vector<InternalId> less_entries;
+    std::vector<double> greater_keys;
+    std::vector<InternalId> greater_entries;
+    // Equality on doubles is keyed by exact value — the workload draws
     // operands and attributes from the same generator when they are meant
     // to collide.
-    std::map<double, std::vector<EntryId>> numeric_eq;
-    std::map<std::string, std::vector<EntryId>> string_eq;
+    std::unordered_map<double, std::vector<InternalId>> numeric_eq;
+    std::unordered_map<std::string, std::vector<InternalId>, StringViewHash,
+                       std::equal_to<>>
+        string_eq;
   };
 
-  void index_predicate(const Predicate& predicate, EntryId internal_id,
+  void index_predicate(const Predicate& predicate, InternalId internal_id,
                        Entry& entry);
   void add_internal(const Filter& filter, EntryId external);
   void rebuild_direct_only_cache() const;
@@ -93,18 +125,35 @@ class SubscriptionIndex {
   std::size_t external_count_ = 0;
 
   std::vector<Entry> entries_;
+  // Internal (disjunct) entry ids per external id; lets matches_entry touch
+  // only the queried id's filters.  Rebuilt lazily (matches_entry is a
+  // test/fallback path) so bulk adds stay allocation-light.
+  mutable std::vector<std::vector<EntryId>> internal_by_external_;
+  mutable bool entry_map_valid_ = true;
+  // Hot-path SoA mirrors of entries_, indexed by internal id: the counting
+  // pass and the candidate pass never touch the Filter-carrying Entry
+  // structs unless a direct re-evaluation is actually required.
+  std::vector<std::uint32_t> required_;     // indexed_predicates
+  std::vector<std::uint32_t> external_of_;  // owning external id
+  std::vector<std::uint8_t> needs_direct_;  // direct_predicates > 0
   // Sorted lazily (ensure_sorted) so bulk adds stay O(n log n) total.
-  mutable std::map<std::string, AttributeIndex> attributes_;
+  mutable std::unordered_map<std::string, AttributeIndex, StringViewHash,
+                             std::equal_to<>>
+      attributes_;
   mutable bool sorted_ = true;
   // Entries whose filters are empty (wildcards) match every message.
   std::vector<EntryId> wildcards_;
   // Entries with no indexable predicate; rebuilt lazily after adds.
   mutable std::vector<EntryId> direct_only_;
   mutable bool direct_only_cache_valid_ = true;
-  // Scratch counters sized to entries_; mutable so match() stays const.
-  mutable std::vector<std::uint32_t> counter_;
-  mutable std::vector<std::uint32_t> generation_;
-  mutable std::vector<EntryId> touched_;
+  // Scratch state sized to entries_ / external_count_; mutable so match()
+  // stays const.  Each internal entry packs (generation << 32 | count) in
+  // one word, so a bump is a single load/store with lazy reset; an entry
+  // joins candidates_ the instant its count crosses its predicate total.
+  mutable std::vector<std::uint64_t> counter_gen_;
+  mutable std::vector<std::uint32_t> external_generation_;
+  mutable std::vector<InternalId> candidates_;
+  mutable std::vector<EntryId> result_;
   mutable std::uint32_t current_generation_ = 0;
 };
 

@@ -147,16 +147,24 @@ RoutingFabric::RoutingFabric(const Topology& topology,
 std::vector<const SubscriptionEntry*> RoutingFabric::match_at(
     BrokerId broker, const Message& message) const {
   std::vector<const SubscriptionEntry*> matched;
+  match_at(broker, message, matched);
+  return matched;
+}
+
+void RoutingFabric::match_at(
+    BrokerId broker, const Message& message,
+    std::vector<const SubscriptionEntry*>& out) const {
+  out.clear();
   const SubscriptionTable& table = tables_[broker];
   for (const auto id : broker_indexes_[broker].match(message)) {
-    matched.push_back(&table.entries()[id]);
+    out.push_back(&table.entries()[id]);
   }
-  return matched;
 }
 
 std::vector<std::size_t> RoutingFabric::match_all(
     const Message& message) const {
-  return global_index_.match(message);
+  const auto& ids = global_index_.match(message);
+  return std::vector<std::size_t>(ids.begin(), ids.end());
 }
 
 const ShortestPathTree& RoutingFabric::tree_toward(BrokerId home) const {

@@ -64,6 +64,11 @@ class RoutingFabric {
   std::vector<const SubscriptionEntry*> match_at(BrokerId broker,
                                                  const Message& message) const;
 
+  /// Allocation-free variant: clears and refills `out` (callers keep a
+  /// scratch vector across messages, the broker hot loop's idiom).
+  void match_at(BrokerId broker, const Message& message,
+                std::vector<const SubscriptionEntry*>& out) const;
+
   /// Indices (into subscription(i)) of all subscriptions in the system
   /// matching `message`; defines ts_i in eq. (1) and the earning ceiling of
   /// eq. (2).

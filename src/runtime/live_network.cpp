@@ -110,6 +110,8 @@ void LiveNetwork::stop() {
 
 void LiveNetwork::receiver_loop(BrokerId broker) {
   Channel<std::shared_ptr<const Message>>& inbox = *inboxes_[broker];
+  // Match scratch reused across messages (one receiver thread per broker).
+  std::vector<const SubscriptionEntry*> matched;
   for (;;) {
     auto popped = inbox.pop();
     if (!popped.has_value()) return;  // Closed and drained.
@@ -123,8 +125,8 @@ void LiveNetwork::receiver_loop(BrokerId broker) {
     size_totals_[broker]->count.fetch_add(1);
 
     std::map<BrokerId, std::vector<const SubscriptionEntry*>> groups;
-    for (const SubscriptionEntry* entry :
-         fabric_->match_at(broker, *message)) {
+    fabric_->match_at(broker, *message, matched);
+    for (const SubscriptionEntry* entry : matched) {
       if (!entry->serves_publisher(message->publisher())) continue;
       if (entry->is_local()) {
         const TimeMs delay = message->elapsed(now);
@@ -140,10 +142,15 @@ void LiveNetwork::receiver_loop(BrokerId broker) {
 
     for (auto& [neighbor, targets] : groups) {
       LinkWorker* worker = link_map_.at({broker, neighbor});
+      QueuedMessage queued{message, now, std::move(targets)};
+      // Fold the scoring kernel on the receiver thread, outside the sender's
+      // lock: picks and purges on the hot sender loop then never touch the
+      // subscription table.
+      precompute_scores(queued, options_.processing_delay);
       outstanding_.fetch_add(1);
       {
         const std::lock_guard<std::mutex> lock(worker->mutex);
-        worker->queue.push_back(QueuedMessage{message, now, std::move(targets)});
+        worker->queue.push_back(std::move(queued));
       }
       worker->cv.notify_one();
     }
@@ -196,10 +203,7 @@ std::optional<QueuedMessage> LiveNetwork::take_from_queue(
     PurgeStats* purge_stats) {
   *purge_stats += purge_queue(queue, context, options_.purge);
   if (queue.empty()) return std::nullopt;
-  const std::size_t index = scheduler_->pick(queue, context);
-  QueuedMessage chosen = std::move(queue[index]);
-  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
-  return chosen;
+  return take_at(queue, scheduler_->pick(queue, context));
 }
 
 }  // namespace bdps

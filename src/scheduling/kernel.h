@@ -1,0 +1,190 @@
+// Precomputed scoring kernel for the §5 scheduling math.
+//
+// At every link-free instant a broker scores every queued message against
+// every remaining target (eq. 3–10), so draining an n-deep queue costs
+// O(n² · targets) success-probability evaluations.  Evaluating eq. (5)
+// from scratch chases entry->subscription / entry->path pointers and
+// re-derives the same size/path constants on every call.  Instead, the
+// time-invariant part of each (message, target) pair is folded once — at
+// enqueue time — into a flat ScoredTarget stored inline in the
+// QueuedMessage, so one pick-time success term is
+//
+//   price * Phi((slack_const - now - extra) * inv_size_sigma)
+//
+// a subtract, a multiply and one Phi (with a saturation fast path that
+// skips erfc entirely when |z| > 8).  The purge rule (eq. 11), the RL
+// baseline and the LB comparator read the same precomputed row, so the
+// whole pick/purge path is allocation-free and never touches the
+// subscription table.
+//
+// scheduling/success.h remains the readable single-source-of-truth for the
+// formulas; tests/scheduling/kernel_property_test.cpp proves the kernel
+// agrees with it to ~1e-12 across strategies and scenario shapes.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "scheduling/success.h"
+
+namespace bdps {
+
+/// Time-invariant scoring constants of one (message, target) pair.
+struct ScoredTarget {
+  /// adl + publish_time - NN_p·PD - size·mu_p: the absolute instant at
+  /// which the success probability of eq. (5) crosses 1/2.  +inf when the
+  /// pair has no deadline.
+  double slack_const = 0.0;
+  /// 1 / (size · sigma_p); +inf when the remaining path is deterministic
+  /// (eq. 5's degenerate step-function case).
+  double inv_size_sigma = 0.0;
+  /// price(s) — 1 under PSD.
+  double price = 1.0;
+  /// slack_const - z·size·sigma_p: the guaranteed-rate (LB) indicator of
+  /// §2 holds while now <= lb_indicator_const.
+  double lb_indicator_const = 0.0;
+  /// adl + publish_time: remaining lifetime = expiry - now (RL + purge).
+  double expiry = 0.0;
+};
+
+/// Folds one subscription-table row into its ScoredTarget.
+/// `lb_confidence_z` is the z of the pessimistic mu + z·sigma rate used by
+/// the LB indicator (the paper's comparison point uses 2).
+ScoredTarget make_scored_target(const SubscriptionEntry& entry,
+                                const Message& message,
+                                TimeMs processing_delay,
+                                double lb_confidence_z = 2.0);
+
+/// A message waiting in one broker's output queue toward one neighbour,
+/// together with the subscription-table rows it still has to serve through
+/// that neighbour and their precomputed scoring constants.
+struct QueuedMessage {
+  QueuedMessage() = default;
+  QueuedMessage(std::shared_ptr<const Message> message_in,
+                TimeMs enqueue_time_in,
+                std::vector<const SubscriptionEntry*> targets_in)
+      : message(std::move(message_in)),
+        enqueue_time(enqueue_time_in),
+        targets(std::move(targets_in)) {}
+
+  std::shared_ptr<const Message> message;
+  TimeMs enqueue_time = 0.0;
+  std::vector<const SubscriptionEntry*> targets;
+
+  // Precomputed kernel state, parallel to `targets`.  Built eagerly at
+  // enqueue (Broker::process / the live receiver loop) and lazily healed by
+  // ensure_scored() when absent or folded with a different PD, so queues
+  // assembled by hand (tests, benches) keep working unchanged.  Mutable
+  // because pick() takes the queue const; the same thread-safety contract
+  // as the matching index applies: one queue is scored by one thread at a
+  // time (the simulator is single-threaded, the live runtime scores under
+  // the owning sender's lock).
+  mutable std::vector<ScoredTarget> scored;
+  mutable TimeMs scored_pd = std::numeric_limits<double>::quiet_NaN();
+  /// Sum of finite expiries and their count (O(1) mean remaining lifetime).
+  mutable double expiry_sum = 0.0;
+  mutable std::uint32_t bounded_targets = 0;
+};
+
+/// Removes and returns queue[index] in O(1) by swapping the back element
+/// into its slot.  Safe for any Scheduler built on pick_max: picks score
+/// message state and break exact ties on (enqueue_time, message id), never
+/// on queue position, so compaction cannot change service order.  Shared by
+/// OutputQueue::take_next and the live runtime's sender loop so the
+/// invariant lives in one place.
+inline QueuedMessage take_at(std::vector<QueuedMessage>& queue,
+                             std::size_t index) {
+  QueuedMessage chosen = std::move(queue[index]);
+  if (index + 1 != queue.size()) queue[index] = std::move(queue.back());
+  queue.pop_back();
+  return chosen;
+}
+
+/// (Re)builds `queued.scored` from `queued.targets` with the given PD.
+void precompute_scores(const QueuedMessage& queued, TimeMs processing_delay);
+
+/// Ensures the kernel rows exist and were folded with `processing_delay`.
+inline void ensure_scored(const QueuedMessage& queued,
+                          TimeMs processing_delay) {
+  if (queued.scored_pd == processing_delay &&
+      queued.scored.size() == queued.targets.size()) {
+    return;
+  }
+  precompute_scores(queued, processing_delay);
+}
+
+/// Phi with a saturation fast path: |z| > 8 pins the result to 0/1
+/// (Phi(±8) differs from the limit by < 7e-16, far below the purge epsilon
+/// and the score tolerances).  The inverted `!(z < 8)` test also routes the
+/// NaN of a deterministic path hitting its boundary exactly (0 · inf) to 1,
+/// matching the reference step function's `budget >= mean` convention.
+inline double phi_saturated(double z) {
+  if (!(z < 8.0)) return 1.0;
+  if (z <= -8.0) return 0.0;
+  return 0.5 * std::erfc(-z * 0.7071067811865476);
+}
+
+/// success(s, m) of eq. (5)/(7) at evaluation instant `t` = now + extra.
+inline double scored_success(const ScoredTarget& st, double t) {
+  return phi_saturated((st.slack_const - t) * st.inv_size_sigma);
+}
+
+/// EB_m of eq. (3) from the kernel rows.
+inline double kernel_expected_benefit(const QueuedMessage& queued,
+                                      const SchedulingContext& context) {
+  ensure_scored(queued, context.processing_delay);
+  double total = 0.0;
+  for (const ScoredTarget& st : queued.scored) {
+    total += st.price * scored_success(st, context.now);
+  }
+  return total;
+}
+
+/// EB_m and EB'_m (eq. 3 + 8) in a single pass over the kernel rows, so
+/// PC/EBPC evaluate each target once instead of three times.
+struct BenefitPair {
+  double immediate = 0.0;  // EB_m
+  double postponed = 0.0;  // EB'_m
+};
+
+inline BenefitPair kernel_benefit_pair(const QueuedMessage& queued,
+                                       const SchedulingContext& context) {
+  ensure_scored(queued, context.processing_delay);
+  BenefitPair out;
+  const double t_now = context.now;
+  const double t_post = context.now + context.head_of_line_estimate;
+  for (const ScoredTarget& st : queued.scored) {
+    out.immediate += st.price * scored_success(st, t_now);
+    out.postponed += st.price * scored_success(st, t_post);
+  }
+  return out;
+}
+
+/// Lower-bound benefit from the precomputed indicator constants.
+inline double kernel_lower_bound_benefit(const QueuedMessage& queued,
+                                         const SchedulingContext& context) {
+  ensure_scored(queued, context.processing_delay);
+  double total = 0.0;
+  for (const ScoredTarget& st : queued.scored) {
+    if (context.now <= st.lb_indicator_const) total += st.price;
+  }
+  return total;
+}
+
+/// Mean remaining lifetime across deadline-bounded targets, O(1) from the
+/// expiry aggregates.  Expiries are PD-independent, so any existing kernel
+/// rows serve; bare queues are folded with PD 0 on first use.
+inline TimeMs kernel_mean_remaining_lifetime(const QueuedMessage& queued,
+                                             TimeMs now) {
+  if (queued.targets.empty()) return kNoDeadline;
+  if (queued.scored.size() != queued.targets.size()) {
+    precompute_scores(queued, 0.0);
+  }
+  if (queued.bounded_targets == 0) return kNoDeadline;
+  return queued.expiry_sum / static_cast<double>(queued.bounded_targets) - now;
+}
+
+}  // namespace bdps

@@ -6,23 +6,22 @@ namespace bdps {
 
 namespace {
 
+// Both rules read the precomputed kernel rows: expiry alone decides
+// expiration, and the eq. (11) threshold is one saturated Phi per target —
+// no subscription-table pointer chasing in the pre-send scan.
+
 bool all_expired(const QueuedMessage& queued, TimeMs now) {
-  for (const SubscriptionEntry* entry : queued.targets) {
-    const TimeMs lifetime = remaining_lifetime(*entry, *queued.message, now);
-    if (lifetime == kNoDeadline || lifetime > 0.0) return false;
+  for (const ScoredTarget& st : queued.scored) {
+    if (!(st.expiry <= now)) return false;  // Unexpired or no deadline (inf).
   }
-  return !queued.targets.empty();
+  return !queued.scored.empty();
 }
 
-bool all_hopeless(const QueuedMessage& queued,
-                  const SchedulingContext& context, double epsilon) {
-  for (const SubscriptionEntry* entry : queued.targets) {
-    if (success_probability(*entry, *queued.message, context.now,
-                            context.processing_delay) >= epsilon) {
-      return false;
-    }
+bool all_hopeless(const QueuedMessage& queued, TimeMs now, double epsilon) {
+  for (const ScoredTarget& st : queued.scored) {
+    if (scored_success(st, now) >= epsilon) return false;
   }
-  return !queued.targets.empty();
+  return !queued.scored.empty();
 }
 
 }  // namespace
@@ -30,8 +29,10 @@ bool all_hopeless(const QueuedMessage& queued,
 bool should_purge(const QueuedMessage& queued,
                   const SchedulingContext& context,
                   const PurgePolicy& policy) {
+  ensure_scored(queued, context.processing_delay);
   if (policy.drop_expired && all_expired(queued, context.now)) return true;
-  if (policy.epsilon > 0.0 && all_hopeless(queued, context, policy.epsilon)) {
+  if (policy.epsilon > 0.0 &&
+      all_hopeless(queued, context.now, policy.epsilon)) {
     return true;
   }
   return false;
@@ -44,6 +45,7 @@ PurgeStats purge_queue(std::vector<QueuedMessage>& queue,
   PurgeStats stats;
   const auto keep_end = std::remove_if(
       queue.begin(), queue.end(), [&](const QueuedMessage& queued) {
+        ensure_scored(queued, context.processing_delay);
         if (policy.drop_expired && all_expired(queued, context.now)) {
           ++stats.expired;
           if (purged_ids != nullptr) {
@@ -52,7 +54,7 @@ PurgeStats purge_queue(std::vector<QueuedMessage>& queue,
           return true;
         }
         if (policy.epsilon > 0.0 &&
-            all_hopeless(queued, context, policy.epsilon)) {
+            all_hopeless(queued, context.now, policy.epsilon)) {
           ++stats.hopeless;
           if (purged_ids != nullptr) {
             purged_ids->push_back(queued.message->id());

@@ -13,18 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "scheduling/kernel.h"
 #include "scheduling/success.h"
 
 namespace bdps {
-
-/// A message waiting in one broker's output queue toward one neighbour,
-/// together with the subscription-table rows it still has to serve through
-/// that neighbour.
-struct QueuedMessage {
-  std::shared_ptr<const Message> message;
-  TimeMs enqueue_time = 0.0;
-  std::vector<const SubscriptionEntry*> targets;
-};
 
 class Scheduler {
  public:
@@ -63,6 +55,10 @@ std::unique_ptr<Scheduler> make_scheduler(StrategyKind kind,
                                           double ebpc_weight = 0.5);
 
 // ---- Metric helpers (exposed for tests, benches and custom strategies) ----
+//
+// All helpers evaluate through the precomputed kernel (scheduling/kernel.h):
+// the first call on a bare QueuedMessage folds its targets into ScoredTarget
+// rows, subsequent calls are allocation-free and O(1) per score term.
 
 /// EB_m of eq. (3) for a queued message (sum over its queue-local targets).
 double expected_benefit(const QueuedMessage& queued,

@@ -7,66 +7,49 @@ namespace bdps {
 
 double expected_benefit(const QueuedMessage& queued,
                         const SchedulingContext& context) {
-  double total = 0.0;
-  for (const SubscriptionEntry* entry : queued.targets) {
-    total += expected_benefit_term(*entry, *queued.message, context.now,
-                                   context.processing_delay);
-  }
-  return total;
+  return kernel_expected_benefit(queued, context);
 }
 
 double postponed_benefit(const QueuedMessage& queued,
                          const SchedulingContext& context) {
+  ensure_scored(queued, context.processing_delay);
+  const double t = context.now + context.head_of_line_estimate;
   double total = 0.0;
-  for (const SubscriptionEntry* entry : queued.targets) {
-    total += expected_benefit_term(*entry, *queued.message, context.now,
-                                   context.processing_delay,
-                                   context.head_of_line_estimate);
+  for (const ScoredTarget& st : queued.scored) {
+    total += st.price * scored_success(st, t);
   }
   return total;
 }
 
 double postponing_cost(const QueuedMessage& queued,
                        const SchedulingContext& context) {
-  return expected_benefit(queued, context) -
-         postponed_benefit(queued, context);
+  const BenefitPair pair = kernel_benefit_pair(queued, context);
+  return pair.immediate - pair.postponed;
 }
 
 double ebpc_metric(const QueuedMessage& queued,
                    const SchedulingContext& context, double weight) {
-  return weight * expected_benefit(queued, context) +
-         (1.0 - weight) * postponing_cost(queued, context);
+  const BenefitPair pair = kernel_benefit_pair(queued, context);
+  return weight * pair.immediate +
+         (1.0 - weight) * (pair.immediate - pair.postponed);
 }
 
 double lower_bound_benefit(const QueuedMessage& queued,
                            const SchedulingContext& context) {
-  double total = 0.0;
-  for (const SubscriptionEntry* entry : queued.targets) {
-    total += lower_bound_success(*entry, *queued.message, context.now,
-                                 context.processing_delay) *
-             entry->subscription->price;
-  }
-  return total;
+  return kernel_lower_bound_benefit(queued, context);
 }
 
 TimeMs mean_remaining_lifetime(const QueuedMessage& queued, TimeMs now) {
-  if (queued.targets.empty()) return kNoDeadline;
-  double total = 0.0;
-  std::size_t bounded = 0;
-  for (const SubscriptionEntry* entry : queued.targets) {
-    const TimeMs lifetime = remaining_lifetime(*entry, *queued.message, now);
-    if (lifetime == kNoDeadline) continue;
-    total += lifetime;
-    ++bounded;
-  }
-  if (bounded == 0) return kNoDeadline;
-  return total / static_cast<double>(bounded);
+  return kernel_mean_remaining_lifetime(queued, now);
 }
 
 namespace {
 
-/// Shared argmax scan with first-wins tie-breaking (keeps strategies
-/// deterministic for equal scores).
+/// Shared argmax scan.  Exactly tied scores break on (enqueue_time,
+/// message id) — oldest first — so every strategy's service order is
+/// deterministic AND independent of queue positions: take_next compacts
+/// the queue by swapping with the back, which permutes indices but never
+/// the tie-break keys.
 template <typename ScoreFn>
 std::size_t pick_max(std::span<const QueuedMessage> queue, ScoreFn score) {
   std::size_t best = 0;
@@ -76,6 +59,14 @@ std::size_t pick_max(std::span<const QueuedMessage> queue, ScoreFn score) {
     if (s > best_score) {
       best_score = s;
       best = i;
+    } else if (s == best_score) {
+      const QueuedMessage& q = queue[i];
+      const QueuedMessage& b = queue[best];
+      if (q.enqueue_time < b.enqueue_time ||
+          (q.enqueue_time == b.enqueue_time &&
+           q.message->id() < b.message->id())) {
+        best = i;
+      }
     }
   }
   return best;
@@ -86,7 +77,8 @@ class FifoScheduler final : public Scheduler {
   std::string name() const override { return "FIFO"; }
   std::size_t pick(std::span<const QueuedMessage> queue,
                    const SchedulingContext&) const override {
-    // Earliest enqueue time first.
+    // Earliest enqueue time first (same-instant ties fall to the shared
+    // message-id tie-break).
     return pick_max(queue, [](const QueuedMessage& q) {
       return -q.enqueue_time;
     });

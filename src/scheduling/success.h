@@ -9,8 +9,11 @@
 //                         / (size * sigma_p) )
 //
 // and the "send second" variant adds the head-of-line transmission estimate
-// FT to fdl (eq. 6-7).  These functions are shared by the EB/PC/EBPC
-// strategies, the invalid-message purge (eq. 11) and the tests.
+// FT to fdl (eq. 6-7).  These functions are the readable reference form of
+// the math; the pick/purge hot paths evaluate the same formulas through the
+// precomputed kernel (scheduling/kernel.h), which folds the time-invariant
+// parts per (message, target) pair at enqueue time.  The two are held
+// together by tests/scheduling/kernel_property_test.cpp.
 #pragma once
 
 #include "common/math.h"

@@ -15,7 +15,8 @@ Simulator::Simulator(const Topology* topology, const Graph* believed,
       link_rng_(link_rng) {
   brokers_.reserve(topology->graph.broker_count());
   for (std::size_t b = 0; b < topology->graph.broker_count(); ++b) {
-    brokers_.emplace_back(static_cast<BrokerId>(b), fabric, believed);
+    brokers_.emplace_back(static_cast<BrokerId>(b), fabric, believed,
+                          options_.processing_delay);
   }
   if (options_.dedup_arrivals) {
     seen_.resize(topology->graph.broker_count());
@@ -201,12 +202,12 @@ void Simulator::start_send(BrokerId broker_id, BrokerId neighbor) {
   const SchedulingContext context =
       broker.context(neighbor, now_, options_.processing_delay);
   PurgeStats purge_stats;
-  std::vector<MessageId> purged_ids;
+  purged_ids_.clear();
   auto chosen = out.take_next(*scheduler_, context, options_.purge,
                               &purge_stats,
-                              trace_ != nullptr ? &purged_ids : nullptr);
+                              trace_ != nullptr ? &purged_ids_ : nullptr);
   collector_.on_purge(purge_stats);
-  for (const MessageId id : purged_ids) {
+  for (const MessageId id : purged_ids_) {
     trace_id(TraceEventKind::kPurge, id, broker_id, neighbor);
   }
   if (!chosen.has_value()) return;  // Purge emptied the queue; link idle.

@@ -131,6 +131,8 @@ class Simulator {
   /// order.
   std::set<std::pair<BrokerId, BrokerId>> dead_links_;
   TraceSink* trace_ = nullptr;
+  /// Scratch for take_next's purge reporting, reused across sends.
+  std::vector<MessageId> purged_ids_;
 };
 
 }  // namespace bdps

@@ -50,9 +50,9 @@ struct Rig {
 void run_pick(benchmark::State& state, StrategyKind kind) {
   const Rig rig(static_cast<std::size_t>(state.range(0)),
                 static_cast<std::size_t>(state.range(1)));
-  const auto scheduler = make_scheduler(kind, 0.5);
+  const auto scheduler = make_strategy(kind, 0.5);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(scheduler->pick(rig.queue, rig.context));
+    benchmark::DoNotOptimize(scheduler->reference_pick(rig.queue, rig.context));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
@@ -73,7 +73,7 @@ BENCHMARK(BM_PickPc) QUEUE_ARGS;
 BENCHMARK(BM_PickEbpc) QUEUE_ARGS;
 
 void BM_PurgeScan(benchmark::State& state) {
-  const auto scheduler = make_scheduler(StrategyKind::kEb);
+  const auto scheduler = make_strategy(StrategyKind::kEb);
   (void)scheduler;
   PurgePolicy policy;
   for (auto _ : state) {

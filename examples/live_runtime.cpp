@@ -1,8 +1,8 @@
 // Live threaded broker overlay.
 //
-// Runs the same Scheduler implementations as the simulator, but inside
-// real threads: one receiver thread per broker, one sender thread per
-// overlay link, channels for inboxes and a 300x scaled clock so the
+// Runs the same OutputQueue + SchedulerState engine as the simulator, but
+// inside real threads: one receiver thread per broker, one sender thread
+// per overlay link, channels for inboxes and a 300x scaled clock so the
 // paper's multi-second transfers finish in a terminal-friendly demo.
 //
 // Demonstrates: LiveNetwork/LiveClock, graceful drain + shutdown, and that
@@ -47,14 +47,14 @@ DemoResult run_live(StrategyKind strategy) {
     subs.push_back(std::move(sub));
   }
   const RoutingFabric fabric(topo, std::move(subs));
-  const auto scheduler = make_scheduler(strategy, 0.6);
+  const auto policy = make_strategy(strategy, 0.6);
 
   LiveOptions options;
   options.processing_delay = 2.0;
   options.speedup = 300.0;  // 300 simulated ms per real ms.
   options.purge.epsilon = 0.0005;
 
-  LiveNetwork net(&topo, &fabric, scheduler.get(), options);
+  LiveNetwork net(&topo, &fabric, policy.get(), options);
   net.start();
 
   // Publish 60 messages, in bursts, from alternating publishers.
@@ -94,6 +94,6 @@ int main() {
         r.earning);
   }
   std::printf("\nEvery broker ran as a thread; senders used the same\n"
-              "Scheduler code the discrete-event simulator exercises.\n");
+              "OutputQueue + SchedulerState engine the simulator drives.\n");
   return 0;
 }

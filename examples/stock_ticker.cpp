@@ -76,13 +76,13 @@ double revenue(StrategyKind strategy, std::uint64_t seed, double rate) {
 
   const Topology topo = build_paper_topology(topo_rng);
   const RoutingFabric fabric(topo, brokerage_clients(topo, workload_rng));
-  const auto scheduler = make_scheduler(strategy, 0.6);
+  const auto policy = make_strategy(strategy, 0.6);
 
   SimulatorOptions options;
   options.processing_delay = 2.0;
   options.purge.epsilon = 0.0005;
 
-  Simulator sim(&topo, &topo.graph, &fabric, scheduler.get(), options,
+  Simulator sim(&topo, &topo.graph, &fabric, policy.get(), options,
                 link_rng);
   for (auto& tick :
        quote_feed(workload_rng, topo.publisher_count(), minutes(20.0),

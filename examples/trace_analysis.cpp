@@ -33,13 +33,13 @@ TraceAnalysis run_traced(StrategyKind strategy, double rate,
   const Topology topo = build_topology(topo_rng, config);
   const RoutingFabric fabric(
       topo, generate_subscriptions(workload_rng, config.workload, topo));
-  const auto scheduler = make_scheduler(strategy);
+  const auto policy = make_strategy(strategy);
 
   SimulatorOptions options;
   options.processing_delay = config.processing_delay;
   options.purge = config.purge;
 
-  Simulator sim(&topo, &topo.graph, &fabric, scheduler.get(), options,
+  Simulator sim(&topo, &topo.graph, &fabric, policy.get(), options,
                 link_rng);
   MemoryTrace trace;
   sim.set_trace(&trace);

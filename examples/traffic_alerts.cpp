@@ -87,13 +87,13 @@ Outcome run_city(StrategyKind strategy, std::uint64_t seed) {
   const Topology topo = build_city(topo_rng);
   const RoutingFabric fabric(topo,
                              commuter_subscriptions(topo, workload_rng));
-  const auto scheduler = make_scheduler(strategy);
+  const auto policy = make_strategy(strategy);
 
   SimulatorOptions options;
   options.processing_delay = 2.0;
   options.purge.epsilon = 0.0005;
 
-  Simulator sim(&topo, &topo.graph, &fabric, scheduler.get(), options,
+  Simulator sim(&topo, &topo.graph, &fabric, policy.get(), options,
                 link_rng);
   for (auto& alert :
        sensor_feed(workload_rng, topo.publisher_count(), minutes(20.0),

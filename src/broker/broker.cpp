@@ -1,13 +1,15 @@
 #include "broker/broker.h"
 
-#include <algorithm>
-#include <cassert>
 #include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace bdps {
 
 Broker::Broker(BrokerId id, const RoutingFabric* fabric,
-               const Graph* believed_links, TimeMs processing_delay)
+               const Graph* believed_links, const Strategy* strategy,
+               TimeMs processing_delay)
     : id_(id), fabric_(fabric), processing_delay_(processing_delay) {
   // One queue per downstream neighbour appearing in the subscription table.
   for (const SubscriptionEntry& entry : fabric->table(id).entries()) {
@@ -19,16 +21,18 @@ Broker::Broker(BrokerId id, const RoutingFabric* fabric,
     }
     queues_.emplace(entry.next_hop,
                     OutputQueue(entry.next_hop, edge,
-                                believed_links->edge(edge).link.params()));
+                                believed_links->edge(edge).link.params(),
+                                strategy));
   }
   // One reusable grouping slot per neighbour, in ascending BrokerId order
   // (the degree is fixed for the broker's lifetime).
-  group_scratch_.reserve(queues_.size());
+  std::vector<BrokerId> neighbors;
+  neighbors.reserve(queues_.size());
   for (const auto& [neighbor, queue] : queues_) {
     (void)queue;
-    group_scratch_.emplace_back(neighbor,
-                                std::vector<const SubscriptionEntry*>{});
+    neighbors.push_back(neighbor);
   }
+  grouper_.bind(std::move(neighbors));
 }
 
 Broker::FanOut Broker::process(const std::shared_ptr<const Message>& message,
@@ -38,30 +42,12 @@ Broker::FanOut Broker::process(const std::shared_ptr<const Message>& message,
 
   FanOut result;
   // Group the matched rows by downstream neighbour; each group becomes one
-  // queued copy carrying exactly the subscriptions it still serves.  The
-  // grouping slots are a reused member (sorted by neighbour id, binary
-  // searched — broker degree is small), so the fan-out allocates nothing
-  // beyond the targets vector each queued copy must own anyway.
-  for (auto& [neighbor, targets] : group_scratch_) {
-    (void)neighbor;
-    targets.clear();
-  }
+  // queued copy carrying exactly the subscriptions it still serves.
   fabric_->match_at(id_, *message, match_scratch_);
-  for (const SubscriptionEntry* entry : match_scratch_) {
-    if (!entry->serves_publisher(message->publisher())) continue;
-    if (!entry->subscription->active_at(message->publish_time())) continue;
-    if (entry->is_local()) {
-      result.local.push_back(entry);
-    } else {
-      const auto slot = std::lower_bound(
-          group_scratch_.begin(), group_scratch_.end(), entry->next_hop,
-          [](const auto& group, BrokerId id) { return group.first < id; });
-      assert(slot != group_scratch_.end() && slot->first == entry->next_hop);
-      slot->second.push_back(entry);
-    }
-  }
+  grouper_.group(match_scratch_, *message);
+  result.local = grouper_.local();
 
-  for (auto& [neighbor, targets] : group_scratch_) {
+  for (auto& [neighbor, targets] : grouper_.groups()) {
     if (targets.empty()) continue;
     OutputQueue& out = queues_.at(neighbor);
     const bool was_startable = !out.link_busy();
@@ -75,6 +61,28 @@ Broker::FanOut Broker::process(const std::shared_ptr<const Message>& message,
     if (was_startable) result.sendable.push_back(neighbor);
   }
   return result;
+}
+
+void Broker::take_next(std::span<const BrokerId> neighbors, TimeMs now,
+                       const PurgePolicy& policy, std::vector<Dispatch>& out,
+                       ThreadPool* pool, bool collect_purged_ids) {
+  out.resize(neighbors.size());
+  const auto run_one = [&](std::size_t i) {
+    Dispatch& dispatch = out[i];
+    dispatch.neighbor = neighbors[i];
+    dispatch.purge = PurgeStats{};
+    dispatch.purged_ids.clear();
+    OutputQueue& queue = queues_.at(neighbors[i]);
+    const SchedulingContext ctx = context(neighbors[i], now, processing_delay_);
+    dispatch.chosen = queue.take_next(
+        ctx, policy, &dispatch.purge,
+        collect_purged_ids ? &dispatch.purged_ids : nullptr);
+  };
+  if (pool != nullptr && neighbors.size() >= kParallelDispatchThreshold) {
+    pool->parallel_for(neighbors.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < neighbors.size(); ++i) run_one(i);
+  }
 }
 
 OutputQueue& Broker::queue(BrokerId neighbor) { return queues_.at(neighbor); }

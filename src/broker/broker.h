@@ -11,21 +11,28 @@
 
 #include <map>
 #include <memory>
+#include <optional>
+#include <span>
 #include <vector>
 
+#include "broker/fanout.h"
 #include "broker/output_queue.h"
 #include "routing/fabric.h"
 
 namespace bdps {
 
+class ThreadPool;
+
 class Broker {
  public:
   /// `believed_links` provides the link parameters this broker uses for its
   /// scheduling math (FT); they may deviate from the true simulation links
-  /// in the estimation ablation.  `processing_delay` (PD) is folded into the
-  /// precomputed scoring kernel of every enqueued copy.
+  /// in the estimation ablation.  `strategy` is the run's shared scheduling
+  /// policy; each queue mints its own SchedulerState from it.
+  /// `processing_delay` (PD) is folded into the precomputed scoring kernel
+  /// of every enqueued copy.
   Broker(BrokerId id, const RoutingFabric* fabric, const Graph* believed_links,
-         TimeMs processing_delay = 0.0);
+         const Strategy* strategy, TimeMs processing_delay = 0.0);
 
   BrokerId id() const { return id_; }
 
@@ -43,10 +50,36 @@ class Broker {
 
   /// Matches `message` against the subscription table and enqueues copies
   /// toward each relevant downstream neighbour (entries are filtered to the
-  /// message's publisher; see SubscriptionEntry::publisher_mask).  Also
-  /// folds the message size into the broker's running average (the basis
-  /// of eq. 6's FT).
+  /// message's publisher and its activation window).  Also folds the
+  /// message size into the broker's running average (the basis of eq. 6's
+  /// FT).
   FanOut process(const std::shared_ptr<const Message>& message, TimeMs now);
+
+  /// One per-queue purge + pick outcome of take_next.
+  struct Dispatch {
+    BrokerId neighbor = kNoBroker;
+    std::optional<QueuedMessage> chosen;
+    PurgeStats purge;
+    /// Ids of purged messages; filled only when requested.
+    std::vector<MessageId> purged_ids;
+  };
+
+  /// Queues with at least this many link-free neighbours fan their
+  /// purge + pick work across the thread pool (when one is provided).
+  static constexpr std::size_t kParallelDispatchThreshold = 4;
+
+  /// Purges then picks on each named neighbour queue at instant `now`,
+  /// writing results into `out` in `neighbors` order (resized to match;
+  /// inner buffers are reused across calls).  Queue states are independent
+  /// — the paper's link-free instants decouple per-neighbour decisions —
+  /// so when `pool` is non-null and the batch reaches
+  /// kParallelDispatchThreshold the per-queue work runs across the pool;
+  /// results are bitwise identical either way.  The caller remains
+  /// responsible for busy flags and anything involving shared RNG streams
+  /// or event queues.
+  void take_next(std::span<const BrokerId> neighbors, TimeMs now,
+                 const PurgePolicy& policy, std::vector<Dispatch>& out,
+                 ThreadPool* pool = nullptr, bool collect_purged_ids = false);
 
   /// The output queue toward `neighbor`; must exist.
   OutputQueue& queue(BrokerId neighbor);
@@ -72,8 +105,7 @@ class Broker {
   // Scratch buffers reused across process() calls (no per-message allocation
   // for the match result or the per-neighbour grouping).
   std::vector<const SubscriptionEntry*> match_scratch_;
-  std::vector<std::pair<BrokerId, std::vector<const SubscriptionEntry*>>>
-      group_scratch_;
+  FanOutGrouper grouper_;
 };
 
 }  // namespace bdps

@@ -1,0 +1,43 @@
+#include "broker/fanout.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "message/message.h"
+
+namespace bdps {
+
+void FanOutGrouper::bind(std::vector<BrokerId> neighbors) {
+  assert(std::is_sorted(neighbors.begin(), neighbors.end()));
+  groups_.clear();
+  groups_.reserve(neighbors.size());
+  for (const BrokerId neighbor : neighbors) {
+    groups_.emplace_back(neighbor,
+                         std::vector<const SubscriptionEntry*>{});
+  }
+}
+
+void FanOutGrouper::group(
+    const std::vector<const SubscriptionEntry*>& matched,
+    const Message& message) {
+  local_.clear();
+  for (auto& [neighbor, targets] : groups_) {
+    (void)neighbor;
+    targets.clear();
+  }
+  for (const SubscriptionEntry* entry : matched) {
+    if (!entry->serves_publisher(message.publisher())) continue;
+    if (!entry->subscription->active_at(message.publish_time())) continue;
+    if (entry->is_local()) {
+      local_.push_back(entry);
+    } else {
+      const auto slot = std::lower_bound(
+          groups_.begin(), groups_.end(), entry->next_hop,
+          [](const auto& group, BrokerId id) { return group.first < id; });
+      assert(slot != groups_.end() && slot->first == entry->next_hop);
+      slot->second.push_back(entry);
+    }
+  }
+}
+
+}  // namespace bdps

@@ -1,0 +1,48 @@
+// Per-neighbour fan-out grouping shared by the simulator broker and the
+// live runtime's receiver loop.
+//
+// Matching a message yields a flat list of subscription-table rows; the
+// dispatch step needs them split into local deliveries plus one group per
+// downstream neighbour (each group becomes one queued copy).  The grouping
+// slots are a reused member sorted by neighbour id and binary searched —
+// broker degree is small and fixed — so a fan-out allocates nothing beyond
+// the targets vector each queued copy must own anyway.  The publisher-mask
+// and activation-window (churn) filters live here so both runtimes apply
+// the same admission rules.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "routing/subscription.h"
+
+namespace bdps {
+
+class FanOutGrouper {
+ public:
+  /// One reusable slot per downstream neighbour; `neighbors` must be
+  /// sorted ascending and fixed for the grouper's lifetime.
+  void bind(std::vector<BrokerId> neighbors);
+
+  /// Splits `matched` into local() and groups(), dropping rows whose entry
+  /// does not serve `message`'s publisher or whose subscription was
+  /// inactive at its publish instant.
+  void group(const std::vector<const SubscriptionEntry*>& matched,
+             const Message& message);
+
+  const std::vector<const SubscriptionEntry*>& local() const { return local_; }
+
+  /// Slots in ascending neighbour order; empty groups stay in place.
+  /// Callers may move a slot's vector out, leaving it empty for reuse.
+  std::vector<std::pair<BrokerId, std::vector<const SubscriptionEntry*>>>&
+  groups() {
+    return groups_;
+  }
+
+ private:
+  std::vector<const SubscriptionEntry*> local_;
+  std::vector<std::pair<BrokerId, std::vector<const SubscriptionEntry*>>>
+      groups_;
+};
+
+}  // namespace bdps

@@ -2,15 +2,48 @@
 
 namespace bdps {
 
+SchedulerState& OutputQueue::state() {
+  if (!state_) {
+    state_ = strategy_->make_state(&queue_);
+    // Replay rows enqueued before the state existed (or present when a
+    // move dropped the previous state).
+    for (std::size_t i = 0; i < queue_.size(); ++i) state_->on_enqueue(i);
+  }
+  return *state_;
+}
+
 std::optional<QueuedMessage> OutputQueue::take_next(
-    const Scheduler& scheduler, const SchedulingContext& context,
-    const PurgePolicy& policy, PurgeStats* purge_stats,
-    std::vector<MessageId>* purged_ids) {
-  const PurgeStats stats = purge_queue(queue_, context, policy, purged_ids);
+    const SchedulingContext& context, const PurgePolicy& policy,
+    PurgeStats* purge_stats, std::vector<MessageId>* purged_ids) {
+  SchedulerState& scheduler = state();
+  scheduler.on_tick(context);
+
+  // Pre-send purge (§5.4), hook-aware: removal swaps the back row in, so
+  // the swapped row is re-examined at the same index.  Every row is
+  // classified exactly once per call, as in the stateless purge_queue scan.
+  PurgeStats stats;
+  for (std::size_t i = 0; i < queue_.size();) {
+    switch (classify_purge(queue_[i], context, policy)) {
+      case PurgeVerdict::kKeep:
+        ++i;
+        continue;
+      case PurgeVerdict::kExpired:
+        ++stats.expired;
+        break;
+      case PurgeVerdict::kHopeless:
+        ++stats.hopeless;
+        break;
+    }
+    if (purged_ids != nullptr) purged_ids->push_back(queue_[i].message->id());
+    scheduler.on_remove(i);
+    take_at(queue_, i);  // Dropped.
+  }
   if (purge_stats != nullptr) *purge_stats += stats;
   if (queue_.empty()) return std::nullopt;
 
-  return take_at(queue_, scheduler.pick(queue_, context));
+  const std::size_t choice = scheduler.pick(context);
+  scheduler.on_remove(choice);
+  return take_at(queue_, choice);
 }
 
 }  // namespace bdps

@@ -42,12 +42,33 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  // One task per worker draining a shared index counter: dynamic load
+  // balancing like the old task-per-index version, but the queue/future
+  // overhead is paid per worker, not per index — small batches (e.g. the
+  // broker's per-neighbour dispatch) stay cheap.
+  const std::size_t task_count = std::min(workers_.size(), count);
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
   std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  futures.reserve(task_count);
+  for (std::size_t t = 0; t < task_count; ++t) {
+    futures.push_back(submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        try {
+          fn(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+      }
+    }));
   }
   for (auto& future : futures) future.get();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace bdps

@@ -46,7 +46,9 @@ class ThreadPool {
   }
 
   /// Applies `fn` to every index in [0, count) across the pool and blocks
-  /// until all complete.  Exceptions propagate from the first failing index.
+  /// until all complete.  Indices are claimed dynamically by at most
+  /// thread_count() worker tasks; the first exception observed is
+  /// rethrown after every index has been attempted.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 

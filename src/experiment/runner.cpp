@@ -66,7 +66,7 @@ SimResult run_simulation(const SimConfig& config) {
   const RoutingFabric fabric(believed_topology, std::move(subscriptions),
                              fabric_options);
 
-  const auto scheduler = make_scheduler(config.strategy, config.ebpc_weight);
+  const auto strategy = make_strategy(config.strategy, config.ebpc_weight);
 
   SimulatorOptions options;
   options.processing_delay = config.processing_delay;
@@ -96,7 +96,7 @@ SimResult run_simulation(const SimConfig& config) {
   }
 
   Simulator simulator(&topology, &believed_topology.graph, &fabric,
-                      scheduler.get(), options, link_rng);
+                      strategy.get(), options, link_rng);
 
   for (auto& message :
        generate_messages(workload_rng, config.workload,

@@ -1,7 +1,7 @@
 // Live (threaded) broker runtime — shared declarations.
 //
 // The discrete-event simulator proves the scheduling *math*; the live
-// runtime demonstrates the same Scheduler/purge code running under real
+// runtime demonstrates the same OutputQueue/SchedulerState/purge engine under
 // concurrency: every broker is a receiver thread plus one sender thread per
 // downstream link, links "transmit" by sleeping for a sampled duration on a
 // scaled clock, and deliveries are checked against deadlines in (scaled)

@@ -4,27 +4,36 @@
 #include <set>
 #include <stdexcept>
 
+#include "broker/fanout.h"
+#include "broker/output_queue.h"
+
 namespace bdps {
 
 struct LiveNetwork::LinkWorker {
   BrokerId from = kNoBroker;
   BrokerId to = kNoBroker;
-  LinkParams believed;
   LinkModel true_link;
   Rng rng;
   std::mutex mutex;
   std::condition_variable cv;
-  std::vector<QueuedMessage> queue;
+  /// The simulator's queue engine, verbatim: owns the waiting messages and
+  /// the per-queue SchedulerState; guarded by `mutex`.
+  OutputQueue out;
 
-  LinkWorker(BrokerId f, BrokerId t, LinkParams params, Rng r)
-      : from(f), to(t), believed(params), true_link(params), rng(r) {}
+  LinkWorker(BrokerId f, BrokerId t, EdgeId edge, LinkParams params,
+             const Strategy* strategy, Rng r)
+      : from(f),
+        to(t),
+        true_link(params),
+        rng(r),
+        out(t, edge, params, strategy) {}
 };
 
 LiveNetwork::LiveNetwork(const Topology* topology, const RoutingFabric* fabric,
-                         const Scheduler* scheduler, LiveOptions options)
+                         const Strategy* strategy, LiveOptions options)
     : topology_(topology),
       fabric_(fabric),
-      scheduler_(scheduler),
+      strategy_(strategy),
       options_(options),
       clock_(options.speedup) {
   const std::size_t n = topology_->graph.broker_count();
@@ -53,7 +62,8 @@ LiveNetwork::LiveNetwork(const Topology* topology, const RoutingFabric* fabric,
       throw std::invalid_argument("live network: table references missing link");
     }
     links_.push_back(std::make_unique<LinkWorker>(
-        from, to, topology_->graph.edge(edge).link.params(), rng.split()));
+        from, to, edge, topology_->graph.edge(edge).link.params(), strategy_,
+        rng.split()));
     link_map_[{from, to}] = links_.back().get();
   }
 }
@@ -110,8 +120,19 @@ void LiveNetwork::stop() {
 
 void LiveNetwork::receiver_loop(BrokerId broker) {
   Channel<std::shared_ptr<const Message>>& inbox = *inboxes_[broker];
-  // Match scratch reused across messages (one receiver thread per broker).
+  // Match scratch and fan-out grouper reused across messages (one receiver
+  // thread per broker) — the same sorted-slot grouping Broker::process
+  // uses, churn filter included, instead of a per-message std::map.
   std::vector<const SubscriptionEntry*> matched;
+  FanOutGrouper grouper;
+  {
+    std::vector<BrokerId> neighbors;
+    for (const auto& [route, worker] : link_map_) {
+      (void)worker;
+      if (route.first == broker) neighbors.push_back(route.second);
+    }
+    grouper.bind(std::move(neighbors));  // map order: already ascending.
+  }
   for (;;) {
     auto popped = inbox.pop();
     if (!popped.has_value()) return;  // Closed and drained.
@@ -124,25 +145,23 @@ void LiveNetwork::receiver_loop(BrokerId broker) {
     size_totals_[broker]->kb.fetch_add(message->size_kb());
     size_totals_[broker]->count.fetch_add(1);
 
-    std::map<BrokerId, std::vector<const SubscriptionEntry*>> groups;
     fabric_->match_at(broker, *message, matched);
-    for (const SubscriptionEntry* entry : matched) {
-      if (!entry->serves_publisher(message->publisher())) continue;
-      if (entry->is_local()) {
-        const TimeMs delay = message->elapsed(now);
-        const TimeMs deadline = entry->effective_deadline(*message);
-        stats_.on_delivery(LiveDelivery{entry->subscription->subscriber,
-                                        message->id(), delay,
-                                        delay <= deadline,
-                                        entry->subscription->price});
-      } else {
-        groups[entry->next_hop].push_back(entry);
-      }
+    grouper.group(matched, *message);
+
+    for (const SubscriptionEntry* entry : grouper.local()) {
+      const TimeMs delay = message->elapsed(now);
+      const TimeMs deadline = entry->effective_deadline(*message);
+      stats_.on_delivery(LiveDelivery{entry->subscription->subscriber,
+                                      message->id(), delay,
+                                      delay <= deadline,
+                                      entry->subscription->price});
     }
 
-    for (auto& [neighbor, targets] : groups) {
+    for (auto& [neighbor, targets] : grouper.groups()) {
+      if (targets.empty()) continue;
       LinkWorker* worker = link_map_.at({broker, neighbor});
       QueuedMessage queued{message, now, std::move(targets)};
+      targets = {};  // Moved-from: reset to a clean empty slot.
       // Fold the scoring kernel on the receiver thread, outside the sender's
       // lock: picks and purges on the hot sender loop then never touch the
       // subscription table.
@@ -150,7 +169,7 @@ void LiveNetwork::receiver_loop(BrokerId broker) {
       outstanding_.fetch_add(1);
       {
         const std::lock_guard<std::mutex> lock(worker->mutex);
-        worker->queue.push_back(std::move(queued));
+        worker->out.enqueue(std::move(queued));
       }
       worker->cv.notify_one();
     }
@@ -165,9 +184,9 @@ void LiveNetwork::sender_loop(LinkWorker& worker) {
     {
       std::unique_lock<std::mutex> lock(worker.mutex);
       worker.cv.wait(lock, [&] {
-        return stopping_.load() || !worker.queue.empty();
+        return stopping_.load() || !worker.out.empty();
       });
-      if (worker.queue.empty()) return;  // Stopping with nothing queued.
+      if (worker.out.empty()) return;  // Stopping with nothing queued.
 
       const SizeTotal& totals = *size_totals_[worker.from];
       const std::size_t count = totals.count.load();
@@ -175,10 +194,10 @@ void LiveNetwork::sender_loop(LinkWorker& worker) {
           count == 0 ? 0.0 : totals.kb.load() / static_cast<double>(count);
       const SchedulingContext context{
           clock_.now(), options_.processing_delay,
-          average_kb * worker.believed.mean_ms_per_kb};
+          worker.out.head_of_line_estimate(average_kb)};
 
       PurgeStats purge_stats;
-      auto taken = take_from_queue(worker.queue, context, &purge_stats);
+      auto taken = worker.out.take_next(context, options_.purge, &purge_stats);
       stats_.on_purge(purge_stats);
       if (purge_stats.expired + purge_stats.hopeless > 0) {
         outstanding_.fetch_sub(purge_stats.expired + purge_stats.hopeless,
@@ -196,14 +215,6 @@ void LiveNetwork::sender_loop(LinkWorker& worker) {
       outstanding_.fetch_sub(1, std::memory_order_release);
     }
   }
-}
-
-std::optional<QueuedMessage> LiveNetwork::take_from_queue(
-    std::vector<QueuedMessage>& queue, const SchedulingContext& context,
-    PurgeStats* purge_stats) {
-  *purge_stats += purge_queue(queue, context, options_.purge);
-  if (queue.empty()) return std::nullopt;
-  return take_at(queue, scheduler_->pick(queue, context));
 }
 
 }  // namespace bdps

@@ -3,10 +3,12 @@
 // LiveNetwork spawns one receiver thread per broker and one sender thread
 // per directed overlay link that carries subscriptions.  Receivers pop an
 // inbox channel, sleep the processing delay PD, match against the routing
-// fabric and either deliver locally or enqueue into the link's output
-// queue; senders repeatedly purge + pick (using the *same* Scheduler
-// implementations as the simulator), sleep the sampled transmission time
-// and push into the downstream inbox.
+// fabric and either deliver locally or enqueue into the link's OutputQueue
+// — the *same* queue + SchedulerState engine the discrete-event simulator
+// drives, grouped through the same FanOutGrouper (publisher mask +
+// activation-window churn filter included); senders repeatedly call
+// OutputQueue::take_next (purge + incremental pick) under the link lock,
+// sleep the sampled transmission time and push into the downstream inbox.
 //
 // An outstanding-work counter lets `drain()` block until every copy in
 // flight has been delivered, purged or dropped; `stop()` then closes all
@@ -35,7 +37,7 @@ class LiveNetwork {
  public:
   /// All referenced objects must outlive the network.
   LiveNetwork(const Topology* topology, const RoutingFabric* fabric,
-              const Scheduler* scheduler, LiveOptions options);
+              const Strategy* strategy, LiveOptions options);
   ~LiveNetwork();
 
   LiveNetwork(const LiveNetwork&) = delete;
@@ -68,13 +70,10 @@ class LiveNetwork {
 
   void receiver_loop(BrokerId broker);
   void sender_loop(LinkWorker& worker);
-  std::optional<QueuedMessage> take_from_queue(
-      std::vector<QueuedMessage>& queue, const SchedulingContext& context,
-      PurgeStats* purge_stats);
 
   const Topology* topology_;
   const RoutingFabric* fabric_;
-  const Scheduler* scheduler_;
+  const Strategy* strategy_;
   LiveOptions options_;
 
   LiveClock clock_;

@@ -26,16 +26,24 @@ bool all_hopeless(const QueuedMessage& queued, TimeMs now, double epsilon) {
 
 }  // namespace
 
+PurgeVerdict classify_purge(const QueuedMessage& queued,
+                            const SchedulingContext& context,
+                            const PurgePolicy& policy) {
+  ensure_scored(queued, context.processing_delay);
+  if (policy.drop_expired && all_expired(queued, context.now)) {
+    return PurgeVerdict::kExpired;
+  }
+  if (policy.epsilon > 0.0 &&
+      all_hopeless(queued, context.now, policy.epsilon)) {
+    return PurgeVerdict::kHopeless;
+  }
+  return PurgeVerdict::kKeep;
+}
+
 bool should_purge(const QueuedMessage& queued,
                   const SchedulingContext& context,
                   const PurgePolicy& policy) {
-  ensure_scored(queued, context.processing_delay);
-  if (policy.drop_expired && all_expired(queued, context.now)) return true;
-  if (policy.epsilon > 0.0 &&
-      all_hopeless(queued, context.now, policy.epsilon)) {
-    return true;
-  }
-  return false;
+  return classify_purge(queued, context, policy) != PurgeVerdict::kKeep;
 }
 
 PurgeStats purge_queue(std::vector<QueuedMessage>& queue,
@@ -45,23 +53,20 @@ PurgeStats purge_queue(std::vector<QueuedMessage>& queue,
   PurgeStats stats;
   const auto keep_end = std::remove_if(
       queue.begin(), queue.end(), [&](const QueuedMessage& queued) {
-        ensure_scored(queued, context.processing_delay);
-        if (policy.drop_expired && all_expired(queued, context.now)) {
-          ++stats.expired;
-          if (purged_ids != nullptr) {
-            purged_ids->push_back(queued.message->id());
-          }
-          return true;
+        switch (classify_purge(queued, context, policy)) {
+          case PurgeVerdict::kKeep:
+            return false;
+          case PurgeVerdict::kExpired:
+            ++stats.expired;
+            break;
+          case PurgeVerdict::kHopeless:
+            ++stats.hopeless;
+            break;
         }
-        if (policy.epsilon > 0.0 &&
-            all_hopeless(queued, context.now, policy.epsilon)) {
-          ++stats.hopeless;
-          if (purged_ids != nullptr) {
-            purged_ids->push_back(queued.message->id());
-          }
-          return true;
+        if (purged_ids != nullptr) {
+          purged_ids->push_back(queued.message->id());
         }
-        return false;
+        return true;
       });
   queue.erase(keep_end, queue.end());
   return stats;

@@ -34,6 +34,14 @@ struct PurgeStats {
   }
 };
 
+/// Why (or whether) one queued message should be deleted right now.
+enum class PurgeVerdict { kKeep, kExpired, kHopeless };
+
+/// Applies both §5.4 rules to one message (ensuring its kernel rows first).
+PurgeVerdict classify_purge(const QueuedMessage& queued,
+                            const SchedulingContext& context,
+                            const PurgePolicy& policy);
+
 /// True when eq. (11) says the queued message should be deleted.
 bool should_purge(const QueuedMessage& queued, const SchedulingContext& context,
                   const PurgePolicy& policy);

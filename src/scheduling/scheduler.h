@@ -1,10 +1,53 @@
-// Output-queue scheduling interface.
+// Output-queue scheduling interface: Strategy + per-queue SchedulerState.
 //
 // §3.2: each broker keeps one output queue per downstream neighbour; when
 // the link becomes free the broker must decide which queued message to send
-// next.  A Scheduler encapsulates that policy.  The simulator (and the
-// threaded live runtime) call `pick` with the current queue contents and a
-// SchedulingContext snapshot; strategies are stateless and shared.
+// next (eq. 3–10).
+//
+// The API has two levels:
+//
+//  * `Strategy` — an immutable description of the policy (kind + params,
+//    e.g. the EBPC weight r).  One instance is shared by every broker of a
+//    run; it carries no mutable state and is safe to use from any thread.
+//
+//  * `SchedulerState` — minted by `Strategy::make_state` and owned by one
+//    `OutputQueue`.  It observes the queue through lifecycle hooks and
+//    answers `pick` incrementally instead of rescanning every row:
+//
+//      on_enqueue(i)  — a row was just appended at index `i`.
+//      on_remove(i)   — row `i` is about to be removed; the back row will
+//                       be swapped into its slot (see take_at below).
+//      on_tick(ctx)   — a new scheduling instant begins (rate-estimate or
+//                       clock updates); called by OutputQueue::take_next
+//                       before the purge scan.
+//      pick(ctx)      — index of the message to send next (queue
+//                       non-empty).
+//
+//    FIFO and RL order by time-invariant keys, so their state is an
+//    indexed min-heap: O(log n) per enqueue/remove and O(1) per pick.
+//    EB/PC/EBPC/LB keep the kernel-row argmax but remember, per row, an
+//    upper bound on its score that can only decay as time advances; rows
+//    whose stale bound cannot beat the running best are skipped without
+//    touching their kernel rows.  Bounds are invalidated only by enqueues,
+//    removals, clock regressions and PD changes (the kernel refolds
+//    slack_const with the new PD) — never by FT / rate-estimate drift,
+//    which the bounds are independent of.
+//
+// Every state is pick-identical to the stateless rescan: the reference
+// argmax survives as `Strategy::reference_pick`, and
+// tests/scheduling/scheduler_state_test.cpp proves equivalence across
+// randomized enqueue/remove/purge/tick interleavings.
+//
+// Migration notes (old `Scheduler` API → this one):
+//   * `make_scheduler(kind, r)` → `make_strategy(kind, r)`; the result is
+//     `unique_ptr<const Strategy>` — strategies are immutable and shared.
+//   * `scheduler->pick(queue, ctx)` one-shot calls → either
+//     `strategy->reference_pick(queue, ctx)` (tests, offline tooling) or a
+//     bound `SchedulerState` when the queue lives long enough to amortise
+//     (the engine path: `OutputQueue` owns the state and forwards hooks).
+//   * `OutputQueue::take_next(scheduler, ctx, ...)` no longer takes the
+//     policy per call: the queue is constructed with the Strategy and owns
+//     its state for life.
 #pragma once
 
 #include <cstddef>
@@ -17,18 +60,6 @@
 #include "scheduling/success.h"
 
 namespace bdps {
-
-class Scheduler {
- public:
-  virtual ~Scheduler() = default;
-
-  /// Human-readable strategy name ("EB", "FIFO", ...).
-  virtual std::string name() const = 0;
-
-  /// Index of the message to send next; `queue` is non-empty.
-  virtual std::size_t pick(std::span<const QueuedMessage> queue,
-                           const SchedulingContext& context) const = 0;
-};
 
 /// The five strategies evaluated in the paper, plus the lower-bound
 /// comparator from its related-work discussion (kLowerBound: schedule by
@@ -49,10 +80,77 @@ enum class StrategyKind {
 StrategyKind parse_strategy(const std::string& name);
 std::string strategy_name(StrategyKind kind);
 
-/// Factory.  `ebpc_weight` is the EB weight r of eq. (10); only used by
-/// kEbpc.
-std::unique_ptr<Scheduler> make_scheduler(StrategyKind kind,
-                                          double ebpc_weight = 0.5);
+/// Deterministic tie order shared by every strategy: exactly tied scores
+/// break on (enqueue_time, message id) — oldest first — so service order is
+/// independent of queue positions (take_at permutes indices, never these
+/// keys).
+inline bool tie_break_before(const QueuedMessage& a, const QueuedMessage& b) {
+  return a.enqueue_time < b.enqueue_time ||
+         (a.enqueue_time == b.enqueue_time && a.message->id() < b.message->id());
+}
+
+/// Per-output-queue scheduling state.  Bound to one queue vector at
+/// construction; the owner must call the hooks in lockstep with the queue:
+/// `on_enqueue(i)` after appending at `i`, `on_remove(i)` *before*
+/// `take_at(queue, i)` runs, `on_tick(ctx)` when a new scheduling instant
+/// begins.  One queue is driven by one thread at a time (same contract as
+/// the scoring kernel).
+class SchedulerState {
+ public:
+  virtual ~SchedulerState() = default;
+
+  virtual void on_enqueue(std::size_t index) = 0;
+  virtual void on_remove(std::size_t index) = 0;
+  virtual void on_tick(const SchedulingContext& context) { (void)context; }
+
+  /// Index of the message to send next; the bound queue is non-empty.
+  virtual std::size_t pick(const SchedulingContext& context) = 0;
+
+ protected:
+  explicit SchedulerState(const std::vector<QueuedMessage>* queue)
+      : queue_(queue) {}
+
+  const std::vector<QueuedMessage>& queue() const { return *queue_; }
+
+ private:
+  const std::vector<QueuedMessage>* queue_;
+};
+
+/// Immutable scheduling policy: kind + parameters.  Shared across queues
+/// and threads; all per-queue mutability lives in the SchedulerState
+/// objects it mints.
+class Strategy {
+ public:
+  /// `ebpc_weight` is the EB weight r of eq. (10); only used by kEbpc.
+  /// Throws std::invalid_argument when r is outside [0, 1].
+  explicit Strategy(StrategyKind kind, double ebpc_weight = 0.5);
+
+  StrategyKind kind() const { return kind_; }
+  double ebpc_weight() const { return ebpc_weight_; }
+
+  /// Human-readable name ("EB", "FIFO", "EBPC(r=...)", ...).
+  std::string name() const;
+
+  /// Mints the incremental per-queue state for `queue` (non-owning; the
+  /// vector must outlive the state and stay at the same address).
+  std::unique_ptr<SchedulerState> make_state(
+      const std::vector<QueuedMessage>* queue) const;
+
+  /// Stateless reference argmax: a full O(rows · targets) rescan through
+  /// the scoring kernel.  This is the semantic contract every
+  /// SchedulerState must match pick-for-pick; kept for tests, one-shot
+  /// tooling and the equivalence suite.
+  std::size_t reference_pick(std::span<const QueuedMessage> queue,
+                             const SchedulingContext& context) const;
+
+ private:
+  StrategyKind kind_;
+  double ebpc_weight_;
+};
+
+/// Factory.  Strategies are immutable, so the result is freely shared.
+std::unique_ptr<const Strategy> make_strategy(StrategyKind kind,
+                                              double ebpc_weight = 0.5);
 
 // ---- Metric helpers (exposed for tests, benches and custom strategies) ----
 //

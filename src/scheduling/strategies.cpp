@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace bdps {
 
@@ -45,116 +46,315 @@ TimeMs mean_remaining_lifetime(const QueuedMessage& queued, TimeMs now) {
 
 namespace {
 
-/// Shared argmax scan.  Exactly tied scores break on (enqueue_time,
-/// message id) — oldest first — so every strategy's service order is
-/// deterministic AND independent of queue positions: take_next compacts
-/// the queue by swapping with the back, which permutes indices but never
-/// the tie-break keys.
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Reference argmax scan (see Strategy::reference_pick).  Exactly tied
+/// scores break through tie_break_before.
 template <typename ScoreFn>
 std::size_t pick_max(std::span<const QueuedMessage> queue, ScoreFn score) {
   std::size_t best = 0;
-  double best_score = -std::numeric_limits<double>::infinity();
+  double best_score = -kInf;
   for (std::size_t i = 0; i < queue.size(); ++i) {
     const double s = score(queue[i]);
     if (s > best_score) {
       best_score = s;
       best = i;
-    } else if (s == best_score) {
-      const QueuedMessage& q = queue[i];
-      const QueuedMessage& b = queue[best];
-      if (q.enqueue_time < b.enqueue_time ||
-          (q.enqueue_time == b.enqueue_time &&
-           q.message->id() < b.message->id())) {
-        best = i;
-      }
+    } else if (s == best_score && tie_break_before(queue[i], queue[best])) {
+      best = i;
     }
   }
   return best;
 }
 
-class FifoScheduler final : public Scheduler {
- public:
-  std::string name() const override { return "FIFO"; }
-  std::size_t pick(std::span<const QueuedMessage> queue,
-                   const SchedulingContext&) const override {
-    // Earliest enqueue time first (same-instant ties fall to the shared
-    // message-id tie-break).
-    return pick_max(queue, [](const QueuedMessage& q) {
-      return -q.enqueue_time;
-    });
+double rl_score(const QueuedMessage& queued, TimeMs now) {
+  const TimeMs lifetime = kernel_mean_remaining_lifetime(queued, now);
+  return lifetime == kNoDeadline ? -kInf : -lifetime;
+}
+
+// ---- FIFO / RL: indexed min-heap on time-invariant keys --------------------
+//
+// Both policies order rows by keys fixed at enqueue time (FIFO: enqueue
+// instant; RL: mean expiry across deadline-bounded targets, because
+// mean-lifetime = mean-expiry - now shifts every row equally).  The state is
+// a binary min-heap of queue indices plus a position map, both mirrored
+// against the queue's swap-with-back removal, so enqueue/remove cost
+// O(log n) and pick reads the root.
+
+struct HeapKey {
+  double primary = 0.0;  // FIFO: 0; RL: mean expiry (+inf when unbounded).
+  TimeMs enqueue_time = 0.0;
+  MessageId id = 0;
+
+  bool before(const HeapKey& other) const {
+    if (primary != other.primary) return primary < other.primary;
+    if (enqueue_time != other.enqueue_time) {
+      return enqueue_time < other.enqueue_time;
+    }
+    return id < other.id;
   }
 };
 
-class RemainingLifetimeScheduler final : public Scheduler {
+class HeapState final : public SchedulerState {
  public:
-  std::string name() const override { return "RL"; }
-  std::size_t pick(std::span<const QueuedMessage> queue,
-                   const SchedulingContext& context) const override {
-    // Minimum (mean) remaining lifetime first.
-    return pick_max(queue, [&](const QueuedMessage& q) {
-      const TimeMs lifetime = mean_remaining_lifetime(q, context.now);
-      return lifetime == kNoDeadline
-                 ? -std::numeric_limits<double>::infinity()
-                 : -lifetime;
-    });
-  }
-};
+  HeapState(const std::vector<QueuedMessage>* queue, StrategyKind kind)
+      : SchedulerState(queue), kind_(kind) {}
 
-class ExpectedBenefitScheduler final : public Scheduler {
- public:
-  std::string name() const override { return "EB"; }
-  std::size_t pick(std::span<const QueuedMessage> queue,
-                   const SchedulingContext& context) const override {
-    return pick_max(queue, [&](const QueuedMessage& q) {
-      return expected_benefit(q, context);
-    });
+  void on_enqueue(std::size_t index) override {
+    keys_.push_back(make_key(queue()[index]));
+    pos_.push_back(heap_.size());
+    heap_.push_back(index);
+    sift_up(heap_.size() - 1);
   }
-};
 
-class PostponingCostScheduler final : public Scheduler {
- public:
-  std::string name() const override { return "PC"; }
-  std::size_t pick(std::span<const QueuedMessage> queue,
-                   const SchedulingContext& context) const override {
-    return pick_max(queue, [&](const QueuedMessage& q) {
-      return postponing_cost(q, context);
-    });
+  void on_remove(std::size_t index) override {
+    detach(pos_[index]);
+    const std::size_t last = keys_.size() - 1;
+    if (index != last) {
+      // take_at will swap the back row into slot `index`: rename it.
+      keys_[index] = keys_[last];
+      const std::size_t slot = pos_[last];
+      heap_[slot] = index;
+      pos_[index] = slot;
+    }
+    keys_.pop_back();
+    pos_.pop_back();
   }
-};
 
-class LowerBoundScheduler final : public Scheduler {
- public:
-  std::string name() const override { return "LB"; }
-  std::size_t pick(std::span<const QueuedMessage> queue,
-                   const SchedulingContext& context) const override {
-    return pick_max(queue, [&](const QueuedMessage& q) {
-      return lower_bound_benefit(q, context);
-    });
+  std::size_t pick(const SchedulingContext&) override { return heap_.front(); }
+
+ private:
+  HeapKey make_key(const QueuedMessage& queued) const {
+    HeapKey key{0.0, queued.enqueue_time, queued.message->id()};
+    if (kind_ == StrategyKind::kRemainingLifetime) {
+      // Mean expiry needs the kernel aggregates; expiries are
+      // PD-independent, so rows already folded by the enqueue path are
+      // reused and bare rows (hand-built queues) fold with PD 0, exactly
+      // as kernel_mean_remaining_lifetime does.
+      if (queued.scored.size() != queued.targets.size()) {
+        precompute_scores(queued, 0.0);
+      }
+      key.primary = queued.bounded_targets == 0
+                        ? kInf
+                        : queued.expiry_sum /
+                              static_cast<double>(queued.bounded_targets);
+    }
+    return key;
   }
-};
 
-class EbpcScheduler final : public Scheduler {
- public:
-  explicit EbpcScheduler(double weight) : weight_(weight) {
-    if (weight < 0.0 || weight > 1.0) {
-      throw std::invalid_argument("EBPC weight r must be in [0, 1]");
+  bool slot_before(std::size_t a, std::size_t b) const {
+    return keys_[heap_[a]].before(keys_[heap_[b]]);
+  }
+
+  void sift_up(std::size_t slot) {
+    while (slot > 0) {
+      const std::size_t parent = (slot - 1) / 2;
+      if (!slot_before(slot, parent)) break;
+      std::swap(heap_[slot], heap_[parent]);
+      pos_[heap_[slot]] = slot;
+      pos_[heap_[parent]] = parent;
+      slot = parent;
     }
   }
-  std::string name() const override {
-    return "EBPC(r=" + std::to_string(weight_) + ")";
+
+  void sift_down(std::size_t slot) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t left = 2 * slot + 1;
+      const std::size_t right = left + 1;
+      std::size_t smallest = slot;
+      if (left < n && slot_before(left, smallest)) smallest = left;
+      if (right < n && slot_before(right, smallest)) smallest = right;
+      if (smallest == slot) return;
+      std::swap(heap_[slot], heap_[smallest]);
+      pos_[heap_[slot]] = slot;
+      pos_[heap_[smallest]] = smallest;
+      slot = smallest;
+    }
   }
-  std::size_t pick(std::span<const QueuedMessage> queue,
-                   const SchedulingContext& context) const override {
-    return pick_max(queue, [&](const QueuedMessage& q) {
-      return ebpc_metric(q, context, weight_);
-    });
+
+  /// Removes the entry at heap slot `slot` (filling the hole with the last
+  /// heap entry and re-sifting).  pos_ for the removed queue index becomes
+  /// stale; on_remove repairs or pops it.
+  void detach(std::size_t slot) {
+    const std::size_t back = heap_.size() - 1;
+    if (slot != back) {
+      heap_[slot] = heap_[back];
+      pos_[heap_[slot]] = slot;
+    }
+    heap_.pop_back();
+    if (slot < heap_.size()) {
+      sift_down(slot);
+      sift_up(slot);
+    }
+  }
+
+  StrategyKind kind_;
+  std::vector<std::size_t> heap_;  // Heap of queue indices.
+  std::vector<std::size_t> pos_;   // pos_[queue index] = heap slot.
+  std::vector<HeapKey> keys_;      // keys_[queue index], mirrors the queue.
+};
+
+// ---- EB / PC / EBPC / LB: bounded argmax over the kernel rows --------------
+//
+// These scores are time-dependent, but every one of them is dominated by
+// EB_m, and EB_m (like LB_m) can only decay as `now` advances: each target
+// term is price · Phi((slack_const - now) / (size · sigma)), monotone
+// non-increasing in now.  So the exact score computed at an earlier instant
+// is an upper bound forever after (until the row set changes), and FT /
+// rate-estimate drift cannot raise it (EB is FT-independent).  pick keeps a
+// per-row bound, rescans bounds in one cheap pass, and evaluates kernel
+// rows only for rows whose bound still beats the running best — typically
+// the handful of contenders near the maximum, not the whole queue.
+class BoundedArgmaxState final : public SchedulerState {
+ public:
+  BoundedArgmaxState(const std::vector<QueuedMessage>* queue,
+                     StrategyKind kind, double weight)
+      : SchedulerState(queue), kind_(kind), weight_(weight) {}
+
+  void on_enqueue(std::size_t) override { bounds_.push_back(kInf); }
+
+  void on_remove(std::size_t index) override {
+    bounds_[index] = bounds_.back();
+    bounds_.pop_back();
+  }
+
+  void on_tick(const SchedulingContext& context) override {
+    // Bounds assume time moves forward and a fixed PD: a clock regression
+    // voids them, and so does a PD change — the kernel refolds slack_const
+    // with the new PD (ensure_scored), which can move scores either way.
+    // The `!=` also catches the initial NaN sentinel.
+    if (context.now < last_now_ ||
+        context.processing_delay != last_pd_) {
+      bounds_.assign(bounds_.size(), kInf);
+    }
+  }
+
+  std::size_t pick(const SchedulingContext& context) override {
+    on_tick(context);
+    last_now_ = context.now;
+    last_pd_ = context.processing_delay;
+    const std::vector<QueuedMessage>& q = queue();
+    std::size_t best = 0;
+    double best_score = rescore(0, context);
+    for (std::size_t i = 1; i < q.size(); ++i) {
+      // A stale bound below the running best can never win; equal to it, it
+      // can at most tie — which only matters if this row wins the tie.
+      if (bounds_[i] < best_score) continue;
+      if (bounds_[i] == best_score && !tie_break_before(q[i], q[best])) {
+        continue;
+      }
+      const double s = rescore(i, context);
+      if (s > best_score ||
+          (s == best_score && tie_break_before(q[i], q[best]))) {
+        best_score = s;
+        best = i;
+      }
+    }
+    return best;
   }
 
  private:
+  /// Exact score of row `i` now; refreshes its decay bound as a side
+  /// effect (EB for the EB-dominated scores, the score itself otherwise).
+  double rescore(std::size_t i, const SchedulingContext& context) {
+    const QueuedMessage& queued = queue()[i];
+    switch (kind_) {
+      case StrategyKind::kEb: {
+        const double eb = kernel_expected_benefit(queued, context);
+        bounds_[i] = eb;
+        return eb;
+      }
+      case StrategyKind::kLowerBound: {
+        const double lb = kernel_lower_bound_benefit(queued, context);
+        bounds_[i] = lb;
+        return lb;
+      }
+      case StrategyKind::kPc: {
+        const BenefitPair pair = kernel_benefit_pair(queued, context);
+        bounds_[i] = pair.immediate;
+        return pair.immediate - pair.postponed;
+      }
+      case StrategyKind::kEbpc: {
+        const BenefitPair pair = kernel_benefit_pair(queued, context);
+        bounds_[i] = pair.immediate;
+        return weight_ * pair.immediate +
+               (1.0 - weight_) * (pair.immediate - pair.postponed);
+      }
+      default:
+        break;
+    }
+    throw std::logic_error("BoundedArgmaxState: unexpected strategy kind");
+  }
+
+  StrategyKind kind_;
   double weight_;
+  TimeMs last_now_ = -kInf;
+  TimeMs last_pd_ = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> bounds_;  // bounds_[queue index], mirrors the queue.
 };
 
 }  // namespace
+
+Strategy::Strategy(StrategyKind kind, double ebpc_weight)
+    : kind_(kind), ebpc_weight_(ebpc_weight) {
+  if (kind == StrategyKind::kEbpc &&
+      (ebpc_weight < 0.0 || ebpc_weight > 1.0)) {
+    throw std::invalid_argument("EBPC weight r must be in [0, 1]");
+  }
+}
+
+std::string Strategy::name() const {
+  if (kind_ == StrategyKind::kEbpc) {
+    return "EBPC(r=" + std::to_string(ebpc_weight_) + ")";
+  }
+  return strategy_name(kind_);
+}
+
+std::unique_ptr<SchedulerState> Strategy::make_state(
+    const std::vector<QueuedMessage>* queue) const {
+  switch (kind_) {
+    case StrategyKind::kFifo:
+    case StrategyKind::kRemainingLifetime:
+      return std::make_unique<HeapState>(queue, kind_);
+    case StrategyKind::kEb:
+    case StrategyKind::kPc:
+    case StrategyKind::kEbpc:
+    case StrategyKind::kLowerBound:
+      return std::make_unique<BoundedArgmaxState>(queue, kind_, ebpc_weight_);
+  }
+  throw std::invalid_argument("unknown strategy kind");
+}
+
+std::size_t Strategy::reference_pick(std::span<const QueuedMessage> queue,
+                                     const SchedulingContext& context) const {
+  switch (kind_) {
+    case StrategyKind::kFifo:
+      return pick_max(queue, [](const QueuedMessage& q) {
+        return -q.enqueue_time;
+      });
+    case StrategyKind::kRemainingLifetime:
+      return pick_max(queue, [&](const QueuedMessage& q) {
+        return rl_score(q, context.now);
+      });
+    case StrategyKind::kEb:
+      return pick_max(queue, [&](const QueuedMessage& q) {
+        return kernel_expected_benefit(q, context);
+      });
+    case StrategyKind::kPc:
+      return pick_max(queue, [&](const QueuedMessage& q) {
+        return postponing_cost(q, context);
+      });
+    case StrategyKind::kEbpc:
+      return pick_max(queue, [&](const QueuedMessage& q) {
+        return ebpc_metric(q, context, ebpc_weight_);
+      });
+    case StrategyKind::kLowerBound:
+      return pick_max(queue, [&](const QueuedMessage& q) {
+        return kernel_lower_bound_benefit(q, context);
+      });
+  }
+  throw std::invalid_argument("unknown strategy kind");
+}
 
 StrategyKind parse_strategy(const std::string& name) {
   if (name == "FIFO" || name == "fifo") return StrategyKind::kFifo;
@@ -184,23 +384,9 @@ std::string strategy_name(StrategyKind kind) {
   return "?";
 }
 
-std::unique_ptr<Scheduler> make_scheduler(StrategyKind kind,
-                                          double ebpc_weight) {
-  switch (kind) {
-    case StrategyKind::kFifo:
-      return std::make_unique<FifoScheduler>();
-    case StrategyKind::kRemainingLifetime:
-      return std::make_unique<RemainingLifetimeScheduler>();
-    case StrategyKind::kEb:
-      return std::make_unique<ExpectedBenefitScheduler>();
-    case StrategyKind::kPc:
-      return std::make_unique<PostponingCostScheduler>();
-    case StrategyKind::kEbpc:
-      return std::make_unique<EbpcScheduler>(ebpc_weight);
-    case StrategyKind::kLowerBound:
-      return std::make_unique<LowerBoundScheduler>();
-  }
-  throw std::invalid_argument("unknown strategy kind");
+std::unique_ptr<const Strategy> make_strategy(StrategyKind kind,
+                                              double ebpc_weight) {
+  return std::make_unique<const Strategy>(kind, ebpc_weight);
 }
 
 }  // namespace bdps

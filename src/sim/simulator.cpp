@@ -2,21 +2,21 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace bdps {
 
 Simulator::Simulator(const Topology* topology, const Graph* believed,
-                     const RoutingFabric* fabric, const Scheduler* scheduler,
+                     const RoutingFabric* fabric, const Strategy* strategy,
                      SimulatorOptions options, Rng link_rng)
     : topology_(topology),
       fabric_(fabric),
-      scheduler_(scheduler),
       options_(options),
       link_rng_(link_rng) {
   brokers_.reserve(topology->graph.broker_count());
   for (std::size_t b = 0; b < topology->graph.broker_count(); ++b) {
     brokers_.emplace_back(static_cast<BrokerId>(b), fabric, believed,
-                          options_.processing_delay);
+                          strategy, options_.processing_delay);
   }
   if (options_.dedup_arrivals) {
     seen_.resize(topology->graph.broker_count());
@@ -48,7 +48,10 @@ void Simulator::schedule_publish(std::shared_ptr<const Message> message) {
 void Simulator::run() {
   while (!events_.empty()) {
     if (events_.top().time > options_.horizon) break;
-    const Event event = events_.pop();
+    // The pop moves the event (and its message ref) out of the heap;
+    // handlers move the payload onward, so routing a message through an
+    // event costs no shared_ptr refcount churn.
+    Event event = events_.pop();
     now_ = event.time;
     switch (event.type) {
       case EventType::kPublish:
@@ -114,7 +117,7 @@ void Simulator::handle_link_failure(const Event& event) {
   drain_dead_queue(b, a);
 }
 
-void Simulator::handle_publish(const Event& event) {
+void Simulator::handle_publish(Event& event) {
   // ts_i of eq. (1): subscribers interested system-wide (and currently
   // active), and the matching earning ceiling for eq. (2).
   std::size_t interested = 0;
@@ -129,12 +132,12 @@ void Simulator::handle_publish(const Event& event) {
   trace(TraceEventKind::kPublish, *event.message, event.broker);
 
   // Injection into the edge broker is itself a reception: arrival now.
-  Event arrival = event;
+  Event arrival = std::move(event);
   arrival.type = EventType::kArrival;
   events_.push(std::move(arrival));
 }
 
-void Simulator::handle_arrival(const Event& event) {
+void Simulator::handle_arrival(Event& event) {
   collector_.on_reception();
   trace(TraceEventKind::kArrival, *event.message, event.broker);
   if (options_.dedup_arrivals &&
@@ -144,19 +147,19 @@ void Simulator::handle_arrival(const Event& event) {
   if (options_.serialize_processing) {
     if (processing_busy_[event.broker]) {
       // Fig. 2's input queue: wait for the processing unit.
-      input_queues_[event.broker].push_back(event.message);
+      input_queues_[event.broker].push_back(std::move(event.message));
       collector_.on_input_queue_depth(input_queues_[event.broker].size());
       return;
     }
     processing_busy_[event.broker] = true;
   }
-  Event processed = event;
+  Event processed = std::move(event);
   processed.type = EventType::kProcessed;
   processed.time = now_ + options_.processing_delay;
   events_.push(std::move(processed));
 }
 
-void Simulator::handle_processed(const Event& event) {
+void Simulator::handle_processed(Event& event) {
   Broker& broker = brokers_[event.broker];
   trace(TraceEventKind::kProcessed, *event.message, event.broker);
   const Broker::FanOut fanout = broker.process(event.message, now_);
@@ -171,9 +174,7 @@ void Simulator::handle_processed(const Event& event) {
   for (const BrokerId neighbor : fanout.enqueued) {
     trace(TraceEventKind::kEnqueue, *event.message, event.broker, neighbor);
   }
-  for (const BrokerId neighbor : fanout.sendable) {
-    start_send(event.broker, neighbor);
-  }
+  start_sends(event.broker, fanout.sendable);
 
   if (options_.serialize_processing) {
     auto& pending = input_queues_[event.broker];
@@ -184,57 +185,69 @@ void Simulator::handle_processed(const Event& event) {
       next.time = now_ + options_.processing_delay;
       next.type = EventType::kProcessed;
       next.broker = event.broker;
-      next.message = pending.front();
+      next.message = std::move(pending.front());
       pending.pop_front();
       events_.push(std::move(next));
     }
   }
 }
 
-void Simulator::start_send(BrokerId broker_id, BrokerId neighbor) {
-  if (link_dead(broker_id, neighbor)) {
-    drain_dead_queue(broker_id, neighbor);
-    return;
+void Simulator::start_sends(BrokerId broker_id,
+                            std::span<const BrokerId> neighbors) {
+  live_neighbors_.clear();
+  for (const BrokerId neighbor : neighbors) {
+    if (link_dead(broker_id, neighbor)) {
+      drain_dead_queue(broker_id, neighbor);
+    } else {
+      live_neighbors_.push_back(neighbor);
+    }
   }
+  if (live_neighbors_.empty()) return;
   Broker& broker = brokers_[broker_id];
-  OutputQueue& out = broker.queue(neighbor);
 
-  const SchedulingContext context =
-      broker.context(neighbor, now_, options_.processing_delay);
-  PurgeStats purge_stats;
-  purged_ids_.clear();
-  auto chosen = out.take_next(*scheduler_, context, options_.purge,
-                              &purge_stats,
-                              trace_ != nullptr ? &purged_ids_ : nullptr);
-  collector_.on_purge(purge_stats);
-  for (const MessageId id : purged_ids_) {
-    trace_id(TraceEventKind::kPurge, id, broker_id, neighbor);
-  }
-  if (!chosen.has_value()) return;  // Purge emptied the queue; link idle.
-  trace(TraceEventKind::kSendStart, *chosen->message, broker_id, neighbor);
+  // Phase 1 — per-queue purge + pick.  Queue states are independent, so
+  // Broker::take_next may fan this across the dispatch pool; the results
+  // come back in neighbour order either way.
+  broker.take_next(live_neighbors_, now_, options_.purge, dispatch_,
+                   options_.dispatch_pool, trace_ != nullptr);
 
-  const EdgeId true_edge = topology_->graph.find_edge(broker_id, neighbor);
-  if (true_edge == kNoEdge) {
-    throw std::logic_error("send scheduled on a non-existent link");
-  }
-  const TimeMs duration = topology_->graph.edge(true_edge).link.sample_send_time(
-      link_rng_, chosen->message->size_kb());
+  // Phase 2 — serial accounting, RNG sampling and event pushes in
+  // neighbour order, keeping runs reproducible from the seed alone.
+  for (Broker::Dispatch& dispatch : dispatch_) {
+    const BrokerId neighbor = dispatch.neighbor;
+    collector_.on_purge(dispatch.purge);
+    for (const MessageId id : dispatch.purged_ids) {
+      trace_id(TraceEventKind::kPurge, id, broker_id, neighbor);
+    }
+    if (!dispatch.chosen.has_value()) continue;  // Purge emptied the queue.
+    trace(TraceEventKind::kSendStart, *dispatch.chosen->message, broker_id,
+          neighbor);
 
-  out.set_link_busy(true);
-  if (options_.online_estimation) {
-    send_started_[{broker_id, neighbor}] = now_;
-    initial_beliefs_.try_emplace({broker_id, neighbor}, out.believed_link());
+    const EdgeId true_edge = topology_->graph.find_edge(broker_id, neighbor);
+    if (true_edge == kNoEdge) {
+      throw std::logic_error("send scheduled on a non-existent link");
+    }
+    const TimeMs duration =
+        topology_->graph.edge(true_edge).link.sample_send_time(
+            link_rng_, dispatch.chosen->message->size_kb());
+
+    broker.queue(neighbor).set_link_busy(true);
+    if (options_.online_estimation) {
+      send_started_[{broker_id, neighbor}] = now_;
+      initial_beliefs_.try_emplace({broker_id, neighbor},
+                                   broker.queue(neighbor).believed_link());
+    }
+    Event complete;
+    complete.time = now_ + duration;
+    complete.type = EventType::kSendComplete;
+    complete.broker = broker_id;
+    complete.neighbor = neighbor;
+    complete.message = std::move(dispatch.chosen->message);
+    events_.push(std::move(complete));
   }
-  Event complete;
-  complete.time = now_ + duration;
-  complete.type = EventType::kSendComplete;
-  complete.broker = broker_id;
-  complete.neighbor = neighbor;
-  complete.message = std::move(chosen->message);
-  events_.push(std::move(complete));
 }
 
-void Simulator::handle_send_complete(const Event& event) {
+void Simulator::handle_send_complete(Event& event) {
   Broker& broker = brokers_[event.broker];
   OutputQueue& out = broker.queue(event.neighbor);
   out.set_link_busy(false);
@@ -265,10 +278,13 @@ void Simulator::handle_send_complete(const Event& event) {
   arrival.time = now_;
   arrival.type = EventType::kArrival;
   arrival.broker = event.neighbor;
-  arrival.message = event.message;
+  arrival.message = std::move(event.message);
   events_.push(std::move(arrival));
 
-  if (!out.empty()) start_send(event.broker, event.neighbor);
+  if (!out.empty()) {
+    const BrokerId neighbor[1] = {event.neighbor};
+    start_sends(event.broker, neighbor);
+  }
 }
 
 const RateEstimator* Simulator::estimator(BrokerId broker,

@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "broker/broker.h"
+#include "common/thread_pool.h"
 #include "sim/collector.h"
 #include "sim/event_queue.h"
 #include "stats/rate_estimator.h"
@@ -56,6 +57,13 @@ struct SimulatorOptions {
   /// network); turning this on lets that claim be checked rather than
   /// assumed — see SimResult::max_input_queue.
   bool serialize_processing = false;
+  /// Optional worker pool for per-neighbour dispatch: at a link-free
+  /// instant a broker's output queues are independent, so high-degree
+  /// fan-outs (>= Broker::kParallelDispatchThreshold sendable neighbours)
+  /// purge + pick in parallel.  RNG sampling and event pushes stay serial
+  /// and ordered, so results are bitwise identical to the serial path.
+  /// The pool must outlive the simulator.
+  ThreadPool* dispatch_pool = nullptr;
 };
 
 class Simulator {
@@ -63,9 +71,10 @@ class Simulator {
   /// `topology` provides the ground-truth links sends are sampled from;
   /// `believed` the parameters brokers schedule with (usually the same
   /// graph); both must outlive the simulator, as must `fabric` and
-  /// `scheduler`.
+  /// `strategy` (the shared scheduling policy every queue mints its
+  /// SchedulerState from).
   Simulator(const Topology* topology, const Graph* believed,
-            const RoutingFabric* fabric, const Scheduler* scheduler,
+            const RoutingFabric* fabric, const Strategy* strategy,
             SimulatorOptions options, Rng link_rng);
 
   /// Schedules the publication of `message` (its publish_time / publisher
@@ -94,19 +103,23 @@ class Simulator {
   void trace_id(TraceEventKind kind, MessageId message, BrokerId broker,
                 BrokerId neighbor);
 
-  void handle_publish(const Event& event);
-  void handle_arrival(const Event& event);
-  void handle_processed(const Event& event);
-  void handle_send_complete(const Event& event);
+  // Handlers take the popped event by mutable reference so terminal uses
+  // can move the message payload onward instead of bumping its refcount.
+  void handle_publish(Event& event);
+  void handle_arrival(Event& event);
+  void handle_processed(Event& event);
+  void handle_send_complete(Event& event);
   void handle_link_failure(const Event& event);
-  void start_send(BrokerId broker, BrokerId neighbor);
+  /// Purges + picks each live neighbour queue (in parallel for high-degree
+  /// fan-outs when options_.dispatch_pool is set), then serially samples
+  /// send durations and pushes completion events in `neighbors` order.
+  void start_sends(BrokerId broker, std::span<const BrokerId> neighbors);
   bool link_dead(BrokerId a, BrokerId b) const;
   /// Drops every queued copy on the (now dead) queue; counts losses.
   void drain_dead_queue(BrokerId broker, BrokerId neighbor);
 
   const Topology* topology_;
   const RoutingFabric* fabric_;
-  const Scheduler* scheduler_;
   SimulatorOptions options_;
   Rng link_rng_;
 
@@ -131,8 +144,10 @@ class Simulator {
   /// order.
   std::set<std::pair<BrokerId, BrokerId>> dead_links_;
   TraceSink* trace_ = nullptr;
-  /// Scratch for take_next's purge reporting, reused across sends.
-  std::vector<MessageId> purged_ids_;
+  /// Scratch reused across dispatches: the live (non-dead-link) subset of a
+  /// fan-out and the per-queue take_next results.
+  std::vector<BrokerId> live_neighbors_;
+  std::vector<Broker::Dispatch> dispatch_;
 };
 
 }  // namespace bdps

@@ -11,6 +11,7 @@ struct StarRig {
   Topology topo;
   std::vector<Subscription> subs;
   std::unique_ptr<RoutingFabric> fabric;
+  Strategy strategy{StrategyKind::kFifo};
 
   StarRig() {
     topo.graph.resize(3);
@@ -38,7 +39,7 @@ std::shared_ptr<const Message> make_message(double size_kb = 50.0) {
 
 TEST(Broker, CreatesOneQueuePerDownstreamNeighbour) {
   const StarRig rig;
-  const Broker broker(0, rig.fabric.get(), &rig.topo.graph);
+  const Broker broker(0, rig.fabric.get(), &rig.topo.graph, &rig.strategy);
   EXPECT_TRUE(broker.has_queue(1));
   EXPECT_TRUE(broker.has_queue(2));
   EXPECT_EQ(broker.queues().size(), 2u);
@@ -46,13 +47,13 @@ TEST(Broker, CreatesOneQueuePerDownstreamNeighbour) {
 
 TEST(Broker, LeafBrokerHasNoQueues) {
   const StarRig rig;
-  const Broker broker(1, rig.fabric.get(), &rig.topo.graph);
+  const Broker broker(1, rig.fabric.get(), &rig.topo.graph, &rig.strategy);
   EXPECT_TRUE(broker.queues().empty());
 }
 
 TEST(Broker, ProcessFansOutPerNeighbourAndDeliversLocally) {
   const StarRig rig;
-  Broker broker(0, rig.fabric.get(), &rig.topo.graph);
+  Broker broker(0, rig.fabric.get(), &rig.topo.graph, &rig.strategy);
   const Broker::FanOut fanout = broker.process(make_message(), 10.0);
 
   ASSERT_EQ(fanout.local.size(), 1u);
@@ -70,7 +71,7 @@ TEST(Broker, ProcessFansOutPerNeighbourAndDeliversLocally) {
 
 TEST(Broker, BusyLinkIsNotReportedSendable) {
   const StarRig rig;
-  Broker broker(0, rig.fabric.get(), &rig.topo.graph);
+  Broker broker(0, rig.fabric.get(), &rig.topo.graph, &rig.strategy);
   broker.queue(1).set_link_busy(true);
   const Broker::FanOut fanout = broker.process(make_message(), 0.0);
   ASSERT_EQ(fanout.sendable.size(), 1u);
@@ -80,7 +81,7 @@ TEST(Broker, BusyLinkIsNotReportedSendable) {
 
 TEST(Broker, RunningAverageMessageSize) {
   const StarRig rig;
-  Broker broker(0, rig.fabric.get(), &rig.topo.graph);
+  Broker broker(0, rig.fabric.get(), &rig.topo.graph, &rig.strategy);
   EXPECT_DOUBLE_EQ(broker.average_message_size_kb(), 0.0);
   broker.process(make_message(40.0), 0.0);
   broker.process(make_message(60.0), 0.0);
@@ -89,7 +90,7 @@ TEST(Broker, RunningAverageMessageSize) {
 
 TEST(Broker, ContextUsesBelievedLinkForFt) {
   const StarRig rig;
-  Broker broker(0, rig.fabric.get(), &rig.topo.graph);
+  Broker broker(0, rig.fabric.get(), &rig.topo.graph, &rig.strategy);
   broker.process(make_message(50.0), 0.0);
   const SchedulingContext context = broker.context(1, 123.0, 2.0);
   EXPECT_DOUBLE_EQ(context.now, 123.0);
@@ -114,7 +115,8 @@ TEST(Broker, PublisherMaskFiltersForeignPublishers) {
   sub.allowed_delay = seconds(30.0);
   const RoutingFabric fabric(topo, {sub});
 
-  Broker broker1(1, &fabric, &topo.graph);
+  const Strategy strategy{StrategyKind::kFifo};
+  Broker broker1(1, &fabric, &topo.graph, &strategy);
   // Publisher 0's message flows through broker 1 ...
   const auto from_p0 = broker1.process(
       std::make_shared<Message>(1, 0, 0.0, 50.0, std::vector<Attribute>{}),
@@ -132,15 +134,14 @@ TEST(Broker, PublisherMaskFiltersForeignPublishers) {
 
 TEST(OutputQueue, TakeNextRemovesChosenMessage) {
   const StarRig rig;
-  Broker broker(0, rig.fabric.get(), &rig.topo.graph);
+  Broker broker(0, rig.fabric.get(), &rig.topo.graph, &rig.strategy);
   broker.process(make_message(), 0.0);
   broker.process(make_message(), 0.0);
   OutputQueue& queue = broker.queue(1);
   ASSERT_EQ(queue.size(), 2u);
 
-  const auto scheduler = make_scheduler(StrategyKind::kFifo);
   PurgeStats stats;
-  const auto taken = queue.take_next(*scheduler, broker.context(1, 0.0, 2.0),
+  const auto taken = queue.take_next(broker.context(1, 0.0, 2.0),
                                      PurgePolicy{}, &stats);
   ASSERT_TRUE(taken.has_value());
   EXPECT_EQ(queue.size(), 1u);
@@ -148,7 +149,7 @@ TEST(OutputQueue, TakeNextRemovesChosenMessage) {
 
 TEST(OutputQueue, TakeNextPurgesFirst) {
   const StarRig rig;
-  Broker broker(0, rig.fabric.get(), &rig.topo.graph);
+  Broker broker(0, rig.fabric.get(), &rig.topo.graph, &rig.strategy);
   // A message published 31 s ago is already past the 30 s bound.
   auto stale = std::make_shared<Message>(9, 0, -seconds(31.0), 50.0,
                                          std::vector<Attribute>{});
@@ -156,9 +157,8 @@ TEST(OutputQueue, TakeNextPurgesFirst) {
   OutputQueue& queue = broker.queue(1);
   ASSERT_EQ(queue.size(), 1u);
 
-  const auto scheduler = make_scheduler(StrategyKind::kFifo);
   PurgeStats stats;
-  const auto taken = queue.take_next(*scheduler, broker.context(1, 0.0, 2.0),
+  const auto taken = queue.take_next(broker.context(1, 0.0, 2.0),
                                      PurgePolicy{}, &stats);
   EXPECT_FALSE(taken.has_value());
   EXPECT_EQ(stats.expired, 1u);
@@ -166,7 +166,8 @@ TEST(OutputQueue, TakeNextPurgesFirst) {
 }
 
 TEST(OutputQueue, BelievedLinkIsAdjustable) {
-  OutputQueue queue(1, 0, LinkParams{50.0, 20.0});
+  const Strategy strategy{StrategyKind::kFifo};
+  OutputQueue queue(1, 0, LinkParams{50.0, 20.0}, &strategy);
   EXPECT_DOUBLE_EQ(queue.head_of_line_estimate(50.0), 2500.0);
   queue.set_believed_link(LinkParams{80.0, 20.0});
   EXPECT_DOUBLE_EQ(queue.head_of_line_estimate(50.0), 4000.0);

@@ -75,7 +75,7 @@ TEST(OnlineEstimation, EstimatorsConvergeInsideTheSimulator) {
   sub.home = 1;
   sub.allowed_delay = seconds(60.0);
   const RoutingFabric fabric(topo, {sub});
-  const auto scheduler = make_scheduler(StrategyKind::kEb);
+  const auto scheduler = make_strategy(StrategyKind::kEb);
   SimulatorOptions options;
   options.online_estimation = true;
   options.estimator_min_samples = 2;

@@ -123,7 +123,7 @@ TEST(OrSubscription, DeliversThroughTheFullStack) {
   sub.or_filters.assign(disjuncts.begin() + 1, disjuncts.end());
 
   const RoutingFabric fabric(topo, {sub});
-  const auto scheduler = make_scheduler(StrategyKind::kEb);
+  const auto scheduler = make_strategy(StrategyKind::kEb);
   Simulator sim(&topo, &topo.graph, &fabric, scheduler.get(),
                 SimulatorOptions{}, Rng(1));
 

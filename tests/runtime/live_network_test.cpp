@@ -10,7 +10,7 @@ namespace {
 struct LiveRig {
   Topology topo;
   std::unique_ptr<RoutingFabric> fabric;
-  std::unique_ptr<Scheduler> scheduler;
+  std::unique_ptr<const Strategy> scheduler;
 
   explicit LiveRig(TimeMs deadline = seconds(30.0),
                    StrategyKind strategy = StrategyKind::kEb) {
@@ -29,7 +29,7 @@ struct LiveRig {
       subs.push_back(sub);
     }
     fabric = std::make_unique<RoutingFabric>(topo, std::move(subs));
-    scheduler = make_scheduler(strategy);
+    scheduler = make_strategy(strategy);
   }
 
   LiveOptions options() const {

@@ -159,11 +159,11 @@ double tolerance(double reference) {
 }
 
 /// Kernel pick must be reference-optimal (ties may pick either index).
-void expect_reference_optimal(const Scheduler& scheduler,
+void expect_reference_optimal(const Strategy& scheduler,
                               const RandomRig& rig,
                               double (*ref_score)(const QueuedMessage&,
                                                   const SchedulingContext&)) {
-  const std::size_t pick = scheduler.pick(rig.queue, rig.context);
+  const std::size_t pick = scheduler.reference_pick(rig.queue, rig.context);
   ASSERT_LT(pick, rig.queue.size());
   double best = -kInf;
   for (const QueuedMessage& q : rig.queue) {
@@ -222,33 +222,33 @@ TEST_P(KernelProperty, PicksAreReferenceOptimalForAllSixStrategies) {
       const RandomRig rig(GetParam() * 7777 + depth, shape, depth);
 
       expect_reference_optimal(
-          *make_scheduler(StrategyKind::kEb), rig,
+          *make_strategy(StrategyKind::kEb), rig,
           +[](const QueuedMessage& q, const SchedulingContext& c) {
             return ref_eb(q, c);
           });
       expect_reference_optimal(
-          *make_scheduler(StrategyKind::kPc), rig,
+          *make_strategy(StrategyKind::kPc), rig,
           +[](const QueuedMessage& q, const SchedulingContext& c) {
             return ref_pc(q, c);
           });
       expect_reference_optimal(
-          *make_scheduler(StrategyKind::kEbpc, 0.5), rig,
+          *make_strategy(StrategyKind::kEbpc, 0.5), rig,
           +[](const QueuedMessage& q, const SchedulingContext& c) {
             return ref_ebpc(q, c, 0.5);
           });
       expect_reference_optimal(
-          *make_scheduler(StrategyKind::kLowerBound), rig,
+          *make_strategy(StrategyKind::kLowerBound), rig,
           +[](const QueuedMessage& q, const SchedulingContext& c) {
             return ref_lb(q, c);
           });
       expect_reference_optimal(
-          *make_scheduler(StrategyKind::kRemainingLifetime), rig,
+          *make_strategy(StrategyKind::kRemainingLifetime), rig,
           +[](const QueuedMessage& q, const SchedulingContext& c) {
             const TimeMs rl = ref_rl(q, c.now);
             return rl == kInf ? -kInf : -rl;
           });
       expect_reference_optimal(
-          *make_scheduler(StrategyKind::kFifo), rig,
+          *make_strategy(StrategyKind::kFifo), rig,
           +[](const QueuedMessage& q, const SchedulingContext&) {
             return -q.enqueue_time;
           });

@@ -69,8 +69,8 @@ TEST_F(LowerBoundRig, CannotRankTwoGuaranteedMessages) {
   std::vector<QueuedMessage> queue;
   queue.push_back(queued({near_deadline}));
   queue.push_back(queued({far_deadline}));
-  const auto lb = make_scheduler(StrategyKind::kLowerBound);
-  EXPECT_EQ(lb->pick(queue, context_), 0u);  // Tie -> first.
+  const auto lb = make_strategy(StrategyKind::kLowerBound);
+  EXPECT_EQ(lb->reference_pick(queue, context_), 0u);  // Tie -> first.
   EXPECT_DOUBLE_EQ(lower_bound_benefit(queue[0], context_), 1.0);
   EXPECT_DOUBLE_EQ(lower_bound_benefit(queue[1], context_), 1.0);
 }
@@ -78,7 +78,7 @@ TEST_F(LowerBoundRig, CannotRankTwoGuaranteedMessages) {
 TEST(LowerBoundStrategy, FactoryAndParsing) {
   EXPECT_EQ(parse_strategy("LB"), StrategyKind::kLowerBound);
   EXPECT_EQ(strategy_name(StrategyKind::kLowerBound), "LB");
-  EXPECT_EQ(make_scheduler(StrategyKind::kLowerBound)->name(), "LB");
+  EXPECT_EQ(make_strategy(StrategyKind::kLowerBound)->name(), "LB");
 }
 
 TEST(LowerBoundStrategy, EbOutEarnsLbUnderCongestion) {

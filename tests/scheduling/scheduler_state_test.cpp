@@ -1,0 +1,352 @@
+// Equivalence suite for the stateful Strategy / SchedulerState API.
+//
+// Contract under test: every SchedulerState pick is identical to the
+// stateless reference argmax (Strategy::reference_pick) no matter how the
+// queue got into its current shape — across randomized interleavings of
+// enqueue, arbitrary removal, purge and tick at advancing (and
+// occasionally regressing) clocks, over SSD and PSD target shapes and
+// depths 1..4096.  Also pins the parallel per-neighbour Broker::take_next
+// to its serial twin: fanning queue dispatch across a thread pool must not
+// change a single choice.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "broker/broker.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "scheduling/purge.h"
+#include "scheduling/scheduler.h"
+
+namespace bdps {
+namespace {
+
+constexpr StrategyKind kAllKinds[] = {
+    StrategyKind::kFifo, StrategyKind::kRemainingLifetime, StrategyKind::kEb,
+    StrategyKind::kPc,   StrategyKind::kEbpc,              StrategyKind::kLowerBound,
+};
+
+enum class Shape { kSsd, kPsd };
+
+/// Pool of rows for the interleaving driver.  Generates messages with
+/// SSD-style per-subscription deadlines/prices or PSD-style
+/// message-stamped deadlines with unit prices; occasionally no deadline at
+/// all, deterministic paths, empty target lists and duplicated payloads
+/// (distinct ids, identical scores) to force exact ties.
+struct RowFactory {
+  std::vector<std::unique_ptr<Subscription>> subs;
+  std::vector<std::unique_ptr<SubscriptionEntry>> entries;
+  Rng rng;
+  Shape shape;
+  MessageId next_id = 0;
+
+  RowFactory(std::uint64_t seed, Shape shape_in) : rng(seed), shape(shape_in) {}
+
+  QueuedMessage make_row(TimeMs now) {
+    TimeMs message_deadline = kNoDeadline;
+    if (shape == Shape::kPsd && rng.uniform_index(8) != 0) {
+      message_deadline = seconds(5.0 + rng.uniform(0.0, 55.0));
+    }
+    auto message = std::make_shared<Message>(
+        next_id++, 0, now - rng.uniform(0.0, 40000.0),
+        1.0 + rng.uniform(0.0, 100.0), std::vector<Attribute>{},
+        message_deadline);
+    QueuedMessage queued{std::move(message), now - rng.uniform(0.0, 1000.0),
+                         {}};
+    const std::size_t targets = rng.uniform_index(6);  // 0..5; 0 = no targets.
+    for (std::size_t t = 0; t < targets; ++t) {
+      auto sub = std::make_unique<Subscription>();
+      if (shape == Shape::kSsd && rng.uniform_index(8) != 0) {
+        sub->allowed_delay = seconds(5.0 + rng.uniform(0.0, 55.0));
+      }
+      sub->price = shape == Shape::kPsd ? 1.0 : 1.0 + rng.uniform_index(4);
+      auto entry = std::make_unique<SubscriptionEntry>();
+      entry->subscription = sub.get();
+      const double variance =
+          rng.uniform_index(10) == 0 ? 0.0 : rng.uniform(100.0, 3000.0);
+      entry->path = PathStats{static_cast<int>(rng.uniform_index(5)),
+                              rng.uniform(50.0, 300.0), variance};
+      queued.targets.push_back(entry.get());
+      subs.push_back(std::move(sub));
+      entries.push_back(std::move(entry));
+    }
+    return queued;
+  }
+
+  /// Same targets and timing as `other`, new id: scores tie exactly, so the
+  /// (enqueue_time, id) tie-break decides.
+  QueuedMessage duplicate_row(const QueuedMessage& other) {
+    const Message& m = *other.message;
+    auto message = std::make_shared<Message>(
+        next_id++, m.publisher(), m.publish_time(), m.size_kb(),
+        std::vector<Attribute>{}, m.allowed_delay());
+    QueuedMessage queued{std::move(message), other.enqueue_time,
+                         other.targets};
+    return queued;
+  }
+};
+
+/// Drives one (strategy, shape) pair through a randomized op stream,
+/// checking the stateful pick against the reference argmax after every
+/// mutation batch.
+void run_interleaving(StrategyKind kind, double weight, Shape shape,
+                      std::uint64_t seed, std::size_t max_depth,
+                      std::size_t ops) {
+  const Strategy strategy(kind, weight);
+  RowFactory factory(seed, shape);
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+
+  std::vector<QueuedMessage> queue;
+  const std::unique_ptr<SchedulerState> state = strategy.make_state(&queue);
+  PurgePolicy policy;  // Paper defaults: eps = 0.05%, drop expired.
+
+  TimeMs now = 500000.0;
+  for (std::size_t op = 0; op < ops; ++op) {
+    now += rng.uniform(0.0, 2000.0);
+    if (rng.uniform_index(16) == 0) now -= rng.uniform(0.0, 5000.0);
+    const SchedulingContext context{now, rng.uniform(0.0, 5.0),
+                                    rng.uniform(0.0, 8000.0)};
+    state->on_tick(context);
+
+    switch (rng.uniform_index(4)) {
+      case 0:
+      case 1: {  // Enqueue (occasionally an exact-tie duplicate).
+        if (queue.size() >= max_depth) break;
+        QueuedMessage row = !queue.empty() && rng.uniform_index(6) == 0
+                                ? factory.duplicate_row(
+                                      queue[rng.uniform_index(queue.size())])
+                                : factory.make_row(now);
+        queue.push_back(std::move(row));
+        state->on_enqueue(queue.size() - 1);
+        break;
+      }
+      case 2: {  // Arbitrary removal (losses, dedup, external drops).
+        if (queue.empty()) break;
+        const std::size_t victim = rng.uniform_index(queue.size());
+        state->on_remove(victim);
+        take_at(queue, victim);
+        break;
+      }
+      default: {  // The OutputQueue purge scan, hook for hook.
+        for (std::size_t i = 0; i < queue.size();) {
+          if (classify_purge(queue[i], context, policy) ==
+              PurgeVerdict::kKeep) {
+            ++i;
+            continue;
+          }
+          state->on_remove(i);
+          take_at(queue, i);
+        }
+        break;
+      }
+    }
+
+    if (queue.empty()) continue;
+    const std::size_t got = state->pick(context);
+    const std::size_t want = strategy.reference_pick(queue, context);
+    ASSERT_EQ(got, want)
+        << strategy.name() << " depth=" << queue.size() << " op=" << op
+        << " now=" << now;
+  }
+}
+
+class SchedulerStateEquivalence
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerStateEquivalence, MatchesReferenceAcrossInterleavings) {
+  for (const StrategyKind kind : kAllKinds) {
+    for (const Shape shape : {Shape::kSsd, Shape::kPsd}) {
+      run_interleaving(kind, 0.5, shape, GetParam() * 31 + 7, 64, 300);
+    }
+  }
+}
+
+TEST_P(SchedulerStateEquivalence, EbpcWeightsCoverTheEndpoints) {
+  for (const double weight : {0.0, 0.3, 1.0}) {
+    run_interleaving(StrategyKind::kEbpc, weight, Shape::kSsd,
+                     GetParam() * 131 + 11, 48, 200);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerStateEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(SchedulerStateEquivalence, PdChangeInvalidatesCachedBounds) {
+  // Regression: EB depends on PD through slack_const = adl + publish_time -
+  // NN_p*PD - size*mu_p, so *lowering* PD raises a multi-hop row's score
+  // and a bound cached under the old PD is no longer an upper bound.  Row B
+  // (4 remaining hops, slightly looser deadline) loses to row A at PD = 5
+  // but must win once PD drops to 0; a state that only invalidates on
+  // clock regression returns the stale pick here.
+  const Strategy strategy(StrategyKind::kEb);
+  std::vector<std::unique_ptr<Subscription>> subs;
+  std::vector<std::unique_ptr<SubscriptionEntry>> entries;
+  std::vector<QueuedMessage> queue;
+  const auto state = strategy.make_state(&queue);
+
+  const auto add_row = [&](MessageId id, TimeMs deadline, int hops) {
+    auto sub = std::make_unique<Subscription>();
+    sub->allowed_delay = deadline;
+    sub->price = 1.0;
+    auto entry = std::make_unique<SubscriptionEntry>();
+    entry->subscription = sub.get();
+    entry->path = PathStats{hops, 150.0, 800.0};
+    auto message = std::make_shared<Message>(id, 0, 0.0, 50.0,
+                                             std::vector<Attribute>{});
+    queue.push_back(QueuedMessage{std::move(message), 0.0, {entry.get()}});
+    subs.push_back(std::move(sub));
+    entries.push_back(std::move(entry));
+    state->on_enqueue(queue.size() - 1);
+  };
+  add_row(0, seconds(30.0), 0);
+  add_row(1, seconds(30.01), 4);
+
+  const SchedulingContext before{23000.0, 5.0, 0.0};
+  state->on_tick(before);
+  EXPECT_EQ(state->pick(before), strategy.reference_pick(queue, before));
+
+  const SchedulingContext after{23001.0, 0.0, 0.0};
+  state->on_tick(after);
+  EXPECT_EQ(state->pick(after), strategy.reference_pick(queue, after));
+  EXPECT_EQ(strategy.reference_pick(queue, after), 1u);
+}
+
+TEST(SchedulerStateEquivalence, DeepQueuesMatchReference) {
+  // Depth sweep 1..4096: build up in bulk, then spot-check picks while
+  // draining a slice.  The reference rescan is O(depth · targets), so deep
+  // depths compare a handful of picks rather than a full drain.
+  for (const StrategyKind kind :
+       {StrategyKind::kEbpc, StrategyKind::kRemainingLifetime}) {
+    for (const std::size_t depth : {1u, 33u, 512u, 4096u}) {
+      const Strategy strategy(kind, 0.5);
+      RowFactory factory(depth * 17 + 3, Shape::kSsd);
+      std::vector<QueuedMessage> queue;
+      const auto state = strategy.make_state(&queue);
+      TimeMs now = 500000.0;
+      queue.reserve(depth);
+      for (std::size_t i = 0; i < depth; ++i) {
+        queue.push_back(factory.make_row(now));
+        state->on_enqueue(queue.size() - 1);
+      }
+      for (int round = 0; round < 6 && !queue.empty(); ++round) {
+        now += 500.0;
+        const SchedulingContext context{now, 2.0, 3750.0};
+        const std::size_t got = state->pick(context);
+        ASSERT_EQ(got, strategy.reference_pick(queue, context))
+            << strategy.name() << " depth=" << depth << " round=" << round;
+        state->on_remove(got);
+        take_at(queue, got);
+      }
+    }
+  }
+}
+
+// ---- Parallel per-neighbour dispatch determinism ---------------------------
+
+/// Star around broker 0 with `arms` downstream neighbours, one subscriber
+/// behind each, deadlines tight enough that purges fire mid-run.
+struct WideStarRig {
+  Topology topo;
+  std::vector<Subscription> subs;
+  std::unique_ptr<RoutingFabric> fabric;
+  Strategy strategy;
+
+  WideStarRig(std::size_t arms, StrategyKind kind)
+      : strategy(kind, 0.5) {
+    topo.graph.resize(arms + 1);
+    for (std::size_t a = 1; a <= arms; ++a) {
+      topo.graph.add_bidirectional(0, static_cast<BrokerId>(a),
+                                   LinkParams{50.0 + 5.0 * a, 10.0});
+    }
+    topo.publisher_edges = {0};
+    for (std::size_t a = 1; a <= arms; ++a) {
+      topo.subscriber_homes.push_back(static_cast<BrokerId>(a));
+      Subscription sub;
+      sub.subscriber = static_cast<SubscriberId>(a - 1);
+      sub.home = static_cast<BrokerId>(a);
+      sub.allowed_delay = seconds(5.0 + 3.0 * a);
+      sub.price = 1.0 + (a % 3);
+      subs.push_back(sub);
+    }
+    fabric = std::make_unique<RoutingFabric>(topo, subs);
+  }
+
+  /// Feeds the same message stream into a fresh broker.
+  Broker make_loaded_broker(std::size_t messages) const {
+    Broker broker(0, fabric.get(), &topo.graph, &strategy, 2.0);
+    Rng rng(42);
+    for (std::size_t m = 0; m < messages; ++m) {
+      const TimeMs published = 100.0 * static_cast<double>(m);
+      broker.process(
+          std::make_shared<Message>(static_cast<MessageId>(m), 0, published,
+                                    20.0 + rng.uniform(0.0, 60.0),
+                                    std::vector<Attribute>{}),
+          published + 2.0);
+    }
+    return broker;
+  }
+};
+
+TEST(ParallelDispatch, MatchesSerialTakeNextChoiceForChoice) {
+  constexpr std::size_t kArms = 8;
+  for (const StrategyKind kind : kAllKinds) {
+    const WideStarRig rig(kArms, kind);
+    Broker serial = rig.make_loaded_broker(40);
+    Broker parallel = rig.make_loaded_broker(40);
+    ThreadPool pool(4);
+
+    std::vector<BrokerId> neighbors;
+    for (std::size_t a = 1; a <= kArms; ++a) {
+      neighbors.push_back(static_cast<BrokerId>(a));
+    }
+    ASSERT_GE(neighbors.size(), Broker::kParallelDispatchThreshold);
+
+    std::vector<Broker::Dispatch> serial_out;
+    std::vector<Broker::Dispatch> parallel_out;
+    PurgePolicy policy;
+    // Drain both brokers in lockstep instants; every instant's choices,
+    // purge counts and purge id sets must agree.
+    for (int round = 0; round < 50; ++round) {
+      const TimeMs now = 4000.0 + 400.0 * round;
+      serial.take_next(neighbors, now, policy, serial_out, nullptr, true);
+      parallel.take_next(neighbors, now, policy, parallel_out, &pool, true);
+      ASSERT_EQ(serial_out.size(), parallel_out.size());
+      for (std::size_t i = 0; i < serial_out.size(); ++i) {
+        const Broker::Dispatch& s = serial_out[i];
+        const Broker::Dispatch& p = parallel_out[i];
+        EXPECT_EQ(s.neighbor, p.neighbor);
+        EXPECT_EQ(s.purge.expired, p.purge.expired) << strategy_name(kind);
+        EXPECT_EQ(s.purge.hopeless, p.purge.hopeless) << strategy_name(kind);
+        EXPECT_EQ(s.purged_ids, p.purged_ids) << strategy_name(kind);
+        ASSERT_EQ(s.chosen.has_value(), p.chosen.has_value())
+            << strategy_name(kind) << " round=" << round << " arm=" << i;
+        if (s.chosen.has_value()) {
+          EXPECT_EQ(s.chosen->message->id(), p.chosen->message->id())
+              << strategy_name(kind) << " round=" << round << " arm=" << i;
+        }
+      }
+    }
+    EXPECT_TRUE(std::all_of(neighbors.begin(), neighbors.end(),
+                            [&](BrokerId n) {
+                              return serial.queue(n).size() ==
+                                     parallel.queue(n).size();
+                            }));
+  }
+}
+
+TEST(ParallelDispatch, BelowThresholdBatchesStaySerialAndCorrect) {
+  const WideStarRig rig(2, StrategyKind::kEb);
+  Broker broker = rig.make_loaded_broker(10);
+  ThreadPool pool(2);
+  const std::vector<BrokerId> neighbors{1, 2};
+  std::vector<Broker::Dispatch> out;
+  broker.take_next(neighbors, 500.0, PurgePolicy{}, out, &pool, false);
+  ASSERT_EQ(out.size(), 2u);
+  for (const Broker::Dispatch& d : out) {
+    ASSERT_TRUE(d.chosen.has_value());
+  }
+}
+
+}  // namespace
+}  // namespace bdps

@@ -48,16 +48,16 @@ TEST_F(StrategyRig, FifoPicksOldestEnqueue) {
   enqueue(0.0, {s});
   queue_[0].enqueue_time = 100.0;
   queue_[1].enqueue_time = 50.0;
-  const auto fifo = make_scheduler(StrategyKind::kFifo);
-  EXPECT_EQ(fifo->pick(queue_, context_), 1u);
+  const auto fifo = make_strategy(StrategyKind::kFifo);
+  EXPECT_EQ(fifo->reference_pick(queue_, context_), 1u);
 }
 
 TEST_F(StrategyRig, FifoBreaksTiesByPosition) {
   const auto* s = add_subscription(seconds(20.0), 1.0);
   enqueue(0.0, {s});
   enqueue(0.0, {s});
-  const auto fifo = make_scheduler(StrategyKind::kFifo);
-  EXPECT_EQ(fifo->pick(queue_, context_), 0u);
+  const auto fifo = make_strategy(StrategyKind::kFifo);
+  EXPECT_EQ(fifo->reference_pick(queue_, context_), 0u);
 }
 
 TEST_F(StrategyRig, RlPicksSmallestRemainingLifetime) {
@@ -65,8 +65,8 @@ TEST_F(StrategyRig, RlPicksSmallestRemainingLifetime) {
   const auto* loose = add_subscription(seconds(60.0), 1.0);
   enqueue(0.0, {loose});
   enqueue(0.0, {tight});
-  const auto rl = make_scheduler(StrategyKind::kRemainingLifetime);
-  EXPECT_EQ(rl->pick(queue_, context_), 1u);
+  const auto rl = make_strategy(StrategyKind::kRemainingLifetime);
+  EXPECT_EQ(rl->reference_pick(queue_, context_), 1u);
 }
 
 TEST_F(StrategyRig, RlUsesMeanLifetimeAcrossTargets) {
@@ -75,8 +75,8 @@ TEST_F(StrategyRig, RlUsesMeanLifetimeAcrossTargets) {
   const auto* t30 = add_subscription(seconds(30.0), 1.0);
   enqueue(0.0, {t10, t60});  // Mean lifetime 35 s.
   enqueue(0.0, {t30});       // Mean lifetime 30 s -> more urgent.
-  const auto rl = make_scheduler(StrategyKind::kRemainingLifetime);
-  EXPECT_EQ(rl->pick(queue_, context_), 1u);
+  const auto rl = make_strategy(StrategyKind::kRemainingLifetime);
+  EXPECT_EQ(rl->reference_pick(queue_, context_), 1u);
   EXPECT_DOUBLE_EQ(mean_remaining_lifetime(queue_[0], context_.now),
                    seconds(35.0));
 }
@@ -85,8 +85,8 @@ TEST_F(StrategyRig, RlOlderMessageIsMoreUrgent) {
   const auto* s = add_subscription(seconds(30.0), 1.0);
   enqueue(seconds(5.0), {s});
   enqueue(seconds(15.0), {s});  // 15 s already elapsed -> lifetime 15 s.
-  const auto rl = make_scheduler(StrategyKind::kRemainingLifetime);
-  EXPECT_EQ(rl->pick(queue_, context_), 1u);
+  const auto rl = make_strategy(StrategyKind::kRemainingLifetime);
+  EXPECT_EQ(rl->reference_pick(queue_, context_), 1u);
 }
 
 TEST_F(StrategyRig, EbPrefersHigherPrice) {
@@ -94,8 +94,8 @@ TEST_F(StrategyRig, EbPrefersHigherPrice) {
   const auto* pricey = add_subscription(seconds(30.0), 3.0);
   enqueue(0.0, {cheap});
   enqueue(0.0, {pricey});
-  const auto eb = make_scheduler(StrategyKind::kEb);
-  EXPECT_EQ(eb->pick(queue_, context_), 1u);
+  const auto eb = make_strategy(StrategyKind::kEb);
+  EXPECT_EQ(eb->reference_pick(queue_, context_), 1u);
 }
 
 TEST_F(StrategyRig, EbPrefersMoreSubscriptions) {
@@ -104,16 +104,16 @@ TEST_F(StrategyRig, EbPrefersMoreSubscriptions) {
   const auto* c = add_subscription(seconds(30.0), 1.0);
   enqueue(0.0, {a});
   enqueue(0.0, {b, c});
-  const auto eb = make_scheduler(StrategyKind::kEb);
-  EXPECT_EQ(eb->pick(queue_, context_), 1u);
+  const auto eb = make_strategy(StrategyKind::kEb);
+  EXPECT_EQ(eb->reference_pick(queue_, context_), 1u);
 }
 
 TEST_F(StrategyRig, EbPrefersHigherSuccessProbability) {
   const auto* s = add_subscription(seconds(20.0), 1.0);
   enqueue(seconds(12.0), {s});  // Old message: little budget left.
   enqueue(seconds(1.0), {s});   // Fresh message: likely to make it.
-  const auto eb = make_scheduler(StrategyKind::kEb);
-  EXPECT_EQ(eb->pick(queue_, context_), 1u);
+  const auto eb = make_strategy(StrategyKind::kEb);
+  EXPECT_EQ(eb->reference_pick(queue_, context_), 1u);
 }
 
 TEST_F(StrategyRig, EbIgnoresDoomedMessages) {
@@ -121,8 +121,8 @@ TEST_F(StrategyRig, EbIgnoresDoomedMessages) {
   const auto* s2 = add_subscription(seconds(20.0), 1.0);
   enqueue(seconds(19.9), {s});  // Virtually dead despite high price.
   enqueue(seconds(1.0), {s2});
-  const auto eb = make_scheduler(StrategyKind::kEb);
-  EXPECT_EQ(eb->pick(queue_, context_), 1u);
+  const auto eb = make_strategy(StrategyKind::kEb);
+  EXPECT_EQ(eb->reference_pick(queue_, context_), 1u);
 }
 
 TEST_F(StrategyRig, PcPrefersBorderlineOverComfortable) {
@@ -132,8 +132,8 @@ TEST_F(StrategyRig, PcPrefersBorderlineOverComfortable) {
   const auto* edge = add_subscription(seconds(12.0), 1.0);
   enqueue(0.0, {comfy});
   enqueue(0.0, {edge});
-  const auto pc = make_scheduler(StrategyKind::kPc);
-  EXPECT_EQ(pc->pick(queue_, context_), 1u);
+  const auto pc = make_strategy(StrategyKind::kPc);
+  EXPECT_EQ(pc->reference_pick(queue_, context_), 1u);
   EXPECT_GT(postponing_cost(queue_[1], context_),
             postponing_cost(queue_[0], context_));
 }
@@ -158,18 +158,18 @@ TEST_F(StrategyRig, EbpcEndpointsMatchEbAndPc) {
     EXPECT_DOUBLE_EQ(ebpc_metric(q, context_, 0.0),
                      postponing_cost(q, context_));
   }
-  const auto ebpc1 = make_scheduler(StrategyKind::kEbpc, 1.0);
-  const auto eb = make_scheduler(StrategyKind::kEb);
-  EXPECT_EQ(ebpc1->pick(queue_, context_), eb->pick(queue_, context_));
-  const auto ebpc0 = make_scheduler(StrategyKind::kEbpc, 0.0);
-  const auto pc = make_scheduler(StrategyKind::kPc);
-  EXPECT_EQ(ebpc0->pick(queue_, context_), pc->pick(queue_, context_));
+  const auto ebpc1 = make_strategy(StrategyKind::kEbpc, 1.0);
+  const auto eb = make_strategy(StrategyKind::kEb);
+  EXPECT_EQ(ebpc1->reference_pick(queue_, context_), eb->reference_pick(queue_, context_));
+  const auto ebpc0 = make_strategy(StrategyKind::kEbpc, 0.0);
+  const auto pc = make_strategy(StrategyKind::kPc);
+  EXPECT_EQ(ebpc0->reference_pick(queue_, context_), pc->reference_pick(queue_, context_));
 }
 
 TEST_F(StrategyRig, EbpcWeightOutsideRangeRejected) {
-  EXPECT_THROW(make_scheduler(StrategyKind::kEbpc, -0.1),
+  EXPECT_THROW(make_strategy(StrategyKind::kEbpc, -0.1),
                std::invalid_argument);
-  EXPECT_THROW(make_scheduler(StrategyKind::kEbpc, 1.5),
+  EXPECT_THROW(make_strategy(StrategyKind::kEbpc, 1.5),
                std::invalid_argument);
 }
 
@@ -191,9 +191,9 @@ TEST(StrategyFactory, ParseAndNameRoundTrip) {
 }
 
 TEST(StrategyFactory, SchedulerNamesAreDistinctive) {
-  EXPECT_EQ(make_scheduler(StrategyKind::kEb)->name(), "EB");
-  EXPECT_EQ(make_scheduler(StrategyKind::kFifo)->name(), "FIFO");
-  EXPECT_NE(make_scheduler(StrategyKind::kEbpc, 0.3)->name().find("0.3"),
+  EXPECT_EQ(make_strategy(StrategyKind::kEb)->name(), "EB");
+  EXPECT_EQ(make_strategy(StrategyKind::kFifo)->name(), "FIFO");
+  EXPECT_NE(make_strategy(StrategyKind::kEbpc, 0.3)->name().find("0.3"),
             std::string::npos);
 }
 

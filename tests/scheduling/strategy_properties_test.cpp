@@ -50,12 +50,12 @@ TEST_P(StrategyProperties, EbPickInvariantUnderPriceScaling) {
   // Scaling every price by the same factor cannot change the argmax.
   const RandomQueue base(GetParam(), 1.0);
   const RandomQueue scaled(GetParam(), 7.5);
-  const auto eb = make_scheduler(StrategyKind::kEb);
-  EXPECT_EQ(eb->pick(base.queue, base.context),
-            eb->pick(scaled.queue, scaled.context));
-  const auto pc = make_scheduler(StrategyKind::kPc);
-  EXPECT_EQ(pc->pick(base.queue, base.context),
-            pc->pick(scaled.queue, scaled.context));
+  const auto eb = make_strategy(StrategyKind::kEb);
+  EXPECT_EQ(eb->reference_pick(base.queue, base.context),
+            eb->reference_pick(scaled.queue, scaled.context));
+  const auto pc = make_strategy(StrategyKind::kPc);
+  EXPECT_EQ(pc->reference_pick(base.queue, base.context),
+            pc->reference_pick(scaled.queue, scaled.context));
 }
 
 TEST_P(StrategyProperties, MetricsAreFiniteAndBounded) {
@@ -100,16 +100,16 @@ TEST_P(StrategyProperties, PickedIndexIsAlwaysValid) {
        {StrategyKind::kFifo, StrategyKind::kRemainingLifetime,
         StrategyKind::kEb, StrategyKind::kPc, StrategyKind::kEbpc,
         StrategyKind::kLowerBound}) {
-    const auto scheduler = make_scheduler(kind, 0.5);
-    const std::size_t pick = scheduler->pick(rig.queue, rig.context);
+    const auto scheduler = make_strategy(kind, 0.5);
+    const std::size_t pick = scheduler->reference_pick(rig.queue, rig.context);
     EXPECT_LT(pick, rig.queue.size()) << strategy_name(kind);
   }
 }
 
 TEST_P(StrategyProperties, EbChoiceMaximisesTheMetric) {
   const RandomQueue rig(GetParam());
-  const auto eb = make_scheduler(StrategyKind::kEb);
-  const std::size_t pick = eb->pick(rig.queue, rig.context);
+  const auto eb = make_strategy(StrategyKind::kEb);
+  const std::size_t pick = eb->reference_pick(rig.queue, rig.context);
   const double best = expected_benefit(rig.queue[pick], rig.context);
   for (const auto& q : rig.queue) {
     EXPECT_LE(expected_benefit(q, rig.context), best + 1e-12);
@@ -118,10 +118,10 @@ TEST_P(StrategyProperties, EbChoiceMaximisesTheMetric) {
 
 TEST_P(StrategyProperties, FifoIgnoresTheContextEntirely) {
   const RandomQueue rig(GetParam());
-  const auto fifo = make_scheduler(StrategyKind::kFifo);
+  const auto fifo = make_strategy(StrategyKind::kFifo);
   const SchedulingContext shifted{rig.context.now + 1e6, 50.0, 99999.0};
-  EXPECT_EQ(fifo->pick(rig.queue, rig.context),
-            fifo->pick(rig.queue, shifted));
+  EXPECT_EQ(fifo->reference_pick(rig.queue, rig.context),
+            fifo->reference_pick(rig.queue, shifted));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StrategyProperties,

@@ -14,7 +14,7 @@ namespace {
 struct FailLineRig {
   Topology topo;
   std::unique_ptr<RoutingFabric> fabric;
-  std::unique_ptr<Scheduler> scheduler;
+  std::unique_ptr<const Strategy> scheduler;
   SimulatorOptions options;
 
   FailLineRig() {
@@ -29,7 +29,7 @@ struct FailLineRig {
     sub.allowed_delay = seconds(60.0);
     fabric = std::make_unique<RoutingFabric>(topo,
                                              std::vector<Subscription>{sub});
-    scheduler = make_scheduler(StrategyKind::kFifo);
+    scheduler = make_strategy(StrategyKind::kFifo);
     options.processing_delay = 2.0;
   }
 
@@ -111,7 +111,7 @@ TEST(FailureInjection, MultipathSurvivesSingleBranchFailure) {
     FabricOptions fabric_options;
     fabric_options.multipath = multipath;
     RoutingFabric fabric(topo, {sub}, fabric_options);
-    const auto scheduler = make_scheduler(StrategyKind::kEb);
+    const auto scheduler = make_strategy(StrategyKind::kEb);
     SimulatorOptions options;
     options.processing_delay = 2.0;
     options.dedup_arrivals = multipath;

@@ -23,7 +23,7 @@ TEST(SerializedProcessing, BackToBackArrivalsQueueAtTheProcessor) {
   sub.home = 1;
   sub.allowed_delay = seconds(60.0);
   const RoutingFabric fabric(topo, {sub});
-  const auto scheduler = make_scheduler(StrategyKind::kFifo);
+  const auto scheduler = make_strategy(StrategyKind::kFifo);
 
   SimulatorOptions options;
   options.processing_delay = 2.0;

@@ -10,7 +10,7 @@ namespace {
 struct LineRig {
   Topology topo;
   std::unique_ptr<RoutingFabric> fabric;
-  std::unique_ptr<Scheduler> scheduler;
+  std::unique_ptr<const Strategy> scheduler;
   SimulatorOptions options;
 
   /// Line 0 -(100ms/KB)- 1 -(100ms/KB)- 2; publisher at 0, subscriber(s) at 2.
@@ -32,7 +32,7 @@ struct LineRig {
       subs.push_back(sub);
     }
     fabric = std::make_unique<RoutingFabric>(topo, std::move(subs));
-    scheduler = make_scheduler(strategy);
+    scheduler = make_strategy(strategy);
     options.processing_delay = 2.0;
   }
 
@@ -202,7 +202,7 @@ TEST(Simulator, UnmatchedMessageTravelsNowhere) {
   f.where("A1", Op::kLt, Value(1.0));
   sub.filter = f;
   RoutingFabric fabric(topo, {sub});
-  const auto scheduler = make_scheduler(StrategyKind::kFifo);
+  const auto scheduler = make_strategy(StrategyKind::kFifo);
   Simulator sim(&topo, &topo.graph, &fabric, scheduler.get(),
                 SimulatorOptions{}, Rng(1));
   sim.schedule_publish(std::make_shared<Message>(

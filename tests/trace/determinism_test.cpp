@@ -25,7 +25,7 @@ MemoryTrace traced_run(StrategyKind strategy, std::uint64_t seed) {
   const Topology topo = build_topology(topo_rng, config);
   const RoutingFabric fabric(
       topo, generate_subscriptions(workload_rng, config.workload, topo));
-  const auto scheduler = make_scheduler(strategy);
+  const auto scheduler = make_strategy(strategy);
   SimulatorOptions options;
   options.purge = config.purge;
 

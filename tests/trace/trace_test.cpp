@@ -15,7 +15,7 @@ namespace {
 struct TraceRig {
   Topology topo;
   std::unique_ptr<RoutingFabric> fabric;
-  std::unique_ptr<Scheduler> scheduler;
+  std::unique_ptr<const Strategy> scheduler;
   SimulatorOptions options;
 
   explicit TraceRig(TimeMs deadline = seconds(60.0)) {
@@ -30,7 +30,7 @@ struct TraceRig {
     sub.allowed_delay = deadline;
     fabric = std::make_unique<RoutingFabric>(topo,
                                              std::vector<Subscription>{sub});
-    scheduler = make_scheduler(StrategyKind::kFifo);
+    scheduler = make_strategy(StrategyKind::kFifo);
     options.processing_delay = 2.0;
   }
 

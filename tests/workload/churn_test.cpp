@@ -68,7 +68,7 @@ TEST(Churn, InactiveSubscriberReceivesNothing) {
   sub.active_from = seconds(10.0);
   sub.active_to = seconds(20.0);
   const RoutingFabric fabric(topo, {sub});
-  const auto scheduler = make_scheduler(StrategyKind::kEb);
+  const auto scheduler = make_strategy(StrategyKind::kEb);
   Simulator sim(&topo, &topo.graph, &fabric, scheduler.get(),
                 SimulatorOptions{}, Rng(1));
   // Publish before, inside and after the window.

@@ -1,0 +1,110 @@
+// Microbenchmark: per-link state addressing, map-keyed vs EdgeId-indexed.
+//
+// One iteration = one touch of per-link state for a random existing
+// directed link — the shape of every hot per-link access in the simulator
+// (send start bookkeeping, estimator update, dead-link test).  Compares the
+// retired representation, std::map keyed on the (from, to) pair, against
+// the PR-3 one: Graph::edge_id into a flat EdgeMap / EdgeFlags.  Broker
+// counts 64 / 512 / 4096 over ~4 links per broker mirror the dense-graph
+// regime where the O(log n) tree walks became measurable.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <utility>
+
+#include "common/random.h"
+#include "topology/builders.h"
+#include "topology/edge_map.h"
+
+namespace {
+
+using namespace bdps;
+
+struct Rig {
+  Topology topo;
+  /// Query stream of existing directed links, pre-drawn so iterations
+  /// measure the lookup, not the RNG.
+  std::vector<std::pair<BrokerId, BrokerId>> queries;
+
+  explicit Rig(std::size_t brokers) {
+    Rng rng(7);
+    topo = build_random_mesh(rng, brokers, brokers * 3, 4,
+                             brokers, 50.0, 100.0, 20.0);
+    queries.reserve(1024);
+    for (std::size_t q = 0; q < 1024; ++q) {
+      const Edge& edge = topo.graph.edge(
+          static_cast<EdgeId>(rng.uniform_index(topo.graph.edge_count())));
+      queries.emplace_back(edge.from, edge.to);
+    }
+  }
+};
+
+/// The seed representation: one red-black tree walk per state touch.
+void BM_MapLinkState(benchmark::State& state) {
+  const Rig rig(static_cast<std::size_t>(state.range(0)));
+  std::map<std::pair<BrokerId, BrokerId>, TimeMs> started;
+  for (const auto& q : rig.queries) started[q] = 0.0;  // Warm, like a run.
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = rig.queries[i++ & 1023];
+    auto& slot = started[q];
+    slot += 1.0;
+    benchmark::DoNotOptimize(slot);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// The PR-3 representation: sorted-adjacency edge_id + flat indexed load.
+void BM_EdgeIdLinkState(benchmark::State& state) {
+  const Rig rig(static_cast<std::size_t>(state.range(0)));
+  EdgeMap<TimeMs> started(rig.topo.graph, 0.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = rig.queries[i++ & 1023];
+    auto& slot = started[rig.topo.graph.edge_id(q.first, q.second)];
+    slot += 1.0;
+    benchmark::DoNotOptimize(slot);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Dead-link membership, map era: set-of-pairs lookup.
+void BM_MapDeadLinkTest(benchmark::State& state) {
+  const Rig rig(static_cast<std::size_t>(state.range(0)));
+  std::map<std::pair<BrokerId, BrokerId>, bool> dead;
+  for (std::size_t q = 0; q < 1024; q += 16) dead[rig.queries[q]] = true;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = rig.queries[i++ & 1023];
+    benchmark::DoNotOptimize(dead.count(q));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Dead-link membership, EdgeId era: one bit test.
+void BM_EdgeFlagsDeadLinkTest(benchmark::State& state) {
+  const Rig rig(static_cast<std::size_t>(state.range(0)));
+  EdgeFlags dead(rig.topo.graph.edge_count());
+  for (std::size_t q = 0; q < 1024; q += 16) {
+    dead.set(rig.topo.graph.edge_id(rig.queries[q].first,
+                                    rig.queries[q].second));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = rig.queries[i++ & 1023];
+    benchmark::DoNotOptimize(
+        !dead.none() &&
+        dead.test(rig.topo.graph.edge_id(q.first, q.second)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+#define LOOKUP_ARGS ->Arg(64)->Arg(512)->Arg(4096)
+BENCHMARK(BM_MapLinkState) LOOKUP_ARGS;
+BENCHMARK(BM_EdgeIdLinkState) LOOKUP_ARGS;
+BENCHMARK(BM_MapDeadLinkTest) LOOKUP_ARGS;
+BENCHMARK(BM_EdgeFlagsDeadLinkTest) LOOKUP_ARGS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -28,6 +28,34 @@ void run_sim(benchmark::State& state, ScenarioKind scenario,
                                                  1, state.iterations())));
 }
 
+// Dense-graph variant: a scale-free overlay whose hubs multiply per-link
+// state (output queues, online estimators, dead-link checks).  This is the
+// loop where link addressing dominates: the paper's 32-broker mesh keeps
+// per-broker degree tiny, but at hundreds of brokers every send start,
+// completion and failure check pays the link-state lookup.
+void run_dense(benchmark::State& state) {
+  const auto brokers = static_cast<std::size_t>(state.range(0));
+  SimConfig config =
+      paper_base_config(ScenarioKind::kSsd, 10.0, StrategyKind::kEbpc, 1);
+  config.topology = TopologyKind::kScaleFree;
+  config.broker_count = brokers;
+  config.scale_free_edges_per_node = 4;
+  config.publisher_count = 8;
+  config.subscriber_count = brokers * 4;
+  config.online_estimation = true;
+  config.random_link_failures = brokers / 16;
+  config.workload.duration = minutes(1.0);
+  std::size_t receptions = 0;
+  for (auto _ : state) {
+    const SimResult r = run_simulation(config);
+    receptions += r.receptions;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(receptions));
+}
+
+void BM_SimulateDenseScaleFree(benchmark::State& s) { run_dense(s); }
+
 void BM_SimulatePsdEb(benchmark::State& s) {
   run_sim(s, ScenarioKind::kPsd, StrategyKind::kEb);
 }
@@ -41,6 +69,10 @@ void BM_SimulateSsdEbpc(benchmark::State& s) {
   run_sim(s, ScenarioKind::kSsd, StrategyKind::kEbpc);
 }
 
+BENCHMARK(BM_SimulateDenseScaleFree)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulatePsdEb)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulatePsdFifo)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateSsdEb)->Unit(benchmark::kMillisecond);

@@ -1,5 +1,6 @@
 #include "broker/broker.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -11,28 +12,47 @@ Broker::Broker(BrokerId id, const RoutingFabric* fabric,
                const Graph* believed_links, const Strategy* strategy,
                TimeMs processing_delay)
     : id_(id), fabric_(fabric), processing_delay_(processing_delay) {
-  // One queue per downstream neighbour appearing in the subscription table.
+  // One queue per downstream neighbour appearing in the subscription table,
+  // in ascending neighbour order (slot == rank).
+  std::vector<LinkRef> links;
   for (const SubscriptionEntry& entry : fabric->table(id).entries()) {
-    if (entry.is_local() || queues_.count(entry.next_hop)) continue;
-    const EdgeId edge = believed_links->find_edge(id, entry.next_hop);
+    if (entry.is_local()) continue;
+    // The table's edge id names the link in the fabric's graph; the queue
+    // needs it in `believed_links`, which may be a (same-shaped) copy — fall
+    // back to a lookup when the ids don't line up.
+    EdgeId edge = entry.next_hop_edge;
+    if (edge < 0 || static_cast<std::size_t>(edge) >=
+                        believed_links->edge_count() ||
+        believed_links->edge(edge).from != id ||
+        believed_links->edge(edge).to != entry.next_hop) {
+      edge = believed_links->edge_id(id, entry.next_hop);
+    }
     if (edge == kNoEdge) {
       throw std::invalid_argument(
           "subscription table references a neighbour without a link");
     }
-    queues_.emplace(entry.next_hop,
-                    OutputQueue(entry.next_hop, edge,
-                                believed_links->edge(edge).link.params(),
-                                strategy));
+    links.push_back(LinkRef{entry.next_hop, edge});
   }
-  // One reusable grouping slot per neighbour, in ascending BrokerId order
-  // (the degree is fixed for the broker's lifetime).
-  std::vector<BrokerId> neighbors;
-  neighbors.reserve(queues_.size());
-  for (const auto& [neighbor, queue] : queues_) {
-    (void)queue;
-    neighbors.push_back(neighbor);
+  std::sort(links.begin(), links.end(),
+            [](const LinkRef& a, const LinkRef& b) {
+              return a.neighbor < b.neighbor;
+            });
+  links.erase(std::unique(links.begin(), links.end(),
+                          [](const LinkRef& a, const LinkRef& b) {
+                            return a.neighbor == b.neighbor;
+                          }),
+              links.end());
+
+  queues_.reserve(links.size());
+  neighbors_.reserve(links.size());
+  for (const LinkRef& link : links) {
+    queues_.emplace_back(link.neighbor, link.edge,
+                         believed_links->edge(link.edge).link.params(),
+                         strategy);
+    neighbors_.push_back(link.neighbor);
   }
-  grouper_.bind(std::move(neighbors));
+  // One reusable grouping slot per link; grouper slot i == queue slot i.
+  grouper_.bind(std::move(links));
 }
 
 Broker::FanOut Broker::process(const std::shared_ptr<const Message>& message,
@@ -42,57 +62,76 @@ Broker::FanOut Broker::process(const std::shared_ptr<const Message>& message,
 
   FanOut result;
   // Group the matched rows by downstream neighbour; each group becomes one
-  // queued copy carrying exactly the subscriptions it still serves.
+  // queued copy carrying exactly the subscriptions it still serves.  Group
+  // slots and queue slots share the same order, so the grouping *is* the
+  // queue addressing.
   fabric_->match_at(id_, *message, match_scratch_);
   grouper_.group(match_scratch_, *message);
   result.local = grouper_.local();
 
-  for (auto& [neighbor, targets] : grouper_.groups()) {
-    if (targets.empty()) continue;
-    OutputQueue& out = queues_.at(neighbor);
+  std::vector<FanOutGroup>& groups = grouper_.groups();
+  for (QueueSlot slot = 0; slot < static_cast<QueueSlot>(groups.size());
+       ++slot) {
+    FanOutGroup& group = groups[slot];
+    if (group.targets.empty()) continue;
+    OutputQueue& out = queues_[slot];
     const bool was_startable = !out.link_busy();
-    QueuedMessage queued{message, now, std::move(targets)};
-    targets = {};  // Moved-from: reset to a clean empty slot.
+    QueuedMessage queued{message, now, std::move(group.targets)};
+    group.targets = {};  // Moved-from: reset to a clean empty slot.
     // Fold the time-invariant scoring constants now, while the rows are
     // cache-hot, so picks and purges never touch the subscription table.
     precompute_scores(queued, processing_delay_);
     out.enqueue(std::move(queued));
-    result.enqueued.push_back(neighbor);
-    if (was_startable) result.sendable.push_back(neighbor);
+    result.enqueued.push_back(slot);
+    if (was_startable) result.sendable.push_back(slot);
   }
   return result;
 }
 
-void Broker::take_next(std::span<const BrokerId> neighbors, TimeMs now,
+void Broker::take_next(std::span<const QueueSlot> slots, TimeMs now,
                        const PurgePolicy& policy, std::vector<Dispatch>& out,
                        ThreadPool* pool, bool collect_purged_ids) {
-  out.resize(neighbors.size());
+  out.resize(slots.size());
   const auto run_one = [&](std::size_t i) {
     Dispatch& dispatch = out[i];
-    dispatch.neighbor = neighbors[i];
+    OutputQueue& queue = queues_[slots[i]];
+    dispatch.slot = slots[i];
+    dispatch.neighbor = queue.neighbor();
     dispatch.purge = PurgeStats{};
     dispatch.purged_ids.clear();
-    OutputQueue& queue = queues_.at(neighbors[i]);
-    const SchedulingContext ctx = context(neighbors[i], now, processing_delay_);
+    const SchedulingContext ctx = context_at(slots[i], now, processing_delay_);
     dispatch.chosen = queue.take_next(
         ctx, policy, &dispatch.purge,
         collect_purged_ids ? &dispatch.purged_ids : nullptr);
   };
-  if (pool != nullptr && neighbors.size() >= kParallelDispatchThreshold) {
-    pool->parallel_for(neighbors.size(), run_one);
+  if (pool != nullptr && slots.size() >= kParallelDispatchThreshold) {
+    pool->parallel_for(slots.size(), run_one);
   } else {
-    for (std::size_t i = 0; i < neighbors.size(); ++i) run_one(i);
+    for (std::size_t i = 0; i < slots.size(); ++i) run_one(i);
   }
 }
 
-OutputQueue& Broker::queue(BrokerId neighbor) { return queues_.at(neighbor); }
+Broker::QueueSlot Broker::slot_of(BrokerId neighbor) const {
+  const auto it =
+      std::lower_bound(neighbors_.begin(), neighbors_.end(), neighbor);
+  if (it == neighbors_.end() || *it != neighbor) return kNoSlot;
+  return static_cast<QueueSlot>(it - neighbors_.begin());
+}
+
+OutputQueue& Broker::queue(BrokerId neighbor) {
+  const QueueSlot slot = slot_of(neighbor);
+  if (slot == kNoSlot) throw std::out_of_range("no queue toward neighbour");
+  return queues_[slot];
+}
 
 const OutputQueue& Broker::queue(BrokerId neighbor) const {
-  return queues_.at(neighbor);
+  const QueueSlot slot = slot_of(neighbor);
+  if (slot == kNoSlot) throw std::out_of_range("no queue toward neighbour");
+  return queues_[slot];
 }
 
 bool Broker::has_queue(BrokerId neighbor) const {
-  return queues_.count(neighbor) != 0;
+  return slot_of(neighbor) != kNoSlot;
 }
 
 double Broker::average_message_size_kb() const {
@@ -100,12 +139,19 @@ double Broker::average_message_size_kb() const {
   return total_size_kb_ / static_cast<double>(processed_count_);
 }
 
-SchedulingContext Broker::context(BrokerId neighbor, TimeMs now,
-                                  TimeMs processing_delay) const {
-  const OutputQueue& out = queues_.at(neighbor);
+SchedulingContext Broker::context_at(QueueSlot slot, TimeMs now,
+                                     TimeMs processing_delay) const {
+  const OutputQueue& out = queues_[slot];
   return SchedulingContext{
       now, processing_delay,
       out.head_of_line_estimate(average_message_size_kb())};
+}
+
+SchedulingContext Broker::context(BrokerId neighbor, TimeMs now,
+                                  TimeMs processing_delay) const {
+  const QueueSlot slot = slot_of(neighbor);
+  if (slot == kNoSlot) throw std::out_of_range("no queue toward neighbour");
+  return context_at(slot, now, processing_delay);
 }
 
 }  // namespace bdps

@@ -7,9 +7,24 @@
 // subscribers for this message's publisher.  Timing (processing delay,
 // send durations, link events) is driven from outside — the discrete-event
 // simulator and the threaded live runtime share this class.
+//
+// Queue storage is a flat slot vector in ascending neighbour order; the
+// QueueSlot index is the broker-local link address the hot path works in
+// (FanOut, Dispatch, take_next), and each queue also names its EdgeId for
+// global flat per-edge state.
+//
+// Migration notes (map-keyed queues → flat slots, PR 3):
+//   * `queues()` now returns `const std::vector<OutputQueue>&` (ascending
+//     neighbour order) instead of a `std::map<BrokerId, OutputQueue>`;
+//     iterate it directly, slot index == position.
+//   * `FanOut::sendable` / `FanOut::enqueued` and `take_next`'s batch are
+//     QueueSlots, not BrokerIds: use `queue_at(slot)` / its `.neighbor()`
+//     where an id is still needed, `slot_of(id)` to go the other way.
+//   * The BrokerId-taking `queue(id)` / `has_queue(id)` / `context(id, …)`
+//     survive as thin wrappers over `slot_of` for tests and examples; hot
+//     paths should stay in slot space.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -25,6 +40,11 @@ class ThreadPool;
 
 class Broker {
  public:
+  /// Index of an output queue within this broker's slot vector; dense in
+  /// [0, queue_count()), ascending neighbour order.
+  using QueueSlot = std::int32_t;
+  static constexpr QueueSlot kNoSlot = -1;
+
   /// `believed_links` provides the link parameters this broker uses for its
   /// scheduling math (FT); they may deviate from the true simulation links
   /// in the estimation ablation.  `strategy` is the run's shared scheduling
@@ -40,12 +60,11 @@ class Broker {
   struct FanOut {
     /// Local subscription rows matched by the message.
     std::vector<const SubscriptionEntry*> local;
-    /// Neighbours whose queue received a copy *and* whose link is idle —
-    /// the caller should start a send on each.
-    std::vector<BrokerId> sendable;
-    /// Every neighbour that received a copy (sendable or not); trace
-    /// support.
-    std::vector<BrokerId> enqueued;
+    /// Slots whose queue received a copy *and* whose link is idle — the
+    /// caller should start a send on each.
+    std::vector<QueueSlot> sendable;
+    /// Every slot that received a copy (sendable or not); trace support.
+    std::vector<QueueSlot> enqueued;
   };
 
   /// Matches `message` against the subscription table and enqueues copies
@@ -57,6 +76,9 @@ class Broker {
 
   /// One per-queue purge + pick outcome of take_next.
   struct Dispatch {
+    QueueSlot slot = kNoSlot;
+    /// The slot's downstream neighbour (= queue_at(slot).neighbor());
+    /// carried so trace/accounting consumers need no lookup.
     BrokerId neighbor = kNoBroker;
     std::optional<QueuedMessage> chosen;
     PurgeStats purge;
@@ -68,30 +90,44 @@ class Broker {
   /// purge + pick work across the thread pool (when one is provided).
   static constexpr std::size_t kParallelDispatchThreshold = 4;
 
-  /// Purges then picks on each named neighbour queue at instant `now`,
-  /// writing results into `out` in `neighbors` order (resized to match;
-  /// inner buffers are reused across calls).  Queue states are independent
-  /// — the paper's link-free instants decouple per-neighbour decisions —
-  /// so when `pool` is non-null and the batch reaches
-  /// kParallelDispatchThreshold the per-queue work runs across the pool;
-  /// results are bitwise identical either way.  The caller remains
-  /// responsible for busy flags and anything involving shared RNG streams
-  /// or event queues.
-  void take_next(std::span<const BrokerId> neighbors, TimeMs now,
+  /// Purges then picks on each named queue slot at instant `now`, writing
+  /// results into `out` in `slots` order (resized to match; inner buffers
+  /// are reused across calls).  Queue states are independent — the paper's
+  /// link-free instants decouple per-neighbour decisions — so when `pool`
+  /// is non-null and the batch reaches kParallelDispatchThreshold the
+  /// per-queue work runs across the pool; results are bitwise identical
+  /// either way.  The caller remains responsible for busy flags and
+  /// anything involving shared RNG streams or event queues.
+  void take_next(std::span<const QueueSlot> slots, TimeMs now,
                  const PurgePolicy& policy, std::vector<Dispatch>& out,
                  ThreadPool* pool = nullptr, bool collect_purged_ids = false);
 
-  /// The output queue toward `neighbor`; must exist.
+  std::size_t queue_count() const { return queues_.size(); }
+
+  /// Output queues in ascending neighbour order; position == QueueSlot.
+  const std::vector<OutputQueue>& queues() const { return queues_; }
+
+  OutputQueue& queue_at(QueueSlot slot) { return queues_[slot]; }
+  const OutputQueue& queue_at(QueueSlot slot) const { return queues_[slot]; }
+
+  /// Slot of the queue toward `neighbor`; kNoSlot when absent (binary
+  /// search over the sorted neighbour keys).
+  QueueSlot slot_of(BrokerId neighbor) const;
+
+  /// BrokerId-keyed wrappers over slot_of (tests/examples; see migration
+  /// notes above).  queue() throws std::out_of_range when absent.
   OutputQueue& queue(BrokerId neighbor);
   const OutputQueue& queue(BrokerId neighbor) const;
   bool has_queue(BrokerId neighbor) const;
-  const std::map<BrokerId, OutputQueue>& queues() const { return queues_; }
 
   /// Running average size of the messages this broker has processed; the
   /// paper's FT estimates head-of-line transmission time from it.
   double average_message_size_kb() const;
 
-  /// Builds the SchedulingContext for a pick/purge on `neighbor`'s queue.
+  /// Builds the SchedulingContext for a pick/purge on a slot's queue.
+  SchedulingContext context_at(QueueSlot slot, TimeMs now,
+                               TimeMs processing_delay) const;
+  /// BrokerId-keyed wrapper over context_at.
   SchedulingContext context(BrokerId neighbor, TimeMs now,
                             TimeMs processing_delay) const;
 
@@ -99,7 +135,10 @@ class Broker {
   BrokerId id_;
   const RoutingFabric* fabric_;
   TimeMs processing_delay_;
-  std::map<BrokerId, OutputQueue> queues_;
+  /// Flat queue storage; slot i's neighbour is mirrored in neighbors_[i]
+  /// (the contiguous binary-search key array behind slot_of).
+  std::vector<OutputQueue> queues_;
+  std::vector<BrokerId> neighbors_;
   double total_size_kb_ = 0.0;
   std::size_t processed_count_ = 0;
   // Scratch buffers reused across process() calls (no per-message allocation

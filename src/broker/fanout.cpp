@@ -7,13 +7,15 @@
 
 namespace bdps {
 
-void FanOutGrouper::bind(std::vector<BrokerId> neighbors) {
-  assert(std::is_sorted(neighbors.begin(), neighbors.end()));
+void FanOutGrouper::bind(std::vector<LinkRef> links) {
+  assert(std::is_sorted(links.begin(), links.end(),
+                        [](const LinkRef& a, const LinkRef& b) {
+                          return a.neighbor < b.neighbor;
+                        }));
   groups_.clear();
-  groups_.reserve(neighbors.size());
-  for (const BrokerId neighbor : neighbors) {
-    groups_.emplace_back(neighbor,
-                         std::vector<const SubscriptionEntry*>{});
+  groups_.reserve(links.size());
+  for (const LinkRef& link : links) {
+    groups_.push_back(FanOutGroup{link.neighbor, link.edge, {}});
   }
 }
 
@@ -21,9 +23,8 @@ void FanOutGrouper::group(
     const std::vector<const SubscriptionEntry*>& matched,
     const Message& message) {
   local_.clear();
-  for (auto& [neighbor, targets] : groups_) {
-    (void)neighbor;
-    targets.clear();
+  for (FanOutGroup& group : groups_) {
+    group.targets.clear();
   }
   for (const SubscriptionEntry* entry : matched) {
     if (!entry->serves_publisher(message.publisher())) continue;
@@ -33,9 +34,11 @@ void FanOutGrouper::group(
     } else {
       const auto slot = std::lower_bound(
           groups_.begin(), groups_.end(), entry->next_hop,
-          [](const auto& group, BrokerId id) { return group.first < id; });
-      assert(slot != groups_.end() && slot->first == entry->next_hop);
-      slot->second.push_back(entry);
+          [](const FanOutGroup& group, BrokerId id) {
+            return group.neighbor < id;
+          });
+      assert(slot != groups_.end() && slot->neighbor == entry->next_hop);
+      slot->targets.push_back(entry);
     }
   }
 }

@@ -6,23 +6,34 @@
 // downstream neighbour (each group becomes one queued copy).  The grouping
 // slots are a reused member sorted by neighbour id and binary searched —
 // broker degree is small and fixed — so a fan-out allocates nothing beyond
-// the targets vector each queued copy must own anyway.  The publisher-mask
-// and activation-window (churn) filters live here so both runtimes apply
-// the same admission rules.
+// the targets vector each queued copy must own anyway.  Each slot carries
+// the link's EdgeId alongside the neighbour id: slot order is the broker's
+// queue-slot order and the edge indexes flat per-link state, so consumers
+// never re-resolve a link.  The publisher-mask and activation-window
+// (churn) filters live here so both runtimes apply the same admission
+// rules.
 #pragma once
 
-#include <utility>
 #include <vector>
 
 #include "routing/subscription.h"
 
 namespace bdps {
 
+/// One reusable per-neighbour grouping slot.
+struct FanOutGroup {
+  BrokerId neighbor = kNoBroker;
+  EdgeId edge = kNoEdge;
+  std::vector<const SubscriptionEntry*> targets;
+};
+
 class FanOutGrouper {
  public:
-  /// One reusable slot per downstream neighbour; `neighbors` must be
-  /// sorted ascending and fixed for the grouper's lifetime.
-  void bind(std::vector<BrokerId> neighbors);
+  /// One reusable slot per downstream link; `links` must be sorted
+  /// ascending by neighbour and fixed for the grouper's lifetime.  Slot i
+  /// of groups() keeps links[i]'s neighbour/edge forever, so callers can
+  /// align external per-link arrays (e.g. Broker's queue slots) by index.
+  void bind(std::vector<LinkRef> links);
 
   /// Splits `matched` into local() and groups(), dropping rows whose entry
   /// does not serve `message`'s publisher or whose subscription was
@@ -33,16 +44,13 @@ class FanOutGrouper {
   const std::vector<const SubscriptionEntry*>& local() const { return local_; }
 
   /// Slots in ascending neighbour order; empty groups stay in place.
-  /// Callers may move a slot's vector out, leaving it empty for reuse.
-  std::vector<std::pair<BrokerId, std::vector<const SubscriptionEntry*>>>&
-  groups() {
-    return groups_;
-  }
+  /// Callers may move a slot's targets vector out, leaving it empty for
+  /// reuse.
+  std::vector<FanOutGroup>& groups() { return groups_; }
 
  private:
   std::vector<const SubscriptionEntry*> local_;
-  std::vector<std::pair<BrokerId, std::vector<const SubscriptionEntry*>>>
-      groups_;
+  std::vector<FanOutGroup> groups_;
 };
 
 }  // namespace bdps

@@ -1,0 +1,85 @@
+// Open-addressing hash set for non-negative 64-bit ids.
+//
+// The simulator's duplicate-arrival filter keeps one set of MessageIds per
+// broker; a std::set pays an allocation plus an O(log n) red-black walk per
+// arrival.  Ids are dense-ish non-negative integers, so a linear-probing
+// table with a mixed hash and -1 as the empty sentinel does the same job in
+// one or two contiguous probes and no per-insert allocation.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bdps {
+
+/// Flat hash set of non-negative std::int64_t ids (MessageId et al.).
+class FlatIdSet {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Inserts `id` (must be >= 0); false when it was already present.
+  bool insert(std::int64_t id) {
+    assert(id >= 0);
+    if (slots_.empty() || size_ * 8 >= slots_.size() * 7) grow();
+    std::size_t probe = mix(id) & mask_;
+    while (slots_[probe] != kEmpty) {
+      if (slots_[probe] == id) return false;
+      probe = (probe + 1) & mask_;
+    }
+    slots_[probe] = id;
+    ++size_;
+    return true;
+  }
+
+  bool contains(std::int64_t id) const {
+    assert(id >= 0);
+    if (slots_.empty()) return false;
+    std::size_t probe = mix(id) & mask_;
+    while (slots_[probe] != kEmpty) {
+      if (slots_[probe] == id) return true;
+      probe = (probe + 1) & mask_;
+    }
+    return false;
+  }
+
+  void clear() {
+    slots_.assign(slots_.size(), kEmpty);
+    size_ = 0;
+  }
+
+ private:
+  static constexpr std::int64_t kEmpty = -1;
+
+  /// splitmix64 finalizer: spreads sequential ids across the table.
+  static std::size_t mix(std::int64_t id) {
+    auto x = static_cast<std::uint64_t>(id);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+
+  void grow() {
+    const std::size_t capacity = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<std::int64_t> old = std::move(slots_);
+    slots_.assign(capacity, kEmpty);
+    mask_ = capacity - 1;
+    for (const std::int64_t id : old) {
+      if (id == kEmpty) continue;
+      std::size_t probe = mix(id) & mask_;
+      while (slots_[probe] != kEmpty) probe = (probe + 1) & mask_;
+      slots_[probe] = id;
+    }
+  }
+
+  std::vector<std::int64_t> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace bdps

@@ -29,6 +29,22 @@ using MessageId = std::int64_t;
 /// Sentinel for "no broker" (e.g. the next hop of a locally-delivered entry).
 inline constexpr BrokerId kNoBroker = -1;
 
+/// Index of a directed edge within a Graph's edge array; dense in [0, m).
+/// The canonical link address: per-link state across the simulator, broker
+/// and live runtime is held in flat arrays indexed by EdgeId (see
+/// topology/edge_map.h), never in maps keyed on (BrokerId, BrokerId).
+using EdgeId = std::int32_t;
+inline constexpr EdgeId kNoEdge = -1;
+
+/// A directed link named both ways: by downstream neighbour and by edge id.
+/// Produced wherever a neighbour id is minted (routing tables, fan-out
+/// groups) so consumers can index flat per-edge state without re-resolving
+/// the link.
+struct LinkRef {
+  BrokerId neighbor = kNoBroker;
+  EdgeId edge = kNoEdge;
+};
+
 /// Sentinel for "no deadline specified".
 inline constexpr TimeMs kNoDeadline = std::numeric_limits<TimeMs>::infinity();
 

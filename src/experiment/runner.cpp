@@ -1,10 +1,10 @@
 #include "experiment/runner.h"
 
 #include <algorithm>
-#include <set>
 #include <utility>
 
 #include "routing/fabric.h"
+#include "topology/edge_map.h"
 #include "workload/generator.h"
 
 namespace bdps {
@@ -78,20 +78,25 @@ SimResult run_simulation(const SimConfig& config) {
   options.failures = config.link_failures;
   if (config.random_link_failures > 0 && topology.graph.edge_count() > 0) {
     Rng failure_rng = root.split();
-    std::set<std::pair<BrokerId, BrokerId>> chosen;
+    // Undirected links are deduplicated by their canonical (min -> max)
+    // direction's edge id — one flag bit per edge instead of a pair set.
+    EdgeFlags chosen(topology.graph.edge_count());
     const std::size_t limit =
         std::min(config.random_link_failures,
                  topology.graph.edge_count() / 2);
     std::size_t guard = 0;
-    while (chosen.size() < limit && ++guard < 100 * limit) {
-      const Edge& edge = topology.graph.edge(static_cast<EdgeId>(
-          failure_rng.uniform_index(topology.graph.edge_count())));
-      const auto key = std::make_pair(std::min(edge.from, edge.to),
-                                      std::max(edge.from, edge.to));
-      if (!chosen.insert(key).second) continue;
+    while (chosen.count() < limit && ++guard < 100 * limit) {
+      const auto id = static_cast<EdgeId>(
+          failure_rng.uniform_index(topology.graph.edge_count()));
+      const Edge& edge = topology.graph.edge(id);
+      const BrokerId lo = std::min(edge.from, edge.to);
+      const BrokerId hi = std::max(edge.from, edge.to);
+      EdgeId canonical = topology.graph.edge_id(lo, hi);
+      if (canonical == kNoEdge) canonical = id;  // One-way link.
+      if (chosen.test(canonical)) continue;
+      chosen.set(canonical);
       options.failures.push_back(LinkFailure{
-          failure_rng.uniform(0.0, config.workload.duration), key.first,
-          key.second});
+          failure_rng.uniform(0.0, config.workload.duration), lo, hi});
     }
   }
 

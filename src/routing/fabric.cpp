@@ -107,6 +107,8 @@ RoutingFabric::RoutingFabric(const Topology& topology,
         entry.path = kLocalPath;
       } else {
         entry.next_hop = tree.next_hop[broker];
+        entry.next_hop_edge =
+            topology.graph.edge_id(broker, entry.next_hop);
         entry.path = tree.stats[broker];
       }
       tables_[broker].add(entry);
@@ -125,6 +127,7 @@ RoutingFabric::RoutingFabric(const Topology& topology,
         if (alt == alt_it->second) {
           SubscriptionEntry alt_entry = entry;
           alt_entry.next_hop = alt;
+          alt_entry.next_hop_edge = topology.graph.edge_id(broker, alt);
           alt_entry.path = alt_stats;
           tables_[broker].add(alt_entry);
           const auto alt_id = broker_indexes_[broker].add(sub.filter);

@@ -63,6 +63,11 @@ struct SubscriptionEntry {
   /// Downstream neighbour toward the subscriber; kNoBroker when the
   /// subscriber is attached to this very broker (local delivery).
   BrokerId next_hop = kNoBroker;
+  /// Id of the directed link owning-broker -> next_hop in the fabric's
+  /// graph (kNoEdge for local rows).  Surfaced so per-link consumers —
+  /// output queues, live sender workers, flat per-edge state — index by
+  /// EdgeId without ever re-resolving the link.
+  EdgeId next_hop_edge = kNoEdge;
   /// Remaining path statistics from this broker to the subscriber.
   PathStats path;
   /// Publishers whose chosen path to this subscriber passes through the

@@ -1,7 +1,7 @@
 #include "runtime/live_network.h"
 
+#include <algorithm>
 #include <condition_variable>
-#include <set>
 #include <stdexcept>
 
 #include "broker/fanout.h"
@@ -45,26 +45,43 @@ LiveNetwork::LiveNetwork(const Topology* topology, const RoutingFabric* fabric,
   size_totals_.resize(n);
   for (auto& t : size_totals_) t = std::make_unique<SizeTotal>();
 
-  // One sender worker per directed link that some subscription routes over.
-  Rng rng(options_.seed);
-  std::set<std::pair<BrokerId, BrokerId>> needed;
+  // One sender worker per directed link that some subscription routes over;
+  // link_by_edge_ marks the needed edges, then workers are created in
+  // (from, to) order so the per-worker RNG streams stay deterministic.
+  link_by_edge_.assign(topology_->graph.edge_count(), nullptr);
+  out_links_.resize(n);
+  std::vector<EdgeId> needed;
   for (std::size_t b = 0; b < n; ++b) {
     for (const SubscriptionEntry& entry :
          fabric_->table(static_cast<BrokerId>(b)).entries()) {
-      if (!entry.is_local()) {
-        needed.emplace(static_cast<BrokerId>(b), entry.next_hop);
+      if (entry.is_local()) continue;
+      const EdgeId edge =
+          topology_->graph.edge_id(static_cast<BrokerId>(b), entry.next_hop);
+      if (edge == kNoEdge) {
+        throw std::invalid_argument(
+            "live network: table references missing link");
       }
+      needed.push_back(edge);
     }
   }
-  for (const auto& [from, to] : needed) {
-    const EdgeId edge = topology_->graph.find_edge(from, to);
-    if (edge == kNoEdge) {
-      throw std::invalid_argument("live network: table references missing link");
-    }
+  std::sort(needed.begin(), needed.end(),
+            [this](EdgeId a, EdgeId b) {
+              const Edge& ea = topology_->graph.edge(a);
+              const Edge& eb = topology_->graph.edge(b);
+              if (ea.from != eb.from) return ea.from < eb.from;
+              return ea.to < eb.to;
+            });
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+
+  Rng rng(options_.seed);
+  for (const EdgeId edge : needed) {
+    const Edge& e = topology_->graph.edge(edge);
     links_.push_back(std::make_unique<LinkWorker>(
-        from, to, edge, topology_->graph.edge(edge).link.params(), strategy_,
-        rng.split()));
-    link_map_[{from, to}] = links_.back().get();
+        e.from, e.to, edge, e.link.params(), strategy_, rng.split()));
+    link_by_edge_[edge] = links_.back().get();
+    // (from, to)-sorted iteration makes each out_links_ row ascending by
+    // neighbour — the order FanOutGrouper::bind requires.
+    out_links_[e.from].push_back(LinkRef{e.to, edge});
   }
 }
 
@@ -122,17 +139,11 @@ void LiveNetwork::receiver_loop(BrokerId broker) {
   Channel<std::shared_ptr<const Message>>& inbox = *inboxes_[broker];
   // Match scratch and fan-out grouper reused across messages (one receiver
   // thread per broker) — the same sorted-slot grouping Broker::process
-  // uses, churn filter included, instead of a per-message std::map.
+  // uses, churn filter included; each group's edge id indexes the flat
+  // worker table directly.
   std::vector<const SubscriptionEntry*> matched;
   FanOutGrouper grouper;
-  {
-    std::vector<BrokerId> neighbors;
-    for (const auto& [route, worker] : link_map_) {
-      (void)worker;
-      if (route.first == broker) neighbors.push_back(route.second);
-    }
-    grouper.bind(std::move(neighbors));  // map order: already ascending.
-  }
+  grouper.bind(out_links_[broker]);
   for (;;) {
     auto popped = inbox.pop();
     if (!popped.has_value()) return;  // Closed and drained.
@@ -157,11 +168,11 @@ void LiveNetwork::receiver_loop(BrokerId broker) {
                                       entry->subscription->price});
     }
 
-    for (auto& [neighbor, targets] : grouper.groups()) {
-      if (targets.empty()) continue;
-      LinkWorker* worker = link_map_.at({broker, neighbor});
-      QueuedMessage queued{message, now, std::move(targets)};
-      targets = {};  // Moved-from: reset to a clean empty slot.
+    for (FanOutGroup& group : grouper.groups()) {
+      if (group.targets.empty()) continue;
+      LinkWorker* worker = link_by_edge_[group.edge];
+      QueuedMessage queued{message, now, std::move(group.targets)};
+      group.targets = {};  // Moved-from: reset to a clean empty slot.
       // Fold the scoring kernel on the receiver thread, outside the sender's
       // lock: picks and purges on the hot sender loop then never touch the
       // subscription table.

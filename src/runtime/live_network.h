@@ -10,18 +10,22 @@
 // OutputQueue::take_next (purge + incremental pick) under the link lock,
 // sleep the sampled transmission time and push into the downstream inbox.
 //
+// Link workers are addressed by EdgeId: a flat per-edge table replaces the
+// former (from, to)-keyed map, and the fan-out groups carry the edge id, so
+// a receiver reaches its downstream worker with one indexed load.
+//
 // An outstanding-work counter lets `drain()` block until every copy in
 // flight has been delivered, purged or dropped; `stop()` then closes all
 // channels and joins the threads (also invoked by the destructor).
 #pragma once
 
-#include <map>
 #include <optional>
 #include <thread>
 #include <utility>
 
 #include "runtime/live_broker.h"
 #include "scheduling/purge.h"
+#include "topology/edge_map.h"
 
 namespace bdps {
 
@@ -83,7 +87,12 @@ class LiveNetwork {
       inboxes_;
   std::vector<std::unique_ptr<SizeTotal>> size_totals_;
   std::vector<std::unique_ptr<LinkWorker>> links_;
-  std::map<std::pair<BrokerId, BrokerId>, LinkWorker*> link_map_;
+  /// Flat per-edge worker table (nullptr where the link carries no
+  /// subscriptions); the edge ids in a receiver's fan-out groups index it.
+  EdgeMap<LinkWorker*> link_by_edge_;
+  /// Per-broker downstream links (ascending neighbour order): each
+  /// receiver's FanOutGrouper binding.
+  std::vector<std::vector<LinkRef>> out_links_;
   std::vector<std::thread> threads_;
 
   std::atomic<std::size_t> outstanding_{0};

@@ -10,22 +10,54 @@ Simulator::Simulator(const Topology* topology, const Graph* believed,
                      const RoutingFabric* fabric, const Strategy* strategy,
                      SimulatorOptions options, Rng link_rng)
     : topology_(topology),
+      believed_(believed),
       fabric_(fabric),
       options_(options),
       link_rng_(link_rng) {
-  brokers_.reserve(topology->graph.broker_count());
-  for (std::size_t b = 0; b < topology->graph.broker_count(); ++b) {
+  const std::size_t broker_count = topology->graph.broker_count();
+  brokers_.reserve(broker_count);
+  for (std::size_t b = 0; b < broker_count; ++b) {
     brokers_.emplace_back(static_cast<BrokerId>(b), fabric, believed,
                           strategy, options_.processing_delay);
   }
+  // Resolve each queue slot to its true directed link once; every per-link
+  // access afterwards is a flat indexed load.
+  const std::size_t edge_count = topology->graph.edge_count();
+  true_edge_by_slot_.resize(broker_count);
+  for (std::size_t b = 0; b < broker_count; ++b) {
+    const Broker& broker = brokers_[b];
+    auto& edges = true_edge_by_slot_[b];
+    edges.reserve(broker.queue_count());
+    for (const OutputQueue& queue : broker.queues()) {
+      const EdgeId true_edge = topology->graph.edge_id(
+          static_cast<BrokerId>(b), queue.neighbor());
+      if (true_edge == kNoEdge) {
+        throw std::logic_error(
+            "believed link has no counterpart in the true topology");
+      }
+      edges.push_back(true_edge);
+    }
+  }
+  dead_.assign(edge_count);
+  if (options_.online_estimation) {
+    send_started_.assign(edge_count, 0.0);
+    estimators_.assign(edge_count,
+                       RateEstimator(options_.estimator_min_samples));
+    estimator_live_.assign(edge_count);
+  }
   if (options_.dedup_arrivals) {
-    seen_.resize(topology->graph.broker_count());
+    seen_.resize(broker_count);
   }
   if (options_.serialize_processing) {
-    input_queues_.resize(topology->graph.broker_count());
-    processing_busy_.assign(topology->graph.broker_count(), false);
+    input_queues_.resize(broker_count);
+    processing_busy_.assign(broker_count, false);
   }
   for (const LinkFailure& failure : options_.failures) {
+    const auto n = static_cast<BrokerId>(broker_count);
+    if (failure.a < 0 || failure.a >= n || failure.b < 0 || failure.b >= n) {
+      throw std::invalid_argument(
+          "link failure references a broker outside the topology");
+    }
     Event event;
     event.time = failure.at;
     event.type = EventType::kLinkFailure;
@@ -88,19 +120,18 @@ void Simulator::trace_id(TraceEventKind kind, MessageId message,
   trace_->record(TraceEvent{now_, kind, message, broker, neighbor, -1, false});
 }
 
-bool Simulator::link_dead(BrokerId a, BrokerId b) const {
-  if (dead_links_.empty()) return false;
-  return dead_links_.count({std::min(a, b), std::max(a, b)}) != 0;
+void Simulator::drain_dead_queue(BrokerId broker_id, BrokerId neighbor) {
+  const Broker::QueueSlot slot = brokers_[broker_id].slot_of(neighbor);
+  if (slot == Broker::kNoSlot) return;
+  drain_dead_slot(broker_id, slot);
 }
 
-void Simulator::drain_dead_queue(BrokerId broker_id, BrokerId neighbor) {
-  Broker& broker = brokers_[broker_id];
-  if (!broker.has_queue(neighbor)) return;
-  OutputQueue& out = broker.queue(neighbor);
+void Simulator::drain_dead_slot(BrokerId broker_id, Broker::QueueSlot slot) {
+  OutputQueue& out = brokers_[broker_id].queue_at(slot);
   if (trace_ != nullptr) {
     for (const QueuedMessage& queued : out.messages()) {
       trace_id(TraceEventKind::kLoss, queued.message->id(), broker_id,
-               neighbor);
+               out.neighbor());
     }
   }
   const std::size_t dropped = out.clear();
@@ -108,9 +139,14 @@ void Simulator::drain_dead_queue(BrokerId broker_id, BrokerId neighbor) {
 }
 
 void Simulator::handle_link_failure(const Event& event) {
+  // Broker ids were range-checked at construction; the pair may still name
+  // a non-adjacent pair, which kills nothing.
   const BrokerId a = event.broker;
   const BrokerId b = event.neighbor;
-  dead_links_.insert({std::min(a, b), std::max(a, b)});
+  const EdgeId forward = topology_->graph.edge_id(a, b);
+  if (forward != kNoEdge) dead_.set(forward);
+  const EdgeId backward = topology_->graph.edge_id(b, a);
+  if (backward != kNoEdge) dead_.set(backward);
   // Queued copies in both directions are dropped immediately; an in-flight
   // send is handled (and lost) when its completion event fires.
   drain_dead_queue(a, b);
@@ -141,7 +177,7 @@ void Simulator::handle_arrival(Event& event) {
   collector_.on_reception();
   trace(TraceEventKind::kArrival, *event.message, event.broker);
   if (options_.dedup_arrivals &&
-      !seen_[event.broker].insert(event.message->id()).second) {
+      !seen_[event.broker].insert(event.message->id())) {
     return;  // Duplicate copy over a redundant path; count it, drop it.
   }
   if (options_.serialize_processing) {
@@ -171,8 +207,11 @@ void Simulator::handle_processed(Event& event) {
     trace(TraceEventKind::kDeliver, *event.message, event.broker, kNoBroker,
           entry->subscription->subscriber, delay <= deadline);
   }
-  for (const BrokerId neighbor : fanout.enqueued) {
-    trace(TraceEventKind::kEnqueue, *event.message, event.broker, neighbor);
+  if (trace_ != nullptr) {
+    for (const Broker::QueueSlot slot : fanout.enqueued) {
+      trace(TraceEventKind::kEnqueue, *event.message, event.broker,
+            broker.queue_at(slot).neighbor());
+    }
   }
   start_sends(event.broker, fanout.sendable);
 
@@ -193,55 +232,54 @@ void Simulator::handle_processed(Event& event) {
 }
 
 void Simulator::start_sends(BrokerId broker_id,
-                            std::span<const BrokerId> neighbors) {
-  live_neighbors_.clear();
-  for (const BrokerId neighbor : neighbors) {
-    if (link_dead(broker_id, neighbor)) {
-      drain_dead_queue(broker_id, neighbor);
-    } else {
-      live_neighbors_.push_back(neighbor);
+                            std::span<const Broker::QueueSlot> slots) {
+  const std::vector<EdgeId>& true_edges = true_edge_by_slot_[broker_id];
+  live_slots_.clear();
+  if (dead_.none()) {
+    live_slots_.assign(slots.begin(), slots.end());
+  } else {
+    for (const Broker::QueueSlot slot : slots) {
+      if (dead_.test(true_edges[slot])) {
+        drain_dead_slot(broker_id, slot);
+      } else {
+        live_slots_.push_back(slot);
+      }
     }
   }
-  if (live_neighbors_.empty()) return;
+  if (live_slots_.empty()) return;
   Broker& broker = brokers_[broker_id];
 
   // Phase 1 — per-queue purge + pick.  Queue states are independent, so
   // Broker::take_next may fan this across the dispatch pool; the results
-  // come back in neighbour order either way.
-  broker.take_next(live_neighbors_, now_, options_.purge, dispatch_,
+  // come back in slot order either way.
+  broker.take_next(live_slots_, now_, options_.purge, dispatch_,
                    options_.dispatch_pool, trace_ != nullptr);
 
-  // Phase 2 — serial accounting, RNG sampling and event pushes in
-  // neighbour order, keeping runs reproducible from the seed alone.
+  // Phase 2 — serial accounting, RNG sampling and event pushes in slot
+  // order, keeping runs reproducible from the seed alone.
   for (Broker::Dispatch& dispatch : dispatch_) {
-    const BrokerId neighbor = dispatch.neighbor;
     collector_.on_purge(dispatch.purge);
     for (const MessageId id : dispatch.purged_ids) {
-      trace_id(TraceEventKind::kPurge, id, broker_id, neighbor);
+      trace_id(TraceEventKind::kPurge, id, broker_id, dispatch.neighbor);
     }
     if (!dispatch.chosen.has_value()) continue;  // Purge emptied the queue.
     trace(TraceEventKind::kSendStart, *dispatch.chosen->message, broker_id,
-          neighbor);
+          dispatch.neighbor);
 
-    const EdgeId true_edge = topology_->graph.find_edge(broker_id, neighbor);
-    if (true_edge == kNoEdge) {
-      throw std::logic_error("send scheduled on a non-existent link");
-    }
+    const EdgeId true_edge = true_edges[dispatch.slot];
     const TimeMs duration =
         topology_->graph.edge(true_edge).link.sample_send_time(
             link_rng_, dispatch.chosen->message->size_kb());
 
-    broker.queue(neighbor).set_link_busy(true);
+    broker.queue_at(dispatch.slot).set_link_busy(true);
     if (options_.online_estimation) {
-      send_started_[{broker_id, neighbor}] = now_;
-      initial_beliefs_.try_emplace({broker_id, neighbor},
-                                   broker.queue(neighbor).believed_link());
+      send_started_[true_edge] = now_;
     }
     Event complete;
     complete.time = now_ + duration;
     complete.type = EventType::kSendComplete;
     complete.broker = broker_id;
-    complete.neighbor = neighbor;
+    complete.neighbor = dispatch.neighbor;
     complete.message = std::move(dispatch.chosen->message);
     events_.push(std::move(complete));
   }
@@ -249,29 +287,32 @@ void Simulator::start_sends(BrokerId broker_id,
 
 void Simulator::handle_send_complete(Event& event) {
   Broker& broker = brokers_[event.broker];
-  OutputQueue& out = broker.queue(event.neighbor);
+  const Broker::QueueSlot slot = broker.slot_of(event.neighbor);
+  OutputQueue& out = broker.queue_at(slot);
   out.set_link_busy(false);
 
-  if (link_dead(event.broker, event.neighbor)) {
+  const EdgeId true_edge = true_edge_by_slot_[event.broker][slot];
+  if (!dead_.none() && dead_.test(true_edge)) {
     // The transfer was cut mid-flight: the copy is lost, and anything that
     // queued up since the failure is unreachable too.
     collector_.on_loss(1);
     trace(TraceEventKind::kLoss, *event.message, event.broker,
           event.neighbor);
-    drain_dead_queue(event.broker, event.neighbor);
+    drain_dead_slot(event.broker, slot);
     return;
   }
   trace(TraceEventKind::kSendEnd, *event.message, event.broker,
         event.neighbor);
 
   if (options_.online_estimation) {
-    const std::pair<BrokerId, BrokerId> key{event.broker, event.neighbor};
-    auto [it, inserted] = estimators_.try_emplace(
-        key, RateEstimator(options_.estimator_min_samples));
-    (void)inserted;
-    it->second.observe(event.message->size_kb(),
-                       now_ - send_started_.at(key));
-    out.set_believed_link(it->second.estimate(initial_beliefs_.at(key)));
+    RateEstimator& estimator = estimators_[true_edge];
+    estimator_live_.set(true_edge);
+    estimator.observe(event.message->size_kb(),
+                      now_ - send_started_[true_edge]);
+    // The prior is the queue's construction-time belief, read straight off
+    // the believed graph (the queue's edge id names it).
+    out.set_believed_link(
+        estimator.estimate(believed_->edge(out.edge()).link.params()));
   }
 
   Event arrival;
@@ -282,15 +323,21 @@ void Simulator::handle_send_complete(Event& event) {
   events_.push(std::move(arrival));
 
   if (!out.empty()) {
-    const BrokerId neighbor[1] = {event.neighbor};
-    start_sends(event.broker, neighbor);
+    const Broker::QueueSlot resend[1] = {slot};
+    start_sends(event.broker, resend);
   }
 }
 
 const RateEstimator* Simulator::estimator(BrokerId broker,
                                           BrokerId neighbor) const {
-  const auto it = estimators_.find({broker, neighbor});
-  return it == estimators_.end() ? nullptr : &it->second;
+  if (estimator_live_.none()) return nullptr;
+  const auto n = static_cast<BrokerId>(topology_->graph.broker_count());
+  if (broker < 0 || broker >= n || neighbor < 0 || neighbor >= n) {
+    return nullptr;  // edge_id expects in-range broker ids.
+  }
+  const EdgeId edge = topology_->graph.edge_id(broker, neighbor);
+  if (edge == kNoEdge || !estimator_live_.test(edge)) return nullptr;
+  return &estimators_[edge];
 }
 
 }  // namespace bdps

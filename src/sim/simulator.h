@@ -6,21 +6,27 @@
 // sampled per send from the *true* link model, while every scheduling
 // decision uses the brokers' *believed* parameters — the gap between the
 // two is the estimation ablation.
+//
+// Per-link state (in-flight send start, online estimator, dead-link bit)
+// lives in flat arrays indexed by the true graph's EdgeId; the broker's
+// queue slots are resolved to true edge ids once at construction, so the
+// hot loop's failure kills, dead-link checks and estimator updates are O(1)
+// indexed loads with no map in sight.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include <deque>
-#include <map>
-#include <set>
 #include <utility>
 
 #include "broker/broker.h"
+#include "common/flat_set.h"
 #include "common/thread_pool.h"
 #include "sim/collector.h"
 #include "sim/event_queue.h"
 #include "stats/rate_estimator.h"
+#include "topology/edge_map.h"
 #include "trace/trace.h"
 
 namespace bdps {
@@ -70,6 +76,7 @@ class Simulator {
  public:
   /// `topology` provides the ground-truth links sends are sampled from;
   /// `believed` the parameters brokers schedule with (usually the same
+  /// graph, and in any case one whose directed links all exist in the true
   /// graph); both must outlive the simulator, as must `fabric` and
   /// `strategy` (the shared scheduling policy every queue mints its
   /// SchedulerState from).
@@ -110,15 +117,19 @@ class Simulator {
   void handle_processed(Event& event);
   void handle_send_complete(Event& event);
   void handle_link_failure(const Event& event);
-  /// Purges + picks each live neighbour queue (in parallel for high-degree
-  /// fan-outs when options_.dispatch_pool is set), then serially samples
-  /// send durations and pushes completion events in `neighbors` order.
-  void start_sends(BrokerId broker, std::span<const BrokerId> neighbors);
-  bool link_dead(BrokerId a, BrokerId b) const;
+  /// Purges + picks each live (non-dead-link) slot queue (in parallel for
+  /// high-degree fan-outs when options_.dispatch_pool is set), then
+  /// serially samples send durations and pushes completion events in slot
+  /// order.
+  void start_sends(BrokerId broker, std::span<const Broker::QueueSlot> slots);
   /// Drops every queued copy on the (now dead) queue; counts losses.
   void drain_dead_queue(BrokerId broker, BrokerId neighbor);
+  void drain_dead_slot(BrokerId broker, Broker::QueueSlot slot);
 
   const Topology* topology_;
+  /// The graph scheduling beliefs were constructed from; also the online
+  /// estimator's prior.
+  const Graph* believed_;
   const RoutingFabric* fabric_;
   SimulatorOptions options_;
   Rng link_rng_;
@@ -128,25 +139,29 @@ class Simulator {
   Collector collector_;
   TimeMs now_ = 0.0;
 
-  /// Believed parameters at construction, kept as the estimator prior.
-  std::map<std::pair<BrokerId, BrokerId>, LinkParams> initial_beliefs_;
-  std::map<std::pair<BrokerId, BrokerId>, RateEstimator> estimators_;
+  /// true_edge_by_slot_[broker][slot]: id of the *true* directed link
+  /// behind that broker's queue slot, resolved once at construction — the
+  /// bridge from broker-local slots to the flat per-edge state below.
+  std::vector<std::vector<EdgeId>> true_edge_by_slot_;
   /// Start time of the in-flight send per link (to compute its duration on
-  /// completion without widening the Event struct).
-  std::map<std::pair<BrokerId, BrokerId>, TimeMs> send_started_;
+  /// completion without widening the Event struct); online estimation only.
+  EdgeMap<TimeMs> send_started_;
+  /// Per-link online estimators + which of them ever saw a send.
+  EdgeMap<RateEstimator> estimators_;
+  EdgeFlags estimator_live_;
+  /// Links killed by failure injection (directed bits; a failure sets both
+  /// directions).
+  EdgeFlags dead_;
   /// Per-broker set of already-processed message ids (dedup_arrivals).
-  std::vector<std::set<MessageId>> seen_;
+  std::vector<FlatIdSet> seen_;
   /// Input queues (serialize_processing): pending arrivals per broker plus
   /// the busy flag of the single processing unit.
   std::vector<std::deque<std::shared_ptr<const Message>>> input_queues_;
   std::vector<bool> processing_busy_;
-  /// Links killed by failure injection, stored in canonical (min, max)
-  /// order.
-  std::set<std::pair<BrokerId, BrokerId>> dead_links_;
   TraceSink* trace_ = nullptr;
   /// Scratch reused across dispatches: the live (non-dead-link) subset of a
   /// fan-out and the per-queue take_next results.
-  std::vector<BrokerId> live_neighbors_;
+  std::vector<Broker::QueueSlot> live_slots_;
   std::vector<Broker::Dispatch> dispatch_;
 };
 

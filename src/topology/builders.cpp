@@ -137,7 +137,7 @@ Topology build_random_mesh(Rng& rng, std::size_t broker_count,
   while (added < extra_edges && ++attempts < max_attempts) {
     const auto a = static_cast<BrokerId>(rng.uniform_index(broker_count));
     const auto b = static_cast<BrokerId>(rng.uniform_index(broker_count));
-    if (a == b || topo.graph.find_edge(a, b) != kNoEdge) continue;
+    if (a == b || topo.graph.edge_id(a, b) != kNoEdge) continue;
     topo.graph.add_bidirectional(
         a, b, random_link(rng, link_mean_lo, link_mean_hi, link_stddev));
     ++added;

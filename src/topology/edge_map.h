@@ -1,0 +1,102 @@
+// Dense per-edge state containers.
+//
+// The hot loops of the system are per-link: every send start, completion,
+// failure check and estimator update addresses one directed edge.  EdgeIds
+// are dense in [0, edge_count), so per-link state belongs in flat arrays —
+// one O(1) indexed load — not in std::maps keyed on (BrokerId, BrokerId)
+// pairs paying O(log n) pointer-chasing tree walks.  EdgeMap<T> is that
+// array with an EdgeId-typed interface; EdgeFlags is the one-bit-per-edge
+// specialisation (dead links, membership sets) with a popcount-free
+// `none()` fast path for the common no-failure run.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "topology/graph.h"
+
+namespace bdps {
+
+/// Flat T-per-directed-edge array indexed by EdgeId.
+template <typename T>
+class EdgeMap {
+ public:
+  EdgeMap() = default;
+  explicit EdgeMap(std::size_t edge_count, const T& initial = T())
+      : values_(edge_count, initial) {}
+  explicit EdgeMap(const Graph& graph, const T& initial = T())
+      : values_(graph.edge_count(), initial) {}
+
+  /// (Re)sizes to one slot per edge, resetting every slot to `initial`.
+  void assign(std::size_t edge_count, const T& initial = T()) {
+    values_.assign(edge_count, initial);
+  }
+
+  bool empty() const { return values_.empty(); }
+  std::size_t size() const { return values_.size(); }
+
+  T& operator[](EdgeId id) {
+    assert(id >= 0 && static_cast<std::size_t>(id) < values_.size());
+    return values_[static_cast<std::size_t>(id)];
+  }
+  const T& operator[](EdgeId id) const {
+    assert(id >= 0 && static_cast<std::size_t>(id) < values_.size());
+    return values_[static_cast<std::size_t>(id)];
+  }
+
+ private:
+  std::vector<T> values_;
+};
+
+/// One bit per directed edge, with a set-bit count so `none()` — the guard
+/// in front of every dead-link test — is a single integer compare.
+class EdgeFlags {
+ public:
+  EdgeFlags() = default;
+  explicit EdgeFlags(std::size_t edge_count) { assign(edge_count); }
+
+  /// (Re)sizes to `edge_count` bits, all clear.
+  void assign(std::size_t edge_count) {
+    bits_ = edge_count;
+    words_.assign((edge_count + 63) / 64, 0);
+    set_count_ = 0;
+  }
+
+  std::size_t size() const { return bits_; }
+  std::size_t count() const { return set_count_; }
+  bool none() const { return set_count_ == 0; }
+  bool any() const { return set_count_ != 0; }
+
+  bool test(EdgeId id) const {
+    assert(id >= 0 && static_cast<std::size_t>(id) < bits_);
+    return (words_[static_cast<std::size_t>(id) >> 6] >>
+            (static_cast<std::size_t>(id) & 63)) &
+           1u;
+  }
+
+  void set(EdgeId id) {
+    assert(id >= 0 && static_cast<std::size_t>(id) < bits_);
+    std::uint64_t& word = words_[static_cast<std::size_t>(id) >> 6];
+    const std::uint64_t mask = 1ULL << (static_cast<std::size_t>(id) & 63);
+    set_count_ += (word & mask) == 0;
+    word |= mask;
+  }
+
+  void reset(EdgeId id) {
+    assert(id >= 0 && static_cast<std::size_t>(id) < bits_);
+    std::uint64_t& word = words_[static_cast<std::size_t>(id) >> 6];
+    const std::uint64_t mask = 1ULL << (static_cast<std::size_t>(id) & 63);
+    set_count_ -= (word & mask) != 0;
+    word &= ~mask;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t bits_ = 0;
+  std::size_t set_count_ = 0;
+};
+
+}  // namespace bdps

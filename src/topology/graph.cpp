@@ -1,15 +1,26 @@
 #include "topology/graph.h"
 
+#include <algorithm>
+#include <cassert>
+
 namespace bdps {
 
 void Graph::resize(std::size_t broker_count) {
   adjacency_.resize(broker_count);
+  sorted_out_.resize(broker_count);
 }
 
 EdgeId Graph::add_edge(BrokerId from, BrokerId to, LinkParams params) {
   const auto id = static_cast<EdgeId>(edges_.size());
   edges_.push_back(Edge{from, to, LinkModel(params)});
   adjacency_[from].push_back(id);
+  // upper_bound keeps parallel edges in insertion order, so edge_id's
+  // lower_bound resolves them to the first-added one — find_edge's answer.
+  auto& row = sorted_out_[from];
+  const auto slot = std::upper_bound(
+      row.begin(), row.end(), to,
+      [](BrokerId target, const OutRef& ref) { return target < ref.to; });
+  row.insert(slot, OutRef{to, id});
   return id;
 }
 
@@ -17,6 +28,16 @@ EdgeId Graph::add_bidirectional(BrokerId a, BrokerId b, LinkParams params) {
   const EdgeId forward = add_edge(a, b, params);
   add_edge(b, a, params);
   return forward;
+}
+
+EdgeId Graph::edge_id(BrokerId from, BrokerId to) const {
+  const auto& row = sorted_out_[from];
+  const auto ref = std::lower_bound(
+      row.begin(), row.end(), to,
+      [](const OutRef& r, BrokerId target) { return r.to < target; });
+  const EdgeId id = (ref != row.end() && ref->to == to) ? ref->id : kNoEdge;
+  assert(id == find_edge(from, to));
+  return id;
 }
 
 EdgeId Graph::find_edge(BrokerId from, BrokerId to) const {

@@ -60,6 +60,9 @@ TEST(Broker, ProcessFansOutPerNeighbourAndDeliversLocally) {
   EXPECT_EQ(fanout.local[0]->subscription->subscriber, 2);
 
   ASSERT_EQ(fanout.sendable.size(), 2u);  // Both links were idle.
+  // Fan-out names queue slots; slots are ascending-neighbour ranks.
+  EXPECT_EQ(broker.queue_at(fanout.sendable[0]).neighbor(), 1);
+  EXPECT_EQ(broker.queue_at(fanout.sendable[1]).neighbor(), 2);
   EXPECT_EQ(broker.queue(1).size(), 1u);
   EXPECT_EQ(broker.queue(2).size(), 1u);
   // Each copy carries exactly the subscriptions behind that neighbour.
@@ -75,7 +78,7 @@ TEST(Broker, BusyLinkIsNotReportedSendable) {
   broker.queue(1).set_link_busy(true);
   const Broker::FanOut fanout = broker.process(make_message(), 0.0);
   ASSERT_EQ(fanout.sendable.size(), 1u);
-  EXPECT_EQ(fanout.sendable[0], 2);
+  EXPECT_EQ(broker.queue_at(fanout.sendable[0]).neighbor(), 2);
   EXPECT_EQ(broker.queue(1).size(), 1u);  // Still enqueued, just not started.
 }
 

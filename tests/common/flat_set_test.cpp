@@ -1,0 +1,54 @@
+// FlatIdSet: the simulator's duplicate-arrival filter.
+//
+// Contract: insert returns true exactly once per id (std::set semantics),
+// across growth and adversarially colliding keys.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/flat_set.h"
+#include "common/random.h"
+
+namespace bdps {
+namespace {
+
+TEST(FlatIdSet, InsertReportsNovelty) {
+  FlatIdSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.insert(42));
+  EXPECT_FALSE(set.insert(42));
+  EXPECT_TRUE(set.insert(0));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(42));
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_FALSE(set.contains(7));
+}
+
+TEST(FlatIdSet, SurvivesGrowthWithSequentialIds) {
+  FlatIdSet set;
+  for (std::int64_t id = 0; id < 10000; ++id) {
+    EXPECT_TRUE(set.insert(id));
+  }
+  EXPECT_EQ(set.size(), 10000u);
+  for (std::int64_t id = 0; id < 10000; ++id) {
+    EXPECT_FALSE(set.insert(id)) << id;
+  }
+}
+
+TEST(FlatIdSet, MatchesStdSetOnRandomStreams) {
+  Rng rng(99);
+  FlatIdSet flat;
+  std::set<std::int64_t> reference;
+  for (int op = 0; op < 20000; ++op) {
+    // Small key range on purpose: lots of duplicates.
+    const auto id = static_cast<std::int64_t>(rng.uniform_index(4096));
+    EXPECT_EQ(flat.insert(id), reference.insert(id).second);
+  }
+  EXPECT_EQ(flat.size(), reference.size());
+  flat.clear();
+  EXPECT_TRUE(flat.empty());
+  EXPECT_TRUE(flat.insert(1));
+}
+
+}  // namespace
+}  // namespace bdps

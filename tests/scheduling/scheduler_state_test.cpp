@@ -296,11 +296,12 @@ TEST(ParallelDispatch, MatchesSerialTakeNextChoiceForChoice) {
     Broker parallel = rig.make_loaded_broker(40);
     ThreadPool pool(4);
 
-    std::vector<BrokerId> neighbors;
-    for (std::size_t a = 1; a <= kArms; ++a) {
-      neighbors.push_back(static_cast<BrokerId>(a));
+    // take_next works in queue-slot space: arm a = neighbour a = slot a-1.
+    std::vector<Broker::QueueSlot> slots;
+    for (std::size_t a = 0; a < kArms; ++a) {
+      slots.push_back(static_cast<Broker::QueueSlot>(a));
     }
-    ASSERT_GE(neighbors.size(), Broker::kParallelDispatchThreshold);
+    ASSERT_GE(slots.size(), Broker::kParallelDispatchThreshold);
 
     std::vector<Broker::Dispatch> serial_out;
     std::vector<Broker::Dispatch> parallel_out;
@@ -309,8 +310,8 @@ TEST(ParallelDispatch, MatchesSerialTakeNextChoiceForChoice) {
     // purge counts and purge id sets must agree.
     for (int round = 0; round < 50; ++round) {
       const TimeMs now = 4000.0 + 400.0 * round;
-      serial.take_next(neighbors, now, policy, serial_out, nullptr, true);
-      parallel.take_next(neighbors, now, policy, parallel_out, &pool, true);
+      serial.take_next(slots, now, policy, serial_out, nullptr, true);
+      parallel.take_next(slots, now, policy, parallel_out, &pool, true);
       ASSERT_EQ(serial_out.size(), parallel_out.size());
       for (std::size_t i = 0; i < serial_out.size(); ++i) {
         const Broker::Dispatch& s = serial_out[i];
@@ -327,10 +328,10 @@ TEST(ParallelDispatch, MatchesSerialTakeNextChoiceForChoice) {
         }
       }
     }
-    EXPECT_TRUE(std::all_of(neighbors.begin(), neighbors.end(),
-                            [&](BrokerId n) {
-                              return serial.queue(n).size() ==
-                                     parallel.queue(n).size();
+    EXPECT_TRUE(std::all_of(slots.begin(), slots.end(),
+                            [&](Broker::QueueSlot slot) {
+                              return serial.queue_at(slot).size() ==
+                                     parallel.queue_at(slot).size();
                             }));
   }
 }
@@ -339,9 +340,9 @@ TEST(ParallelDispatch, BelowThresholdBatchesStaySerialAndCorrect) {
   const WideStarRig rig(2, StrategyKind::kEb);
   Broker broker = rig.make_loaded_broker(10);
   ThreadPool pool(2);
-  const std::vector<BrokerId> neighbors{1, 2};
+  const std::vector<Broker::QueueSlot> slots{0, 1};  // Neighbours 1 and 2.
   std::vector<Broker::Dispatch> out;
-  broker.take_next(neighbors, 500.0, PurgePolicy{}, out, &pool, false);
+  broker.take_next(slots, 500.0, PurgePolicy{}, out, &pool, false);
   ASSERT_EQ(out.size(), 2u);
   for (const Broker::Dispatch& d : out) {
     ASSERT_TRUE(d.chosen.has_value());

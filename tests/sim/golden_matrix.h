@@ -1,0 +1,108 @@
+// Shared config matrix for the seed-semantics golden suite.
+//
+// Each entry describes one full simulation run; goldens.inc pins the exact
+// SimResult every configuration produced under the seed (map-keyed)
+// simulator.  The EdgeId-indexed engine must reproduce them bit for bit —
+// regenerate with tools/golden_gen only when semantics change on purpose.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "experiment/paper.h"
+#include "experiment/runner.h"
+
+namespace bdps_golden {
+
+struct GoldenCase {
+  std::string name;
+  bdps::SimConfig config;
+};
+
+inline std::vector<GoldenCase> golden_cases() {
+  using namespace bdps;
+  std::vector<GoldenCase> cases;
+  const auto add = [&cases](std::string name, SimConfig config) {
+    cases.push_back(GoldenCase{std::move(name), std::move(config)});
+  };
+
+  // Paper topology, both scenarios, the strategy family's extremes.
+  for (const std::uint64_t seed : {1ull, 7ull}) {
+    SimConfig ssd = paper_base_config(ScenarioKind::kSsd, 10.0,
+                                      StrategyKind::kEbpc, seed);
+    ssd.workload.duration = minutes(2.0);
+    add("paper_ssd_ebpc_s" + std::to_string(seed), ssd);
+
+    SimConfig psd = paper_base_config(ScenarioKind::kPsd, 10.0,
+                                      StrategyKind::kFifo, seed);
+    psd.workload.duration = minutes(2.0);
+    add("paper_psd_fifo_s" + std::to_string(seed), psd);
+  }
+
+  // Failure injection: random link kills mid-run (dead-link bit tests).
+  {
+    SimConfig config = paper_base_config(ScenarioKind::kSsd, 10.0,
+                                         StrategyKind::kEb, 3);
+    config.workload.duration = minutes(2.0);
+    config.random_link_failures = 6;
+    add("paper_ssd_eb_failures", config);
+  }
+
+  // Multi-path + dedup_arrivals (per-broker seen-set) on a cyclic mesh.
+  {
+    SimConfig config = paper_base_config(ScenarioKind::kSsd, 10.0,
+                                         StrategyKind::kEbpc, 5);
+    config.workload.duration = minutes(2.0);
+    config.topology = TopologyKind::kRandomMesh;
+    config.broker_count = 24;
+    config.extra_edges = 16;
+    config.multipath = true;
+    add("mesh_multipath_dedup", config);
+  }
+
+  // Serialized processing (input queues) on a ring.
+  {
+    SimConfig config = paper_base_config(ScenarioKind::kPsd, 10.0,
+                                         StrategyKind::kRemainingLifetime, 2);
+    config.workload.duration = minutes(2.0);
+    config.topology = TopologyKind::kRing;
+    config.broker_count = 16;
+    config.serialize_processing = true;
+    add("ring_psd_serialized", config);
+  }
+
+  // Online estimation + wrong initial beliefs (estimator / initial-belief
+  // state per link) on a dense scale-free overlay.
+  {
+    SimConfig config = paper_base_config(ScenarioKind::kSsd, 10.0,
+                                         StrategyKind::kEbpc, 4);
+    config.workload.duration = minutes(2.0);
+    config.topology = TopologyKind::kScaleFree;
+    config.broker_count = 48;
+    config.scale_free_edges_per_node = 3;
+    config.online_estimation = true;
+    config.belief_noise_frac = 0.4;
+    add("scalefree_estimation", config);
+  }
+
+  // Everything at once: failures + multipath + estimation + serialization.
+  {
+    SimConfig config = paper_base_config(ScenarioKind::kBoth, 12.0,
+                                         StrategyKind::kEbpc, 9);
+    config.workload.duration = minutes(2.0);
+    config.topology = TopologyKind::kRandomMesh;
+    config.broker_count = 32;
+    config.extra_edges = 24;
+    config.multipath = true;
+    config.online_estimation = true;
+    config.belief_noise_frac = 0.25;
+    config.serialize_processing = true;
+    config.random_link_failures = 4;
+    add("mesh_kitchen_sink", config);
+  }
+
+  return cases;
+}
+
+}  // namespace bdps_golden

@@ -1,0 +1,69 @@
+// Seed-semantics golden suite: the EdgeId-indexed simulator against the
+// exact results of the map-keyed seed engine.
+//
+// Each case in golden_matrix.h is one full run — SSD/PSD, failure
+// injection, multi-path dedup, serialize_processing, online estimation —
+// and goldens.inc pins every SimResult field the seed produced for it,
+// doubles in hexfloat.  Equality here is exact, not approximate: the link
+// addressing redesign (flat per-edge state, slot-based dispatch, flat
+// dedup sets) must not move a single bit of collector output.  Regenerate
+// goldens.inc with tools/golden_gen only when simulation semantics change
+// on purpose.
+#include <gtest/gtest.h>
+
+#include "golden_matrix.h"
+
+namespace bdps {
+namespace {
+
+struct Golden {
+  const char* name;
+  std::size_t published;
+  std::size_t receptions;
+  std::size_t deliveries;
+  std::size_t valid_deliveries;
+  std::size_t total_interested;
+  double delivery_rate;
+  double earning;
+  double potential_earning;
+  std::size_t purged_expired;
+  std::size_t purged_hopeless;
+  std::size_t lost_copies;
+  std::size_t max_input_queue;
+  double mean_valid_delay_ms;
+  double end_time;
+};
+
+constexpr Golden kGoldens[] = {
+#include "goldens.inc"
+};
+
+TEST(SeedSemantics, EveryGoldenCaseIsBitwiseIdentical) {
+  const auto cases = bdps_golden::golden_cases();
+  ASSERT_EQ(cases.size(), std::size(kGoldens))
+      << "golden_matrix.h and goldens.inc disagree; rerun tools/golden_gen";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Golden& want = kGoldens[i];
+    ASSERT_EQ(cases[i].name, want.name);
+    const SimResult got = run_simulation(cases[i].config);
+    EXPECT_EQ(got.published, want.published) << want.name;
+    EXPECT_EQ(got.receptions, want.receptions) << want.name;
+    EXPECT_EQ(got.deliveries, want.deliveries) << want.name;
+    EXPECT_EQ(got.valid_deliveries, want.valid_deliveries) << want.name;
+    EXPECT_EQ(got.total_interested, want.total_interested) << want.name;
+    // Exact double equality on purpose: same seed, same event order, same
+    // arithmetic — "close" would hide a changed decision somewhere.
+    EXPECT_EQ(got.delivery_rate, want.delivery_rate) << want.name;
+    EXPECT_EQ(got.earning, want.earning) << want.name;
+    EXPECT_EQ(got.potential_earning, want.potential_earning) << want.name;
+    EXPECT_EQ(got.purged_expired, want.purged_expired) << want.name;
+    EXPECT_EQ(got.purged_hopeless, want.purged_hopeless) << want.name;
+    EXPECT_EQ(got.lost_copies, want.lost_copies) << want.name;
+    EXPECT_EQ(got.max_input_queue, want.max_input_queue) << want.name;
+    EXPECT_EQ(got.mean_valid_delay_ms, want.mean_valid_delay_ms) << want.name;
+    EXPECT_EQ(got.end_time, want.end_time) << want.name;
+  }
+}
+
+}  // namespace
+}  // namespace bdps

@@ -1,0 +1,113 @@
+// EdgeId addressing and the dense per-edge containers.
+//
+// edge_id is the hot-path link resolver: it must agree with the validated
+// linear-scan find_edge on every (from, to) pair — present or absent — on
+// the shapes the builders produce (ring, star, dense random mesh).
+// EdgeMap/EdgeFlags are plain indexed storage; the tests pin the indexing
+// and the set-bit bookkeeping behind EdgeFlags::none().
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "topology/builders.h"
+#include "topology/edge_map.h"
+
+namespace bdps {
+namespace {
+
+void expect_edge_id_matches_find_edge(const Graph& graph) {
+  const auto n = static_cast<BrokerId>(graph.broker_count());
+  for (BrokerId from = 0; from < n; ++from) {
+    for (BrokerId to = 0; to < n; ++to) {
+      EXPECT_EQ(graph.edge_id(from, to), graph.find_edge(from, to))
+          << "from=" << from << " to=" << to;
+    }
+  }
+}
+
+TEST(EdgeId, MatchesFindEdgeOnRing) {
+  Rng rng(1);
+  const Topology topo = build_ring(rng, 12, 2, 8, 50.0, 100.0, 20.0);
+  expect_edge_id_matches_find_edge(topo.graph);
+  EXPECT_EQ(topo.graph.edge_count(), 24u);  // 12 undirected links.
+}
+
+TEST(EdgeId, MatchesFindEdgeOnStar) {
+  Graph graph(9);
+  for (BrokerId leaf = 1; leaf < 9; ++leaf) {
+    graph.add_bidirectional(0, leaf, LinkParams{60.0, 10.0});
+  }
+  expect_edge_id_matches_find_edge(graph);
+  // The hub's adjacency is the interesting row: every leaf resolves.
+  for (BrokerId leaf = 1; leaf < 9; ++leaf) {
+    EXPECT_NE(graph.edge_id(0, leaf), kNoEdge);
+    EXPECT_EQ(graph.edge(graph.edge_id(0, leaf)).to, leaf);
+  }
+  EXPECT_EQ(graph.edge_id(1, 2), kNoEdge);  // Leaves are not adjacent.
+}
+
+TEST(EdgeId, MatchesFindEdgeOnDenseRandomMeshes) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Rng rng(seed);
+    const Topology topo =
+        build_random_mesh(rng, 24, 120, 4, 16, 50.0, 100.0, 20.0);
+    expect_edge_id_matches_find_edge(topo.graph);
+  }
+}
+
+TEST(EdgeId, ResolvesOutOfOrderInsertionAndReturnsFirstParallelEdge) {
+  Graph graph(4);
+  // Descending destinations force the sorted row to reorder on insert.
+  const EdgeId e3 = graph.add_edge(0, 3, LinkParams{50.0, 5.0});
+  const EdgeId e1 = graph.add_edge(0, 1, LinkParams{60.0, 5.0});
+  const EdgeId e2 = graph.add_edge(0, 2, LinkParams{70.0, 5.0});
+  EXPECT_EQ(graph.edge_id(0, 1), e1);
+  EXPECT_EQ(graph.edge_id(0, 2), e2);
+  EXPECT_EQ(graph.edge_id(0, 3), e3);
+  // A parallel edge resolves to the first-added one, like find_edge.
+  const EdgeId dup = graph.add_edge(0, 2, LinkParams{80.0, 5.0});
+  EXPECT_NE(dup, e2);
+  EXPECT_EQ(graph.edge_id(0, 2), e2);
+  EXPECT_EQ(graph.find_edge(0, 2), e2);
+}
+
+TEST(EdgeMap, IndexesPerEdgeState) {
+  Rng rng(5);
+  const Topology topo = build_ring(rng, 8, 2, 8, 50.0, 100.0, 20.0);
+  EdgeMap<int> counters(topo.graph, 0);
+  EXPECT_EQ(counters.size(), topo.graph.edge_count());
+  for (std::size_t e = 0; e < topo.graph.edge_count(); ++e) {
+    counters[static_cast<EdgeId>(e)] = static_cast<int>(e) * 3;
+  }
+  for (std::size_t e = 0; e < topo.graph.edge_count(); ++e) {
+    EXPECT_EQ(counters[static_cast<EdgeId>(e)], static_cast<int>(e) * 3);
+  }
+  counters.assign(4, -1);
+  EXPECT_EQ(counters.size(), 4u);
+  EXPECT_EQ(counters[2], -1);
+}
+
+TEST(EdgeFlags, TracksBitsAndSetCount) {
+  EdgeFlags flags(130);  // Spans three 64-bit words.
+  EXPECT_TRUE(flags.none());
+  EXPECT_EQ(flags.size(), 130u);
+  flags.set(0);
+  flags.set(64);
+  flags.set(129);
+  flags.set(129);  // Idempotent: count must not double-bump.
+  EXPECT_EQ(flags.count(), 3u);
+  EXPECT_TRUE(flags.any());
+  EXPECT_TRUE(flags.test(0));
+  EXPECT_TRUE(flags.test(64));
+  EXPECT_TRUE(flags.test(129));
+  EXPECT_FALSE(flags.test(1));
+  flags.reset(64);
+  flags.reset(64);
+  EXPECT_EQ(flags.count(), 2u);
+  EXPECT_FALSE(flags.test(64));
+  flags.reset(0);
+  flags.reset(129);
+  EXPECT_TRUE(flags.none());
+}
+
+}  // namespace
+}  // namespace bdps

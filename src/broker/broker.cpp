@@ -118,22 +118,6 @@ Broker::QueueSlot Broker::slot_of(BrokerId neighbor) const {
   return static_cast<QueueSlot>(it - neighbors_.begin());
 }
 
-OutputQueue& Broker::queue(BrokerId neighbor) {
-  const QueueSlot slot = slot_of(neighbor);
-  if (slot == kNoSlot) throw std::out_of_range("no queue toward neighbour");
-  return queues_[slot];
-}
-
-const OutputQueue& Broker::queue(BrokerId neighbor) const {
-  const QueueSlot slot = slot_of(neighbor);
-  if (slot == kNoSlot) throw std::out_of_range("no queue toward neighbour");
-  return queues_[slot];
-}
-
-bool Broker::has_queue(BrokerId neighbor) const {
-  return slot_of(neighbor) != kNoSlot;
-}
-
 double Broker::average_message_size_kb() const {
   if (processed_count_ == 0) return 0.0;
   return total_size_kb_ / static_cast<double>(processed_count_);
@@ -145,13 +129,6 @@ SchedulingContext Broker::context_at(QueueSlot slot, TimeMs now,
   return SchedulingContext{
       now, processing_delay,
       out.head_of_line_estimate(average_message_size_kb())};
-}
-
-SchedulingContext Broker::context(BrokerId neighbor, TimeMs now,
-                                  TimeMs processing_delay) const {
-  const QueueSlot slot = slot_of(neighbor);
-  if (slot == kNoSlot) throw std::out_of_range("no queue toward neighbour");
-  return context_at(slot, now, processing_delay);
 }
 
 }  // namespace bdps

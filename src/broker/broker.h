@@ -9,20 +9,11 @@
 // simulator and the threaded live runtime share this class.
 //
 // Queue storage is a flat slot vector in ascending neighbour order; the
-// QueueSlot index is the broker-local link address the hot path works in
-// (FanOut, Dispatch, take_next), and each queue also names its EdgeId for
-// global flat per-edge state.
-//
-// Migration notes (map-keyed queues → flat slots, PR 3):
-//   * `queues()` now returns `const std::vector<OutputQueue>&` (ascending
-//     neighbour order) instead of a `std::map<BrokerId, OutputQueue>`;
-//     iterate it directly, slot index == position.
-//   * `FanOut::sendable` / `FanOut::enqueued` and `take_next`'s batch are
-//     QueueSlots, not BrokerIds: use `queue_at(slot)` / its `.neighbor()`
-//     where an id is still needed, `slot_of(id)` to go the other way.
-//   * The BrokerId-taking `queue(id)` / `has_queue(id)` / `context(id, …)`
-//     survive as thin wrappers over `slot_of` for tests and examples; hot
-//     paths should stay in slot space.
+// QueueSlot index is the broker-local link address every caller works in
+// (FanOut, Dispatch, take_next).  Each queue also names its EdgeId for
+// global flat per-edge state.  There is no BrokerId-keyed access anymore:
+// resolve a neighbour once with `slot_of` and stay in slot space (the PR 3
+// wrapper shims `queue(id)` / `has_queue(id)` / `context(id, …)` are gone).
 #pragma once
 
 #include <memory>
@@ -114,12 +105,6 @@ class Broker {
   /// search over the sorted neighbour keys).
   QueueSlot slot_of(BrokerId neighbor) const;
 
-  /// BrokerId-keyed wrappers over slot_of (tests/examples; see migration
-  /// notes above).  queue() throws std::out_of_range when absent.
-  OutputQueue& queue(BrokerId neighbor);
-  const OutputQueue& queue(BrokerId neighbor) const;
-  bool has_queue(BrokerId neighbor) const;
-
   /// Running average size of the messages this broker has processed; the
   /// paper's FT estimates head-of-line transmission time from it.
   double average_message_size_kb() const;
@@ -127,9 +112,6 @@ class Broker {
   /// Builds the SchedulingContext for a pick/purge on a slot's queue.
   SchedulingContext context_at(QueueSlot slot, TimeMs now,
                                TimeMs processing_delay) const;
-  /// BrokerId-keyed wrapper over context_at.
-  SchedulingContext context(BrokerId neighbor, TimeMs now,
-                            TimeMs processing_delay) const;
 
  private:
   BrokerId id_;

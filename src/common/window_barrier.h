@@ -1,0 +1,60 @@
+// Reusable rendezvous barrier for lock-step rounds.
+//
+// The sharded simulator (sim/parallel/) advances all shard lanes in
+// conservative time windows: every round the coordinator publishes a safe
+// horizon, all workers process their lane up to it, and the coordinator
+// merges the results — two rendezvous per round.  Windows are short
+// (often well under a millisecond of wall time), so the barrier spins
+// briefly before parking on the generation word with C++20 atomic wait
+// (futex on Linux); a condition_variable would pay a syscall per round.
+//
+// arrive_and_wait() is a full synchronisation point: writes made by any
+// participant before arriving are visible to every participant after the
+// call returns (acquire/release on the generation and arrival words).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace bdps {
+
+class WindowBarrier {
+ public:
+  explicit WindowBarrier(std::size_t participants)
+      : participants_(participants) {}
+
+  WindowBarrier(const WindowBarrier&) = delete;
+  WindowBarrier& operator=(const WindowBarrier&) = delete;
+
+  /// Blocks until all `participants` threads have arrived, then releases
+  /// them together.  Immediately reusable for the next round.
+  void arrive_and_wait() {
+    const std::uint64_t generation = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        participants_) {
+      // Last arrival: reset the count for the next round and open the gate.
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+      generation_.notify_all();
+      return;
+    }
+    // Short spin first: rounds are usually shorter than a futex round-trip.
+    for (int spin = 0; spin < 1024; ++spin) {
+      if (generation_.load(std::memory_order_acquire) != generation) return;
+    }
+    std::this_thread::yield();
+    while (generation_.load(std::memory_order_acquire) == generation) {
+      generation_.wait(generation, std::memory_order_acquire);
+    }
+  }
+
+  std::size_t participants() const { return participants_; }
+
+ private:
+  const std::size_t participants_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace bdps

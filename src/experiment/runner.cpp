@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "routing/fabric.h"
+#include "sim/parallel/parallel_simulator.h"
 #include "topology/edge_map.h"
 #include "workload/generator.h"
 
@@ -100,33 +101,49 @@ SimResult run_simulation(const SimConfig& config) {
     }
   }
 
+  options.shards = config.shards;
+
+  std::vector<std::shared_ptr<const Message>> messages = generate_messages(
+      workload_rng, config.workload, topology.publisher_count());
+
+  const auto collect = [](const Collector& collector, TimeMs end_time) {
+    SimResult result;
+    result.published = collector.published();
+    result.receptions = collector.receptions();
+    result.deliveries = collector.deliveries();
+    result.valid_deliveries = collector.valid_deliveries();
+    result.total_interested = collector.total_interested();
+    result.delivery_rate = collector.delivery_rate();
+    result.earning = collector.earning();
+    result.potential_earning = collector.potential_earning();
+    result.purged_expired = collector.purges().expired;
+    result.purged_hopeless = collector.purges().hopeless;
+    result.lost_copies = collector.lost_copies();
+    result.max_input_queue = collector.max_input_queue();
+    result.mean_valid_delay_ms = collector.valid_delay().mean();
+    result.end_time = end_time;
+    return result;
+  };
+
+  if (options.shards > 0) {
+    // Sharded engine: bitwise-identical collector output (golden-pinned),
+    // one event lane per shard.
+    ParallelSimulator simulator(&topology, &believed_topology.graph, &fabric,
+                                strategy.get(), options, link_rng);
+    for (auto& message : messages) {
+      simulator.schedule_publish(std::move(message));
+    }
+    simulator.run();
+    return collect(simulator.collector(), simulator.now());
+  }
+
   Simulator simulator(&topology, &believed_topology.graph, &fabric,
                       strategy.get(), options, link_rng);
-
-  for (auto& message :
-       generate_messages(workload_rng, config.workload,
-                         topology.publisher_count())) {
+  for (auto& message : messages) {
     simulator.schedule_publish(std::move(message));
   }
   simulator.run();
-
-  const Collector& collector = simulator.collector();
-  SimResult result;
-  result.published = collector.published();
-  result.receptions = collector.receptions();
-  result.deliveries = collector.deliveries();
-  result.valid_deliveries = collector.valid_deliveries();
-  result.total_interested = collector.total_interested();
-  result.delivery_rate = collector.delivery_rate();
-  result.earning = collector.earning();
-  result.potential_earning = collector.potential_earning();
-  result.purged_expired = collector.purges().expired;
-  result.purged_hopeless = collector.purges().hopeless;
-  result.lost_copies = collector.lost_copies();
-  result.max_input_queue = collector.max_input_queue();
-  result.mean_valid_delay_ms = collector.valid_delay().mean();
-  result.end_time = simulator.now();
-  return result;
+  return collect(simulator.collector(), simulator.now());
 }
 
 }  // namespace bdps

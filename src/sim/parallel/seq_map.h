@@ -1,0 +1,86 @@
+// Flat event-id -> sequence-number map for the barrier merge.
+//
+// Sequence resolution touches the map once or twice per simulation event
+// (insert when the parent record merges, lookup when the child's own record
+// surfaces); a std::unordered_map pays a node allocation per insert, which
+// at hundreds of thousands of events per run becomes the dominant serial
+// cost of the merge.  Event ids are unique and never zero (the coordinator
+// band starts at 1, shard bands carry the shard index in the top bits), so
+// a linear-probing table with 0 as the empty key does the same job
+// allocation-free.  Entries are never individually erased — the table is
+// sized for the run's whole child population and reset wholesale.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bdps {
+
+/// Flat hash map from non-zero 64-bit event ids to sequence numbers.
+class FlatSeqMap {
+ public:
+  /// Inserts a new id (must not be present — every event's sequence is
+  /// assigned exactly once).
+  void insert(std::uint64_t id, std::uint64_t seq) {
+    assert(id != 0);
+    if (slots_.empty() || size_ * 2 >= slots_.size()) grow();
+    std::size_t probe = mix(id) & mask_;
+    while (slots_[probe].id != 0) {
+      assert(slots_[probe].id != id);
+      probe = (probe + 1) & mask_;
+    }
+    slots_[probe] = Slot{id, seq};
+    ++size_;
+  }
+
+  /// True (and fills `seq`) when `id` has been assigned a sequence.
+  bool find(std::uint64_t id, std::uint64_t& seq) const {
+    if (slots_.empty()) return false;
+    std::size_t probe = mix(id) & mask_;
+    while (slots_[probe].id != 0) {
+      if (slots_[probe].id == id) {
+        seq = slots_[probe].seq;
+        return true;
+      }
+      probe = (probe + 1) & mask_;
+    }
+    return false;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t id = 0;
+    std::uint64_t seq = 0;
+  };
+
+  /// splitmix64 finalizer (shard-banded ids differ in high bits).
+  static std::size_t mix(std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    const std::size_t capacity = old.empty() ? 4096 : old.size() * 2;
+    slots_.assign(capacity, Slot{});
+    mask_ = capacity - 1;
+    for (const Slot& slot : old) {
+      if (slot.id == 0) continue;
+      std::size_t probe = mix(slot.id) & mask_;
+      while (slots_[probe].id != 0) probe = (probe + 1) & mask_;
+      slots_[probe] = slot;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace bdps

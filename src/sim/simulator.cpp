@@ -12,9 +12,15 @@ Simulator::Simulator(const Topology* topology, const Graph* believed,
     : topology_(topology),
       believed_(believed),
       fabric_(fabric),
-      options_(options),
-      link_rng_(link_rng) {
+      options_(options) {
   const std::size_t broker_count = topology->graph.broker_count();
+  // One independent stream per true directed edge (see the header); the
+  // derivation order is the edge-id order, so the mapping is a pure
+  // function of the seed and the topology.
+  link_rngs_.reserve(topology->graph.edge_count());
+  for (std::size_t e = 0; e < topology->graph.edge_count(); ++e) {
+    link_rngs_.push_back(link_rng.split());
+  }
   brokers_.reserve(broker_count);
   for (std::size_t b = 0; b < broker_count; ++b) {
     brokers_.emplace_back(static_cast<BrokerId>(b), fabric, believed,
@@ -269,7 +275,7 @@ void Simulator::start_sends(BrokerId broker_id,
     const EdgeId true_edge = true_edges[dispatch.slot];
     const TimeMs duration =
         topology_->graph.edge(true_edge).link.sample_send_time(
-            link_rng_, dispatch.chosen->message->size_kb());
+            link_rngs_[true_edge], dispatch.chosen->message->size_kb());
 
     broker.queue_at(dispatch.slot).set_link_busy(true);
     if (options_.online_estimation) {
@@ -328,15 +334,13 @@ void Simulator::handle_send_complete(Event& event) {
   }
 }
 
-const RateEstimator* Simulator::estimator(BrokerId broker,
-                                          BrokerId neighbor) const {
+const RateEstimator* Simulator::estimator(EdgeId edge) const {
   if (estimator_live_.none()) return nullptr;
-  const auto n = static_cast<BrokerId>(topology_->graph.broker_count());
-  if (broker < 0 || broker >= n || neighbor < 0 || neighbor >= n) {
-    return nullptr;  // edge_id expects in-range broker ids.
+  if (edge < 0 ||
+      static_cast<std::size_t>(edge) >= topology_->graph.edge_count()) {
+    return nullptr;
   }
-  const EdgeId edge = topology_->graph.edge_id(broker, neighbor);
-  if (edge == kNoEdge || !estimator_live_.test(edge)) return nullptr;
+  if (!estimator_live_.test(edge)) return nullptr;
   return &estimators_[edge];
 }
 

@@ -70,6 +70,11 @@ struct SimulatorOptions {
   /// and ordered, so results are bitwise identical to the serial path.
   /// The pool must outlive the simulator.
   ThreadPool* dispatch_pool = nullptr;
+  /// Event-lane count for the sharded engine (sim/parallel/).  0 (default)
+  /// selects the sequential engine; >= 1 makes experiment/runner drive the
+  /// run through ParallelSimulator with this many shards (clamped to the
+  /// broker count).  Collector output is bitwise identical either way.
+  std::size_t shards = 0;
 };
 
 class Simulator {
@@ -99,9 +104,10 @@ class Simulator {
   const Collector& collector() const { return collector_; }
   const Broker& broker(BrokerId id) const { return brokers_[id]; }
 
-  /// Online estimator for the (broker, neighbour) link; nullptr when
-  /// online_estimation is off or the link never carried a send.
-  const RateEstimator* estimator(BrokerId broker, BrokerId neighbor) const;
+  /// Online estimator for a directed link of the *true* graph, by edge id;
+  /// nullptr when online_estimation is off, the id is out of range, or the
+  /// link never carried a send.
+  const RateEstimator* estimator(EdgeId edge) const;
 
  private:
   void trace(TraceEventKind kind, const Message& message, BrokerId broker,
@@ -132,7 +138,12 @@ class Simulator {
   const Graph* believed_;
   const RoutingFabric* fabric_;
   SimulatorOptions options_;
-  Rng link_rng_;
+  /// One independent RNG stream per true directed edge, derived from the
+  /// constructor's link_rng by repeated split().  The k-th send on an edge
+  /// consumes the k-th sample of that edge's stream no matter how sends on
+  /// *other* links interleave — the stream discipline that lets the sharded
+  /// engine (sim/parallel/) reproduce this engine's output bit for bit.
+  std::vector<Rng> link_rngs_;
 
   std::vector<Broker> brokers_;
   EventQueue events_;

@@ -40,8 +40,9 @@ std::shared_ptr<const Message> make_message(double size_kb = 50.0) {
 TEST(Broker, CreatesOneQueuePerDownstreamNeighbour) {
   const StarRig rig;
   const Broker broker(0, rig.fabric.get(), &rig.topo.graph, &rig.strategy);
-  EXPECT_TRUE(broker.has_queue(1));
-  EXPECT_TRUE(broker.has_queue(2));
+  EXPECT_NE(broker.slot_of(1), Broker::kNoSlot);
+  EXPECT_NE(broker.slot_of(2), Broker::kNoSlot);
+  EXPECT_EQ(broker.slot_of(0), Broker::kNoSlot);
   EXPECT_EQ(broker.queues().size(), 2u);
 }
 
@@ -63,23 +64,30 @@ TEST(Broker, ProcessFansOutPerNeighbourAndDeliversLocally) {
   // Fan-out names queue slots; slots are ascending-neighbour ranks.
   EXPECT_EQ(broker.queue_at(fanout.sendable[0]).neighbor(), 1);
   EXPECT_EQ(broker.queue_at(fanout.sendable[1]).neighbor(), 2);
-  EXPECT_EQ(broker.queue(1).size(), 1u);
-  EXPECT_EQ(broker.queue(2).size(), 1u);
+  EXPECT_EQ(broker.queue_at(broker.slot_of(1)).size(), 1u);
+  EXPECT_EQ(broker.queue_at(broker.slot_of(2)).size(), 1u);
   // Each copy carries exactly the subscriptions behind that neighbour.
-  EXPECT_EQ(broker.queue(1).messages()[0].targets[0]->subscription->subscriber,
+  EXPECT_EQ(broker.queue_at(broker.slot_of(1))
+                .messages()[0]
+                .targets[0]
+                ->subscription->subscriber,
             0);
-  EXPECT_EQ(broker.queue(2).messages()[0].targets[0]->subscription->subscriber,
+  EXPECT_EQ(broker.queue_at(broker.slot_of(2))
+                .messages()[0]
+                .targets[0]
+                ->subscription->subscriber,
             1);
 }
 
 TEST(Broker, BusyLinkIsNotReportedSendable) {
   const StarRig rig;
   Broker broker(0, rig.fabric.get(), &rig.topo.graph, &rig.strategy);
-  broker.queue(1).set_link_busy(true);
+  broker.queue_at(broker.slot_of(1)).set_link_busy(true);
   const Broker::FanOut fanout = broker.process(make_message(), 0.0);
   ASSERT_EQ(fanout.sendable.size(), 1u);
   EXPECT_EQ(broker.queue_at(fanout.sendable[0]).neighbor(), 2);
-  EXPECT_EQ(broker.queue(1).size(), 1u);  // Still enqueued, just not started.
+  // Still enqueued, just not started.
+  EXPECT_EQ(broker.queue_at(broker.slot_of(1)).size(), 1u);
 }
 
 TEST(Broker, RunningAverageMessageSize) {
@@ -95,7 +103,8 @@ TEST(Broker, ContextUsesBelievedLinkForFt) {
   const StarRig rig;
   Broker broker(0, rig.fabric.get(), &rig.topo.graph, &rig.strategy);
   broker.process(make_message(50.0), 0.0);
-  const SchedulingContext context = broker.context(1, 123.0, 2.0);
+  const SchedulingContext context =
+      broker.context_at(broker.slot_of(1), 123.0, 2.0);
   EXPECT_DOUBLE_EQ(context.now, 123.0);
   EXPECT_DOUBLE_EQ(context.processing_delay, 2.0);
   // FT = avg size (50 KB) * believed mean (50 ms/KB) = 2500 ms.
@@ -124,7 +133,7 @@ TEST(Broker, PublisherMaskFiltersForeignPublishers) {
   const auto from_p0 = broker1.process(
       std::make_shared<Message>(1, 0, 0.0, 50.0, std::vector<Attribute>{}),
       0.0);
-  EXPECT_EQ(broker1.queue(2).size(), 1u);
+  EXPECT_EQ(broker1.queue_at(broker1.slot_of(2)).size(), 1u);
   EXPECT_EQ(from_p0.sendable.size(), 1u);
   // ... but publisher 1's must not be forwarded by broker 1 even though the
   // subscription is in its table.
@@ -132,7 +141,7 @@ TEST(Broker, PublisherMaskFiltersForeignPublishers) {
       std::make_shared<Message>(2, 1, 0.0, 50.0, std::vector<Attribute>{}),
       0.0);
   EXPECT_TRUE(from_p1.sendable.empty());
-  EXPECT_EQ(broker1.queue(2).size(), 1u);  // Unchanged.
+  EXPECT_EQ(broker1.queue_at(broker1.slot_of(2)).size(), 1u);  // Unchanged.
 }
 
 TEST(OutputQueue, TakeNextRemovesChosenMessage) {
@@ -140,12 +149,12 @@ TEST(OutputQueue, TakeNextRemovesChosenMessage) {
   Broker broker(0, rig.fabric.get(), &rig.topo.graph, &rig.strategy);
   broker.process(make_message(), 0.0);
   broker.process(make_message(), 0.0);
-  OutputQueue& queue = broker.queue(1);
+  OutputQueue& queue = broker.queue_at(broker.slot_of(1));
   ASSERT_EQ(queue.size(), 2u);
 
   PurgeStats stats;
-  const auto taken = queue.take_next(broker.context(1, 0.0, 2.0),
-                                     PurgePolicy{}, &stats);
+  const auto taken = queue.take_next(
+      broker.context_at(broker.slot_of(1), 0.0, 2.0), PurgePolicy{}, &stats);
   ASSERT_TRUE(taken.has_value());
   EXPECT_EQ(queue.size(), 1u);
 }
@@ -157,12 +166,12 @@ TEST(OutputQueue, TakeNextPurgesFirst) {
   auto stale = std::make_shared<Message>(9, 0, -seconds(31.0), 50.0,
                                          std::vector<Attribute>{});
   broker.process(stale, 0.0);
-  OutputQueue& queue = broker.queue(1);
+  OutputQueue& queue = broker.queue_at(broker.slot_of(1));
   ASSERT_EQ(queue.size(), 1u);
 
   PurgeStats stats;
-  const auto taken = queue.take_next(broker.context(1, 0.0, 2.0),
-                                     PurgePolicy{}, &stats);
+  const auto taken = queue.take_next(
+      broker.context_at(broker.slot_of(1), 0.0, 2.0), PurgePolicy{}, &stats);
   EXPECT_FALSE(taken.has_value());
   EXPECT_EQ(stats.expired, 1u);
   EXPECT_TRUE(queue.empty());

@@ -86,12 +86,13 @@ TEST(OnlineEstimation, EstimatorsConvergeInsideTheSimulator) {
         i, 0, i * 10000.0, 50.0, std::vector<Attribute>{}));
   }
   sim.run();
-  const RateEstimator* est = sim.estimator(0, 1);
+  const RateEstimator* est = sim.estimator(topo.graph.edge_id(0, 1));
   ASSERT_NE(est, nullptr);
   EXPECT_EQ(est->sample_count(), 10u);
   // Zero-variance link: every observation is exactly 100 ms/KB.
   EXPECT_NEAR(est->samples().mean(), 100.0, 1e-9);
-  EXPECT_EQ(sim.estimator(1, 0), nullptr);  // Never carried a send.
+  // Never carried a send.
+  EXPECT_EQ(sim.estimator(topo.graph.edge_id(1, 0)), nullptr);
 }
 
 TEST(Multipath, TablesGainAlternateEntries) {

@@ -1,0 +1,202 @@
+// Sequential-vs-parallel equivalence beyond the golden matrix.
+//
+// Two layers:
+//   * SimResult equality across a randomized grid of configurations
+//     (topologies x strategies x feature toggles x shard counts) — every
+//     field compared exactly against the sequential engine's result.
+//   * Trace-stream equality on a hand-built overlay: the parallel engine
+//     replays trace records at window barriers, and the replayed stream
+//     must equal the sequential stream event for event, field for field —
+//     the strongest observable of the merge order.
+#include <gtest/gtest.h>
+
+#include "experiment/paper.h"
+#include "experiment/runner.h"
+#include "routing/fabric.h"
+#include "sim/parallel/parallel_simulator.h"
+#include "sim/simulator.h"
+
+namespace bdps {
+namespace {
+
+void expect_same_result(const SimResult& sequential, const SimResult& sharded,
+                        const std::string& label) {
+  EXPECT_EQ(sequential.published, sharded.published) << label;
+  EXPECT_EQ(sequential.receptions, sharded.receptions) << label;
+  EXPECT_EQ(sequential.deliveries, sharded.deliveries) << label;
+  EXPECT_EQ(sequential.valid_deliveries, sharded.valid_deliveries) << label;
+  EXPECT_EQ(sequential.total_interested, sharded.total_interested) << label;
+  EXPECT_EQ(sequential.delivery_rate, sharded.delivery_rate) << label;
+  EXPECT_EQ(sequential.earning, sharded.earning) << label;
+  EXPECT_EQ(sequential.potential_earning, sharded.potential_earning) << label;
+  EXPECT_EQ(sequential.purged_expired, sharded.purged_expired) << label;
+  EXPECT_EQ(sequential.purged_hopeless, sharded.purged_hopeless) << label;
+  EXPECT_EQ(sequential.lost_copies, sharded.lost_copies) << label;
+  EXPECT_EQ(sequential.max_input_queue, sharded.max_input_queue) << label;
+  EXPECT_EQ(sequential.mean_valid_delay_ms, sharded.mean_valid_delay_ms)
+      << label;
+  EXPECT_EQ(sequential.end_time, sharded.end_time) << label;
+}
+
+TEST(ParallelEquivalence, RandomizedConfigGrid) {
+  std::vector<SimConfig> configs;
+  std::uint64_t seed = 11;
+  for (const TopologyKind topology :
+       {TopologyKind::kRing, TopologyKind::kRandomMesh,
+        TopologyKind::kScaleFree}) {
+    for (const StrategyKind strategy :
+         {StrategyKind::kFifo, StrategyKind::kEbpc}) {
+      SimConfig config = paper_base_config(ScenarioKind::kSsd, 10.0,
+                                           strategy, seed++);
+      config.workload.duration = seconds(30.0);
+      config.topology = topology;
+      config.broker_count = 20;
+      config.extra_edges = 12;
+      config.scale_free_edges_per_node = 2;
+      configs.push_back(config);
+    }
+  }
+  // Feature toggles on a mesh: failures, multipath dedup, serialization,
+  // estimation — the states the windows must not smear.
+  {
+    SimConfig config = paper_base_config(ScenarioKind::kBoth, 12.0,
+                                         StrategyKind::kEbpc, 23);
+    config.workload.duration = seconds(30.0);
+    config.topology = TopologyKind::kRandomMesh;
+    config.broker_count = 18;
+    config.extra_edges = 14;
+    config.multipath = true;
+    config.online_estimation = true;
+    config.belief_noise_frac = 0.3;
+    config.serialize_processing = true;
+    config.random_link_failures = 3;
+    configs.push_back(config);
+  }
+
+  for (const SimConfig& base : configs) {
+    SimConfig sequential_config = base;
+    sequential_config.shards = 0;
+    const SimResult sequential = run_simulation(sequential_config);
+    for (const std::size_t shards : {1u, 3u, 5u}) {
+      SimConfig sharded_config = base;
+      sharded_config.shards = shards;
+      const SimResult sharded = run_simulation(sharded_config);
+      expect_same_result(
+          sequential, sharded,
+          topology_name(base.topology) + "/" +
+              strategy_name(base.strategy) + "/P" + std::to_string(shards));
+    }
+  }
+}
+
+/// Ring overlay driven directly (not through the runner) so both engines
+/// can carry a MemoryTrace.
+struct RingRig {
+  Topology topo;
+  std::unique_ptr<RoutingFabric> fabric;
+  std::unique_ptr<const Strategy> strategy = make_strategy(StrategyKind::kEbpc);
+
+  explicit RingRig(std::size_t brokers = 8) {
+    topo.graph.resize(brokers);
+    for (std::size_t b = 0; b < brokers; ++b) {
+      const auto from = static_cast<BrokerId>(b);
+      const auto to = static_cast<BrokerId>((b + 1) % brokers);
+      topo.graph.add_bidirectional(from, to,
+                                   LinkParams{40.0 + 5.0 * (b % 3), 8.0});
+    }
+    topo.publisher_edges = {0, static_cast<BrokerId>(brokers / 2)};
+    std::vector<Subscription> subs;
+    for (std::size_t b = 0; b < brokers; ++b) {
+      topo.subscriber_homes.push_back(static_cast<BrokerId>(b));
+      Subscription sub;
+      sub.subscriber = static_cast<SubscriberId>(b);
+      sub.home = static_cast<BrokerId>(b);
+      sub.allowed_delay = minutes(2.0);
+      sub.price = 1.0 + static_cast<double>(b % 4);
+      subs.push_back(sub);  // Wildcard filter: every message matches.
+    }
+    fabric = std::make_unique<RoutingFabric>(topo, std::move(subs));
+  }
+
+  std::vector<std::shared_ptr<const Message>> make_messages() const {
+    std::vector<std::shared_ptr<const Message>> messages;
+    for (MessageId i = 0; i < 40; ++i) {
+      messages.push_back(std::make_shared<Message>(
+          i, static_cast<PublisherId>(i % 2), 250.0 * static_cast<double>(i),
+          30.0 + static_cast<double>(i % 5), std::vector<Attribute>{}));
+    }
+    return messages;
+  }
+};
+
+TEST(ParallelEquivalence, TraceStreamsMatchExactly) {
+  const RingRig rig;
+  SimulatorOptions options;
+  options.online_estimation = true;
+  options.failures.push_back(LinkFailure{seconds(20.0), 2, 3});
+
+  MemoryTrace sequential_trace;
+  Simulator sequential(&rig.topo, &rig.topo.graph, rig.fabric.get(),
+                       rig.strategy.get(), options, Rng(99));
+  sequential.set_trace(&sequential_trace);
+  for (auto& message : rig.make_messages()) {
+    sequential.schedule_publish(std::move(message));
+  }
+  sequential.run();
+
+  for (const std::size_t shards : {2u, 3u, 7u}) {
+    SimulatorOptions sharded_options = options;
+    sharded_options.shards = shards;
+    MemoryTrace parallel_trace;
+    ParallelSimulator parallel(&rig.topo, &rig.topo.graph, rig.fabric.get(),
+                               rig.strategy.get(), sharded_options, Rng(99));
+    parallel.set_trace(&parallel_trace);
+    for (auto& message : rig.make_messages()) {
+      parallel.schedule_publish(std::move(message));
+    }
+    parallel.run();
+
+    EXPECT_EQ(parallel.now(), sequential.now()) << shards;
+    EXPECT_EQ(parallel.collector().earning(), sequential.collector().earning())
+        << shards;
+    EXPECT_EQ(parallel.collector().lost_copies(),
+              sequential.collector().lost_copies())
+        << shards;
+    ASSERT_EQ(parallel_trace.size(), sequential_trace.size()) << shards;
+    for (std::size_t i = 0; i < sequential_trace.size(); ++i) {
+      const TraceEvent& want = sequential_trace.events()[i];
+      const TraceEvent& got = parallel_trace.events()[i];
+      ASSERT_EQ(got.time, want.time) << "event " << i << " P" << shards;
+      ASSERT_EQ(got.kind, want.kind) << "event " << i << " P" << shards;
+      ASSERT_EQ(got.message, want.message) << "event " << i << " P" << shards;
+      ASSERT_EQ(got.broker, want.broker) << "event " << i << " P" << shards;
+      ASSERT_EQ(got.neighbor, want.neighbor) << "event " << i;
+      ASSERT_EQ(got.subscriber, want.subscriber) << "event " << i;
+      ASSERT_EQ(got.valid, want.valid) << "event " << i;
+    }
+    // The online estimators end in the same state on every true edge.
+    for (std::size_t e = 0; e < rig.topo.graph.edge_count(); ++e) {
+      const auto* want = sequential.estimator(static_cast<EdgeId>(e));
+      const auto* got = parallel.estimator(static_cast<EdgeId>(e));
+      ASSERT_EQ(want == nullptr, got == nullptr) << e;
+      if (want != nullptr) {
+        EXPECT_EQ(got->sample_count(), want->sample_count()) << e;
+        EXPECT_EQ(got->samples().mean(), want->samples().mean()) << e;
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalence, RejectsNonPositiveMessageSizes) {
+  const RingRig rig;
+  SimulatorOptions options;
+  options.shards = 2;
+  ParallelSimulator parallel(&rig.topo, &rig.topo.graph, rig.fabric.get(),
+                             rig.strategy.get(), options, Rng(1));
+  parallel.schedule_publish(std::make_shared<Message>(
+      1, 0, 0.0, 0.0, std::vector<Attribute>{}));
+  EXPECT_THROW(parallel.run(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bdps

@@ -1,0 +1,104 @@
+// Live-runtime throughput vs. link count, reactor vs. thread-per-link.
+//
+// The workload is the star-of-chains broom (topology/builders.h): every
+// message floods every chain, so one published message costs exactly
+// `links` completed transmissions — items/s below is link-transmissions
+// per wall second.  The clock runs at 20000x with sub-millisecond link
+// times, so wall time measures runtime overhead (thread spawn, wakeups,
+// locking, timer dispatch), not sleeping.
+//
+// Reactor rows stay flat into the tens of thousands of links on a
+// hardware-sized pool; thread-per-link rows pay ~2 threads per link and
+// fall over well before that — the curve recorded in BENCH_pr5.json (see
+// tools/live_scaling for the ceiling probe with failure handling).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "experiment/live.h"
+#include "routing/fabric.h"
+#include "topology/builders.h"
+
+namespace {
+
+using namespace bdps;
+
+constexpr int kMessages = 4;
+
+struct Rig {
+  Topology topo;
+  std::unique_ptr<RoutingFabric> fabric;
+  std::unique_ptr<const Strategy> strategy;
+};
+
+/// links = chains * depth with a square-ish broom; fabrics are expensive
+/// to build, so cache one rig per link count across iterations.
+const Rig& rig_for(std::size_t links) {
+  static std::map<std::size_t, std::unique_ptr<Rig>> cache;
+  auto& slot = cache[links];
+  if (!slot) {
+    std::size_t chains = 1;
+    while (chains * chains < links) chains *= 2;
+    const std::size_t depth = links / chains;
+    auto rig = std::make_unique<Rig>();
+    rig->topo = build_star_of_chains(chains, depth, LinkParams{0.2, 0.02});
+    rig->fabric = std::make_unique<RoutingFabric>(
+        rig->topo, flood_subscriptions(rig->topo));
+    rig->strategy = make_strategy(StrategyKind::kEb);
+    slot = std::move(rig);
+  }
+  return *slot;
+}
+
+void run_once(benchmark::State& state, const Rig& rig, LiveMode mode) {
+  LiveOptions opt;
+  opt.processing_delay = 0.1;
+  opt.speedup = 20000.0;
+  opt.mode = mode;
+  LiveNetwork net(&rig.topo, rig.fabric.get(), rig.strategy.get(), opt);
+  net.start();
+  const Message tick(0, 0, 0.0, 1.0, {{"A1", Value(1.0)}}, kNoDeadline);
+  for (int i = 0; i < kMessages; ++i) net.publish(0, tick);
+  net.drain();
+  net.stop();
+  if (net.stats().deliveries().size() !=
+      static_cast<std::size_t>(kMessages) * rig.topo.subscriber_count()) {
+    state.SkipWithError("lost deliveries");
+  }
+}
+
+void BM_LiveRuntime(benchmark::State& state, LiveMode mode) {
+  const auto links = static_cast<std::size_t>(state.range(0));
+  const Rig& rig = rig_for(links);
+  for (auto _ : state) {
+    run_once(state, rig, mode);
+  }
+  // One message = `links` completed transmissions (the flood covers every
+  // chain hop).
+  state.SetItemsProcessed(state.iterations() * kMessages *
+                          static_cast<std::int64_t>(links));
+}
+
+}  // namespace
+
+// UseRealTime: the runtime spends most of its life parked in waits, so
+// CPU-time rates would flatter both modes — items/s must be wall-based.
+BENCHMARK_CAPTURE(BM_LiveRuntime, reactor, LiveMode::kReactor)
+    ->ArgName("links")
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_CAPTURE(BM_LiveRuntime, thread_per_link, LiveMode::kThreadPerLink)
+    ->ArgName("links")
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

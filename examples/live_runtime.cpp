@@ -1,99 +1,67 @@
-// Live threaded broker overlay.
+// Live broker overlay — reactor worker pool vs. thread-per-link oracle.
 //
-// Runs the same OutputQueue + SchedulerState engine as the simulator, but
-// inside real threads: one receiver thread per broker, one sender thread
-// per overlay link, channels for inboxes and a 300x scaled clock so the
-// paper's multi-second transfers finish in a terminal-friendly demo.
+// Runs the same OutputQueue + SchedulerState engine as the simulator under
+// real concurrency, in both execution modes: the event-driven reactor
+// (N workers + hierarchical timer wheel, the default) and the legacy
+// thread-per-link runtime it retires.  The experiment/live.h harness
+// builds a SimConfig-shaped mesh workload, paces publishes to their
+// generated instants on a scaled clock, and reports totals.
 //
-// Demonstrates: LiveNetwork/LiveClock, graceful drain + shutdown, and that
-// scheduling behaviour carries over from the discrete-event model to a
-// concurrent implementation.
+// Demonstrates: LiveRunConfig/run_live, the `mode` and `workers` knobs,
+// and that a hardware-sized pool delivers the same workload totals as a
+// topology-sized thread herd.
 #include <cstdio>
 
-#include "routing/fabric.h"
-#include "runtime/live_network.h"
+#include "experiment/live.h"
 
 using namespace bdps;
 
 namespace {
 
-struct DemoResult {
-  std::size_t valid = 0;
-  std::size_t total = 0;
-  std::size_t purged = 0;
-  double earning = 0.0;
-};
-
-DemoResult run_live(StrategyKind strategy) {
-  Rng root(42);
-  Rng topo_rng = root.split();
-  Rng workload_rng = root.split();
-
-  // A small mesh so the demo completes quickly: 12 brokers, 2 publishers,
-  // 24 subscribers.
-  const Topology topo =
-      build_random_mesh(topo_rng, 12, 8, 2, 24, 40.0, 80.0, 15.0);
-
-  std::vector<Subscription> subs;
-  for (std::size_t s = 0; s < topo.subscriber_count(); ++s) {
-    Subscription sub;
-    sub.subscriber = static_cast<SubscriberId>(s);
-    sub.home = topo.subscriber_homes[s];
-    Filter f;
-    f.where("A1", Op::kLt, Value(workload_rng.uniform(0.0, 10.0)));
-    sub.filter = std::move(f);
-    sub.allowed_delay = seconds(4.0 + 4.0 * workload_rng.uniform_index(3));
-    sub.price = 1.0 + workload_rng.uniform_index(3);
-    subs.push_back(std::move(sub));
-  }
-  const RoutingFabric fabric(topo, std::move(subs));
-  const auto policy = make_strategy(strategy, 0.6);
-
-  LiveOptions options;
-  options.processing_delay = 2.0;
-  options.speedup = 300.0;  // 300 simulated ms per real ms.
-  options.purge.epsilon = 0.0005;
-
-  LiveNetwork net(&topo, &fabric, policy.get(), options);
-  net.start();
-
-  // Publish 60 messages, in bursts, from alternating publishers.
-  Rng publish_rng = root.split();
-  for (int burst = 0; burst < 6; ++burst) {
-    for (int i = 0; i < 10; ++i) {
-      const Message tick(0, 0, 0.0, 50.0,
-                         {{"A1", Value(publish_rng.uniform(0.0, 10.0))}});
-      net.publish(static_cast<PublisherId>(i % 2), tick);
-    }
-    // Let roughly two transmission times pass between bursts.
-    net.clock().sleep_for(6000.0);
-  }
-
-  net.drain();
-  net.stop();
-
-  DemoResult result;
-  result.total = net.stats().deliveries().size();
-  result.valid = net.stats().valid_deliveries();
-  result.purged = net.stats().purged();
-  result.earning = net.stats().earning();
-  return result;
+LiveRunConfig demo_config(StrategyKind strategy, LiveMode mode,
+                          std::size_t workers) {
+  LiveRunConfig config;
+  config.sim.seed = 42;
+  config.sim.topology = TopologyKind::kRandomMesh;
+  config.sim.broker_count = 12;
+  config.sim.extra_edges = 8;
+  config.sim.publisher_count = 2;
+  config.sim.subscriber_count = 24;
+  config.sim.strategy = strategy;
+  config.sim.purge.epsilon = 0.0005;
+  config.sim.workload.scenario = ScenarioKind::kSsd;
+  config.sim.workload.duration = seconds(60.0);
+  config.sim.workload.publishing_rate_per_min = 30.0;
+  config.mode = mode;
+  config.workers = workers;
+  config.speedup = 300.0;  // 300 simulated ms per real ms.
+  return config;
 }
 
 }  // namespace
 
 int main() {
-  std::printf("live threaded broker overlay (300x scaled clock)\n");
-  std::printf("12 brokers / 2 publishers / 24 subscribers, 60 messages\n\n");
+  std::printf("live broker overlay (300x scaled clock)\n");
+  std::printf("12 brokers / 2 publishers / 24 subscribers, SSD workload\n\n");
+  std::printf("%-5s %-14s %8s %8s %11s %8s %8s\n", "strat", "mode", "links",
+              "workers", "deliveries", "purged", "wall ms");
   for (const StrategyKind strategy :
        {StrategyKind::kEb, StrategyKind::kFifo}) {
-    const DemoResult r = run_live(strategy);
-    std::printf(
-        "%-5s: %zu deliveries (%zu fresh), %zu copies purged, earning %.0f\n",
-        strategy_name(strategy).c_str(), r.total, r.valid, r.purged,
-        r.earning);
+    for (const LiveMode mode :
+         {LiveMode::kReactor, LiveMode::kThreadPerLink}) {
+      const LiveRunResult r =
+          run_live(demo_config(strategy, mode, /*workers=*/0));
+      std::printf("%-5s %-14s %8zu %8zu %5zu/%-5zu %8zu %8.1f\n",
+                  strategy_name(strategy).c_str(),
+                  mode == LiveMode::kReactor ? "reactor" : "thread/link",
+                  r.links, r.workers, r.valid_deliveries, r.deliveries,
+                  r.purged, r.wall_ms);
+    }
   }
-  std::printf("\nEvery broker ran as a thread; senders used the same\n"
-              "OutputQueue + SchedulerState engine the simulator drives.\n");
+  std::printf(
+      "\nreactor: brokers ride N hardware-sized workers; every PD and\n"
+      "transmission is a timer-wheel deadline, links pop OutputQueue picks\n"
+      "inline on expiry.  thread/link: the retired oracle — one thread per\n"
+      "broker plus one per subscribed link, sleeping through every delay.\n");
   return 0;
 }

@@ -1,0 +1,84 @@
+#include "experiment/live.h"
+
+#include <chrono>
+
+#include "routing/fabric.h"
+#include "workload/generator.h"
+
+namespace bdps {
+
+std::vector<Subscription> flood_subscriptions(const Topology& topology) {
+  std::vector<Subscription> subs;
+  subs.reserve(topology.subscriber_count());
+  for (std::size_t s = 0; s < topology.subscriber_count(); ++s) {
+    Subscription sub;
+    sub.subscriber = static_cast<SubscriberId>(s);
+    sub.home = topology.subscriber_homes[s];
+    sub.allowed_delay = kNoDeadline;
+    sub.price = 1.0;
+    subs.push_back(std::move(sub));
+  }
+  return subs;
+}
+
+LiveRunResult run_live(const LiveRunConfig& config) {
+  // Same stream discipline as run_simulation, so a (seed, config) pair
+  // names the same topology and workload in both harnesses.
+  Rng root(config.sim.seed);
+  Rng topology_rng = root.split();
+  Rng workload_rng = root.split();
+
+  const Topology topology = build_topology(topology_rng, config.sim);
+  std::vector<Subscription> subscriptions =
+      generate_subscriptions(workload_rng, config.sim.workload, topology);
+  const RoutingFabric fabric(topology, std::move(subscriptions));
+  const auto strategy =
+      make_strategy(config.sim.strategy, config.sim.ebpc_weight);
+
+  LiveOptions options;
+  options.processing_delay = config.sim.processing_delay;
+  options.purge = config.sim.purge;
+  options.speedup = config.speedup;
+  options.seed = config.sim.seed;
+  options.mode = config.mode;
+  options.workers = config.workers;
+  options.wheel_tick_ms = config.wheel_tick_ms;
+
+  std::vector<std::shared_ptr<const Message>> messages = generate_messages(
+      workload_rng, config.sim.workload, topology.publisher_count());
+  if (config.message_limit != 0 && messages.size() > config.message_limit) {
+    messages.resize(config.message_limit);
+  }
+
+  LiveNetwork net(&topology, &fabric, strategy.get(), options);
+  const auto wall_start = std::chrono::steady_clock::now();
+  net.start();
+
+  // Pace publishes to their generated instants on the scaled clock
+  // (generate_messages returns them in nondecreasing publish-time order).
+  for (const auto& message : messages) {
+    const TimeMs ahead = message->publish_time() - net.clock().now();
+    if (ahead > 0.0) net.clock().sleep_for(ahead);
+    net.publish(message->publisher(), *message);
+  }
+
+  net.drain();
+  const auto wall_end = std::chrono::steady_clock::now();
+  net.stop();
+
+  LiveRunResult result;
+  result.published = messages.size();
+  result.receptions = net.stats().receptions();
+  result.deliveries = net.stats().deliveries().size();
+  result.valid_deliveries = net.stats().valid_deliveries();
+  result.purged = net.stats().purged();
+  result.earning = net.stats().earning();
+  result.links = net.link_count();
+  result.workers = net.worker_count();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start)
+          .count();
+  return result;
+}
+
+}  // namespace bdps

@@ -1,0 +1,66 @@
+// Live-runtime experiment wiring: SimConfig-shaped runs through
+// LiveNetwork.
+//
+// run_simulation (experiment/runner.h) proves the scheduling math in
+// virtual time; run_live replays the same topology + workload description
+// through the threaded runtime on the scaled wall clock — the harness the
+// live demo, the link-scaling bench (bench/micro_live_runtime) and the
+// ceiling probe (tools/live_scaling) all share.  Messages are paced to
+// their generated publish instants, so the live run honours the workload's
+// arrival process instead of front-loading a burst.
+//
+// Knobs the simulator does not have: `mode` picks the reactor worker pool
+// or the legacy thread-per-link oracle, `workers` sizes the pool
+// (0 = hardware threads), `speedup` maps simulated to real milliseconds.
+// SimConfig features that need a believed-vs-true split or failure
+// injection (belief noise, online estimation, link failures, multipath
+// dedup) are simulator-only and ignored here.
+#pragma once
+
+#include "experiment/config.h"
+#include "routing/subscription.h"
+#include "runtime/live_network.h"
+
+namespace bdps {
+
+struct LiveRunConfig {
+  /// Topology, workload, strategy, purge, PD and seed — same vocabulary as
+  /// the simulator runner.
+  SimConfig sim;
+  LiveMode mode = LiveMode::kReactor;
+  /// Reactor pool size; 0 = hardware threads.  Ignored by kThreadPerLink.
+  std::size_t workers = 0;
+  /// Simulated milliseconds per real millisecond.
+  double speedup = 500.0;
+  TimeMs wheel_tick_ms = 0.25;
+  /// Cap on published messages (0 = the full generated workload) — benches
+  /// bound wall time with it.
+  std::size_t message_limit = 0;
+};
+
+struct LiveRunResult {
+  std::size_t published = 0;
+  std::size_t receptions = 0;
+  std::size_t deliveries = 0;
+  std::size_t valid_deliveries = 0;
+  std::size_t purged = 0;
+  double earning = 0.0;
+  /// Directed subscribed links the runtime served.
+  std::size_t links = 0;
+  /// Reactor pool size used (0 in thread-per-link mode).
+  std::size_t workers = 0;
+  /// Real milliseconds from start() until drained.
+  double wall_ms = 0.0;
+};
+
+/// Builds the config's topology and workload, runs the live network until
+/// every published copy is delivered or purged, and reports totals.
+LiveRunResult run_live(const LiveRunConfig& config);
+
+/// One deadline-free, price-1, match-everything subscriber per subscriber
+/// home — the flood workload of the link-scaling bench and ceiling probe
+/// (every subscribed link carries every message, and a slow runtime pays
+/// in wall time, never in purges).
+std::vector<Subscription> flood_subscriptions(const Topology& topology);
+
+}  // namespace bdps

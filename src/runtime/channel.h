@@ -5,6 +5,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 namespace bdps {
 
@@ -30,6 +31,31 @@ class Channel {
     T item = std::move(items_.front());
     items_.pop_front();
     return item;
+  }
+
+  /// Blocks until at least one item is queued, then drains *everything* in
+  /// one lock acquisition (the deque is swapped out, not popped item by
+  /// item).  An empty result means closed and drained — same termination
+  /// contract as pop().  Batch consumers (the legacy receiver loop) use
+  /// this to pay one lock round-trip per burst instead of per message.
+  std::deque<T> pop_all() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    std::deque<T> out;
+    out.swap(items_);
+    return out;
+  }
+
+  /// Non-blocking batched drain into a caller-owned vector (appended in
+  /// FIFO order, capacity reused); false when nothing was queued.  The
+  /// reactor polls its injector with this every loop iteration, so the
+  /// empty case must not allocate.
+  bool try_drain(std::vector<T>& out) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return false;
+    for (T& item : items_) out.push_back(std::move(item));
+    items_.clear();
+    return true;
   }
 
   /// Non-blocking variant; nullopt when empty (even if open).

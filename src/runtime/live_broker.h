@@ -1,11 +1,12 @@
 // Live (threaded) broker runtime — shared declarations.
 //
 // The discrete-event simulator proves the scheduling *math*; the live
-// runtime demonstrates the same OutputQueue/SchedulerState/purge engine under
-// concurrency: every broker is a receiver thread plus one sender thread per
-// downstream link, links "transmit" by sleeping for a sampled duration on a
-// scaled clock, and deliveries are checked against deadlines in (scaled)
-// real time.
+// runtime demonstrates the same OutputQueue/SchedulerState/purge engine
+// under real concurrency, with deliveries checked against deadlines in
+// (scaled) real time.  The clock and stats here are shared by both
+// execution modes: the reactor worker pool (runtime/reactor.h, the
+// default — transmissions are timer-wheel deadlines) and the legacy
+// thread-per-link oracle (threads sleeping through sampled durations).
 #pragma once
 
 #include <atomic>
@@ -37,6 +38,16 @@ class LiveClock {
 
   /// Sleeps the calling thread for `sim_ms` simulated milliseconds.
   void sleep_for(TimeMs sim_ms) const;
+
+  /// The real instant at which the clock reads `sim_ms` — what the reactor
+  /// hands to wait_until so a parked worker wakes exactly when its next
+  /// timer-wheel deadline arrives.
+  std::chrono::steady_clock::time_point real_time_at(TimeMs sim_ms) const {
+    return start_ + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            sim_ms / speedup_));
+  }
 
   double speedup() const { return speedup_; }
 

@@ -6,6 +6,7 @@
 
 #include "broker/fanout.h"
 #include "broker/output_queue.h"
+#include "runtime/channel.h"
 
 namespace bdps {
 
@@ -20,13 +21,12 @@ struct LiveNetwork::LinkWorker {
   /// the per-queue SchedulerState; guarded by `mutex`.
   OutputQueue out;
 
-  LinkWorker(BrokerId f, BrokerId t, EdgeId edge, LinkParams params,
-             const Strategy* strategy, Rng r)
-      : from(f),
-        to(t),
-        true_link(params),
-        rng(r),
-        out(t, edge, params, strategy) {}
+  explicit LinkWorker(const LiveLinkSpec& spec, const Strategy* strategy)
+      : from(spec.from),
+        to(spec.to),
+        true_link(spec.params),
+        rng(spec.rng),
+        out(spec.to, spec.edge, spec.params, strategy) {}
 };
 
 LiveNetwork::LiveNetwork(const Topology* topology, const RoutingFabric* fabric,
@@ -37,18 +37,8 @@ LiveNetwork::LiveNetwork(const Topology* topology, const RoutingFabric* fabric,
       options_(options),
       clock_(options.speedup) {
   const std::size_t n = topology_->graph.broker_count();
-  inboxes_.reserve(n);
-  for (std::size_t b = 0; b < n; ++b) {
-    inboxes_.push_back(
-        std::make_unique<Channel<std::shared_ptr<const Message>>>());
-  }
-  size_totals_.resize(n);
-  for (auto& t : size_totals_) t = std::make_unique<SizeTotal>();
 
-  // One sender worker per directed link that some subscription routes over;
-  // link_by_edge_ marks the needed edges, then workers are created in
-  // (from, to) order so the per-worker RNG streams stay deterministic.
-  link_by_edge_.assign(topology_->graph.edge_count(), nullptr);
+  // Which directed links some subscription routes over.
   out_links_.resize(n);
   std::vector<EdgeId> needed;
   for (std::size_t b = 0; b < n; ++b) {
@@ -72,16 +62,54 @@ LiveNetwork::LiveNetwork(const Topology* topology, const RoutingFabric* fabric,
               return ea.to < eb.to;
             });
   needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  link_count_ = needed.size();
 
-  Rng rng(options_.seed);
+  // The engines' per-edge stream discipline: split once per *true* edge in
+  // edge-id order, whether or not the link is served, so a link's stream is
+  // a pure function of (seed, topology) — never of the subscription set.
+  Rng link_root(options_.seed);
+  std::vector<Rng> streams;
+  streams.reserve(topology_->graph.edge_count());
+  for (std::size_t e = 0; e < topology_->graph.edge_count(); ++e) {
+    streams.push_back(link_root.split());
+  }
+
+  std::vector<LiveLinkSpec> specs;
+  specs.reserve(needed.size());
   for (const EdgeId edge : needed) {
     const Edge& e = topology_->graph.edge(edge);
-    links_.push_back(std::make_unique<LinkWorker>(
-        e.from, e.to, edge, e.link.params(), strategy_, rng.split()));
-    link_by_edge_[edge] = links_.back().get();
+    specs.push_back(LiveLinkSpec{e.from, e.to, edge, e.link.params(),
+                                 streams[static_cast<std::size_t>(edge)]});
     // (from, to)-sorted iteration makes each out_links_ row ascending by
     // neighbour — the order FanOutGrouper::bind requires.
     out_links_[e.from].push_back(LinkRef{e.to, edge});
+  }
+
+  if (options_.mode == LiveMode::kReactor) {
+    ReactorOptions reactor_options;
+    reactor_options.processing_delay = options_.processing_delay;
+    reactor_options.purge = options_.purge;
+    reactor_options.workers = options_.workers;
+    reactor_options.wheel_tick_ms = options_.wheel_tick_ms;
+    reactor_ = std::make_unique<Reactor>(topology_, fabric_, strategy_,
+                                         reactor_options, &clock_, &stats_,
+                                         &outstanding_, std::move(specs),
+                                         &out_links_);
+    return;
+  }
+
+  // Thread-per-link: blocking inbox per broker, one worker per link.
+  inboxes_.reserve(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    inboxes_.push_back(
+        std::make_unique<Channel<std::shared_ptr<const Message>>>());
+  }
+  size_totals_.resize(n);
+  for (auto& t : size_totals_) t = std::make_unique<SizeTotal>();
+  link_by_edge_.assign(topology_->graph.edge_count(), nullptr);
+  for (const LiveLinkSpec& spec : specs) {
+    links_.push_back(std::make_unique<LinkWorker>(spec, strategy_));
+    link_by_edge_[spec.edge] = links_.back().get();
   }
 }
 
@@ -91,6 +119,10 @@ void LiveNetwork::start() {
   if (started_) return;
   started_ = true;
   clock_.start();
+  if (reactor_) {
+    reactor_->start();
+    return;
+  }
   for (std::size_t b = 0; b < inboxes_.size(); ++b) {
     threads_.emplace_back(
         [this, b] { receiver_loop(static_cast<BrokerId>(b)); });
@@ -102,14 +134,17 @@ void LiveNetwork::start() {
 
 void LiveNetwork::publish(PublisherId publisher,
                           const Message& template_message) {
-  const BrokerId edge =
+  const BrokerId home =
       topology_->publisher_edges.at(static_cast<std::size_t>(publisher));
   auto message = std::make_shared<Message>(
       next_message_id_.fetch_add(1), publisher, clock_.now(),
       template_message.size_kb(), template_message.head(),
       template_message.allowed_delay());
   outstanding_.fetch_add(1);
-  if (!inboxes_[edge]->push(std::move(message))) {
+  const bool accepted =
+      reactor_ ? reactor_->publish(home, std::move(message))
+               : inboxes_[home]->push(std::move(message));
+  if (!accepted) {
     outstanding_.fetch_sub(1);
   }
 }
@@ -121,14 +156,37 @@ void LiveNetwork::drain() {
 }
 
 void LiveNetwork::stop() {
-  if (stopping_.exchange(true)) {
+  if (reactor_) {
+    reactor_->stop();
+    return;
+  }
+  if (stop_started_.exchange(true)) {
     for (auto& thread : threads_) {
       if (thread.joinable()) thread.join();
     }
     return;
   }
+  // Two-phase shutdown.  Releasing the senders while receivers still run
+  // would let a sender observe (stopping, queue empty) and exit just
+  // before its upstream receiver enqueues one more copy — a stranded copy
+  // and a drain() that never returns.  So: close the inboxes and join the
+  // receivers first (after which no new copy can enter a sender queue),
+  // only then raise stopping_ for the senders, which flush what remains
+  // (transmissions toward closed inboxes are dropped and accounted).
   for (auto& inbox : inboxes_) inbox->close();
-  for (auto& link : links_) link->cv.notify_all();
+  const std::size_t receivers = std::min(inboxes_.size(), threads_.size());
+  for (std::size_t i = 0; i < receivers; ++i) {
+    if (threads_[i].joinable()) threads_[i].join();
+  }
+  stopping_.store(true);
+  for (auto& link : links_) {
+    // The empty critical section orders the notify after any in-progress
+    // wait decision (same pattern as Reactor::wake): a sender that read
+    // stopping_ == false under its mutex is already parked in wait when
+    // this lock is granted, so the notify cannot be lost.
+    { const std::lock_guard<std::mutex> lock(link->mutex); }
+    link->cv.notify_all();
+  }
   for (auto& thread : threads_) {
     if (thread.joinable()) thread.join();
   }
@@ -145,47 +203,51 @@ void LiveNetwork::receiver_loop(BrokerId broker) {
   FanOutGrouper grouper;
   grouper.bind(out_links_[broker]);
   for (;;) {
-    auto popped = inbox.pop();
-    if (!popped.has_value()) return;  // Closed and drained.
-    const std::shared_ptr<const Message> message = std::move(*popped);
+    // Batched drain: one lock round-trip per burst instead of per message
+    // (Channel::pop_all swaps the deque out whole).
+    auto batch = inbox.pop_all();
+    if (batch.empty()) return;  // Closed and drained.
+    for (auto& popped : batch) {
+      const std::shared_ptr<const Message> message = std::move(popped);
 
-    stats_.on_reception();
-    clock_.sleep_for(options_.processing_delay);
-    const TimeMs now = clock_.now();
+      stats_.on_reception();
+      clock_.sleep_for(options_.processing_delay);
+      const TimeMs now = clock_.now();
 
-    size_totals_[broker]->kb.fetch_add(message->size_kb());
-    size_totals_[broker]->count.fetch_add(1);
+      size_totals_[broker]->kb.fetch_add(message->size_kb());
+      size_totals_[broker]->count.fetch_add(1);
 
-    fabric_->match_at(broker, *message, matched);
-    grouper.group(matched, *message);
+      fabric_->match_at(broker, *message, matched);
+      grouper.group(matched, *message);
 
-    for (const SubscriptionEntry* entry : grouper.local()) {
-      const TimeMs delay = message->elapsed(now);
-      const TimeMs deadline = entry->effective_deadline(*message);
-      stats_.on_delivery(LiveDelivery{entry->subscription->subscriber,
-                                      message->id(), delay,
-                                      delay <= deadline,
-                                      entry->subscription->price});
-    }
-
-    for (FanOutGroup& group : grouper.groups()) {
-      if (group.targets.empty()) continue;
-      LinkWorker* worker = link_by_edge_[group.edge];
-      QueuedMessage queued{message, now, std::move(group.targets)};
-      group.targets = {};  // Moved-from: reset to a clean empty slot.
-      // Fold the scoring kernel on the receiver thread, outside the sender's
-      // lock: picks and purges on the hot sender loop then never touch the
-      // subscription table.
-      precompute_scores(queued, options_.processing_delay);
-      outstanding_.fetch_add(1);
-      {
-        const std::lock_guard<std::mutex> lock(worker->mutex);
-        worker->out.enqueue(std::move(queued));
+      for (const SubscriptionEntry* entry : grouper.local()) {
+        const TimeMs delay = message->elapsed(now);
+        const TimeMs deadline = entry->effective_deadline(*message);
+        stats_.on_delivery(LiveDelivery{entry->subscription->subscriber,
+                                        message->id(), delay,
+                                        delay <= deadline,
+                                        entry->subscription->price});
       }
-      worker->cv.notify_one();
-    }
 
-    outstanding_.fetch_sub(1, std::memory_order_release);
+      for (FanOutGroup& group : grouper.groups()) {
+        if (group.targets.empty()) continue;
+        LinkWorker* worker = link_by_edge_[group.edge];
+        QueuedMessage queued{message, now, std::move(group.targets)};
+        group.targets = {};  // Moved-from: reset to a clean empty slot.
+        // Fold the scoring kernel on the receiver thread, outside the
+        // sender's lock: picks and purges on the hot sender loop then never
+        // touch the subscription table.
+        precompute_scores(queued, options_.processing_delay);
+        outstanding_.fetch_add(1);
+        {
+          const std::lock_guard<std::mutex> lock(worker->mutex);
+          worker->out.enqueue(std::move(queued));
+        }
+        worker->cv.notify_one();
+      }
+
+      outstanding_.fetch_sub(1, std::memory_order_release);
+    }
   }
 }
 

@@ -1,22 +1,34 @@
-// Threaded broker overlay.
+// Live broker overlay — event-driven reactor by default, with the legacy
+// thread-per-link runtime kept one release as a differential-test oracle.
 //
-// LiveNetwork spawns one receiver thread per broker and one sender thread
-// per directed overlay link that carries subscriptions.  Receivers pop an
-// inbox channel, sleep the processing delay PD, match against the routing
-// fabric and either deliver locally or enqueue into the link's OutputQueue
-// — the *same* queue + SchedulerState engine the discrete-event simulator
-// drives, grouped through the same FanOutGrouper (publisher mask +
-// activation-window churn filter included); senders repeatedly call
-// OutputQueue::take_next (purge + incremental pick) under the link lock,
-// sleep the sampled transmission time and push into the downstream inbox.
+// Both modes drive the *same* engine the discrete-event simulator proves:
+// OutputQueue + SchedulerState picks, eq. (11) purges, FanOutGrouper
+// admission (publisher mask + activation-window churn filter), deadlines
+// checked in (scaled) real time against the LiveClock.  They differ only
+// in execution:
 //
-// Link workers are addressed by EdgeId: a flat per-edge table replaces the
-// former (from, to)-keyed map, and the fan-out groups carry the edge id, so
-// a receiver reaches its downstream worker with one indexed load.
+//   * LiveMode::kReactor (default) — a fixed pool of N workers
+//     (runtime/reactor.h): brokers are assigned to workers with the
+//     sharded engine's ShardPlan, per-broker Rx and per-link Tx state
+//     machines sleep as timers in a hierarchical wheel
+//     (common/timer_wheel.h), and cross-worker handoff rides SpscQueue
+//     mailboxes plus an epoch/condvar wake protocol.  Thread count is
+//     hardware-sized, so one process serves 10k+ links.
+//   * LiveMode::kThreadPerLink — one receiver thread per broker plus one
+//     sender thread per subscribed directed link, blocking Channel
+//     inboxes, threads sleeping through PD and transmissions.  Topology-
+//     sized thread counts cap it at a few hundred links; it survives as
+//     the behavioural oracle the stress suite diffs the reactor against.
+//
+// Transmission sampling follows the engines' per-edge RNG stream
+// discipline in both modes: one stream split from LiveOptions::seed per
+// true EdgeId (edge-id order), so a link's draw sequence is a pure
+// function of the seed and the topology — independent of worker
+// interleaving, mode, and which other links exist.
 //
 // An outstanding-work counter lets `drain()` block until every copy in
-// flight has been delivered, purged or dropped; `stop()` then closes all
-// channels and joins the threads (also invoked by the destructor).
+// flight has been delivered, purged or dropped; `stop()` finishes pending
+// work and joins all threads (also invoked by the destructor).
 #pragma once
 
 #include <optional>
@@ -24,17 +36,32 @@
 #include <utility>
 
 #include "runtime/live_broker.h"
+#include "runtime/reactor.h"
 #include "scheduling/purge.h"
 #include "topology/edge_map.h"
 
 namespace bdps {
+
+enum class LiveMode {
+  /// Reactor worker pool + timer wheel (the default).
+  kReactor,
+  /// Legacy thread-per-link oracle (one release of grace, then removal).
+  kThreadPerLink,
+};
 
 struct LiveOptions {
   TimeMs processing_delay = 2.0;
   PurgePolicy purge;
   /// Simulated milliseconds per real millisecond.
   double speedup = 100.0;
+  /// Seeds the per-EdgeId transmission RNG streams (both modes).
   std::uint64_t seed = 1;
+  LiveMode mode = LiveMode::kReactor;
+  /// Reactor worker count; 0 = hardware threads.  Ignored by
+  /// kThreadPerLink (its thread count is the topology's).
+  std::size_t workers = 0;
+  /// Reactor timer resolution in simulated milliseconds.
+  TimeMs wheel_tick_ms = 0.25;
 };
 
 class LiveNetwork {
@@ -47,7 +74,7 @@ class LiveNetwork {
   LiveNetwork(const LiveNetwork&) = delete;
   LiveNetwork& operator=(const LiveNetwork&) = delete;
 
-  /// Starts the clock and all broker threads.
+  /// Starts the clock and the runtime threads (N workers or per-link).
   void start();
 
   /// Publishes a message now (the publish timestamp is taken from the live
@@ -62,6 +89,13 @@ class LiveNetwork {
 
   const LiveStats& stats() const { return stats_; }
   const LiveClock& clock() const { return clock_; }
+  LiveMode mode() const { return options_.mode; }
+  /// Reactor worker count; 0 in thread-per-link mode.
+  std::size_t worker_count() const {
+    return reactor_ ? reactor_->worker_count() : 0;
+  }
+  /// Directed subscribed links the runtime serves (either mode).
+  std::size_t link_count() const { return link_count_; }
 
  private:
   struct LinkWorker;
@@ -83,6 +117,15 @@ class LiveNetwork {
   LiveClock clock_;
   LiveStats stats_;
 
+  /// Per-broker downstream links (ascending neighbour order): each
+  /// receiver's / reactor broker's FanOutGrouper binding.
+  std::vector<std::vector<LinkRef>> out_links_;
+  std::size_t link_count_ = 0;
+
+  // ---- Reactor mode ----
+  std::unique_ptr<Reactor> reactor_;
+
+  // ---- Thread-per-link mode ----
   std::vector<std::unique_ptr<Channel<std::shared_ptr<const Message>>>>
       inboxes_;
   std::vector<std::unique_ptr<SizeTotal>> size_totals_;
@@ -90,12 +133,12 @@ class LiveNetwork {
   /// Flat per-edge worker table (nullptr where the link carries no
   /// subscriptions); the edge ids in a receiver's fan-out groups index it.
   EdgeMap<LinkWorker*> link_by_edge_;
-  /// Per-broker downstream links (ascending neighbour order): each
-  /// receiver's FanOutGrouper binding.
-  std::vector<std::vector<LinkRef>> out_links_;
   std::vector<std::thread> threads_;
 
   std::atomic<std::size_t> outstanding_{0};
+  /// Idempotence latch for stop(); senders watch stopping_, which is
+  /// raised only after the receivers have been joined (see stop()).
+  std::atomic<bool> stop_started_{false};
   std::atomic<bool> stopping_{false};
   bool started_ = false;
   std::atomic<MessageId> next_message_id_{0};

@@ -1,0 +1,379 @@
+#include "runtime/reactor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "broker/output_queue.h"
+#include "common/spsc_queue.h"
+#include "common/timer_wheel.h"
+#include "runtime/channel.h"
+#include "scheduling/kernel.h"
+#include "sim/parallel/shard_plan.h"
+
+namespace bdps {
+
+namespace {
+
+/// Park caps: a worker never sleeps past these even without a wake, so a
+/// missed edge case degrades to a poll instead of a hang; the stop cap
+/// keeps shutdown prompt while outstanding work drains.
+constexpr std::chrono::milliseconds kMaxPark{50};
+constexpr std::chrono::milliseconds kStopPark{2};
+
+}  // namespace
+
+/// One message crossing a worker boundary (mailbox / injector element).
+struct Reactor::Inbound {
+  BrokerId to = kNoBroker;
+  std::shared_ptr<const Message> message;
+};
+
+/// Timer-wheel payload: which state machine fires.
+struct Reactor::TimerEvent {
+  std::uint32_t index = 0;  // BrokerId (rx) or links_ index (tx).
+  bool tx = false;
+};
+
+/// Broker Rx state machine + per-broker scratch.  Touched only by the
+/// owning worker, so none of it is synchronised.
+struct Reactor::BrokerState {
+  std::deque<std::shared_ptr<const Message>> input;
+  bool processing = false;  // A PD timer is pending for input.front().
+  FanOutGrouper grouper;
+  std::vector<const SubscriptionEntry*> matched;
+  // Running totals behind the eq. (6) average message size; worker-local
+  // because every outgoing link of this broker lives on the same worker.
+  double size_kb_total = 0.0;
+  std::size_t size_count = 0;
+};
+
+/// Link Tx state machine: the simulator's OutputQueue engine driven by
+/// timer callbacks instead of a dedicated sender thread.
+struct Reactor::LinkState {
+  BrokerId from;
+  BrokerId to;
+  EdgeId edge;
+  LinkModel true_link;
+  Rng rng;  // The link's per-EdgeId stream.
+  OutputQueue out;
+  std::shared_ptr<const Message> in_flight;
+  bool busy = false;  // A tx timer is pending for in_flight.
+
+  LinkState(const LiveLinkSpec& spec, const Strategy* strategy)
+      : from(spec.from),
+        to(spec.to),
+        edge(spec.edge),
+        true_link(spec.params),
+        rng(spec.rng),
+        out(spec.to, spec.edge, spec.params, strategy) {}
+};
+
+struct Reactor::Worker {
+  std::size_t id = 0;
+  TimerWheel<TimerEvent> wheel;
+  /// One SPSC mailbox per *source* worker (nullptr for self): exactly one
+  /// pusher, exactly one drainer — the wait-free cross-worker path.
+  std::vector<std::unique_ptr<SpscQueue<Inbound>>> inbound;
+  /// External entry point (publish arrives from arbitrary user threads).
+  Channel<Inbound> injector;
+  /// Wake protocol: producers bump `epoch` *after* pushing, then notify;
+  /// the worker snapshots it before draining and parks only while it is
+  /// unchanged — either side losing the race still observes the other.
+  std::atomic<std::uint64_t> epoch{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::thread thread;
+  std::vector<Inbound> drain_scratch;
+};
+
+Reactor::Reactor(const Topology* topology, const RoutingFabric* fabric,
+                 const Strategy* strategy, ReactorOptions options,
+                 LiveClock* clock, LiveStats* stats,
+                 std::atomic<std::size_t>* outstanding,
+                 std::vector<LiveLinkSpec> links,
+                 const std::vector<std::vector<LinkRef>>* out_links)
+    : topology_(topology),
+      fabric_(fabric),
+      strategy_(strategy),
+      options_(options),
+      clock_(clock),
+      stats_(stats),
+      outstanding_(outstanding) {
+  if (!(options_.wheel_tick_ms > 0.0)) {  // Also rejects NaN.
+    throw std::invalid_argument("reactor: wheel_tick_ms must be > 0");
+  }
+  const std::size_t n = topology_->graph.broker_count();
+  brokers_.reserve(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    brokers_.push_back(std::make_unique<BrokerState>());
+    brokers_[b]->grouper.bind((*out_links)[b]);
+  }
+
+  link_by_edge_.assign(topology_->graph.edge_count(), -1);
+  links_.reserve(links.size());
+  for (LiveLinkSpec& spec : links) {
+    link_by_edge_[spec.edge] = static_cast<std::int32_t>(links_.size());
+    links_.push_back(std::make_unique<LinkState>(spec, strategy_));
+  }
+
+  std::size_t worker_count =
+      options_.workers != 0
+          ? options_.workers
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  worker_count = std::clamp<std::size_t>(worker_count, 1, std::max<std::size_t>(1, n));
+
+  // The sharded engine's partitioner keeps most fan-outs worker-local;
+  // links follow their source broker, so one edge cut is one mailbox hop.
+  const ShardPlan plan =
+      ShardPlan::greedy_edge_cut(topology_->graph, worker_count);
+  owner_of_broker_.resize(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    owner_of_broker_[b] = plan.shard_of(static_cast<BrokerId>(b));
+  }
+
+  workers_.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->id = w;
+    worker->inbound.resize(worker_count);
+    for (std::size_t src = 0; src < worker_count; ++src) {
+      if (src != w) worker->inbound[src] = std::make_unique<SpscQueue<Inbound>>();
+    }
+    workers_.push_back(std::move(worker));
+  }
+}
+
+Reactor::~Reactor() { stop(); }
+
+void Reactor::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([this, w] { worker_loop(*w); });
+  }
+}
+
+bool Reactor::publish(BrokerId target,
+                      std::shared_ptr<const Message> message) {
+  Worker& worker = *workers_[owner_of_broker_[target]];
+  if (!worker.injector.push(Inbound{target, std::move(message)})) {
+    return false;
+  }
+  wake(worker);
+  return true;
+}
+
+void Reactor::stop() {
+  if (stopping_.exchange(true)) {
+    for (auto& worker : workers_) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
+    return;
+  }
+  for (auto& worker : workers_) worker->injector.close();
+  for (auto& worker : workers_) wake(*worker);
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+std::uint64_t Reactor::tick_ceil(TimeMs at) const {
+  if (at <= 0.0) return 0;
+  return static_cast<std::uint64_t>(std::ceil(at / options_.wheel_tick_ms));
+}
+
+void Reactor::worker_loop(Worker& worker) {
+  for (;;) {
+    const std::uint64_t epoch =
+        worker.epoch.load(std::memory_order_acquire);
+    drain_inbound(worker);
+    advance_wheel(worker);
+    // Exit order matters: the injector must be observed *closed* before
+    // outstanding is read.  A publish that won the push-before-close race
+    // incremented the counter before pushing, and both precede the close
+    // this thread just observed (channel-mutex order), so outstanding
+    // reads >= 1 here and the next drain picks the message up — no copy
+    // can strand in a dead worker's injector.  Cross-worker mailboxes
+    // need no check: a future push implies an in-flight copy that keeps
+    // outstanding nonzero the whole time.
+    if (stopping_.load(std::memory_order_acquire) &&
+        worker.injector.closed() &&
+        outstanding_->load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    park(worker, epoch);
+  }
+}
+
+void Reactor::drain_inbound(Worker& worker) {
+  auto& batch = worker.drain_scratch;
+  batch.clear();
+  for (auto& mailbox : worker.inbound) {
+    if (mailbox) mailbox->drain(batch);
+  }
+  // try_drain reuses the scratch vector: the empty-injector poll (the
+  // common case every loop iteration) costs one lock, no allocation.
+  worker.injector.try_drain(batch);
+  for (Inbound& in : batch) {
+    deposit(worker, in.to, std::move(in.message));
+  }
+  batch.clear();
+}
+
+void Reactor::advance_wheel(Worker& worker) {
+  const std::uint64_t now_tick = static_cast<std::uint64_t>(
+      std::max(0.0, clock_->now()) / options_.wheel_tick_ms);
+  worker.wheel.advance(now_tick,
+                       [this, &worker](std::uint64_t, TimerEvent event) {
+                         if (event.tx) {
+                           on_tx_done(worker, event.index);
+                         } else {
+                           on_rx_done(worker,
+                                      static_cast<BrokerId>(event.index));
+                         }
+                       });
+}
+
+void Reactor::park(Worker& worker, std::uint64_t epoch_snapshot) {
+  const bool stopping = stopping_.load(std::memory_order_acquire);
+  auto deadline = std::chrono::steady_clock::now() +
+                  (stopping ? kStopPark : kMaxPark);
+  if (const auto next = worker.wheel.next_due()) {
+    deadline = std::min(
+        deadline, clock_->real_time_at(static_cast<TimeMs>(*next) *
+                                       options_.wheel_tick_ms));
+  }
+  std::unique_lock<std::mutex> lock(worker.mutex);
+  worker.cv.wait_until(lock, deadline, [&] {
+    return worker.epoch.load(std::memory_order_acquire) != epoch_snapshot;
+  });
+}
+
+void Reactor::wake(Worker& worker) {
+  worker.epoch.fetch_add(1, std::memory_order_release);
+  // The empty critical section orders this notify after any in-progress
+  // park decision: either the worker sees the new epoch before waiting, or
+  // it is already parked and the notify lands.
+  { const std::lock_guard<std::mutex> lock(worker.mutex); }
+  worker.cv.notify_one();
+}
+
+void Reactor::deposit(Worker& worker, BrokerId broker,
+                      std::shared_ptr<const Message> message) {
+  BrokerState& state = *brokers_[broker];
+  state.input.push_back(std::move(message));
+  if (!state.processing) {
+    state.processing = true;
+    schedule_rx(worker, broker);
+  }
+}
+
+void Reactor::schedule_rx(Worker& worker, BrokerId broker) {
+  worker.wheel.schedule(
+      tick_ceil(clock_->now() + options_.processing_delay),
+      TimerEvent{static_cast<std::uint32_t>(broker), /*tx=*/false});
+}
+
+void Reactor::on_rx_done(Worker& worker, BrokerId broker) {
+  BrokerState& state = *brokers_[broker];
+  std::shared_ptr<const Message> message = std::move(state.input.front());
+  state.input.pop_front();
+
+  stats_->on_reception();
+  const TimeMs now = clock_->now();
+  state.size_kb_total += message->size_kb();
+  ++state.size_count;
+
+  // Same admission pipeline as the legacy receiver and the simulator
+  // broker: match scratch + sorted-slot fan-out grouping, kernel rows
+  // folded here so pick/purge callbacks never touch the table.
+  fabric_->match_at(broker, *message, state.matched);
+  state.grouper.group(state.matched, *message);
+
+  for (const SubscriptionEntry* entry : state.grouper.local()) {
+    const TimeMs delay = message->elapsed(now);
+    const TimeMs deadline = entry->effective_deadline(*message);
+    stats_->on_delivery(LiveDelivery{entry->subscription->subscriber,
+                                     message->id(), delay, delay <= deadline,
+                                     entry->subscription->price});
+  }
+
+  for (FanOutGroup& group : state.grouper.groups()) {
+    if (group.targets.empty()) continue;
+    const std::int32_t link_index = link_by_edge_[group.edge];
+    LinkState& link = *links_[link_index];
+    QueuedMessage queued{message, now, std::move(group.targets)};
+    group.targets = {};  // Moved-from: reset to a clean empty slot.
+    precompute_scores(queued, options_.processing_delay);
+    outstanding_->fetch_add(1);
+    link.out.enqueue(std::move(queued));
+    if (!link.busy) {
+      start_transmission(worker, static_cast<std::uint32_t>(link_index));
+    }
+  }
+
+  outstanding_->fetch_sub(1, std::memory_order_release);
+
+  if (!state.input.empty()) {
+    schedule_rx(worker, broker);
+  } else {
+    state.processing = false;
+  }
+}
+
+void Reactor::start_transmission(Worker& worker, std::uint32_t link_index) {
+  LinkState& link = *links_[link_index];
+  const BrokerState& from = *brokers_[link.from];
+  const double average_kb =
+      from.size_count == 0
+          ? 0.0
+          : from.size_kb_total / static_cast<double>(from.size_count);
+  const SchedulingContext context{clock_->now(), options_.processing_delay,
+                                  link.out.head_of_line_estimate(average_kb)};
+
+  PurgeStats purge_stats;
+  auto taken = link.out.take_next(context, options_.purge, &purge_stats);
+  stats_->on_purge(purge_stats);
+  if (purge_stats.expired + purge_stats.hopeless > 0) {
+    outstanding_->fetch_sub(purge_stats.expired + purge_stats.hopeless,
+                            std::memory_order_release);
+  }
+  if (!taken.has_value()) {
+    link.busy = false;
+    return;
+  }
+
+  link.busy = true;
+  const TimeMs duration = link.true_link.sample_send_time(
+      link.rng, taken->message->size_kb());
+  link.in_flight = std::move(taken->message);
+  worker.wheel.schedule(tick_ceil(clock_->now() + duration),
+                        TimerEvent{link_index, /*tx=*/true});
+}
+
+void Reactor::on_tx_done(Worker& worker, std::uint32_t link_index) {
+  LinkState& link = *links_[link_index];
+  std::shared_ptr<const Message> message = std::move(link.in_flight);
+
+  const std::uint32_t owner = owner_of_broker_[link.to];
+  if (owner == worker.id) {
+    deposit(worker, link.to, std::move(message));
+  } else {
+    Worker& target = *workers_[owner];
+    target.inbound[worker.id]->push(Inbound{link.to, std::move(message)});
+    wake(target);
+  }
+
+  // The link is free at this instant: pop the next pick inline (or go
+  // idle) — the event-driven equivalent of the sender loop's next
+  // iteration.
+  start_transmission(worker, link_index);
+}
+
+}  // namespace bdps

@@ -1,0 +1,144 @@
+// Event-driven live runtime: reactor worker pool + timer wheel.
+//
+// The thread-per-link runtime demonstrates the scheduling engine under real
+// concurrency but sleeps an OS thread through every processing delay and
+// every transmission — topology size dictates thread count, and a few
+// hundred links is the practical ceiling.  The reactor inverts that: a
+// fixed pool of N workers (N = hardware threads, not topology size) owns
+// per-broker and per-link *state machines*, and every delay is a pending
+// timer in a hierarchical wheel (common/timer_wheel.h) over the scaled
+// LiveClock.
+//
+// State machines:
+//   * Broker Rx: RxIdle -> Processing.  A deposited message on an idle
+//     broker arms a PD timer; the timer's expiry runs the match + fan-out
+//     (the same FanOutGrouper/precompute_scores path the simulator broker
+//     and the legacy receiver use) and re-arms while input remains —
+//     brokers process one message per PD, exactly like the legacy
+//     receiver's pop/sleep loop.
+//   * Link Tx: TxIdle -> Transmitting.  Enqueueing into an idle link's
+//     OutputQueue starts a send inline: purge + take_next under no lock
+//     (the owning worker is the only toucher), a sampled duration from the
+//     link's per-edge RNG stream, one wheel timer.  The timer's expiry
+//     delivers to the downstream broker and pops the next message.
+//
+// Placement and handoff: brokers are assigned to workers with the sharded
+// engine's ShardPlan (greedy edge cut — most fan-outs stay worker-local);
+// each directed link lives with its *source* broker's worker, so enqueue,
+// pick and purge are always same-worker.  A transmission that completes
+// toward a remote broker crosses through the (source worker, destination
+// worker) SpscQueue mailbox plus an epoch/condvar wake protocol — the only
+// synchronisation in steady state; there are no per-broker blocking
+// channels and no per-link locks.
+//
+// Drain/stop share LiveNetwork's outstanding-copies counter: workers exit
+// once stop() was requested and no copy remains in flight, finishing
+// queued work first (the legacy semantics).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "broker/fanout.h"
+#include "runtime/live_broker.h"
+#include "routing/fabric.h"
+#include "scheduling/purge.h"
+#include "topology/edge_map.h"
+
+namespace bdps {
+
+struct ReactorOptions {
+  TimeMs processing_delay = 2.0;
+  PurgePolicy purge;
+  /// Worker count; 0 = std::thread::hardware_concurrency().  Clamped to
+  /// [1, broker count] (the shard plan needs a non-empty shard each).
+  std::size_t workers = 0;
+  /// Timer-wheel resolution in *simulated* milliseconds.  Deadline checks
+  /// use the exact clock, so resolution only quantises when callbacks run;
+  /// 0.25 sim ms is far below any PD/transmission scale the paper uses.
+  TimeMs wheel_tick_ms = 0.25;
+};
+
+/// One directed overlay link the runtime serves: resolved by LiveNetwork
+/// from the routing tables, with the link's dedicated RNG stream (split
+/// from LiveOptions::seed once per true EdgeId — the engines' discipline).
+struct LiveLinkSpec {
+  BrokerId from = kNoBroker;
+  BrokerId to = kNoBroker;
+  EdgeId edge = kNoEdge;
+  LinkParams params;
+  Rng rng;
+};
+
+class Reactor {
+ public:
+  /// All referenced objects must outlive the reactor.  `out_links` is the
+  /// per-broker ascending LinkRef rows the fan-out groupers bind to;
+  /// `outstanding` is LiveNetwork's in-flight copy counter (shared so
+  /// drain() sees both modes identically).
+  Reactor(const Topology* topology, const RoutingFabric* fabric,
+          const Strategy* strategy, ReactorOptions options, LiveClock* clock,
+          LiveStats* stats, std::atomic<std::size_t>* outstanding,
+          std::vector<LiveLinkSpec> links,
+          const std::vector<std::vector<LinkRef>>* out_links);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  void start();
+
+  /// Hands a published message to its edge broker's worker; false once
+  /// stopped (the caller unwinds its outstanding increment, mirroring the
+  /// closed-channel contract of the legacy mode).
+  bool publish(BrokerId target, std::shared_ptr<const Message> message);
+
+  /// Requests shutdown and joins the workers; pending copies are finished
+  /// first.  Idempotent.
+  void stop();
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+ private:
+  struct Inbound;
+  struct TimerEvent;
+  struct BrokerState;
+  struct LinkState;
+  struct Worker;
+
+  std::uint64_t tick_ceil(TimeMs at) const;
+  void worker_loop(Worker& worker);
+  void drain_inbound(Worker& worker);
+  void advance_wheel(Worker& worker);
+  void park(Worker& worker, std::uint64_t epoch_snapshot);
+  void wake(Worker& worker);
+  void deposit(Worker& worker, BrokerId broker,
+               std::shared_ptr<const Message> message);
+  void schedule_rx(Worker& worker, BrokerId broker);
+  void on_rx_done(Worker& worker, BrokerId broker);
+  void start_transmission(Worker& worker, std::uint32_t link_index);
+  void on_tx_done(Worker& worker, std::uint32_t link_index);
+
+  const Topology* topology_;
+  const RoutingFabric* fabric_;
+  const Strategy* strategy_;
+  ReactorOptions options_;
+  LiveClock* clock_;
+  LiveStats* stats_;
+  std::atomic<std::size_t>* outstanding_;
+
+  std::vector<std::unique_ptr<BrokerState>> brokers_;
+  std::vector<std::unique_ptr<LinkState>> links_;
+  /// Flat per-edge index into links_ (-1 where no subscription routes).
+  EdgeMap<std::int32_t> link_by_edge_;
+  /// ShardPlan assignment: which worker owns each broker (and its links).
+  std::vector<std::uint32_t> owner_of_broker_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+}  // namespace bdps

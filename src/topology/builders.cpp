@@ -242,6 +242,27 @@ Topology build_grid(Rng& rng, std::size_t rows, std::size_t cols, bool torus,
   return topo;
 }
 
+Topology build_star_of_chains(std::size_t chains, std::size_t depth,
+                              LinkParams link) {
+  if (chains == 0 || depth == 0) {
+    throw std::invalid_argument("star of chains needs chains, depth >= 1");
+  }
+  Topology topo;
+  // Broker 0 is the hub; chain c occupies [1 + c*depth, 1 + (c+1)*depth).
+  topo.graph.resize(1 + chains * depth);
+  topo.publisher_edges.push_back(0);
+  for (std::size_t c = 0; c < chains; ++c) {
+    BrokerId previous = 0;
+    for (std::size_t d = 0; d < depth; ++d) {
+      const auto broker = static_cast<BrokerId>(1 + c * depth + d);
+      topo.graph.add_bidirectional(previous, broker, link);
+      previous = broker;
+    }
+    topo.subscriber_homes.push_back(previous);  // The chain's end broker.
+  }
+  return topo;
+}
+
 Topology build_scale_free(Rng& rng, std::size_t broker_count,
                           std::size_t edges_per_node,
                           std::size_t publisher_count,

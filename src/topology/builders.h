@@ -81,6 +81,15 @@ Topology build_grid(Rng& rng, std::size_t rows, std::size_t cols,
                     std::size_t subscriber_count, double link_mean_lo,
                     double link_mean_hi, double link_stddev);
 
+/// Hub with `chains` chains of `depth` brokers each: one publisher at the
+/// hub, one subscriber at every chain end.  Every hop of every chain
+/// carries traffic, so the overlay serves chains x depth directed links
+/// with only `chains` distinct subscriber homes — the link-scaling shape
+/// of the live-runtime benches (a 128 x 128 broom is 16384 live links,
+/// which a thread-per-link runtime must pay ~33k threads for).
+Topology build_star_of_chains(std::size_t chains, std::size_t depth,
+                              LinkParams link);
+
 /// Barabasi-Albert preferential-attachment graph (`edges_per_node` links
 /// from every new broker to degree-weighted targets): a scale-free overlay
 /// whose hubs stress the per-queue scheduler far more than the paper's

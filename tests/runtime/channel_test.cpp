@@ -1,0 +1,89 @@
+#include "runtime/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace bdps {
+namespace {
+
+TEST(Channel, PopReturnsItemsInFifoOrderThenNulloptAfterClose) {
+  Channel<int> channel;
+  EXPECT_TRUE(channel.push(1));
+  EXPECT_TRUE(channel.push(2));
+  EXPECT_EQ(channel.pop(), std::optional<int>(1));
+  EXPECT_EQ(channel.pop(), std::optional<int>(2));
+  channel.push(3);
+  channel.close();
+  EXPECT_FALSE(channel.push(4)) << "push after close must fail";
+  EXPECT_EQ(channel.pop(), std::optional<int>(3)) << "drain after close";
+  EXPECT_EQ(channel.pop(), std::nullopt);
+}
+
+TEST(Channel, PopAllDrainsEverythingInOneSwap) {
+  Channel<int> channel;
+  for (int i = 0; i < 5; ++i) channel.push(i);
+  const auto batch = channel.pop_all();
+  ASSERT_EQ(batch.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(batch[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(channel.size(), 0u);
+}
+
+TEST(Channel, PopAllEmptyMeansClosedAndDrained) {
+  Channel<int> channel;
+  channel.push(7);
+  channel.close();
+  EXPECT_EQ(channel.pop_all().size(), 1u);
+  EXPECT_TRUE(channel.pop_all().empty()) << "closed + drained terminates";
+}
+
+TEST(Channel, PopAllBlocksUntilAProducerArrives) {
+  Channel<int> channel;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    channel.push(1);
+    channel.push(2);
+  });
+  const auto batch = channel.pop_all();  // Must block, then see the burst.
+  producer.join();
+  EXPECT_GE(batch.size(), 1u);
+  EXPECT_EQ(batch[0], 1);
+}
+
+TEST(Channel, TryDrainAppendsIntoCallerVectorAndReusesIt) {
+  Channel<int> channel;
+  std::vector<int> scratch = {-1};  // Pre-existing content must survive.
+  EXPECT_FALSE(channel.try_drain(scratch));
+  channel.push(1);
+  channel.push(2);
+  EXPECT_TRUE(channel.try_drain(scratch));
+  EXPECT_EQ(scratch, (std::vector<int>{-1, 1, 2}));
+  EXPECT_FALSE(channel.try_drain(scratch)) << "drained channel is empty";
+  channel.close();
+  channel.push(3);  // Rejected: closed.
+  EXPECT_FALSE(channel.try_drain(scratch));
+}
+
+TEST(Channel, PopAndPopAllComposeAcrossThreads) {
+  Channel<int> channel;
+  constexpr int kItems = 2000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) channel.push(i);
+    channel.close();
+  });
+  std::vector<int> seen;
+  for (;;) {
+    auto batch = channel.pop_all();
+    if (batch.empty()) break;
+    for (int v : batch) seen.push_back(v);
+  }
+  producer.join();
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+  }
+}
+
+}  // namespace
+}  // namespace bdps

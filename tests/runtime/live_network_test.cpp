@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 namespace bdps {
 namespace {
 
@@ -32,10 +35,12 @@ struct LiveRig {
     scheduler = make_strategy(strategy);
   }
 
-  LiveOptions options() const {
+  LiveOptions options(LiveMode mode) const {
     LiveOptions opt;
     opt.processing_delay = 1.0;
     opt.speedup = 200.0;
+    opt.mode = mode;
+    opt.workers = 2;  // Exercise cross-worker handoff even on a 3-line.
     return opt;
   }
 
@@ -44,10 +49,23 @@ struct LiveRig {
   }
 };
 
-TEST(LiveNetwork, DeliversPublishedMessagesToAllSubscribers) {
+/// Every behavioural test runs in both modes: the reactor is the default
+/// engine, the thread-per-link runtime is the oracle it must match.
+class LiveNetworkModes : public ::testing::TestWithParam<LiveMode> {};
+
+INSTANTIATE_TEST_SUITE_P(BothModes, LiveNetworkModes,
+                         ::testing::Values(LiveMode::kReactor,
+                                           LiveMode::kThreadPerLink),
+                         [](const auto& info) {
+                           return info.param == LiveMode::kReactor
+                                      ? "Reactor"
+                                      : "ThreadPerLink";
+                         });
+
+TEST_P(LiveNetworkModes, DeliversPublishedMessagesToAllSubscribers) {
   LiveRig rig;
   LiveNetwork net(&rig.topo, rig.fabric.get(), rig.scheduler.get(),
-                  rig.options());
+                  rig.options(GetParam()));
   net.start();
   for (int i = 0; i < 5; ++i) {
     net.publish(0, LiveRig::message_template());
@@ -63,10 +81,10 @@ TEST(LiveNetwork, DeliversPublishedMessagesToAllSubscribers) {
   EXPECT_EQ(net.stats().receptions(), 15u);
 }
 
-TEST(LiveNetwork, DeliveryDelaysAreMeasuredOnTheScaledClock) {
+TEST_P(LiveNetworkModes, DeliveryDelaysAreMeasuredOnTheScaledClock) {
   LiveRig rig;
   LiveNetwork net(&rig.topo, rig.fabric.get(), rig.scheduler.get(),
-                  rig.options());
+                  rig.options(GetParam()));
   net.start();
   net.publish(0, LiveRig::message_template());
   net.drain();
@@ -82,11 +100,11 @@ TEST(LiveNetwork, DeliveryDelaysAreMeasuredOnTheScaledClock) {
   }
 }
 
-TEST(LiveNetwork, ExpiredDeadlinesAreRecordedInvalid) {
+TEST_P(LiveNetworkModes, ExpiredDeadlinesAreRecordedInvalid) {
   // 1 ms allowed delay cannot be met (each hop takes ~100 simulated ms),
   // but with purging disabled the copies still travel and deliver late.
   LiveRig rig(/*deadline=*/1.0);
-  LiveOptions opt = rig.options();
+  LiveOptions opt = rig.options(GetParam());
   opt.purge.epsilon = 0.0;
   opt.purge.drop_expired = false;
   LiveNetwork net(&rig.topo, rig.fabric.get(), rig.scheduler.get(), opt);
@@ -99,10 +117,10 @@ TEST(LiveNetwork, ExpiredDeadlinesAreRecordedInvalid) {
   EXPECT_DOUBLE_EQ(net.stats().earning(), 0.0);
 }
 
-TEST(LiveNetwork, PurgeDropsHopelessTraffic) {
+TEST_P(LiveNetworkModes, PurgeDropsHopelessTraffic) {
   LiveRig rig(/*deadline=*/1.0);  // Paper-style purge enabled by default.
   LiveNetwork net(&rig.topo, rig.fabric.get(), rig.scheduler.get(),
-                  rig.options());
+                  rig.options(GetParam()));
   net.start();
   for (int i = 0; i < 3; ++i) net.publish(0, LiveRig::message_template());
   net.drain();
@@ -111,11 +129,11 @@ TEST(LiveNetwork, PurgeDropsHopelessTraffic) {
   EXPECT_EQ(net.stats().purged(), 3u);
 }
 
-TEST(LiveNetwork, StopIsIdempotentAndDestructorSafe) {
+TEST_P(LiveNetworkModes, StopIsIdempotentAndDestructorSafe) {
   LiveRig rig;
   {
     LiveNetwork net(&rig.topo, rig.fabric.get(), rig.scheduler.get(),
-                    rig.options());
+                    rig.options(GetParam()));
     net.start();
     net.publish(0, LiveRig::message_template());
     net.drain();
@@ -125,10 +143,37 @@ TEST(LiveNetwork, StopIsIdempotentAndDestructorSafe) {
   SUCCEED();
 }
 
-TEST(LiveNetwork, ManyConcurrentPublishesAllAccountedFor) {
+TEST_P(LiveNetworkModes, PublishRacingStopNeverStrandsCopies) {
+  // Hammer publish from another thread while stop() runs.  Every accepted
+  // copy must be fully processed (or dropped with its accounting unwound)
+  // before stop returns, in both modes: a reactor worker may not exit
+  // with its injector open, and a legacy sender may not exit before its
+  // upstream receiver has.  A stranded copy shows up as drain() hanging.
+  LiveRig rig;
+  for (int round = 0; round < 10; ++round) {
+    LiveNetwork net(&rig.topo, rig.fabric.get(), rig.scheduler.get(),
+                    rig.options(GetParam()));
+    net.start();
+    std::atomic<bool> go{false};
+    std::thread publisher([&] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < 30; ++i) {
+        net.publish(0, LiveRig::message_template());
+      }
+    });
+    go.store(true);
+    net.stop();
+    publisher.join();
+    net.drain();  // Must return: no copy may outlive stop().
+  }
+  SUCCEED();
+}
+
+TEST_P(LiveNetworkModes, ManyConcurrentPublishesAllAccountedFor) {
   LiveRig rig;
   LiveNetwork net(&rig.topo, rig.fabric.get(), rig.scheduler.get(),
-                  rig.options());
+                  rig.options(GetParam()));
   net.start();
   constexpr int kMessages = 40;
   for (int i = 0; i < kMessages; ++i) {
@@ -142,6 +187,45 @@ TEST(LiveNetwork, ManyConcurrentPublishesAllAccountedFor) {
             static_cast<std::size_t>(kMessages));
 }
 
+TEST(LiveNetwork, ReactorIsTheDefaultModeAndSizesItsPool) {
+  LiveRig rig;
+  LiveOptions opt;
+  opt.speedup = 200.0;
+  ASSERT_EQ(opt.mode, LiveMode::kReactor);
+  opt.workers = 2;
+  LiveNetwork net(&rig.topo, rig.fabric.get(), rig.scheduler.get(), opt);
+  EXPECT_EQ(net.worker_count(), 2u);
+  EXPECT_EQ(net.link_count(), 2u);  // 0->1 and 1->2 carry subscriptions.
+  net.start();
+  net.publish(0, LiveRig::message_template());
+  net.drain();
+  net.stop();
+  EXPECT_EQ(net.stats().deliveries().size(), 2u);
+}
+
+TEST(LiveNetwork, ReactorRejectsNonPositiveWheelTick) {
+  LiveRig rig;
+  LiveOptions opt;
+  opt.wheel_tick_ms = 0.0;
+  EXPECT_THROW(LiveNetwork(&rig.topo, rig.fabric.get(), rig.scheduler.get(),
+                           opt),
+               std::invalid_argument);
+}
+
+TEST(LiveNetwork, ReactorWorkerKnobClampsToBrokerCount) {
+  LiveRig rig;
+  LiveOptions opt;
+  opt.speedup = 200.0;
+  opt.workers = 64;  // Far more than the 3 brokers.
+  LiveNetwork net(&rig.topo, rig.fabric.get(), rig.scheduler.get(), opt);
+  EXPECT_LE(net.worker_count(), 3u);
+  net.start();
+  net.publish(0, LiveRig::message_template());
+  net.drain();
+  net.stop();
+  EXPECT_EQ(net.stats().valid_deliveries(), 2u);
+}
+
 TEST(LiveClock, ScalesAndSleeps) {
   LiveClock clock(100.0);
   clock.start();
@@ -149,6 +233,17 @@ TEST(LiveClock, ScalesAndSleeps) {
   const TimeMs now = clock.now();
   EXPECT_GE(now, 200.0);
   EXPECT_LT(now, 20000.0);  // Generous upper bound for slow CI machines.
+}
+
+TEST(LiveClock, MapsSimulatedInstantsBackToRealOnes) {
+  LiveClock clock(50.0);
+  clock.start();
+  // 500 simulated ms = 10 real ms after start.
+  const auto at = clock.real_time_at(500.0);
+  const auto base = clock.real_time_at(0.0);
+  const double real_ms =
+      std::chrono::duration<double, std::milli>(at - base).count();
+  EXPECT_NEAR(real_ms, 10.0, 1e-6);
 }
 
 }  // namespace

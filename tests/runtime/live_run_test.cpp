@@ -1,0 +1,64 @@
+#include "experiment/live.h"
+
+#include <gtest/gtest.h>
+
+namespace bdps {
+namespace {
+
+LiveRunConfig small_config(LiveMode mode) {
+  LiveRunConfig config;
+  config.sim.seed = 99;
+  config.sim.topology = TopologyKind::kRandomMesh;
+  config.sim.broker_count = 12;
+  config.sim.extra_edges = 8;
+  config.sim.publisher_count = 2;
+  config.sim.subscriber_count = 24;
+  config.sim.strategy = StrategyKind::kEbpc;
+  config.sim.workload.scenario = ScenarioKind::kSsd;
+  config.sim.workload.duration = seconds(30.0);
+  config.sim.workload.publishing_rate_per_min = 60.0;
+  // Deadlines far beyond the scaled run (2 sim hours = 2.4 real seconds at
+  // this speedup) so nothing purges and totals are workload-determined,
+  // not timing-determined, even on slow sanitizer hosts.
+  config.sim.workload.ssd_tiers = {{hours(2.0), 1.0}};
+  config.mode = mode;
+  config.workers = 2;
+  config.speedup = 3000.0;
+  return config;
+}
+
+TEST(RunLive, ReactorRunsASimConfigWorkloadToCompletion) {
+  const LiveRunResult r = run_live(small_config(LiveMode::kReactor));
+  EXPECT_GT(r.published, 0u);
+  EXPECT_GE(r.receptions, r.published);
+  EXPECT_GT(r.links, 0u);
+  EXPECT_EQ(r.workers, 2u);
+  EXPECT_EQ(r.purged, 0u);
+  EXPECT_EQ(r.valid_deliveries, r.deliveries);
+  EXPECT_GT(r.wall_ms, 0.0);
+}
+
+TEST(RunLive, ModesAgreeOnTheWorkloadTotals) {
+  const LiveRunResult reactor = run_live(small_config(LiveMode::kReactor));
+  const LiveRunResult oracle =
+      run_live(small_config(LiveMode::kThreadPerLink));
+  // Same seed -> same topology, workload and routing; with generous
+  // deadlines both runtimes must deliver the identical matched totals.
+  EXPECT_EQ(reactor.published, oracle.published);
+  EXPECT_EQ(reactor.deliveries, oracle.deliveries);
+  EXPECT_EQ(reactor.valid_deliveries, oracle.valid_deliveries);
+  EXPECT_DOUBLE_EQ(reactor.earning, oracle.earning);
+  EXPECT_EQ(reactor.links, oracle.links);
+  EXPECT_EQ(oracle.workers, 0u) << "oracle mode reports no reactor pool";
+  EXPECT_GT(reactor.workers, 0u);
+}
+
+TEST(RunLive, MessageLimitCapsThePublishedWorkload) {
+  LiveRunConfig config = small_config(LiveMode::kReactor);
+  config.message_limit = 3;
+  const LiveRunResult r = run_live(config);
+  EXPECT_EQ(r.published, 3u);
+}
+
+}  // namespace
+}  // namespace bdps

@@ -1,0 +1,173 @@
+// Live-runtime stress + differential suite: the reactor must survive a
+// 1k-link topology with a hardware-sized worker pool and deliver exactly
+// the message set the thread-per-link oracle delivers.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "runtime/live_network.h"
+#include "topology/builders.h"
+
+namespace bdps {
+namespace {
+
+// ThreadSanitizer multiplies per-thread cost; the oracle mode's
+// topology-sized thread count is exactly what we are retiring, so shrink
+// the stress width there (the reactor path is unaffected and still runs
+// the full suite under plain builds).
+#if defined(__SANITIZE_THREAD__)
+constexpr std::size_t kSpokes = 192;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr std::size_t kSpokes = 192;
+#else
+constexpr std::size_t kSpokes = 1024;
+#endif
+#else
+constexpr std::size_t kSpokes = 1024;
+#endif
+
+/// Hub-and-spoke: one publisher at the hub, one subscriber per spoke, so
+/// every hub->spoke directed link carries a subscription — `spokes` live
+/// links, the worst case for per-link threading.
+struct StarRig {
+  Topology topo;
+  std::unique_ptr<RoutingFabric> fabric;
+  std::unique_ptr<const Strategy> scheduler;
+
+  explicit StarRig(std::size_t spokes) {
+    topo.graph.resize(spokes + 1);
+    for (std::size_t s = 0; s < spokes; ++s) {
+      topo.graph.add_bidirectional(0, static_cast<BrokerId>(s + 1),
+                                   LinkParams{0.5, 0.05});
+    }
+    topo.publisher_edges = {0};
+    std::vector<Subscription> subs;
+    for (std::size_t s = 0; s < spokes; ++s) {
+      Subscription sub;
+      sub.subscriber = static_cast<SubscriberId>(s);
+      sub.home = static_cast<BrokerId>(s + 1);
+      topo.subscriber_homes.push_back(sub.home);
+      sub.allowed_delay = seconds(600.0);
+      sub.price = 1.0;
+      subs.push_back(std::move(sub));
+    }
+    fabric = std::make_unique<RoutingFabric>(topo, std::move(subs));
+    scheduler = make_strategy(StrategyKind::kEb);
+  }
+};
+
+using DeliverySet = std::set<std::pair<SubscriberId, MessageId>>;
+
+DeliverySet delivery_set(const LiveNetwork& net) {
+  DeliverySet out;
+  for (const LiveDelivery& d : net.stats().deliveries()) {
+    out.emplace(d.subscriber, d.message);
+  }
+  return out;
+}
+
+/// Runs `messages` publishes through the rig in one mode and returns the
+/// drained network's delivery set after asserting the stats invariants.
+DeliverySet run_star(const StarRig& rig, LiveMode mode, int messages,
+                     std::size_t spokes) {
+  LiveOptions opt;
+  opt.processing_delay = 1.0;
+  opt.speedup = 1000.0;
+  opt.mode = mode;
+  LiveNetwork net(&rig.topo, rig.fabric.get(), rig.scheduler.get(), opt);
+  EXPECT_EQ(net.link_count(), spokes);
+  if (mode == LiveMode::kReactor) {
+    // The whole point: worker pool sized by hardware, not topology.
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    EXPECT_GE(net.worker_count(), 1u);
+    EXPECT_LE(net.worker_count(), hw);
+  }
+  net.start();
+  const Message tick(0, 0, 0.0, 1.0, {{"A1", Value(1.0)}}, kNoDeadline);
+  for (int i = 0; i < messages; ++i) net.publish(0, tick);
+  net.drain();
+  net.stop();
+
+  // Invariants: every copy delivered (generous deadlines, no purges), the
+  // hub and every spoke received every message.
+  EXPECT_EQ(net.stats().purged(), 0u);
+  EXPECT_EQ(net.stats().deliveries().size(),
+            static_cast<std::size_t>(messages) * spokes);
+  EXPECT_EQ(net.stats().valid_deliveries(),
+            static_cast<std::size_t>(messages) * spokes);
+  EXPECT_EQ(net.stats().receptions(),
+            static_cast<std::size_t>(messages) * (spokes + 1));
+  return delivery_set(net);
+}
+
+TEST(LiveStress, ThousandLinkStarBothModesDeliverTheSameSet) {
+  const StarRig rig(kSpokes);
+  constexpr int kMessages = 4;
+  const DeliverySet reactor =
+      run_star(rig, LiveMode::kReactor, kMessages, kSpokes);
+  const DeliverySet oracle =
+      run_star(rig, LiveMode::kThreadPerLink, kMessages, kSpokes);
+  EXPECT_EQ(reactor.size(),
+            static_cast<std::size_t>(kMessages) * kSpokes);
+  EXPECT_EQ(reactor, oracle)
+      << "reactor and thread-per-link delivered different message sets";
+}
+
+TEST(LiveStress, MultiHopMeshBothModesDeliverTheSameSet) {
+  // A routed mesh (multi-hop forwarding, filtered subscriptions) with
+  // deadlines far beyond the run: both modes must deliver the identical —
+  // and complete — matched set.
+  Rng rng(2026);
+  Rng topo_rng = rng.split();
+  Rng sub_rng = rng.split();
+  const Topology topo =
+      build_random_mesh(topo_rng, 24, 16, 2, 48, 40.0, 80.0, 15.0);
+  std::vector<Subscription> subs;
+  for (std::size_t s = 0; s < topo.subscriber_count(); ++s) {
+    Subscription sub;
+    sub.subscriber = static_cast<SubscriberId>(s);
+    sub.home = topo.subscriber_homes[s];
+    Filter f;
+    f.where("A1", Op::kLt, Value(sub_rng.uniform(2.0, 10.0)));
+    sub.filter = std::move(f);
+    // Deadline-free so a slow CI host can never purge its way out of the
+    // set-equality check.
+    sub.allowed_delay = kNoDeadline;
+    sub.price = 1.0;
+    subs.push_back(std::move(sub));
+  }
+  const RoutingFabric fabric(topo, std::move(subs));
+  const auto strategy = make_strategy(StrategyKind::kEbpc, 0.6);
+
+  auto run_mesh = [&](LiveMode mode) {
+    LiveOptions opt;
+    opt.processing_delay = 2.0;
+    opt.speedup = 2000.0;
+    opt.mode = mode;
+    LiveNetwork net(&topo, &fabric, strategy.get(), opt);
+    net.start();
+    Rng publish_rng(7);
+    for (int i = 0; i < 12; ++i) {
+      const Message tick(0, 0, 0.0, 50.0,
+                         {{"A1", Value(publish_rng.uniform(0.0, 10.0))},
+                          {"A2", Value(publish_rng.uniform(0.0, 10.0))}});
+      net.publish(static_cast<PublisherId>(i % 2), tick);
+    }
+    net.drain();
+    net.stop();
+    EXPECT_EQ(net.stats().purged(), 0u) << "deadlines were generous";
+    return delivery_set(net);
+  };
+
+  const DeliverySet reactor = run_mesh(LiveMode::kReactor);
+  const DeliverySet oracle = run_mesh(LiveMode::kThreadPerLink);
+  EXPECT_EQ(reactor, oracle);
+  EXPECT_FALSE(reactor.empty()) << "workload matched nothing — vacuous test";
+}
+
+}  // namespace
+}  // namespace bdps

@@ -1,0 +1,174 @@
+// Live-runtime link-ceiling probe — the numbers behind BENCH_pr5.json.
+//
+// Sweeps the star-of-chains broom over link counts and runs the same
+// flood workload through both execution modes, recording wall time,
+// sustained link-transmissions per second, peak thread count, and whether
+// the mode completed at all.  Thread-per-link is given a wall budget per
+// row (default 120 s); once it blows the budget or fails to spawn, larger
+// rows are marked infeasible without being attempted — that boundary is
+// the "practical link ceiling" ISSUE/PERF.md quote.  Reactor rows also
+// sweep the `workers` knob at the largest size.
+//
+//   ./live_scaling [budget_s=120] [messages=4]
+//
+// Output: one JSON object per line, plus a summary table on stderr.
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.h"
+#include "experiment/live.h"
+#include "routing/fabric.h"
+#include "topology/builders.h"
+
+using namespace bdps;
+
+namespace {
+
+struct Row {
+  std::size_t chains = 0;
+  std::size_t depth = 0;
+  bool reactor_only = false;
+};
+
+struct Probe {
+  std::size_t links = 0;
+  std::string mode;
+  std::size_t workers = 0;
+  std::size_t threads = 0;  // OS threads the mode needs.
+  bool completed = false;
+  std::string error;
+  double wall_ms = 0.0;
+  double tx_per_sec = 0.0;
+};
+
+Probe run_probe(const Topology& topo, const RoutingFabric& fabric,
+                const Strategy& strategy, LiveMode mode, std::size_t workers,
+                int messages) {
+  Probe probe;
+  probe.links = topo.graph.edge_count() / 2;  // Directed hub->leaf side.
+  probe.mode = mode == LiveMode::kReactor ? "reactor" : "thread_per_link";
+  LiveOptions opt;
+  opt.processing_delay = 0.1;
+  opt.speedup = 20000.0;
+  opt.mode = mode;
+  opt.workers = workers;
+  try {
+    LiveNetwork net(&topo, &fabric, &strategy, opt);
+    const auto start = std::chrono::steady_clock::now();
+    net.start();
+    const Message tick(0, 0, 0.0, 1.0, {{"A1", Value(1.0)}}, kNoDeadline);
+    for (int i = 0; i < messages; ++i) net.publish(0, tick);
+    net.drain();
+    const auto end = std::chrono::steady_clock::now();
+    net.stop();
+    probe.workers = net.worker_count();
+    probe.threads = mode == LiveMode::kReactor
+                        ? net.worker_count()
+                        : topo.graph.broker_count() + net.link_count();
+    probe.wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    probe.completed = net.stats().deliveries().size() ==
+                      static_cast<std::size_t>(messages) *
+                          topo.subscriber_count();
+    if (!probe.completed) probe.error = "lost deliveries";
+    probe.tx_per_sec = probe.wall_ms > 0.0
+                           ? 1000.0 * static_cast<double>(messages) *
+                                 static_cast<double>(net.link_count()) /
+                                 probe.wall_ms
+                           : 0.0;
+  } catch (const std::exception& e) {
+    probe.error = e.what();  // E.g. thread spawn failure at scale.
+  }
+  return probe;
+}
+
+/// Backslash-escapes quotes/backslashes and strips control characters, so
+/// an arbitrary exception message cannot break the JSON output line.
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(static_cast<unsigned char>(c) < 0x20 ? ' ' : c);
+  }
+  return out;
+}
+
+void emit(const Probe& p) {
+  const std::string error = json_escape(p.error);
+  std::printf(
+      "{\"links\": %zu, \"mode\": \"%s\", \"workers\": %zu, "
+      "\"threads\": %zu, \"completed\": %s, \"wall_ms\": %.1f, "
+      "\"tx_per_sec\": %.0f%s%s%s}\n",
+      p.links, p.mode.c_str(), p.workers, p.threads,
+      p.completed ? "true" : "false", p.wall_ms, p.tx_per_sec,
+      error.empty() ? "" : ", \"error\": \"", error.c_str(),
+      error.empty() ? "" : "\"");
+  std::fflush(stdout);
+  std::fprintf(stderr, "%-16s %7zu links  %6zu threads  %9.1f ms  %s\n",
+               p.mode.c_str(), p.links, p.threads, p.wall_ms,
+               p.completed ? "ok" : p.error.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const KeyValueConfig args = KeyValueConfig::from_args(argc, argv);
+  const double budget_ms = args.get_double("budget_s", 120.0) * 1000.0;
+  const int messages = static_cast<int>(args.get_int("messages", 4));
+
+  const std::vector<Row> rows = {
+      {16, 16, false},    // 256 links
+      {32, 32, false},    // 1k
+      {64, 64, false},    // 4k
+      {128, 64, false},   // 8k
+      {128, 128, false},  // 16k
+      {256, 128, true},   // 32k — reactor only
+  };
+
+  std::fprintf(stderr, "live link-scaling probe (%d msgs, budget %.0f s)\n",
+               messages, budget_ms / 1000.0);
+  bool thread_mode_alive = true;
+  for (const Row& row : rows) {
+    const Topology topo =
+        build_star_of_chains(row.chains, row.depth, LinkParams{0.2, 0.02});
+    const RoutingFabric fabric(topo, flood_subscriptions(topo));
+    const auto strategy = make_strategy(StrategyKind::kEb);
+
+    emit(run_probe(topo, fabric, *strategy, LiveMode::kReactor, 0, messages));
+
+    if (row.reactor_only) continue;
+    if (!thread_mode_alive) {
+      Probe skipped;
+      skipped.links = row.chains * row.depth;
+      skipped.mode = "thread_per_link";
+      skipped.threads = topo.graph.broker_count() + row.chains * row.depth;
+      skipped.error = "skipped: previous row failed or blew the budget";
+      emit(skipped);
+      continue;
+    }
+    const Probe probe = run_probe(topo, fabric, *strategy,
+                                  LiveMode::kThreadPerLink, 0, messages);
+    emit(probe);
+    if (!probe.completed || probe.wall_ms > budget_ms) {
+      thread_mode_alive = false;  // The ceiling: stop escalating.
+    }
+  }
+
+  // Worker-count sweep at a mid scale (the PERF.md thread-count table).
+  {
+    const Topology topo = build_star_of_chains(64, 64, LinkParams{0.2, 0.02});
+    const RoutingFabric fabric(topo, flood_subscriptions(topo));
+    const auto strategy = make_strategy(StrategyKind::kEb);
+    for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+      emit(run_probe(topo, fabric, *strategy, LiveMode::kReactor, workers,
+                     messages));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Microbenchmark: incremental SPT repair vs full per-destination rebuild.
+//
+// One iteration = reacting to one localised link transition (a single
+// link going down, then back up — the fault timeline's unit of work) for
+// one destination's in-tree.  The seed-era answer is compute_tree_toward
+// from scratch; the PR-6 answer is repair_tree_toward, which invalidates
+// only the severed child closure and re-attaches it through a boundary-
+// seeded Dijkstra.  Mesh sizes mirror the dense-graph regime of the other
+// micro benches; the gap is the reason RoutingFabric::apply_link_state can
+// afford to run inside every fault batch of a storm.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "routing/spt.h"
+#include "topology/builders.h"
+
+namespace {
+
+using namespace bdps;
+
+struct Rig {
+  Topology topo;
+  ShortestPathTree base;
+  std::vector<std::vector<EdgeId>> incoming;
+  /// Cut stream: links whose loss actually severs part of the tree (their
+  /// forward direction lies on it), pre-drawn so iterations measure the
+  /// repair, not the search for an interesting link.
+  std::vector<std::pair<EdgeId, EdgeId>> cuts;  // (forward, reverse)
+
+  explicit Rig(std::size_t brokers) {
+    Rng rng(7);
+    topo = build_random_mesh(rng, brokers, brokers * 3, 4, brokers, 50.0,
+                             100.0, 20.0);
+    const Graph& graph = topo.graph;
+    base = compute_tree_toward(graph, 0);
+    incoming.resize(graph.broker_count());
+    for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+      incoming[graph.edge(static_cast<EdgeId>(e)).to].push_back(
+          static_cast<EdgeId>(e));
+    }
+    while (cuts.size() < 256) {
+      const EdgeId forward =
+          static_cast<EdgeId>(rng.uniform_index(graph.edge_count()));
+      const Edge& edge = graph.edge(forward);
+      if (base.next_hop[edge.from] != edge.to) continue;  // Not on the tree.
+      cuts.emplace_back(forward, graph.edge_id(edge.to, edge.from));
+    }
+  }
+};
+
+/// Seed answer: recompute the whole in-tree after every transition.
+void BM_FullRebuildAfterCut(benchmark::State& state) {
+  const Rig rig(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_tree_toward(rig.topo.graph, 0));
+    i++;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// PR-6 answer: repair the severed region (down), then the restoration
+/// cascade (up) — one full down->up churn cycle per iteration, leaving the
+/// tree back in its base state for the next one.
+void BM_IncrementalRepairCycle(benchmark::State& state) {
+  Rig rig(static_cast<std::size_t>(state.range(0)));
+  EdgeFlags down(rig.topo.graph.edge_count());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto [forward, reverse] = rig.cuts[i++ & 255];
+    const std::vector<EdgeId> batch = {forward, reverse};
+    down.set(forward);
+    down.set(reverse);
+    benchmark::DoNotOptimize(repair_tree_toward(
+        rig.topo.graph, rig.incoming, down, batch, {}, rig.base));
+    down.reset(forward);
+    down.reset(reverse);
+    benchmark::DoNotOptimize(repair_tree_toward(
+        rig.topo.graph, rig.incoming, down, {}, batch, rig.base));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+#define REPAIR_ARGS ->Arg(64)->Arg(512)->Arg(4096)
+BENCHMARK(BM_FullRebuildAfterCut) REPAIR_ARGS;
+BENCHMARK(BM_IncrementalRepairCycle) REPAIR_ARGS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -10,7 +10,7 @@ namespace bdps {
 
 Broker::Broker(BrokerId id, const RoutingFabric* fabric,
                const Graph* believed_links, const Strategy* strategy,
-               TimeMs processing_delay)
+               TimeMs processing_delay, bool queues_for_all_links)
     : id_(id), fabric_(fabric), processing_delay_(processing_delay) {
   // One queue per downstream neighbour appearing in the subscription table,
   // in ascending neighbour order (slot == rank).
@@ -33,9 +33,17 @@ Broker::Broker(BrokerId id, const RoutingFabric* fabric,
     }
     links.push_back(LinkRef{entry.next_hop, edge});
   }
+  if (queues_for_all_links) {
+    // Routing repair can later re-point entries at any believed neighbour;
+    // bind the full out-link set so every future next hop has a slot.
+    for (const EdgeId e : believed_links->out_edges(id)) {
+      links.push_back(LinkRef{believed_links->edge(e).to, e});
+    }
+  }
   std::sort(links.begin(), links.end(),
             [](const LinkRef& a, const LinkRef& b) {
-              return a.neighbor < b.neighbor;
+              return a.neighbor != b.neighbor ? a.neighbor < b.neighbor
+                                              : a.edge < b.edge;
             });
   links.erase(std::unique(links.begin(), links.end(),
                           [](const LinkRef& a, const LinkRef& b) {
@@ -92,6 +100,11 @@ void Broker::take_next(std::span<const QueueSlot> slots, TimeMs now,
                        const PurgePolicy& policy, std::vector<Dispatch>& out,
                        ThreadPool* pool, bool collect_purged_ids) {
   out.resize(slots.size());
+  // All queues in one batch share the same instant, so the context's only
+  // broker-wide ingredient — the running average message size — is computed
+  // once here instead of per slot (a divide per link-free instant adds up
+  // when a storm frees many links at once).
+  const double average_kb = average_message_size_kb();
   const auto run_one = [&](std::size_t i) {
     Dispatch& dispatch = out[i];
     OutputQueue& queue = queues_[slots[i]];
@@ -99,7 +112,8 @@ void Broker::take_next(std::span<const QueueSlot> slots, TimeMs now,
     dispatch.neighbor = queue.neighbor();
     dispatch.purge = PurgeStats{};
     dispatch.purged_ids.clear();
-    const SchedulingContext ctx = context_at(slots[i], now, processing_delay_);
+    const SchedulingContext ctx{now, processing_delay_,
+                                queue.head_of_line_estimate(average_kb)};
     dispatch.chosen = queue.take_next(
         ctx, policy, &dispatch.purge,
         collect_purged_ids ? &dispatch.purged_ids : nullptr);

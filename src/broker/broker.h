@@ -41,9 +41,14 @@ class Broker {
   /// in the estimation ablation.  `strategy` is the run's shared scheduling
   /// policy; each queue mints its own SchedulerState from it.
   /// `processing_delay` (PD) is folded into the precomputed scoring kernel
-  /// of every enqueued copy.
+  /// of every enqueued copy.  `queues_for_all_links` binds a queue slot for
+  /// every believed out-link instead of only the neighbours present in the
+  /// initial subscription table — required when routing repair can re-point
+  /// entries at neighbours that carried no subscription at construction
+  /// time (fan-out asserts the target slot exists).
   Broker(BrokerId id, const RoutingFabric* fabric, const Graph* believed_links,
-         const Strategy* strategy, TimeMs processing_delay = 0.0);
+         const Strategy* strategy, TimeMs processing_delay = 0.0,
+         bool queues_for_all_links = false);
 
   BrokerId id() const { return id_; }
 

@@ -45,6 +45,36 @@ class FlatIdSet {
     return false;
   }
 
+  /// Removes `id`; false when it was not present.  Uses backward-shift
+  /// deletion (no tombstones): every element in the probe cluster after the
+  /// hole is re-slotted so lookups stay two-probe cheap under churn.
+  bool erase(std::int64_t id) {
+    assert(id >= 0);
+    if (slots_.empty()) return false;
+    std::size_t probe = mix(id) & mask_;
+    while (slots_[probe] != id) {
+      if (slots_[probe] == kEmpty) return false;
+      probe = (probe + 1) & mask_;
+    }
+    std::size_t hole = probe;
+    std::size_t next = (hole + 1) & mask_;
+    while (slots_[next] != kEmpty) {
+      const std::size_t home = mix(slots_[next]) & mask_;
+      // Shift back only if `next`'s home position lies outside the cyclic
+      // range (hole, next]; otherwise the element is already reachable.
+      const bool reachable_past_hole =
+          ((next - home) & mask_) >= ((next - hole) & mask_);
+      if (reachable_past_hole) {
+        slots_[hole] = slots_[next];
+        hole = next;
+      }
+      next = (next + 1) & mask_;
+    }
+    slots_[hole] = kEmpty;
+    --size_;
+    return true;
+  }
+
   void clear() {
     slots_.assign(slots_.size(), kEmpty);
     size_ = 0;

@@ -10,6 +10,7 @@
 
 #include "scheduling/purge.h"
 #include "scheduling/scheduler.h"
+#include "sim/faults/plan.h"
 #include "topology/builders.h"
 #include "workload/scenario.h"
 
@@ -88,6 +89,18 @@ struct SimConfig {
   /// times within the publish window (drawn from a dedicated RNG stream so
   /// the rest of the run is unaffected).
   std::size_t random_link_failures = 0;
+
+  /// Fault-storm timeline (sim/faults/): link/broker down→up windows,
+  /// region storms, flaps.  Generators are materialized against the built
+  /// topology with a dedicated RNG stream (split only when the plan is
+  /// non-empty, so fault-free runs are byte-identical).  Unlike
+  /// link_failures, these outages *recover*.
+  FaultPlan faults;
+  /// Repair routing state incrementally as the fault timeline cuts and
+  /// restores links: affected SPT subtrees are recomputed and subscription
+  /// rows re-pointed, so brokers forward around outages instead of holding
+  /// copies toward them.  Only meaningful with a non-empty `faults` plan.
+  bool repair_routing = false;
 
   /// Extra simulated time allowed past the publish window for queues to
   /// drain before the hard stop.

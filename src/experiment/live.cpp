@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "routing/fabric.h"
+#include "sim/faults/timeline.h"
 #include "workload/generator.h"
 
 namespace bdps {
@@ -50,17 +51,55 @@ LiveRunResult run_live(const LiveRunConfig& config) {
     messages.resize(config.message_limit);
   }
 
+  // Storm schedule: the same fault vocabulary as the simulator, compiled
+  // into per-instant batches (broker windows already folded into incident
+  // links — the live runtime models broker churn as its links going dark).
+  // Same split discipline as experiment/runner: the fault stream is drawn
+  // only when a plan exists.
+  std::shared_ptr<const CompiledFaults> faults;
+  if (!config.sim.faults.empty()) {
+    Rng fault_rng = root.split();
+    const FaultPlan normalized =
+        materialize_faults(config.sim.faults, topology.graph, fault_rng);
+    faults = std::make_shared<const CompiledFaults>(
+        CompiledFaults::compile(normalized, topology.graph));
+  }
+
   LiveNetwork net(&topology, &fabric, strategy.get(), options);
   const auto wall_start = std::chrono::steady_clock::now();
   net.start();
 
+  // Clock-paced fault transitions, interleaved with the publish pacing
+  // below: batches are applied once the scaled clock passes their instant.
+  std::size_t batch_cursor = 0;
+  const auto apply_faults_until = [&](TimeMs upto) {
+    if (!faults) return;
+    const auto& batches = faults->batches();
+    while (batch_cursor < batches.size() &&
+           batches[batch_cursor].at <= upto) {
+      const FaultBatch& batch = batches[batch_cursor++];
+      const TimeMs ahead = batch.at - net.clock().now();
+      if (ahead > 0.0) net.clock().sleep_for(ahead);
+      for (const EdgeId edge : batch.edges_down) {
+        net.set_edge_state(edge, /*up=*/false);
+      }
+      for (const EdgeId edge : batch.edges_up) {
+        net.set_edge_state(edge, /*up=*/true);
+      }
+    }
+  };
+
   // Pace publishes to their generated instants on the scaled clock
   // (generate_messages returns them in nondecreasing publish-time order).
   for (const auto& message : messages) {
+    apply_faults_until(message->publish_time());
     const TimeMs ahead = message->publish_time() - net.clock().now();
     if (ahead > 0.0) net.clock().sleep_for(ahead);
     net.publish(message->publisher(), *message);
   }
+  // Remaining transitions (recoveries, late storms) must still land —
+  // held copies would otherwise block drain() forever.
+  apply_faults_until(kNoDeadline);
 
   net.drain();
   const auto wall_end = std::chrono::steady_clock::now();

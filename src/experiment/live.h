@@ -12,9 +12,14 @@
 // Knobs the simulator does not have: `mode` picks the reactor worker pool
 // or the legacy thread-per-link oracle, `workers` sizes the pool
 // (0 = hardware threads), `speedup` maps simulated to real milliseconds.
-// SimConfig features that need a believed-vs-true split or failure
-// injection (belief noise, online estimation, link failures, multipath
-// dedup) are simulator-only and ignored here.
+// A SimConfig fault plan (sim/faults/) is honoured: its compiled batches
+// are replayed on the scaled clock through LiveNetwork::set_edge_state —
+// down links hold their queues (the reactor also cancels and requeues the
+// in-flight copy) until the recovery batch re-arms them; broker windows
+// arrive pre-folded into incident links.  Features that need a
+// believed-vs-true split (belief noise, online estimation, legacy link
+// failures, multipath dedup, routing repair) are simulator-only and
+// ignored here.
 #pragma once
 
 #include "experiment/config.h"

@@ -32,6 +32,10 @@ Graph perturb_beliefs(const Graph& truth, double noise_frac, Rng& rng) {
 }  // namespace
 
 SimResult run_simulation(const SimConfig& config) {
+  return run_simulation(config, nullptr);
+}
+
+SimResult run_simulation(const SimConfig& config, TraceSink* trace) {
   Rng root(config.seed);
   Rng topology_rng = root.split();
   Rng workload_rng = root.split();
@@ -64,8 +68,9 @@ SimResult run_simulation(const SimConfig& config) {
       generate_subscriptions(workload_rng, config.workload, topology);
   FabricOptions fabric_options;
   fabric_options.multipath = config.multipath;
-  const RoutingFabric fabric(believed_topology, std::move(subscriptions),
-                             fabric_options);
+  fabric_options.repairable = config.repair_routing && !config.faults.empty();
+  RoutingFabric fabric(believed_topology, std::move(subscriptions),
+                       fabric_options);
 
   const auto strategy = make_strategy(config.strategy, config.ebpc_weight);
 
@@ -101,6 +106,17 @@ SimResult run_simulation(const SimConfig& config) {
     }
   }
 
+  if (!config.faults.empty()) {
+    // Fault stream split only when a plan exists, so fault-free runs draw
+    // the identical sequence they always did.
+    Rng fault_rng = root.split();
+    const FaultPlan normalized =
+        materialize_faults(config.faults, topology.graph, fault_rng);
+    options.faults = std::make_shared<const CompiledFaults>(
+        CompiledFaults::compile(normalized, topology.graph));
+    if (fabric_options.repairable) options.repair_fabric = &fabric;
+  }
+
   options.shards = config.shards;
 
   std::vector<std::shared_ptr<const Message>> messages = generate_messages(
@@ -130,6 +146,7 @@ SimResult run_simulation(const SimConfig& config) {
     // one event lane per shard.
     ParallelSimulator simulator(&topology, &believed_topology.graph, &fabric,
                                 strategy.get(), options, link_rng);
+    simulator.set_trace(trace);
     for (auto& message : messages) {
       simulator.schedule_publish(std::move(message));
     }
@@ -139,6 +156,7 @@ SimResult run_simulation(const SimConfig& config) {
 
   Simulator simulator(&topology, &believed_topology.graph, &fabric,
                       strategy.get(), options, link_rng);
+  simulator.set_trace(trace);
   for (auto& message : messages) {
     simulator.schedule_publish(std::move(message));
   }

@@ -33,4 +33,9 @@ struct SimResult {
 /// completion.  Deterministic in config.seed.
 SimResult run_simulation(const SimConfig& config);
 
+/// Same, with an event trace attached for the whole run (nullptr = none).
+/// The sink sees the identical stream from either engine; stats/sla.h
+/// consumes it to grade per-scenario SLA series.
+SimResult run_simulation(const SimConfig& config, TraceSink* trace);
+
 }  // namespace bdps

@@ -17,6 +17,17 @@ std::vector<SimResult> run_batch(const std::vector<SimConfig>& configs,
   return results;
 }
 
+SlaRun run_with_sla(const SimConfig& config, TimeMs window_ms,
+                    double hit_rate_floor, double purge_ceiling) {
+  SlaTracker tracker(window_ms);
+  SlaRun run;
+  run.result = run_simulation(config, &tracker);
+  run.windows = tracker.series();
+  run.time_to_recover =
+      SlaTracker::time_to_recover(run.windows, hit_rate_floor, purge_ceiling);
+  return run;
+}
+
 ReplicatedResult run_replicated(SimConfig base, std::size_t replications,
                                 ThreadPool* pool) {
   std::vector<SimConfig> configs;

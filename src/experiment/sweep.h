@@ -10,6 +10,7 @@
 
 #include "common/thread_pool.h"
 #include "experiment/runner.h"
+#include "stats/sla.h"
 #include "stats/welford.h"
 
 namespace bdps {
@@ -17,6 +18,24 @@ namespace bdps {
 /// Runs each config (in order); uses `pool` when provided.
 std::vector<SimResult> run_batch(const std::vector<SimConfig>& configs,
                                  ThreadPool* pool = nullptr);
+
+/// One run graded against its SLA: the aggregate result plus the
+/// fixed-window service series and the breach span (stats/sla.h).  The
+/// fault-storm scenarios report through this — a storm is invisible in
+/// lifetime totals but obvious in the windowed series.
+struct SlaRun {
+  SimResult result;
+  std::vector<SlaWindow> windows;
+  /// SlaTracker::time_to_recover of `windows` at the thresholds given to
+  /// run_with_sla.
+  TimeMs time_to_recover = 0.0;
+};
+
+/// run_simulation with an SlaTracker attached (deterministic in
+/// config.seed, bitwise-stable across shard counts).
+SlaRun run_with_sla(const SimConfig& config, TimeMs window_ms = 10000.0,
+                    double hit_rate_floor = 0.95,
+                    double purge_ceiling = 0.05);
 
 /// Mean +/- stderr of the headline metrics across replications.
 struct ReplicatedResult {

@@ -1,5 +1,6 @@
 #include "routing/fabric.h"
 
+#include <algorithm>
 #include <set>
 #include <stdexcept>
 
@@ -38,10 +39,30 @@ BrokerId second_best_next_hop(const Graph& graph, const ShortestPathTree& tree,
 RoutingFabric::RoutingFabric(const Topology& topology,
                              std::vector<Subscription> subscriptions,
                              FabricOptions options)
-    : subscriptions_(std::move(subscriptions)) {
+    : options_(options), subscriptions_(std::move(subscriptions)) {
+  if (options_.repairable && options_.multipath) {
+    throw std::invalid_argument(
+        "repairable fabric does not support multipath (alternate rows are "
+        "not repaired)");
+  }
   const std::size_t n = topology.graph.broker_count();
   tables_.resize(n);
   broker_indexes_.resize(n);
+  if (options_.repairable) {
+    graph_ = topology.graph;
+    publisher_edges_ = topology.publisher_edges;
+    link_down_.assign(graph_.edge_count());
+    incoming_.resize(n);
+    for (std::size_t b = 0; b < n; ++b) {
+      for (const EdgeId e : graph_.out_edges(static_cast<BrokerId>(b))) {
+        incoming_[graph_.edge(e).to].push_back(e);
+      }
+    }
+    rows_by_sub_.resize(subscriptions_.size());
+    for (std::size_t i = 0; i < subscriptions_.size(); ++i) {
+      subs_by_home_[subscriptions_[i].home].push_back(i);
+    }
+  }
 
   // One shortest-path tree per distinct subscriber home broker.
   for (const Subscription& sub : subscriptions_) {
@@ -61,7 +82,8 @@ RoutingFabric::RoutingFabric(const Topology& topology,
   // Install each subscription on the union of chosen publisher->home paths,
   // remembering per broker *which* publishers route through it (the
   // publisher_mask guard; see SubscriptionEntry).
-  for (const Subscription& sub : subscriptions_) {
+  for (std::size_t si = 0; si < subscriptions_.size(); ++si) {
+    const Subscription& sub = subscriptions_[si];
     const ShortestPathTree& tree = trees_.at(sub.home);
     std::map<BrokerId, std::uint64_t> installed;  // broker -> publisher mask
     for (std::size_t p = 0; p < topology.publisher_edges.size(); ++p) {
@@ -110,6 +132,10 @@ RoutingFabric::RoutingFabric(const Topology& topology,
         entry.next_hop_edge =
             topology.graph.edge_id(broker, entry.next_hop);
         entry.path = tree.stats[broker];
+      }
+      if (options_.repairable) {
+        rows_by_sub_[si].push_back(RowRef{
+            broker, static_cast<std::uint32_t>(tables_[broker].size())});
       }
       tables_[broker].add(entry);
       {
@@ -172,6 +198,90 @@ std::vector<std::size_t> RoutingFabric::match_all(
 
 const ShortestPathTree& RoutingFabric::tree_toward(BrokerId home) const {
   return trees_.at(home);
+}
+
+std::size_t RoutingFabric::apply_link_state(
+    const std::vector<EdgeId>& edges_down,
+    const std::vector<EdgeId>& edges_up) {
+  if (!options_.repairable) {
+    throw std::logic_error(
+        "apply_link_state requires FabricOptions::repairable");
+  }
+  for (const EdgeId e : edges_down) link_down_.set(e);
+  for (const EdgeId e : edges_up) link_down_.reset(e);
+
+  std::size_t rewritten = 0;
+  std::vector<std::uint8_t> changed_flags(tables_.size(), 0);
+  for (auto& [home, tree] : trees_) {
+    const std::vector<BrokerId> changed = repair_tree_toward(
+        graph_, incoming_, link_down_, edges_down, edges_up, tree);
+    if (changed.empty()) continue;
+    std::fill(changed_flags.begin(), changed_flags.end(), 0);
+    for (const BrokerId b : changed) changed_flags[b] = 1;
+    for (const std::size_t si : subs_by_home_.at(home)) {
+      rewritten += reinstall(si, tree, changed_flags);
+    }
+  }
+  return rewritten;
+}
+
+std::size_t RoutingFabric::reinstall(
+    std::size_t sub_index, const ShortestPathTree& tree,
+    const std::vector<std::uint8_t>& changed) {
+  const Subscription& sub = subscriptions_[sub_index];
+  // Desired install set from the repaired tree — the constructor's
+  // publisher-path union (single-path; repairable excludes multipath).
+  std::map<BrokerId, std::uint64_t> installed;
+  for (std::size_t p = 0; p < publisher_edges_.size(); ++p) {
+    const BrokerId publisher_edge = publisher_edges_[p];
+    if (!tree.reachable[publisher_edge]) continue;
+    for (const BrokerId broker : tree.path_from(publisher_edge)) {
+      installed[broker] |= 1ULL << p;
+    }
+  }
+  installed[sub.home] = ~0ULL;
+
+  // Fast path: skip the rewrite when the install set, the masks and every
+  // carrying broker's tree state are untouched by this repair.
+  std::vector<RowRef>& rows = rows_by_sub_[sub_index];
+  bool identical = rows.size() == installed.size();
+  if (identical) {
+    for (const RowRef& r : rows) {
+      const auto it = installed.find(r.broker);
+      if (it == installed.end() || changed[r.broker] != 0 ||
+          tables_[r.broker].entry_at(r.row).publisher_mask != it->second) {
+        identical = false;
+        break;
+      }
+    }
+  }
+  if (identical) return 0;
+
+  for (const RowRef& r : rows) {
+    tables_[r.broker].entry_at(r.row).disabled = true;
+  }
+  rows.clear();
+  for (const auto& [broker, mask] : installed) {
+    SubscriptionEntry entry;
+    entry.subscription = &sub;
+    entry.publisher_mask = mask;
+    if (broker == sub.home) {
+      entry.next_hop = kNoBroker;
+      entry.path = kLocalPath;
+    } else {
+      entry.next_hop = tree.next_hop[broker];
+      entry.next_hop_edge = graph_.edge_id(broker, entry.next_hop);
+      entry.path = tree.stats[broker];
+    }
+    rows.push_back(RowRef{
+        broker, static_cast<std::uint32_t>(tables_[broker].size())});
+    tables_[broker].add(entry);
+    const auto id = broker_indexes_[broker].add(sub.filter);
+    for (const Filter& f : sub.or_filters) {
+      broker_indexes_[broker].add_disjunct(id, f);
+    }
+  }
+  return installed.size();
 }
 
 }  // namespace bdps

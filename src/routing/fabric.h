@@ -30,6 +30,11 @@ struct FabricOptions {
   /// from multiplying.  Reproduces the traffic-vs-reliability trade-off the
   /// paper cites for preferring single-path.
   bool multipath = false;
+  /// Keeps the believed graph, its reverse adjacency and a per-subscription
+  /// row registry alive so apply_link_state can repair routing state
+  /// incrementally as links fail and recover mid-run.  Incompatible with
+  /// multipath (alternate rows are not repaired).
+  bool repairable = false;
 };
 
 class RoutingFabric {
@@ -78,12 +83,52 @@ class RoutingFabric {
   /// all subscriptions at that broker); mainly for tests and diagnostics.
   const ShortestPathTree& tree_toward(BrokerId home) const;
 
+  bool repairable() const { return options_.repairable; }
+
+  /// The graph routing was computed over (repairable fabrics only; engines
+  /// with a differently-id'd true graph translate edge ids through it).
+  const Graph& graph() const { return graph_; }
+
+  /// Incremental routing repair after a batch of link transitions
+  /// (repairable fabrics only; ids are edges of graph(), both directions of
+  /// an undirected link listed explicitly).  Every affected shortest-path
+  /// subtree is recomputed in place (routing/spt.h: repair_tree_toward) and
+  /// the subscriptions whose install set, masks or carrying brokers moved
+  /// get their table rows rewritten: stale rows are disabled in place —
+  /// copies already queued keep following them — and replacements appended,
+  /// each paired with a fresh matching-index filter so row-id alignment
+  /// holds.  Single-threaded callers only (the engines invoke it between
+  /// events / at window barriers); returns the number of rows rewritten.
+  std::size_t apply_link_state(const std::vector<EdgeId>& edges_down,
+                               const std::vector<EdgeId>& edges_up);
+
  private:
+  /// One re-pointed subscription: disable its current rows, install the
+  /// desired set from the repaired tree.  No-op (returning 0) when nothing
+  /// it depends on changed.
+  std::size_t reinstall(std::size_t sub_index, const ShortestPathTree& tree,
+                        const std::vector<std::uint8_t>& changed);
+
+  FabricOptions options_;
   std::vector<Subscription> subscriptions_;
   std::vector<SubscriptionTable> tables_;
   std::vector<SubscriptionIndex> broker_indexes_;
   SubscriptionIndex global_index_;
   std::map<BrokerId, ShortestPathTree> trees_;
+
+  // ---- Repairable-fabric state (unused unless options_.repairable) ----
+  /// Position of one live table row of a subscription: tables_[broker]'s
+  /// row index (== the broker matching index's filter id).
+  struct RowRef {
+    BrokerId broker;
+    std::uint32_t row;
+  };
+  Graph graph_;
+  std::vector<BrokerId> publisher_edges_;
+  EdgeFlags link_down_;
+  std::vector<std::vector<EdgeId>> incoming_;
+  std::vector<std::vector<RowRef>> rows_by_sub_;
+  std::map<BrokerId, std::vector<std::size_t>> subs_by_home_;
 };
 
 }  // namespace bdps

@@ -75,4 +75,141 @@ ShortestPathTree compute_tree_toward(const Graph& graph,
   return tree;
 }
 
+std::vector<BrokerId> repair_tree_toward(
+    const Graph& graph, const std::vector<std::vector<EdgeId>>& incoming,
+    const EdgeFlags& down, const std::vector<EdgeId>& newly_down,
+    const std::vector<EdgeId>& newly_up, ShortestPathTree& tree) {
+  const std::size_t n = graph.broker_count();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // The Dijkstra label of a broker is its remaining-path mean: stats are
+  // accumulated by the exact additions compute_tree_toward used for dist,
+  // so no separate distance array needs to be stored in the tree.
+  std::vector<double> dist(n, kInf);
+  for (std::size_t b = 0; b < n; ++b) {
+    if (tree.reachable[b]) dist[b] = tree.stats[b].mean_ms_per_kb;
+  }
+
+  // ---- Severed region: brokers whose next-hop chain crossed a cut edge,
+  // closed over tree children (every descendant routes through its parent).
+  // Brokers outside the region keep intact — and still optimal — paths:
+  // removals only delete paths, so an untouched label cannot be beaten
+  // except through a newly-up edge, which the cascade below handles.
+  std::vector<std::uint8_t> affected(n, 0);
+  std::vector<BrokerId> stack;
+  for (const EdgeId e : newly_down) {
+    const Edge& edge = graph.edge(e);
+    if (tree.reachable[edge.from] && tree.next_hop[edge.from] == edge.to &&
+        !affected[edge.from]) {
+      affected[edge.from] = 1;
+      stack.push_back(edge.from);
+    }
+  }
+  std::vector<BrokerId> region;
+  if (!stack.empty()) {
+    std::vector<std::vector<BrokerId>> children(n);
+    for (std::size_t b = 0; b < n; ++b) {
+      const auto id = static_cast<BrokerId>(b);
+      if (tree.reachable[b] && id != tree.destination) {
+        children[tree.next_hop[b]].push_back(id);
+      }
+    }
+    while (!stack.empty()) {
+      const BrokerId u = stack.back();
+      stack.pop_back();
+      region.push_back(u);
+      for (const BrokerId w : children[u]) {
+        if (!affected[w]) {
+          affected[w] = 1;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  std::sort(region.begin(), region.end());
+
+  struct Saved {
+    BrokerId next_hop;
+    PathStats stats;
+    bool reachable;
+  };
+  std::vector<Saved> saved;
+  saved.reserve(region.size());
+  for (const BrokerId a : region) {
+    saved.push_back(Saved{tree.next_hop[a], tree.stats[a],
+                          tree.reachable[a] != 0});
+    dist[a] = kInf;
+    tree.next_hop[a] = kNoBroker;
+    tree.stats[a] = PathStats{};
+    tree.reachable[a] = false;
+  }
+
+  using HeapItem = std::pair<double, BrokerId>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+
+  std::vector<std::uint8_t> touched(n, 0);
+  std::vector<BrokerId> improved;  // Brokers outside the region that moved.
+
+  // Label-correcting relaxation (labels can still improve after a push, so
+  // pops carry a staleness check instead of a done set).
+  const auto relax = [&](const Edge& edge) {  // edge.from relaxed via edge.to
+    const BrokerId v = edge.from;
+    const BrokerId parent = edge.to;
+    const double candidate =
+        dist[parent] + edge.link.params().mean_ms_per_kb;
+    if (candidate >= dist[v]) return;
+    dist[v] = candidate;
+    tree.next_hop[v] = parent;
+    tree.stats[v] = tree.stats[parent].then_link(edge.link.params());
+    tree.reachable[v] = true;
+    if (!affected[v] && !touched[v]) {
+      touched[v] = 1;
+      improved.push_back(v);
+    }
+    heap.emplace(candidate, v);
+  };
+
+  // Seeds: each severed broker's usable edges into the intact region, plus
+  // every restored edge as a potential improvement for its tail.
+  for (const BrokerId a : region) {
+    for (const EdgeId e : graph.out_edges(a)) {
+      if (down.test(e)) continue;
+      const Edge& edge = graph.edge(e);
+      if (!tree.reachable[edge.to]) continue;
+      relax(edge);
+    }
+  }
+  for (const EdgeId e : newly_up) {
+    if (down.test(e)) continue;  // Tolerate a same-batch down+up no-op.
+    const Edge& edge = graph.edge(e);
+    if (!tree.reachable[edge.to]) continue;
+    relax(edge);
+  }
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;  // Stale label.
+    for (const EdgeId e : incoming[u]) {
+      if (down.test(e)) continue;
+      relax(graph.edge(e));
+    }
+  }
+
+  std::vector<BrokerId> changed;
+  for (std::size_t i = 0; i < region.size(); ++i) {
+    const BrokerId a = region[i];
+    const Saved& s = saved[i];
+    if (s.next_hop != tree.next_hop[a] ||
+        s.reachable != (tree.reachable[a] != 0) ||
+        !(s.stats == tree.stats[a])) {
+      changed.push_back(a);
+    }
+  }
+  changed.insert(changed.end(), improved.begin(), improved.end());
+  std::sort(changed.begin(), changed.end());
+  changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+  return changed;
+}
+
 }  // namespace bdps

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "routing/path_stats.h"
+#include "topology/edge_map.h"
 #include "topology/graph.h"
 
 namespace bdps {
@@ -35,5 +36,29 @@ struct ShortestPathTree {
 /// Dijkstra on mean path rate toward `destination`.
 ShortestPathTree compute_tree_toward(const Graph& graph,
                                      BrokerId destination);
+
+/// Incremental repair of `tree` after a batch of link state changes
+/// (dynamic SPT, Ramalingam–Reps style).  `down` is the complete current
+/// down-set over `graph`'s edges (already including this batch);
+/// `newly_down` / `newly_up` are the edges that changed in this batch.
+/// `incoming` is the reverse adjacency of `graph` (incoming edge ids per
+/// broker), precomputed by the caller since every tree shares it.
+///
+/// Severed subtrees (brokers whose next-hop chain crossed a newly-down
+/// edge, by child closure) are invalidated and re-attached through a
+/// Dijkstra seeded at their boundary; newly-up edges seed a strictly-
+/// improving relaxation cascade.  Only the affected region is touched —
+/// unaffected brokers keep their exact next hop and PathStats, so a repair
+/// after a localised outage costs far less than a full recompute.  Equal-
+/// cost ties may resolve differently from a fresh compute_tree_toward
+/// (path *costs* always agree; suffix consistency is preserved either
+/// way).
+///
+/// Returns the brokers whose routing state (next hop, reachability or
+/// remaining-path stats) actually changed, ascending and deduplicated.
+std::vector<BrokerId> repair_tree_toward(
+    const Graph& graph, const std::vector<std::vector<EdgeId>>& incoming,
+    const EdgeFlags& down, const std::vector<EdgeId>& newly_down,
+    const std::vector<EdgeId>& newly_up, ShortestPathTree& tree);
 
 }  // namespace bdps

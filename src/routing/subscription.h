@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,13 @@ struct SubscriptionEntry {
   /// union of several publishers' paths would branch copies onto paths the
   /// routing protocol never selected, duplicating deliveries.
   std::uint64_t publisher_mask = ~0ULL;
+  /// Routing repair (RoutingFabric::apply_link_state) retires stale rows in
+  /// place instead of erasing them: erasure would renumber rows and break
+  /// the row-id alignment with the broker's matching index, and copies
+  /// already queued keep pointing at their original entry.  Disabled rows
+  /// are skipped by the fan-out grouper, so they stop attracting new
+  /// copies the instant the repair lands.
+  bool disabled = false;
 
   bool is_local() const { return next_hop == kNoBroker; }
 
@@ -98,18 +106,25 @@ struct SubscriptionEntry {
 
 /// All table rows of one broker, plus grouping by downstream neighbour
 /// (the unit the output-queue scheduler works on).
+///
+/// Storage is a deque, not a vector: queued copies hold raw pointers into
+/// the table, and routing repair appends replacement rows mid-run — deque
+/// growth never moves existing elements, so those pointers stay valid.
 class SubscriptionTable {
  public:
   void add(SubscriptionEntry entry) { entries_.push_back(entry); }
 
-  const std::vector<SubscriptionEntry>& entries() const { return entries_; }
+  const std::deque<SubscriptionEntry>& entries() const { return entries_; }
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
+
+  /// Mutable row access for routing repair (disabling stale rows in place).
+  SubscriptionEntry& entry_at(std::size_t row) { return entries_[row]; }
 
   std::string to_string() const;
 
  private:
-  std::vector<SubscriptionEntry> entries_;
+  std::deque<SubscriptionEntry> entries_;
 };
 
 }  // namespace bdps

@@ -20,6 +20,9 @@ struct LiveNetwork::LinkWorker {
   /// The simulator's queue engine, verbatim: owns the waiting messages and
   /// the per-queue SchedulerState; guarded by `mutex`.
   OutputQueue out;
+  /// Fault churn (guarded by `mutex`): while down the sender holds — no
+  /// picks — until link-up or stop (stop flushes down links).
+  bool down = false;
 
   explicit LinkWorker(const LiveLinkSpec& spec, const Strategy* strategy)
       : from(spec.from),
@@ -155,6 +158,27 @@ void LiveNetwork::drain() {
   }
 }
 
+void LiveNetwork::set_link_state(BrokerId a, BrokerId b, bool up) {
+  for (const EdgeId edge :
+       {topology_->graph.edge_id(a, b), topology_->graph.edge_id(b, a)}) {
+    if (edge != kNoEdge) set_edge_state(edge, up);
+  }
+}
+
+void LiveNetwork::set_edge_state(EdgeId edge, bool up) {
+  if (reactor_) {
+    reactor_->set_link_state(edge, up);
+    return;
+  }
+  LinkWorker* worker = link_by_edge_[edge];
+  if (worker == nullptr) return;  // No subscription routes over this link.
+  {
+    const std::lock_guard<std::mutex> lock(worker->mutex);
+    worker->down = !up;
+  }
+  worker->cv.notify_all();
+}
+
 void LiveNetwork::stop() {
   if (reactor_) {
     reactor_->stop();
@@ -256,8 +280,10 @@ void LiveNetwork::sender_loop(LinkWorker& worker) {
     QueuedMessage chosen;
     {
       std::unique_lock<std::mutex> lock(worker.mutex);
+      // A down link holds its queue (stop still flushes: pending copies
+      // are finished rather than stranded, the legacy shutdown contract).
       worker.cv.wait(lock, [&] {
-        return stopping_.load() || !worker.out.empty();
+        return stopping_.load() || (!worker.down && !worker.out.empty());
       });
       if (worker.out.empty()) return;  // Stopping with nothing queued.
 

@@ -84,6 +84,21 @@ class LiveNetwork {
   /// Blocks until no message copies remain in flight.
   void drain();
 
+  /// Fault churn: marks the undirected link (a, b) down or up in both
+  /// directions (thread-safe, applied asynchronously by the owning
+  /// workers).  While down the link's queue *holds* its copies — reactor
+  /// mode additionally cancels the in-flight transmission timer and
+  /// requeues the copy; thread-per-link mode lets a transmission already
+  /// on the wire finish (the sender thread is sleeping through it), so
+  /// timing differs but the eventual delivery set does not.  Callers must
+  /// bring links back up (or rely on purges) before drain(), or held
+  /// copies keep it blocked.  Unknown or unserved links are ignored.
+  void set_link_state(BrokerId a, BrokerId b, bool up);
+
+  /// Single-direction variant keyed by the true graph's EdgeId (the
+  /// vocabulary of CompiledFaults batches).
+  void set_edge_state(EdgeId edge, bool up);
+
   /// Stops and joins all threads (idempotent).
   void stop();
 

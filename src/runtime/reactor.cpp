@@ -61,8 +61,15 @@ struct Reactor::LinkState {
   LinkModel true_link;
   Rng rng;  // The link's per-EdgeId stream.
   OutputQueue out;
-  std::shared_ptr<const Message> in_flight;
+  /// The full queued record rides along during transmission so a link-down
+  /// can cancel the timer and put the copy *back* (targets and folded
+  /// scores intact) instead of losing it.
+  QueuedMessage in_flight;
+  TimerWheel<TimerEvent>::TimerId tx_timer;
   bool busy = false;  // A tx timer is pending for in_flight.
+  /// Fault churn: while down the queue holds (no picks, no new timer);
+  /// link-up re-arms.  Flipped only on the owning worker.
+  bool down = false;
 
   LinkState(const LiveLinkSpec& spec, const Strategy* strategy)
       : from(spec.from),
@@ -81,6 +88,11 @@ struct Reactor::Worker {
   std::vector<std::unique_ptr<SpscQueue<Inbound>>> inbound;
   /// External entry point (publish arrives from arbitrary user threads).
   Channel<Inbound> injector;
+  /// Link up/down transitions from set_link_state (arbitrary threads);
+  /// applied by the owning worker between drains.  Low traffic, so a
+  /// plain mutex-guarded vector suffices.
+  std::mutex command_mutex;
+  std::vector<LinkCommand> commands;
   /// Wake protocol: producers bump `epoch` *after* pushing, then notify;
   /// the worker snapshots it before draining and parks only while it is
   /// unchanged — either side losing the race still observes the other.
@@ -183,6 +195,48 @@ void Reactor::stop() {
   }
 }
 
+void Reactor::set_link_state(EdgeId edge, bool up) {
+  if (static_cast<std::size_t>(edge) >= link_by_edge_.size()) return;
+  const std::int32_t index = link_by_edge_[edge];
+  if (index < 0) return;  // No subscription routes over this link.
+  Worker& worker = *workers_[owner_of_broker_[links_[index]->from]];
+  {
+    const std::lock_guard<std::mutex> lock(worker.command_mutex);
+    worker.commands.push_back(
+        LinkCommand{static_cast<std::uint32_t>(index), up});
+  }
+  wake(worker);
+}
+
+void Reactor::apply_link_commands(Worker& worker) {
+  std::vector<LinkCommand> batch;
+  {
+    const std::lock_guard<std::mutex> lock(worker.command_mutex);
+    if (worker.commands.empty()) return;
+    batch.swap(worker.commands);
+  }
+  for (const LinkCommand& command : batch) {
+    LinkState& link = *links_[command.link_index];
+    if (!command.up) {
+      link.down = true;
+      if (link.busy) {
+        // Tear down the Tx machine: the wheel timer is cancelled and the
+        // copy goes back into the queue with its targets and folded
+        // scores — it competes again at the next link-free pick.
+        worker.wheel.cancel(link.tx_timer);
+        link.busy = false;
+        link.out.enqueue(std::move(link.in_flight));
+        link.in_flight = QueuedMessage{};
+      }
+    } else {
+      link.down = false;
+      if (!link.busy && !link.out.empty()) {
+        start_transmission(worker, command.link_index);
+      }
+    }
+  }
+}
+
 std::uint64_t Reactor::tick_ceil(TimeMs at) const {
   if (at <= 0.0) return 0;
   return static_cast<std::uint64_t>(std::ceil(at / options_.wheel_tick_ms));
@@ -192,6 +246,7 @@ void Reactor::worker_loop(Worker& worker) {
   for (;;) {
     const std::uint64_t epoch =
         worker.epoch.load(std::memory_order_acquire);
+    apply_link_commands(worker);
     drain_inbound(worker);
     advance_wheel(worker);
     // Exit order matters: the injector must be observed *closed* before
@@ -329,6 +384,10 @@ void Reactor::on_rx_done(Worker& worker, BrokerId broker) {
 
 void Reactor::start_transmission(Worker& worker, std::uint32_t link_index) {
   LinkState& link = *links_[link_index];
+  if (link.down) {  // Held: the queue keeps its copies until link-up.
+    link.busy = false;
+    return;
+  }
   const BrokerState& from = *brokers_[link.from];
   const double average_kb =
       from.size_count == 0
@@ -352,14 +411,16 @@ void Reactor::start_transmission(Worker& worker, std::uint32_t link_index) {
   link.busy = true;
   const TimeMs duration = link.true_link.sample_send_time(
       link.rng, taken->message->size_kb());
-  link.in_flight = std::move(taken->message);
-  worker.wheel.schedule(tick_ceil(clock_->now() + duration),
-                        TimerEvent{link_index, /*tx=*/true});
+  link.in_flight = std::move(*taken);
+  link.tx_timer =
+      worker.wheel.schedule(tick_ceil(clock_->now() + duration),
+                            TimerEvent{link_index, /*tx=*/true});
 }
 
 void Reactor::on_tx_done(Worker& worker, std::uint32_t link_index) {
   LinkState& link = *links_[link_index];
-  std::shared_ptr<const Message> message = std::move(link.in_flight);
+  std::shared_ptr<const Message> message = std::move(link.in_flight.message);
+  link.in_flight = QueuedMessage{};
 
   const std::uint32_t owner = owner_of_broker_[link.to];
   if (owner == worker.id) {

@@ -101,12 +101,25 @@ class Reactor {
 
   std::size_t worker_count() const { return workers_.size(); }
 
+  /// Marks one directed served link up or down (fault churn; thread-safe,
+  /// applied asynchronously by the owning worker).  Down cancels the
+  /// pending transmission timer and requeues the in-flight copy — the
+  /// frame was cut mid-wire — and the queue then *holds* until link-up
+  /// re-arms it.  Unknown or unserved edges are ignored.
+  void set_link_state(EdgeId edge, bool up);
+
  private:
   struct Inbound;
   struct TimerEvent;
   struct BrokerState;
   struct LinkState;
   struct Worker;
+  struct LinkCommand {
+    std::uint32_t link_index = 0;
+    bool up = false;
+  };
+
+  void apply_link_commands(Worker& worker);
 
   std::uint64_t tick_ceil(TimeMs at) const;
   void worker_loop(Worker& worker);

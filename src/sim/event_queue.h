@@ -21,6 +21,7 @@ enum class EventType : std::uint8_t {
   kProcessed,     // The processing stage (PD) completed at `broker`.
   kSendComplete,  // The in-flight send `broker` -> `neighbor` finished.
   kLinkFailure,   // The `broker` <-> `neighbor` link dies (both directions).
+  kFault,         // A compiled fault batch fires (`broker` = batch index).
 };
 
 struct Event {

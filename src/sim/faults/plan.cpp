@@ -1,0 +1,313 @@
+#include "sim/faults/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace bdps {
+namespace {
+
+void check_broker(const Graph& graph, BrokerId broker, const char* what) {
+  if (broker < 0 || static_cast<std::size_t>(broker) >= graph.broker_count()) {
+    throw std::invalid_argument(std::string("fault plan: ") + what +
+                                " references unknown broker " +
+                                std::to_string(broker));
+  }
+}
+
+void check_link(const Graph& graph, BrokerId a, BrokerId b, const char* what) {
+  check_broker(graph, a, what);
+  check_broker(graph, b, what);
+  if (a == b) {
+    throw std::invalid_argument(std::string("fault plan: ") + what +
+                                " names a self-loop at broker " +
+                                std::to_string(a));
+  }
+  if (graph.edge_id(a, b) == kNoEdge || graph.edge_id(b, a) == kNoEdge) {
+    throw std::invalid_argument(std::string("fault plan: ") + what +
+                                " references nonexistent link " +
+                                std::to_string(a) + "-" + std::to_string(b));
+  }
+}
+
+void check_window(TimeMs down_at, TimeMs up_at, const char* what) {
+  if (!(down_at >= 0.0) || !std::isfinite(down_at)) {
+    throw std::invalid_argument(std::string("fault plan: ") + what +
+                                " has a negative or non-finite down time");
+  }
+  // up_at == kNoDeadline (inf) means "never recovers" and is allowed.
+  if (!(up_at > down_at)) {
+    throw std::invalid_argument(std::string("fault plan: ") + what +
+                                " window is empty or inverted");
+  }
+}
+
+/// Merges [down, up) windows per key; touching windows ([1,2) + [2,3))
+/// coalesce so no batch carries an up and a down of the same element at
+/// the same instant.
+template <typename Key, typename Out>
+void merge_windows(std::map<Key, std::vector<std::pair<TimeMs, TimeMs>>>& by_key,
+                   Out&& emit) {
+  for (auto& [key, windows] : by_key) {
+    std::sort(windows.begin(), windows.end());
+    TimeMs down = 0.0;
+    TimeMs up = 0.0;
+    bool open = false;
+    for (const auto& [d, u] : windows) {
+      if (!open) {
+        down = d;
+        up = u;
+        open = true;
+      } else if (d <= up) {
+        up = std::max(up, u);
+      } else {
+        emit(key, down, up);
+        down = d;
+        up = u;
+      }
+    }
+    if (open) emit(key, down, up);
+  }
+}
+
+/// Hop distances from `origin` (undirected BFS); -1 = unreachable.
+std::vector<int> hop_distances(const Graph& graph, BrokerId origin) {
+  std::vector<int> dist(graph.broker_count(), -1);
+  std::deque<BrokerId> frontier;
+  dist[origin] = 0;
+  frontier.push_back(origin);
+  while (!frontier.empty()) {
+    const BrokerId u = frontier.front();
+    frontier.pop_front();
+    for (const EdgeId e : graph.out_edges(u)) {
+      const BrokerId v = graph.edge(e).to;
+      if (dist[v] >= 0) continue;
+      dist[v] = dist[u] + 1;
+      frontier.push_back(v);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+FaultPlan materialize_faults(const FaultPlan& plan, const Graph& graph,
+                             Rng& rng) {
+  // key = canonical (min, max) endpoint pair / broker id.
+  std::map<std::pair<BrokerId, BrokerId>,
+           std::vector<std::pair<TimeMs, TimeMs>>>
+      link_windows;
+  std::map<BrokerId, std::vector<std::pair<TimeMs, TimeMs>>> broker_windows;
+
+  const auto add_link = [&](BrokerId a, BrokerId b, TimeMs down, TimeMs up) {
+    link_windows[{std::min(a, b), std::max(a, b)}].emplace_back(down, up);
+  };
+
+  for (const LinkOutage& o : plan.link_outages) {
+    check_link(graph, o.a, o.b, "link outage");
+    check_window(o.down_at, o.up_at, "link outage");
+    add_link(o.a, o.b, o.down_at, o.up_at);
+  }
+  for (const BrokerOutage& o : plan.broker_outages) {
+    check_broker(graph, o.broker, "broker outage");
+    check_window(o.down_at, o.up_at, "broker outage");
+    broker_windows[o.broker].emplace_back(o.down_at, o.up_at);
+  }
+  for (const LinkFlap& f : plan.flaps) {
+    check_link(graph, f.a, f.b, "link flap");
+    if (f.count <= 0 || !(f.period > 0.0) || !(f.down_for > 0.0)) {
+      throw std::invalid_argument(
+          "fault plan: link flap needs count > 0, period > 0, down_for > 0");
+    }
+    for (int k = 0; k < f.count; ++k) {
+      const TimeMs down = f.first_down_at + static_cast<double>(k) * f.period;
+      check_window(down, down + f.down_for, "link flap window");
+      add_link(f.a, f.b, down, down + f.down_for);
+    }
+  }
+  for (const RegionStorm& s : plan.storms) {
+    check_broker(graph, s.epicenter, "region storm");
+    if (s.radius < 0) {
+      throw std::invalid_argument("fault plan: region storm radius < 0");
+    }
+    if (!(s.at >= 0.0) || !(s.recovery_delay > 0.0) ||
+        !(s.recovery_jitter >= 0.0)) {
+      throw std::invalid_argument(
+          "fault plan: region storm needs at >= 0, recovery_delay > 0, "
+          "recovery_jitter >= 0");
+    }
+    const std::vector<int> dist = hop_distances(graph, s.epicenter);
+    // Ball links in canonical order so the jitter stream is deterministic.
+    std::vector<std::pair<BrokerId, BrokerId>> ball_links;
+    for (EdgeId e = 0; e < static_cast<EdgeId>(graph.edge_count()); ++e) {
+      const Edge& edge = graph.edge(e);
+      if (edge.from >= edge.to) continue;  // One canonical side per link.
+      if (dist[edge.from] < 0 || dist[edge.from] > s.radius) continue;
+      if (dist[edge.to] < 0 || dist[edge.to] > s.radius) continue;
+      ball_links.emplace_back(edge.from, edge.to);
+    }
+    std::sort(ball_links.begin(), ball_links.end());
+    for (const auto& [a, b] : ball_links) {
+      TimeMs up = s.at + s.recovery_delay;
+      if (s.recovery_jitter > 0.0) up += rng.uniform(0.0, s.recovery_jitter);
+      add_link(a, b, s.at, up);
+    }
+    if (s.kill_brokers) {
+      for (BrokerId broker = 0;
+           broker < static_cast<BrokerId>(graph.broker_count()); ++broker) {
+        if (dist[broker] < 0 || dist[broker] > s.radius - 1) continue;
+        TimeMs up = s.at + s.recovery_delay;
+        if (s.recovery_jitter > 0.0) up += rng.uniform(0.0, s.recovery_jitter);
+        broker_windows[broker].emplace_back(s.at, up);
+      }
+    }
+  }
+
+  FaultPlan out;
+  merge_windows(link_windows, [&](const std::pair<BrokerId, BrokerId>& key,
+                                  TimeMs down, TimeMs up) {
+    out.link_outages.push_back(LinkOutage{down, up, key.first, key.second});
+  });
+  merge_windows(broker_windows, [&](BrokerId broker, TimeMs down, TimeMs up) {
+    out.broker_outages.push_back(BrokerOutage{down, up, broker});
+  });
+  return out;
+}
+
+std::string format_fault_plan(const FaultPlan& plan) {
+  std::string out;
+  char line[256];
+  const auto append_time = [&](TimeMs t) {
+    if (t == kNoDeadline) {
+      out += " inf";
+    } else {
+      std::snprintf(line, sizeof(line), " %a", t);
+      out += line;
+    }
+  };
+  for (const LinkOutage& o : plan.link_outages) {
+    std::snprintf(line, sizeof(line), "link %d %d", o.a, o.b);
+    out += line;
+    append_time(o.down_at);
+    append_time(o.up_at);
+    out += '\n';
+  }
+  for (const BrokerOutage& o : plan.broker_outages) {
+    std::snprintf(line, sizeof(line), "broker %d", o.broker);
+    out += line;
+    append_time(o.down_at);
+    append_time(o.up_at);
+    out += '\n';
+  }
+  for (const RegionStorm& s : plan.storms) {
+    std::snprintf(line, sizeof(line), "storm %a %d %d %a %a %d", s.at,
+                  s.epicenter, s.radius, s.recovery_delay, s.recovery_jitter,
+                  s.kill_brokers ? 1 : 0);
+    out += line;
+    out += '\n';
+  }
+  for (const LinkFlap& f : plan.flaps) {
+    std::snprintf(line, sizeof(line), "flap %d %d %a %a %a %d", f.a, f.b,
+                  f.first_down_at, f.period, f.down_for, f.count);
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+TimeMs parse_time(const std::string& token, const std::string& line) {
+  if (token == "inf") return kNoDeadline;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault plan: bad time token '" + token +
+                                "' in: " + line);
+  }
+}
+
+long parse_long(const std::string& token, const std::string& line) {
+  try {
+    std::size_t used = 0;
+    const long value = std::stol(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault plan: bad integer token '" + token +
+                                "' in: " + line);
+  }
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream words(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (words >> token) tokens.push_back(token);
+    if (tokens.empty()) continue;
+    const auto want = [&](std::size_t n) {
+      if (tokens.size() != n + 1) {
+        throw std::invalid_argument("fault plan: '" + tokens[0] + "' expects " +
+                                    std::to_string(n) +
+                                    " operands in: " + line);
+      }
+    };
+    if (tokens[0] == "link") {
+      want(4);
+      LinkOutage o;
+      o.a = static_cast<BrokerId>(parse_long(tokens[1], line));
+      o.b = static_cast<BrokerId>(parse_long(tokens[2], line));
+      o.down_at = parse_time(tokens[3], line);
+      o.up_at = parse_time(tokens[4], line);
+      plan.link_outages.push_back(o);
+    } else if (tokens[0] == "broker") {
+      want(3);
+      BrokerOutage o;
+      o.broker = static_cast<BrokerId>(parse_long(tokens[1], line));
+      o.down_at = parse_time(tokens[2], line);
+      o.up_at = parse_time(tokens[3], line);
+      plan.broker_outages.push_back(o);
+    } else if (tokens[0] == "storm") {
+      want(6);
+      RegionStorm s;
+      s.at = parse_time(tokens[1], line);
+      s.epicenter = static_cast<BrokerId>(parse_long(tokens[2], line));
+      s.radius = static_cast<int>(parse_long(tokens[3], line));
+      s.recovery_delay = parse_time(tokens[4], line);
+      s.recovery_jitter = parse_time(tokens[5], line);
+      s.kill_brokers = parse_long(tokens[6], line) != 0;
+      plan.storms.push_back(s);
+    } else if (tokens[0] == "flap") {
+      want(6);
+      LinkFlap f;
+      f.a = static_cast<BrokerId>(parse_long(tokens[1], line));
+      f.b = static_cast<BrokerId>(parse_long(tokens[2], line));
+      f.first_down_at = parse_time(tokens[3], line);
+      f.period = parse_time(tokens[4], line);
+      f.down_for = parse_time(tokens[5], line);
+      f.count = static_cast<int>(parse_long(tokens[6], line));
+      plan.flaps.push_back(f);
+    } else {
+      throw std::invalid_argument("fault plan: unknown directive in: " + line);
+    }
+  }
+  return plan;
+}
+
+}  // namespace bdps

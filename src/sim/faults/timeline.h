@@ -1,0 +1,75 @@
+// Compiled fault timeline: the engine-facing form of a FaultPlan.
+//
+// Both simulation engines consume faults as *batches* — every transition
+// sharing one instant, applied atomically in a canonical order (brokers
+// down, edges down, brokers up, edges up; ids ascending) — so a storm
+// replays bitwise at any shard count.  Compilation folds broker outages
+// into their incident directed edges (a crashed broker cuts every adjacent
+// link both ways), merges the resulting per-edge windows, and builds CSR
+// tables of down-transition instants that answer the two doom queries the
+// engines need:
+//
+//  * a send started at s completing at c is lost iff the edge has a
+//    down-transition in (s, c] — the transfer was cut mid-flight even if
+//    the link already recovered by c (a flap);
+//  * a processing step finishing at f is lost iff its broker has a
+//    down-transition in (f - PD, f] — the crash wiped the in-progress
+//    message even if the broker already restarted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/faults/plan.h"
+#include "topology/graph.h"
+
+namespace bdps {
+
+/// Every fault transition at one instant.
+struct FaultBatch {
+  TimeMs at = 0.0;
+  std::vector<BrokerId> brokers_down;
+  std::vector<BrokerId> brokers_up;
+  std::vector<EdgeId> edges_down;  // Directed edge ids, ascending.
+  std::vector<EdgeId> edges_up;
+};
+
+class CompiledFaults {
+ public:
+  CompiledFaults() = default;
+
+  /// Compiles a *materialized* plan (see materialize_faults; generators
+  /// still present throw std::invalid_argument) against the overlay graph.
+  static CompiledFaults compile(const FaultPlan& plan, const Graph& graph);
+
+  bool empty() const { return batches_.empty(); }
+  const std::vector<FaultBatch>& batches() const { return batches_; }
+
+  /// True when directed edge `e` has a down-transition in (after, upto].
+  bool edge_cut_between(EdgeId e, TimeMs after, TimeMs upto) const {
+    return cut_between(edge_offsets_, edge_down_times_,
+                       static_cast<std::size_t>(e), after, upto);
+  }
+
+  /// True when broker `b` has a down-transition in (after, upto].
+  bool broker_cut_between(BrokerId b, TimeMs after, TimeMs upto) const {
+    return cut_between(broker_offsets_, broker_down_times_,
+                       static_cast<std::size_t>(b), after, upto);
+  }
+
+ private:
+  static bool cut_between(const std::vector<std::uint32_t>& offsets,
+                          const std::vector<TimeMs>& times, std::size_t key,
+                          TimeMs after, TimeMs upto);
+
+  std::vector<FaultBatch> batches_;  // Ascending in `at`.
+  // CSR of down-transition instants, sorted ascending per key.
+  std::vector<std::uint32_t> edge_offsets_;
+  std::vector<TimeMs> edge_down_times_;
+  std::vector<std::uint32_t> broker_offsets_;
+  std::vector<TimeMs> broker_down_times_;
+};
+
+}  // namespace bdps

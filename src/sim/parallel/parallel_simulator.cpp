@@ -48,7 +48,9 @@ ParallelSimulator::ParallelSimulator(const Topology* topology,
   brokers_.reserve(broker_count);
   for (std::size_t b = 0; b < broker_count; ++b) {
     brokers_.emplace_back(static_cast<BrokerId>(b), fabric, believed,
-                          strategy, options_.processing_delay);
+                          strategy, options_.processing_delay,
+                          /*queues_for_all_links=*/options_.repair_fabric !=
+                              nullptr);
   }
   // Identical slot -> true-edge resolution (and validation) as Simulator.
   true_edge_by_slot_.resize(broker_count);
@@ -100,6 +102,12 @@ ParallelSimulator::ParallelSimulator(const Topology* topology,
     if (backward != kNoEdge) {
       death_time_[backward] = std::min(death_time_[backward], failure.at);
     }
+  }
+  if (options_.faults != nullptr && !options_.faults->empty()) {
+    has_faults_ = true;
+    down_.assign(edge_count);
+    broker_down_.assign(broker_count, 0);
+    send_begin_.assign(edge_count, 0.0);
   }
 
   const std::size_t shard_count = plan_.shard_count();
@@ -176,7 +184,11 @@ const RateEstimator* ParallelSimulator::estimator(EdgeId edge) const {
 
 void ParallelSimulator::build_initial_lanes() {
   // Initial sequence order mirrors the sequential engine's push order:
-  // failures (constructor) first, then publishes in schedule order.
+  // fault batches (constructor) first, then failures, then publishes in
+  // schedule order.  Batches never enter a lane — they are applied
+  // coordinator-side between rounds — but their sequence numbers are
+  // reserved here so every later sequence lines up bit for bit.
+  if (has_faults_) next_seq_ += options_.faults->batches().size();
   for (const LinkFailure& failure : options_.failures) {
     const std::uint64_t seq = next_seq_++;
     const std::uint32_t shard_a = plan_.shard_of(failure.a);
@@ -246,6 +258,23 @@ bool ParallelSimulator::any_runnable() const {
   return false;
 }
 
+TimeMs ParallelSimulator::next_batch_time() const {
+  if (!has_faults_) return kNoDeadline;
+  const auto& batches = options_.faults->batches();
+  if (batch_cursor_ >= batches.size()) return kNoDeadline;
+  const TimeMs at = batches[batch_cursor_].at;
+  // The sequential engine stops at the first event past its horizon; a
+  // batch beyond it never applies.
+  return at <= options_.horizon ? at : kNoDeadline;
+}
+
+bool ParallelSimulator::batch_due(TimeMs at) const {
+  for (const Shard& shard : shards_) {
+    if (!shard.lane.empty() && shard.lane.top().time < at) return false;
+  }
+  return true;
+}
+
 void ParallelSimulator::push_rate(EdgeId edge, double rate) {
   const Edge& e = topology_->graph.edge(edge);
   std::vector<RateEntry>& heap =
@@ -306,6 +335,9 @@ void ParallelSimulator::compute_shard_bound(Shard& shard) {
          ++i) {
       const EdgeId e = cut_out_edges_[i];
       if (death_time_[e] <= base) continue;  // Dead before any send.
+      // A held (down) edge cannot start a send before the next fault batch,
+      // and rounds never span a batch instant.
+      if (has_faults_ && down_.test(e)) continue;
       const TimeMs candidate = base + next_rate_[e] * min_size_kb_;
       if (candidate < bound) bound = candidate;
     }
@@ -328,11 +360,15 @@ void ParallelSimulator::compute_shard_bound(Shard& shard) {
   shard.next_bound = bound;
 }
 
-void ParallelSimulator::fold_horizon() {
+void ParallelSimulator::fold_horizon(TimeMs batch_at) {
   TimeMs horizon = deposit_bound_;
   for (const Shard& shard : shards_) {
     horizon = std::min(horizon, shard.next_bound);
   }
+  // A pending fault batch is a hard wall: its transitions must apply (in
+  // global order, coordinator-side) before any event at or past its
+  // instant processes.
+  if (horizon > batch_at) horizon = batch_at;
   // Guarantee progress: floating-point rounding can collapse a bound onto
   // the global minimum event time when a lookahead is below half an ulp;
   // nudging one ulp past the minimum lets those events process.  (Any
@@ -344,6 +380,9 @@ void ParallelSimulator::fold_horizon() {
       min_top = std::min(min_top, shard.lane.top().time);
     }
   }
+  // (The nudge cannot step past a pending batch: when the batch is not yet
+  // due, some lane top is strictly earlier, so nextafter(min_top) never
+  // exceeds batch_at.)
   if (horizon <= min_top) horizon = std::nextafter(min_top, kNoDeadline);
   round_horizon_ = horizon;
 }
@@ -427,6 +466,7 @@ void ParallelSimulator::merge_and_route() {
              i < cut_out_offset_[b + 1]; ++i) {
           const EdgeId e = cut_out_edges_[i];
           if (death_time_[e] <= base) continue;
+          if (has_faults_ && down_.test(e)) continue;  // Held until a batch.
           deposit_bound_ = std::min(
               deposit_bound_, base + next_rate_[e] * min_size_kb_);
         }
@@ -479,16 +519,175 @@ void ParallelSimulator::replay(const Shard& shard, const LoggedOp& op) {
   }
 }
 
+void ParallelSimulator::coordinator_drain_slot(BrokerId broker_id,
+                                               Broker::QueueSlot slot) {
+  OutputQueue& out = brokers_[broker_id].queue_at(slot);
+  if (trace_ != nullptr) {
+    for (const QueuedMessage& queued : out.messages()) {
+      trace_->record(TraceEvent{now_, TraceEventKind::kLoss,
+                                queued.message->id(), broker_id,
+                                out.neighbor(), -1, false});
+    }
+  }
+  const std::size_t dropped = out.clear();
+  if (dropped > 0) collector_.on_loss(dropped);
+}
+
+void ParallelSimulator::coordinator_start_sends(BrokerId broker_id,
+                                                Broker::QueueSlot slot) {
+  // The recovery kick's single-slot start_sends, run at a barrier: side
+  // effects are applied directly (the kick sits at the global-order point —
+  // everything earlier has merged), the completion event takes its sequence
+  // number inline, and its id comes from the coordinator's band 0.
+  Shard& owner = shards_[plan_.shard_of(broker_id)];
+  const EdgeId true_edge = true_edge_by_slot_[broker_id][slot];
+  if (!owner.dead.none() && owner.dead.test(true_edge)) {
+    coordinator_drain_slot(broker_id, slot);
+    return;
+  }
+  if (down_.test(true_edge)) return;  // Still held by another outage.
+  Broker& broker = brokers_[broker_id];
+  coord_slots_.assign(1, slot);
+  broker.take_next(coord_slots_, now_, options_.purge, coord_dispatch_,
+                   nullptr, trace_ != nullptr);
+  for (Broker::Dispatch& dispatch : coord_dispatch_) {
+    collector_.on_purge(dispatch.purge);
+    if (trace_ != nullptr) {
+      for (const MessageId id : dispatch.purged_ids) {
+        trace_->record(TraceEvent{now_, TraceEventKind::kPurge, id, broker_id,
+                                  dispatch.neighbor, -1, false});
+      }
+    }
+    if (!dispatch.chosen.has_value()) continue;  // Purge emptied the queue.
+    if (trace_ != nullptr) {
+      trace_->record(TraceEvent{now_, TraceEventKind::kSendStart,
+                                dispatch.chosen->message->id(), broker_id,
+                                dispatch.neighbor, -1, false});
+    }
+    const LinkModel& link = topology_->graph.edge(true_edge).link;
+    double rate;
+    if (plan_.shard_count() > 1) {
+      rate = next_rate_[true_edge];
+      next_rate_[true_edge] = link.sample_rate(link_rngs_[true_edge].rng);
+      push_rate(true_edge, next_rate_[true_edge]);
+    } else {
+      rate = link.sample_rate(link_rngs_[true_edge].rng);
+    }
+    const TimeMs duration = dispatch.chosen->message->size_kb() * rate;
+
+    broker.queue_at(slot).set_link_busy(true);
+    if (options_.online_estimation) send_started_[true_edge] = now_;
+    send_begin_[true_edge] = now_;
+    LaneEvent complete;
+    complete.time = now_ + duration;
+    complete.type = EventType::kSendComplete;
+    complete.broker = broker_id;
+    complete.neighbor = dispatch.neighbor;
+    complete.seq = next_seq_++;
+    complete.id = next_initial_id_++;
+    complete.message = std::move(dispatch.chosen->message);
+    if (plan_.shard_count() > 1 && complete.time < death_time_[true_edge] &&
+        !options_.faults->edge_cut_between(true_edge, now_, complete.time)) {
+      // Deposit at send start, straight into the destination lane (the
+      // mailboxes are idle at a barrier).  Completion first: at the shared
+      // instant it must take the smaller lane key so it pops — and assigns
+      // the arrival's sequence via deposited_child — first.
+      LaneEvent arrival;
+      arrival.time = complete.time;
+      arrival.type = EventType::kArrival;
+      arrival.broker = dispatch.neighbor;
+      arrival.message = complete.message;
+      arrival.id = next_initial_id_++;
+      complete.deposited_child = arrival.id;
+      owner.lane.push(std::move(complete));
+      shards_[plan_.shard_of(dispatch.neighbor)].lane.push(
+          std::move(arrival));
+      continue;
+    }
+    owner.lane.push(std::move(complete));
+  }
+}
+
+void ParallelSimulator::apply_fault_batch() {
+  // Coordinator-side mirror of Simulator::handle_fault — identical
+  // canonical order; see the NOTE there.  At this point every event before
+  // the batch instant has merged, so next_seq_ equals the sequential
+  // engine's push counter at its kFault pop and side effects apply
+  // directly.
+  const FaultBatch& batch = options_.faults->batches()[batch_cursor_++];
+  now_ = batch.at;
+  // 1. Broker crashes: input queue, in-progress message (doomed at its
+  //    kProcessed) and every output queue die with the process.
+  for (const BrokerId b : batch.brokers_down) {
+    broker_down_[b] = 1;
+    if (options_.serialize_processing) {
+      auto& pending = input_queues_[b];
+      if (trace_ != nullptr) {
+        for (const auto& message : pending) {
+          trace_->record(TraceEvent{now_, TraceEventKind::kLoss,
+                                    message->id(), b, kNoBroker, -1, false});
+        }
+      }
+      if (!pending.empty()) collector_.on_loss(pending.size());
+      pending.clear();
+      processing_busy_[b] = 0;
+    }
+    const auto queue_count =
+        static_cast<Broker::QueueSlot>(brokers_[b].queue_count());
+    for (Broker::QueueSlot slot = 0; slot < queue_count; ++slot) {
+      coordinator_drain_slot(b, slot);
+    }
+  }
+  // 2. Edge downs: hold semantics (copies wait for recovery).
+  for (const EdgeId e : batch.edges_down) down_.set(e);
+  // 3. Recoveries.
+  for (const BrokerId b : batch.brokers_up) broker_down_[b] = 0;
+  for (const EdgeId e : batch.edges_up) down_.reset(e);
+  // 3b. Incremental routing repair (see Simulator::handle_fault).
+  if (options_.repair_fabric != nullptr &&
+      (!batch.edges_down.empty() || !batch.edges_up.empty())) {
+    const Graph& believed = options_.repair_fabric->graph();
+    const auto translate = [&](const std::vector<EdgeId>& in) {
+      std::vector<EdgeId> out;
+      out.reserve(in.size());
+      for (const EdgeId e : in) {
+        const Edge& edge = topology_->graph.edge(e);
+        const EdgeId fe = believed.edge_id(edge.from, edge.to);
+        if (fe != kNoEdge) out.push_back(fe);
+      }
+      return out;
+    };
+    options_.repair_fabric->apply_link_state(translate(batch.edges_down),
+                                             translate(batch.edges_up));
+  }
+  // 4. Recovery kicks, in edge-id order.
+  for (const EdgeId e : batch.edges_up) {
+    const Edge& edge = topology_->graph.edge(e);
+    const Broker::QueueSlot slot = brokers_[edge.from].slot_of(edge.to);
+    if (slot == Broker::kNoSlot) continue;
+    const OutputQueue& out = brokers_[edge.from].queue_at(slot);
+    if (out.empty() || out.link_busy()) continue;
+    coordinator_start_sends(edge.from, slot);
+  }
+}
+
 void ParallelSimulator::run() {
   build_initial_lanes();
   const std::size_t shard_count = plan_.shard_count();
   if (shard_count == 1) {
-    // One lane: the window is unbounded and every "round" is the full
-    // remaining run — the merge still replays through the same machinery.
+    // One lane: the window is unbounded (up to the next fault batch) and
+    // every "round" is the full remaining stretch — the merge still
+    // replays through the same machinery.
     stats_.shard_cpu_ms.assign(1, 0.0);
-    while (any_runnable()) {
+    for (;;) {
+      const TimeMs batch_at = next_batch_time();
+      if (batch_at != kNoDeadline && batch_due(batch_at)) {
+        apply_fault_batch();
+        continue;
+      }
+      if (!any_runnable()) break;
       const double lane_start = thread_cpu_ms();
-      process_shard(0, kNoDeadline);
+      process_shard(0, batch_at);
       const double lane_ms = thread_cpu_ms() - lane_start;
       stats_.rounds += 1;
       stats_.critical_path_ms += lane_ms;
@@ -536,9 +735,21 @@ void ParallelSimulator::run() {
     for (Shard& shard : shards_) compute_shard_bound(shard);
     stats_.horizon_ms += thread_cpu_ms() - horizon_start;
   }
-  while (any_runnable()) {
+  for (;;) {
+    const TimeMs batch_at = next_batch_time();
+    if (batch_at != kNoDeadline && batch_due(batch_at)) {
+      apply_fault_batch();
+      // The batch changed queue and lane state (drains, recovery kicks);
+      // refresh every shard's bound before the next fold.  Serial, but
+      // batches are rare relative to rounds.
+      const double refresh_start = thread_cpu_ms();
+      for (Shard& shard : shards_) compute_shard_bound(shard);
+      stats_.horizon_ms += thread_cpu_ms() - refresh_start;
+      continue;
+    }
+    if (!any_runnable()) break;
     const double horizon_start = thread_cpu_ms();
-    fold_horizon();
+    fold_horizon(batch_at);
     stats_.horizon_ms += thread_cpu_ms() - horizon_start;
     round_start_->arrive_and_wait();
     const double lane_start = thread_cpu_ms();
@@ -672,6 +883,16 @@ void ParallelSimulator::handle_arrival(Shard& shard, LaneEvent& event) {
   shard.ops.push_back(op);
   log_trace(shard, event.time, TraceEventKind::kArrival, event.message->id(),
             event.broker);
+  if (has_faults_ && broker_down_[event.broker] != 0) {
+    // The copy reached a crashed broker: nothing is listening.
+    LoggedOp loss;
+    loss.kind = LoggedOp::Kind::kLoss;
+    loss.n = 1;
+    shard.ops.push_back(loss);
+    log_trace(shard, event.time, TraceEventKind::kLoss, event.message->id(),
+              event.broker);
+    return;
+  }
   if (options_.dedup_arrivals &&
       !seen_[event.broker].insert(event.message->id())) {
     return;  // Duplicate copy over a redundant path; count it, drop it.
@@ -697,6 +918,19 @@ void ParallelSimulator::handle_arrival(Shard& shard, LaneEvent& event) {
 }
 
 void ParallelSimulator::handle_processed(Shard& shard, LaneEvent& event) {
+  if (has_faults_ &&
+      options_.faults->broker_cut_between(
+          event.broker, event.time - options_.processing_delay, event.time)) {
+    // The broker crashed while this message was in its processing stage —
+    // the in-progress work is gone even if the broker already restarted.
+    LoggedOp loss;
+    loss.kind = LoggedOp::Kind::kLoss;
+    loss.n = 1;
+    shard.ops.push_back(loss);
+    log_trace(shard, event.time, TraceEventKind::kLoss, event.message->id(),
+              event.broker);
+    return;
+  }
   Broker& broker = brokers_[event.broker];
   log_trace(shard, event.time, TraceEventKind::kProcessed,
             event.message->id(), event.broker);
@@ -745,12 +979,16 @@ void ParallelSimulator::start_sends(Shard& shard, BrokerId broker_id,
                                     TimeMs now) {
   const std::vector<EdgeId>& true_edges = true_edge_by_slot_[broker_id];
   shard.live_slots.clear();
-  if (shard.dead.none()) {
+  if (shard.dead.none() && (!has_faults_ || down_.none())) {
     shard.live_slots.assign(slots.begin(), slots.end());
   } else {
     for (const Broker::QueueSlot slot : slots) {
-      if (shard.dead.test(true_edges[slot])) {
+      const EdgeId true_edge = true_edges[slot];
+      if (!shard.dead.none() && shard.dead.test(true_edge)) {
         drain_dead_slot(shard, broker_id, slot, now);
+      } else if (has_faults_ && down_.test(true_edge)) {
+        // Fault-timeline outage: hold the copies; the recovery batch (or a
+        // post-flap completion) kicks this queue again.
       } else {
         shard.live_slots.push_back(slot);
       }
@@ -802,13 +1040,18 @@ void ParallelSimulator::start_sends(Shard& shard, BrokerId broker_id,
     if (options_.online_estimation) {
       send_started_[true_edge] = now;
     }
+    if (has_faults_) {
+      send_begin_[true_edge] = now;
+    }
     LaneEvent complete;
     complete.time = now + duration;
     complete.type = EventType::kSendComplete;
     complete.broker = broker_id;
     complete.neighbor = dispatch.neighbor;
     complete.message = std::move(dispatch.chosen->message);
-    if (plan_.shard_count() > 1 && complete.time < death_time_[true_edge]) {
+    if (plan_.shard_count() > 1 && complete.time < death_time_[true_edge] &&
+        !(has_faults_ && options_.faults->edge_cut_between(
+                             true_edge, now, complete.time))) {
       // The arrival instant is already known: deposit the arrival at send
       // start — into the destination shard's mailbox for cut edges, into
       // this very lane for internal ones.  Either way the destination
@@ -858,6 +1101,24 @@ void ParallelSimulator::handle_send_complete(Shard& shard, LaneEvent& event) {
     log_trace(shard, event.time, TraceEventKind::kLoss, event.message->id(),
               event.broker, event.neighbor);
     drain_dead_slot(shard, event.broker, slot, event.time);
+    return;
+  }
+  if (has_faults_ && options_.faults->edge_cut_between(
+                         true_edge, send_begin_[true_edge], event.time)) {
+    // The link went down mid-transfer (possibly flapping back up before
+    // the completion): the copy is lost but the queue holds the rest.
+    // Nothing was deposited — the deposit guard consults the same static
+    // timeline at send start.
+    LoggedOp op;
+    op.kind = LoggedOp::Kind::kLoss;
+    op.n = 1;
+    shard.ops.push_back(op);
+    log_trace(shard, event.time, TraceEventKind::kLoss, event.message->id(),
+              event.broker, event.neighbor);
+    if (!down_.test(true_edge) && !out.empty()) {
+      const Broker::QueueSlot resend[1] = {slot};
+      start_sends(shard, event.broker, resend, event.time);
+    }
     return;
   }
   log_trace(shard, event.time, TraceEventKind::kSendEnd, event.message->id(),

@@ -249,8 +249,25 @@ class ParallelSimulator {
   // ---- Coordinator-side machinery ----
   void build_initial_lanes();
   /// Folds the workers' per-shard bounds + the routed-deposit corrections
-  /// into the round's global horizon.
-  void fold_horizon();
+  /// into the round's global horizon, capped at the next fault batch's
+  /// instant (kNoDeadline when no batch pends) — rounds never span a batch.
+  void fold_horizon(TimeMs batch_at);
+  /// Instant of the next unapplied fault batch; kNoDeadline when none is
+  /// left (or the next one lies beyond options_.horizon).
+  TimeMs next_batch_time() const;
+  /// True when no lane holds an event strictly before `at` — the batch's
+  /// reserved sequence number precedes every ordinary event's, so at its
+  /// own instant it is the global minimum.
+  bool batch_due(TimeMs at) const;
+  /// Applies the next fault batch between rounds: the coordinator-side
+  /// mirror of Simulator::handle_fault (identical canonical order), with
+  /// collector/trace side effects applied directly — every earlier event
+  /// has already merged — and child sequence numbers assigned inline.
+  void apply_fault_batch();
+  /// Coordinator-side mirrors of drain_dead_slot / the recovery kick's
+  /// single-slot start_sends (direct side effects, band-0 event ids).
+  void coordinator_drain_slot(BrokerId broker, Broker::QueueSlot slot);
+  void coordinator_start_sends(BrokerId broker, Broker::QueueSlot slot);
   /// Worker-side: this shard's minimum cut-edge bound over its pending
   /// brokers (direct terms) and intra-shard chains.
   void compute_shard_bound(Shard& shard);
@@ -298,6 +315,23 @@ class ParallelSimulator {
   /// Earliest failure instant covering each directed edge (+inf if none);
   /// decides at send start whether a cut-edge arrival may be deposited.
   EdgeMap<TimeMs> death_time_;
+
+  /// Fault-timeline state (mirrors Simulator's; populated only when a
+  /// non-empty CompiledFaults plan is attached).  down_/broker_down_ are
+  /// mutated exclusively by the coordinator between rounds — fold_horizon
+  /// caps every round at the next batch instant, so a round never observes
+  /// a transition — and read racelessly by workers mid-round; send_begin_
+  /// is written only by the owning edge's source-shard worker (or the
+  /// coordinator, at a barrier).
+  bool has_faults_ = false;
+  EdgeFlags down_;
+  std::vector<std::uint8_t> broker_down_;
+  EdgeMap<TimeMs> send_begin_;
+  /// Next unapplied batch in options_.faults->batches().
+  std::size_t batch_cursor_ = 0;
+  /// Coordinator dispatch scratch for recovery kicks.
+  std::vector<Broker::QueueSlot> coord_slots_;
+  std::vector<Broker::Dispatch> coord_dispatch_;
   /// CSR of each broker's *cut* out-edges (with the destination shard
   /// pre-resolved) — the safe-horizon pass walks the cut edges of
   /// event-pending brokers only, so idle regions of the graph never narrow

@@ -24,7 +24,9 @@ Simulator::Simulator(const Topology* topology, const Graph* believed,
   brokers_.reserve(broker_count);
   for (std::size_t b = 0; b < broker_count; ++b) {
     brokers_.emplace_back(static_cast<BrokerId>(b), fabric, believed,
-                          strategy, options_.processing_delay);
+                          strategy, options_.processing_delay,
+                          /*queues_for_all_links=*/options_.repair_fabric !=
+                              nullptr);
   }
   // Resolve each queue slot to its true directed link once; every per-link
   // access afterwards is a flat indexed load.
@@ -57,6 +59,25 @@ Simulator::Simulator(const Topology* topology, const Graph* believed,
   if (options_.serialize_processing) {
     input_queues_.resize(broker_count);
     processing_busy_.assign(broker_count, false);
+  }
+  // Fault batches are pushed before anything else so they take the lowest
+  // sequence numbers: at an equal instant a batch fires ahead of arrivals
+  // and completions pushed at construction.  An absent/empty plan pushes
+  // nothing, leaving the no-fault event numbering (and the golden matrix)
+  // untouched.
+  if (options_.faults != nullptr && !options_.faults->empty()) {
+    has_faults_ = true;
+    down_.assign(edge_count);
+    broker_down_.assign(broker_count, 0);
+    send_begin_.assign(edge_count, 0.0);
+    const auto& batches = options_.faults->batches();
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      Event event;
+      event.time = batches[i].at;
+      event.type = EventType::kFault;
+      event.broker = static_cast<BrokerId>(i);  // Batch index.
+      events_.push(std::move(event));
+    }
   }
   for (const LinkFailure& failure : options_.failures) {
     const auto n = static_cast<BrokerId>(broker_count);
@@ -106,6 +127,9 @@ void Simulator::run() {
         break;
       case EventType::kLinkFailure:
         handle_link_failure(event);
+        break;
+      case EventType::kFault:
+        handle_fault(event);
         break;
     }
   }
@@ -159,6 +183,76 @@ void Simulator::handle_link_failure(const Event& event) {
   drain_dead_queue(b, a);
 }
 
+void Simulator::handle_fault(const Event& event) {
+  // NOTE: the sharded engine replays this batch coordinator-side
+  // (ParallelSimulator::apply_fault_batch) with the identical canonical
+  // order; any change here must be mirrored there to keep runs bitwise.
+  const FaultBatch& batch =
+      options_.faults->batches()[static_cast<std::size_t>(event.broker)];
+  // 1. Broker crashes: the input queue, the in-progress message (doomed at
+  //    its kProcessed via the (f - PD, f] cut test) and every output queue
+  //    die with the process.  Incident edges go down via edges_down below
+  //    (compilation folded broker windows into them).
+  for (const BrokerId b : batch.brokers_down) {
+    broker_down_[b] = 1;
+    if (options_.serialize_processing) {
+      auto& pending = input_queues_[b];
+      if (trace_ != nullptr) {
+        for (const auto& message : pending) {
+          trace_id(TraceEventKind::kLoss, message->id(), b, kNoBroker);
+        }
+      }
+      if (!pending.empty()) collector_.on_loss(pending.size());
+      pending.clear();
+      processing_busy_[b] = false;
+    }
+    Broker& broker = brokers_[b];
+    const auto queue_count = static_cast<Broker::QueueSlot>(broker.queue_count());
+    for (Broker::QueueSlot slot = 0; slot < queue_count; ++slot) {
+      drain_dead_slot(b, slot);
+    }
+  }
+  // 2. Edge downs: hold semantics — queued copies wait for recovery (the
+  //    purge policy applies deadline pressure at the next pick); an
+  //    in-flight send is doomed by the (s, c] cut test at its completion.
+  for (const EdgeId e : batch.edges_down) down_.set(e);
+  // 3. Recoveries: brokers restart (empty queues), edges clear.
+  for (const BrokerId b : batch.brokers_up) broker_down_[b] = 0;
+  for (const EdgeId e : batch.edges_up) down_.reset(e);
+  // 3b. Incremental routing repair: re-point subscription rows around the
+  //     new link state.  Edge ids are translated into the fabric's believed
+  //     graph (identity unless the ids diverge); copies already queued keep
+  //     following their original rows.
+  if (options_.repair_fabric != nullptr &&
+      (!batch.edges_down.empty() || !batch.edges_up.empty())) {
+    const Graph& believed = options_.repair_fabric->graph();
+    const auto translate = [&](const std::vector<EdgeId>& in) {
+      std::vector<EdgeId> out;
+      out.reserve(in.size());
+      for (const EdgeId e : in) {
+        const Edge& edge = topology_->graph.edge(e);
+        const EdgeId fe = believed.edge_id(edge.from, edge.to);
+        if (fe != kNoEdge) out.push_back(fe);
+      }
+      return out;
+    };
+    options_.repair_fabric->apply_link_state(translate(batch.edges_down),
+                                             translate(batch.edges_up));
+  }
+  // 4. Each recovered edge whose queue held copies through the outage (and
+  //    whose link is idle) starts sending again, in edge-id order.
+  for (const EdgeId e : batch.edges_up) {
+    const Edge& edge = topology_->graph.edge(e);
+    Broker& broker = brokers_[edge.from];
+    const Broker::QueueSlot slot = broker.slot_of(edge.to);
+    if (slot == Broker::kNoSlot) continue;
+    const OutputQueue& out = broker.queue_at(slot);
+    if (out.empty() || out.link_busy()) continue;
+    const Broker::QueueSlot kick[1] = {slot};
+    start_sends(edge.from, kick);
+  }
+}
+
 void Simulator::handle_publish(Event& event) {
   // ts_i of eq. (1): subscribers interested system-wide (and currently
   // active), and the matching earning ceiling for eq. (2).
@@ -182,6 +276,12 @@ void Simulator::handle_publish(Event& event) {
 void Simulator::handle_arrival(Event& event) {
   collector_.on_reception();
   trace(TraceEventKind::kArrival, *event.message, event.broker);
+  if (has_faults_ && broker_down_[event.broker] != 0) {
+    // The copy reached a crashed broker: nothing is listening.
+    collector_.on_loss(1);
+    trace(TraceEventKind::kLoss, *event.message, event.broker);
+    return;
+  }
   if (options_.dedup_arrivals &&
       !seen_[event.broker].insert(event.message->id())) {
     return;  // Duplicate copy over a redundant path; count it, drop it.
@@ -202,6 +302,17 @@ void Simulator::handle_arrival(Event& event) {
 }
 
 void Simulator::handle_processed(Event& event) {
+  if (has_faults_ &&
+      options_.faults->broker_cut_between(
+          event.broker, now_ - options_.processing_delay, now_)) {
+    // The broker crashed while this message was in its processing stage —
+    // the in-progress work is gone even if the broker already restarted.
+    // The crash also cleared the busy flag and the input queue, so the
+    // serialize chain (if any) restarts with the next arrival.
+    collector_.on_loss(1);
+    trace(TraceEventKind::kLoss, *event.message, event.broker);
+    return;
+  }
   Broker& broker = brokers_[event.broker];
   trace(TraceEventKind::kProcessed, *event.message, event.broker);
   const Broker::FanOut fanout = broker.process(event.message, now_);
@@ -241,12 +352,16 @@ void Simulator::start_sends(BrokerId broker_id,
                             std::span<const Broker::QueueSlot> slots) {
   const std::vector<EdgeId>& true_edges = true_edge_by_slot_[broker_id];
   live_slots_.clear();
-  if (dead_.none()) {
+  if (dead_.none() && (!has_faults_ || down_.none())) {
     live_slots_.assign(slots.begin(), slots.end());
   } else {
     for (const Broker::QueueSlot slot : slots) {
-      if (dead_.test(true_edges[slot])) {
+      const EdgeId true_edge = true_edges[slot];
+      if (!dead_.none() && dead_.test(true_edge)) {
         drain_dead_slot(broker_id, slot);
+      } else if (has_faults_ && down_.test(true_edge)) {
+        // Fault-timeline outage: hold the copies; the recovery batch (or a
+        // post-flap completion) kicks this queue again.
       } else {
         live_slots_.push_back(slot);
       }
@@ -281,6 +396,9 @@ void Simulator::start_sends(BrokerId broker_id,
     if (options_.online_estimation) {
       send_started_[true_edge] = now_;
     }
+    if (has_faults_) {
+      send_begin_[true_edge] = now_;
+    }
     Event complete;
     complete.time = now_ + duration;
     complete.type = EventType::kSendComplete;
@@ -305,6 +423,19 @@ void Simulator::handle_send_complete(Event& event) {
     trace(TraceEventKind::kLoss, *event.message, event.broker,
           event.neighbor);
     drain_dead_slot(event.broker, slot);
+    return;
+  }
+  if (has_faults_ && options_.faults->edge_cut_between(
+                         true_edge, send_begin_[true_edge], now_)) {
+    // The link went down mid-transfer (possibly flapping back up before
+    // the completion): the copy is lost, but the queue holds the rest.
+    collector_.on_loss(1);
+    trace(TraceEventKind::kLoss, *event.message, event.broker,
+          event.neighbor);
+    if (!down_.test(true_edge) && !out.empty()) {
+      const Broker::QueueSlot resend[1] = {slot};
+      start_sends(event.broker, resend);
+    }
     return;
   }
   trace(TraceEventKind::kSendEnd, *event.message, event.broker,

@@ -25,6 +25,7 @@
 #include "common/thread_pool.h"
 #include "sim/collector.h"
 #include "sim/event_queue.h"
+#include "sim/faults/timeline.h"
 #include "stats/rate_estimator.h"
 #include "topology/edge_map.h"
 #include "trace/trace.h"
@@ -57,6 +58,20 @@ struct SimulatorOptions {
   /// a dead link are dropped and counted as losses.  Routing tables are
   /// *not* recomputed — recovery, if any, comes from multi-path redundancy.
   std::vector<LinkFailure> failures;
+  /// Compiled fault timeline (sim/faults/): link/broker down→up windows
+  /// applied as atomic batches at their instants.  Unlike `failures`, a
+  /// down link *holds* its queued copies until recovery (deadline pressure
+  /// applies at the next pick); a crashed broker drops its queues and loses
+  /// in-progress work, and restarts empty.  Shared by both engines so a
+  /// storm replays bitwise at any shard count.  nullptr/empty = no faults.
+  std::shared_ptr<const CompiledFaults> faults;
+  /// When set, fault batches additionally repair this fabric's routing
+  /// state incrementally (affected-subtree SPT recompute) as links go down
+  /// and come back — brokers then forward along the repaired trees instead
+  /// of holding copies toward dead links forever.  The fabric must be the
+  /// one the brokers route with, built with repair enabled, and outlive
+  /// the simulator.
+  RoutingFabric* repair_fabric = nullptr;
   /// Serialize the processing stage: a broker processes one message at a
   /// time (each takes PD), arrivals wait in the fig. 2 *input queue*.  The
   /// paper ignores the input queue (footnote 2: processing outruns the
@@ -123,6 +138,11 @@ class Simulator {
   void handle_processed(Event& event);
   void handle_send_complete(Event& event);
   void handle_link_failure(const Event& event);
+  /// Applies one compiled fault batch: broker crashes (queues wiped), edge
+  /// downs (hold semantics), recoveries (idle non-empty queues kick), and
+  /// the optional incremental routing repair — in a canonical order both
+  /// engines share.
+  void handle_fault(const Event& event);
   /// Purges + picks each live (non-dead-link) slot queue (in parallel for
   /// high-degree fan-outs when options_.dispatch_pool is set), then
   /// serially samples send durations and pushes completion events in slot
@@ -163,6 +183,14 @@ class Simulator {
   /// Links killed by failure injection (directed bits; a failure sets both
   /// directions).
   EdgeFlags dead_;
+  /// Fault-timeline state (sized only when options_.faults is non-empty):
+  /// currently-down directed edges (hold semantics — queues keep their
+  /// copies, unlike dead_), currently-crashed brokers, and the start time
+  /// of the in-flight send per edge (the (s, c] mid-flight cut test).
+  bool has_faults_ = false;
+  EdgeFlags down_;
+  std::vector<std::uint8_t> broker_down_;
+  EdgeMap<TimeMs> send_begin_;
   /// Per-broker set of already-processed message ids (dedup_arrivals).
   std::vector<FlatIdSet> seen_;
   /// Input queues (serialize_processing): pending arrivals per broker plus

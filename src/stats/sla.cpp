@@ -1,0 +1,119 @@
+#include "stats/sla.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bdps {
+
+SlaTracker::SlaTracker(TimeMs window_ms) : window_ms_(window_ms) {
+  if (!(window_ms > 0.0)) {
+    throw std::invalid_argument("SlaTracker: window width must be positive");
+  }
+}
+
+SlaTracker::Bucket& SlaTracker::bucket_at(TimeMs time) {
+  const std::size_t index =
+      static_cast<std::size_t>(std::max(0.0, time) / window_ms_);
+  if (index >= buckets_.size()) buckets_.resize(index + 1);
+  return buckets_[index];
+}
+
+void SlaTracker::record(const TraceEvent& event) {
+  switch (event.kind) {
+    case TraceEventKind::kEnqueue:
+      // Latest enqueue wins: dedup admits at most one live copy per
+      // (message, queue), so an overwrite means the previous copy already
+      // resolved through a path we key identically.
+      pending_[CopyKey{event.message, event.broker, event.neighbor}] =
+          event.time;
+      break;
+    case TraceEventKind::kSendStart:
+    case TraceEventKind::kPurge: {
+      const auto it = pending_.find(
+          CopyKey{event.message, event.broker, event.neighbor});
+      if (it != pending_.end()) {
+        Bucket& bucket = bucket_at(event.time);
+        bucket.residences.push_back(event.time - it->second);
+        pending_.erase(it);
+      }
+      if (event.kind == TraceEventKind::kPurge) {
+        bucket_at(event.time).purged += 1;
+      }
+      break;
+    }
+    case TraceEventKind::kDeliver: {
+      Bucket& bucket = bucket_at(event.time);
+      bucket.deliveries += 1;
+      if (event.valid) bucket.valid_deliveries += 1;
+      break;
+    }
+    case TraceEventKind::kLoss: {
+      Bucket& bucket = bucket_at(event.time);
+      bucket.lost += 1;
+      // A queued copy killed by a link failure also ends its residence.
+      const auto it = pending_.find(
+          CopyKey{event.message, event.broker, event.neighbor});
+      if (it != pending_.end()) {
+        bucket.residences.push_back(event.time - it->second);
+        pending_.erase(it);
+      }
+      break;
+    }
+    default:
+      break;  // kPublish / kArrival / kProcessed / kSendEnd: not graded.
+  }
+}
+
+std::vector<SlaWindow> SlaTracker::series() const {
+  std::vector<SlaWindow> out;
+  out.reserve(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const Bucket& bucket = buckets_[i];
+    SlaWindow window;
+    window.start = static_cast<TimeMs>(i) * window_ms_;
+    window.width = window_ms_;
+    window.deliveries = bucket.deliveries;
+    window.valid_deliveries = bucket.valid_deliveries;
+    window.purged = bucket.purged;
+    window.lost = bucket.lost;
+    window.residence_samples = bucket.residences.size();
+    if (bucket.deliveries > 0) {
+      window.hit_rate = static_cast<double>(bucket.valid_deliveries) /
+                        static_cast<double>(bucket.deliveries);
+    }
+    const std::size_t resolved =
+        bucket.deliveries + bucket.purged + bucket.lost;
+    if (resolved > 0) {
+      window.purge_fraction =
+          static_cast<double>(bucket.purged) / static_cast<double>(resolved);
+    }
+    if (!bucket.residences.empty()) {
+      std::vector<TimeMs> sorted = bucket.residences;
+      std::sort(sorted.begin(), sorted.end());
+      const std::size_t rank = static_cast<std::size_t>(
+          std::ceil(0.99 * static_cast<double>(sorted.size())));
+      window.p99_residence_ms = sorted[rank == 0 ? 0 : rank - 1];
+    }
+    out.push_back(window);
+  }
+  return out;
+}
+
+TimeMs SlaTracker::time_to_recover(const std::vector<SlaWindow>& series,
+                                   double hit_rate_floor,
+                                   double purge_ceiling) {
+  TimeMs first_breach = -1.0;
+  TimeMs last_breach_end = -1.0;
+  for (const SlaWindow& window : series) {
+    if (!window.active()) continue;
+    const bool degraded = window.hit_rate < hit_rate_floor ||
+                          window.purge_fraction > purge_ceiling;
+    if (!degraded) continue;
+    if (first_breach < 0.0) first_breach = window.start;
+    last_breach_end = window.start + window.width;
+  }
+  return first_breach < 0.0 ? 0.0 : last_breach_end - first_breach;
+}
+
+}  // namespace bdps

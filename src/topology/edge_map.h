@@ -10,6 +10,7 @@
 // `none()` fast path for the common no-failure run.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -91,6 +92,12 @@ class EdgeFlags {
     const std::uint64_t mask = 1ULL << (static_cast<std::size_t>(id) & 63);
     set_count_ -= (word & mask) != 0;
     word &= ~mask;
+  }
+
+  /// Clears every bit without resizing (link recovery wipes, scratch reuse).
+  void clear() {
+    std::fill(words_.begin(), words_.end(), 0);
+    set_count_ = 0;
   }
 
  private:

@@ -14,28 +14,47 @@ std::vector<std::shared_ptr<const Message>> generate_messages(
   std::vector<std::shared_ptr<const Message>> messages;
 
   const double mean_gap_ms = 60000.0 / config.publishing_rate_per_min;
+  const auto synthesize = [&](std::size_t p, TimeMs t) {
+    std::vector<Attribute> head;
+    head.reserve(static_cast<std::size_t>(config.attribute_count));
+    for (int a = 0; a < config.attribute_count; ++a) {
+      head.push_back(Attribute{
+          attribute_name(a),
+          Value(rng.uniform(config.attribute_lo, config.attribute_hi))});
+    }
+    const TimeMs allowed =
+        config.scenario == ScenarioKind::kSsd
+            ? kNoDeadline
+            : rng.uniform(config.psd_delay_lo, config.psd_delay_hi);
+    messages.push_back(std::make_shared<Message>(
+        /*id=*/0, static_cast<PublisherId>(p), t, config.message_size_kb,
+        std::move(head), allowed));
+  };
   for (std::size_t p = 0; p < publisher_count; ++p) {
     // Fixed-interval publishers get a random phase so they do not fire in
     // lock-step across the system.
     TimeMs t = config.poisson_arrivals ? rng.exponential(mean_gap_ms)
                                        : rng.uniform(0.0, mean_gap_ms);
     while (t < config.duration) {
-      std::vector<Attribute> head;
-      head.reserve(static_cast<std::size_t>(config.attribute_count));
-      for (int a = 0; a < config.attribute_count; ++a) {
-        head.push_back(Attribute{
-            attribute_name(a),
-            Value(rng.uniform(config.attribute_lo, config.attribute_hi))});
-      }
-      const TimeMs allowed =
-          config.scenario == ScenarioKind::kSsd
-              ? kNoDeadline
-              : rng.uniform(config.psd_delay_lo, config.psd_delay_hi);
-      messages.push_back(std::make_shared<Message>(
-          /*id=*/0, static_cast<PublisherId>(p), t, config.message_size_kb,
-          std::move(head), allowed));
+      synthesize(p, t);
       t += config.poisson_arrivals ? rng.exponential(mean_gap_ms)
                                    : mean_gap_ms;
+    }
+  }
+  // Flash-crowd bursts: superpose an extra Poisson process per publisher at
+  // (multiplier - 1) × the base rate inside each window.  Drawn after the
+  // base schedule so burst-free configs consume the identical stream.
+  for (const WorkloadConfig::PublishBurst& burst : config.bursts) {
+    if (!(burst.rate_multiplier > 1.0) || !(burst.duration > 0.0)) continue;
+    const double extra_gap = mean_gap_ms / (burst.rate_multiplier - 1.0);
+    const TimeMs burst_end = std::min(burst.at + burst.duration,
+                                      config.duration);
+    for (std::size_t p = 0; p < publisher_count; ++p) {
+      TimeMs t = burst.at + rng.exponential(extra_gap);
+      while (t < burst_end) {
+        synthesize(p, t);
+        t += rng.exponential(extra_gap);
+      }
     }
   }
 

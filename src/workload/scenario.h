@@ -68,6 +68,19 @@ struct WorkloadConfig {
   /// phase.  0 (the paper's setting) = active throughout.
   double churn_fraction = 0.0;
 
+  /// One flash-crowd window: during [at, at + duration) every publisher's
+  /// rate is multiplied by rate_multiplier (> 1), modeled as an extra
+  /// superposed Poisson process at (rate_multiplier - 1) × the base rate.
+  struct PublishBurst {
+    TimeMs at = 0.0;
+    TimeMs duration = 0.0;
+    double rate_multiplier = 1.0;
+  };
+  /// Flash-crowd publish bursts (fault-storm scenarios).  Empty (the
+  /// default) consumes no extra randomness, so burst-free runs are
+  /// byte-identical to before the knob existed.
+  std::vector<PublishBurst> bursts;
+
   /// Expected number of messages one publisher emits over the duration.
   double expected_messages_per_publisher() const {
     return publishing_rate_per_min * (duration / 60000.0);

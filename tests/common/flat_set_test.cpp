@@ -50,5 +50,38 @@ TEST(FlatIdSet, MatchesStdSetOnRandomStreams) {
   EXPECT_TRUE(flat.insert(1));
 }
 
+TEST(FlatIdSet, EraseReportsPresenceAndShrinks) {
+  FlatIdSet set;
+  EXPECT_FALSE(set.erase(7));  // Empty table.
+  set.insert(7);
+  set.insert(8);
+  EXPECT_TRUE(set.erase(7));
+  EXPECT_FALSE(set.erase(7));
+  EXPECT_FALSE(set.contains(7));
+  EXPECT_TRUE(set.contains(8));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.insert(7));  // Slot is reusable after erase.
+}
+
+TEST(FlatIdSet, MatchesStdSetUnderInsertEraseChurn) {
+  Rng rng(1234);
+  FlatIdSet flat;
+  std::set<std::int64_t> reference;
+  for (int op = 0; op < 50000; ++op) {
+    // Key range narrow enough that probe clusters form and backward-shift
+    // deletion has to re-slot neighbours across wrap-around.
+    const auto id = static_cast<std::int64_t>(rng.uniform_index(512));
+    if (rng.uniform_index(3) == 0) {
+      EXPECT_EQ(flat.erase(id), reference.erase(id) > 0) << "op " << op;
+    } else {
+      EXPECT_EQ(flat.insert(id), reference.insert(id).second) << "op " << op;
+    }
+    ASSERT_EQ(flat.size(), reference.size()) << "op " << op;
+  }
+  for (std::int64_t id = 0; id < 512; ++id) {
+    EXPECT_EQ(flat.contains(id), reference.count(id) > 0) << id;
+  }
+}
+
 }  // namespace
 }  // namespace bdps

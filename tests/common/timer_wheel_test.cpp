@@ -248,5 +248,82 @@ TEST(TimerWheel, FuzzAgainstSortedMultimapModel) {
   }
 }
 
+// Mass-cancel during advance: the live runtime's link-down teardown fires
+// one timer (the down notification) and, from inside the callback, cancels
+// a batch of still-pending tx timers while the wheel is mid-cascade.  Only
+// timers strictly beyond the advance target are torn down, so the expected
+// fire set is unambiguous: exactly the pre-advance population with
+// effective tick <= to, regardless of when the cancels land.
+TEST(TimerWheel, FuzzMassCancelDuringAdvance) {
+  for (std::uint64_t seed : {7ull, 77ull, 777ull}) {
+    Rng rng(seed);
+    Wheel wheel;
+    std::map<int, Wheel::TimerId> live;  // payload -> id
+    std::map<int, ModelTimer> model;     // payload -> timer
+    int next_payload = 0;
+    const auto schedule_at = [&](Tick at) {
+      const int payload = next_payload++;
+      live[payload] = wheel.schedule(at, payload);
+      model[payload] = ModelTimer{payload, at, std::max(at, wheel.current())};
+    };
+    // Dense population spread across every wheel level.
+    for (int i = 0; i < 1500; ++i) {
+      schedule_at(rng.uniform_index(Tick(1) << 22));
+    }
+
+    for (int round = 0; round < 40 && !model.empty(); ++round) {
+      const Tick to = wheel.current() + 1 + rng.uniform_index(Tick(1) << 17);
+      std::map<Tick, std::multiset<int>> expected;
+      for (const auto& [payload, timer] : model) {
+        if (timer.key <= to) expected[timer.key].insert(payload);
+      }
+
+      std::vector<Fired> fired;
+      wheel.advance(to, [&](Tick deadline, int payload) {
+        fired.push_back(Fired{deadline, payload});
+        if (rng.uniform_index(4) == 0) {
+          // Tear down up to 64 timers that are all due after `to`.
+          int cancelled = 0;
+          for (auto it = live.begin(); it != live.end() && cancelled < 64;) {
+            const auto m = model.find(it->first);
+            if (m != model.end() && m->second.key > to) {
+              EXPECT_TRUE(wheel.cancel(it->second));
+              model.erase(m);
+              it = live.erase(it);
+              ++cancelled;
+            } else {
+              ++it;
+            }
+          }
+        }
+        if (rng.uniform_index(8) == 0) {
+          // Re-arm replacements past the advance target (link back up).
+          schedule_at(to + 1 + rng.uniform_index(100'000));
+        }
+      });
+
+      std::map<Tick, std::multiset<int>> got;
+      Tick last_key = 0;
+      for (const Fired& f : fired) {
+        const auto it = model.find(f.payload);
+        ASSERT_NE(it, model.end()) << "fired unknown/cancelled timer";
+        EXPECT_EQ(f.deadline, it->second.deadline);
+        EXPECT_GE(it->second.key, last_key);
+        last_key = it->second.key;
+        got[it->second.key].insert(f.payload);
+        live.erase(f.payload);
+        model.erase(it);
+      }
+      EXPECT_EQ(got, expected) << "advance to " << to;
+      EXPECT_EQ(wheel.pending(), model.size());
+    }
+
+    // Whatever survived the churn still drains exactly once.
+    const auto rest = advance_to(wheel, ~Tick(0));
+    EXPECT_EQ(rest.size(), model.size());
+    EXPECT_EQ(wheel.pending(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace bdps

@@ -1,0 +1,452 @@
+// Fault-storm engine behavior and cross-engine equivalence.
+//
+// Three layers:
+//   * Semantics on hand-built overlays where every instant is known: a
+//     down link *holds* copies until recovery (unlike the legacy terminal
+//     failures, which drain), a crashed broker drops its queues as losses,
+//     and a flap strictly inside a transfer dooms the in-flight copy.
+//   * Incremental SPT repair: with options.repair_fabric the overlay
+//     routes around an outage it would otherwise wait out forever.
+//   * Bitwise equivalence: the same storm through run_simulation at
+//     shards 0 vs {1,2,4,7}, and trace-stream equality on a hand rig —
+//     fault batches must land at the exact same point of the merged
+//     event order in both engines.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiment/paper.h"
+#include "experiment/runner.h"
+#include "routing/fabric.h"
+#include "sim/faults/plan.h"
+#include "sim/parallel/parallel_simulator.h"
+#include "sim/simulator.h"
+
+namespace bdps {
+namespace {
+
+std::shared_ptr<const CompiledFaults> compile_plan(const FaultPlan& plan,
+                                                   const Graph& graph,
+                                                   std::uint64_t seed = 7) {
+  Rng rng(seed);
+  const FaultPlan normalized = materialize_faults(plan, graph, rng);
+  return std::make_shared<const CompiledFaults>(
+      CompiledFaults::compile(normalized, graph));
+}
+
+/// Chain 0-1-...-(n-1) with deterministic links (stddev 0), one publisher
+/// at broker 0 and one wildcard subscriber at the far end.
+struct ChainRig {
+  Topology topo;
+  std::unique_ptr<RoutingFabric> fabric;
+  std::unique_ptr<const Strategy> strategy = make_strategy(StrategyKind::kEbpc);
+
+  explicit ChainRig(std::size_t brokers, double mean_ms_per_kb = 10.0,
+                    bool repairable = false) {
+    topo.graph.resize(brokers);
+    for (std::size_t b = 0; b + 1 < brokers; ++b) {
+      topo.graph.add_bidirectional(static_cast<BrokerId>(b),
+                                   static_cast<BrokerId>(b + 1),
+                                   LinkParams{mean_ms_per_kb, 0.0});
+    }
+    topo.publisher_edges = {0};
+    topo.subscriber_homes = {static_cast<BrokerId>(brokers - 1)};
+    Subscription sub;
+    sub.subscriber = 0;
+    sub.home = static_cast<BrokerId>(brokers - 1);
+    sub.allowed_delay = minutes(2.0);
+    sub.price = 2.0;
+    FabricOptions fabric_options;
+    fabric_options.repairable = repairable;
+    fabric = std::make_unique<RoutingFabric>(
+        topo, std::vector<Subscription>{sub}, fabric_options);
+  }
+
+  std::vector<std::shared_ptr<const Message>> make_messages(
+      std::size_t count, TimeMs first_at = 100.0,
+      TimeMs spacing = 100.0, double size_kb = 10.0) const {
+    std::vector<std::shared_ptr<const Message>> messages;
+    for (std::size_t i = 0; i < count; ++i) {
+      messages.push_back(std::make_shared<Message>(
+          static_cast<MessageId>(i), 0,
+          first_at + spacing * static_cast<double>(i), size_kb,
+          std::vector<Attribute>{}));
+    }
+    return messages;
+  }
+};
+
+void run_with(Simulator& sim,
+              std::vector<std::shared_ptr<const Message>> messages) {
+  for (auto& message : messages) sim.schedule_publish(std::move(message));
+  sim.run();
+}
+
+// A down link holds its queued copies and delivers them all after the
+// recovery kick; a never-recovering outage strands them without loss.
+TEST(FaultStorm, HoldAndRecoverDeliversEverything) {
+  FaultPlan plan;
+  plan.link_outages.push_back(LinkOutage{0.0, 5000.0, 1, 2});
+
+  ChainRig rig(3);
+  SimulatorOptions options;
+  options.faults = compile_plan(plan, rig.topo.graph);
+  Simulator sim(&rig.topo, &rig.topo.graph, rig.fabric.get(),
+                rig.strategy.get(), options, Rng(3));
+  run_with(sim, rig.make_messages(3));
+
+  // Copies pile up at broker 1 until the recovery batch at t=5000 kicks
+  // the link; with a generous allowed delay every delivery is still valid.
+  EXPECT_EQ(sim.collector().deliveries(), 3u);
+  EXPECT_EQ(sim.collector().valid_deliveries(), 3u);
+  EXPECT_EQ(sim.collector().lost_copies(), 0u);
+  EXPECT_GT(sim.now(), 5000.0);
+}
+
+TEST(FaultStorm, UnrecoveredOutageStrandsWithoutLoss) {
+  FaultPlan plan;
+  plan.link_outages.push_back(LinkOutage{0.0, kNoDeadline, 1, 2});
+
+  ChainRig rig(3);
+  SimulatorOptions options;
+  options.faults = compile_plan(plan, rig.topo.graph);
+  Simulator sim(&rig.topo, &rig.topo.graph, rig.fabric.get(),
+                rig.strategy.get(), options, Rng(3));
+  run_with(sim, rig.make_messages(3));
+
+  // Held is not lost: the copies sit in broker 1's output queue when the
+  // event queue drains.  The legacy `failures` path would have counted
+  // three losses here.
+  EXPECT_EQ(sim.collector().deliveries(), 0u);
+  EXPECT_EQ(sim.collector().lost_copies(), 0u);
+}
+
+// A broker crash drops its input and output queues as losses and dooms
+// the send it had in flight.
+TEST(FaultStorm, BrokerCrashDropsQueues) {
+  FaultPlan plan;
+  // Broker 1 crashes at t=600 with copies queued toward the slow tail
+  // link, and never restarts.
+  plan.broker_outages.push_back(BrokerOutage{600.0, kNoDeadline, 1});
+
+  ChainRig rig(3, /*mean_ms_per_kb=*/10.0);
+  // Slow down the tail link so copies queue at broker 1: 100 ms/KB x
+  // 10 KB = 1000 ms per send vs 100 ms on the head link.
+  const EdgeId tail = rig.topo.graph.edge_id(1, 2);
+  ASSERT_NE(tail, kNoEdge);
+  const EdgeId tail_back = rig.topo.graph.edge_id(2, 1);
+  ASSERT_NE(tail_back, kNoEdge);
+  rig.topo.graph.edge(tail).link = LinkModel(LinkParams{100.0, 0.0});
+  rig.topo.graph.edge(tail_back).link = LinkModel(LinkParams{100.0, 0.0});
+
+  SimulatorOptions options;
+  options.faults = compile_plan(plan, rig.topo.graph);
+  Simulator sim(&rig.topo, &rig.topo.graph, rig.fabric.get(),
+                rig.strategy.get(), options, Rng(3));
+  // Five messages 100 ms apart: all have crossed the head link by ~600 ms,
+  // the first is mid-transfer on the tail link, the rest are queued at 1.
+  run_with(sim, rig.make_messages(5));
+
+  EXPECT_EQ(sim.collector().deliveries(), 0u);
+  EXPECT_GT(sim.collector().lost_copies(), 0u);
+}
+
+// A flap strictly inside a transfer window dooms the in-flight copy even
+// though the link is back up at completion time.
+TEST(FaultStorm, FlapInsideTransferDoomsTheCopy) {
+  FaultPlan plan;
+  plan.flaps.push_back(LinkFlap{0, 1, 400.0, seconds(10.0), 100.0, 1});
+
+  ChainRig rig(2, /*mean_ms_per_kb=*/100.0);
+  SimulatorOptions options;
+  options.faults = compile_plan(plan, rig.topo.graph);
+  Simulator sim(&rig.topo, &rig.topo.graph, rig.fabric.get(),
+                rig.strategy.get(), options, Rng(3));
+  // One 10 KB message at t=100: the send occupies [102, 1102] and the
+  // flap window [400, 500) sits strictly inside it.
+  run_with(sim, rig.make_messages(1));
+
+  EXPECT_EQ(sim.collector().deliveries(), 0u);
+  EXPECT_EQ(sim.collector().lost_copies(), 1u);
+}
+
+// Incremental SPT repair: a diamond overlay with a cheap and an expensive
+// path.  Without repair an outage on the cheap path strands every copy;
+// with options.repair_fabric the fabric reroutes over the detour and the
+// subscriber still gets everything.
+TEST(FaultStorm, RepairRoutesAroundTheOutage) {
+  const auto build_diamond = [](bool repairable) {
+    Topology topo;
+    topo.graph.resize(4);
+    // Cheap path 0-1-3 (10 ms/KB hops), detour 0-2-3 (50 ms/KB hops).
+    topo.graph.add_bidirectional(0, 1, LinkParams{10.0, 0.0});
+    topo.graph.add_bidirectional(1, 3, LinkParams{10.0, 0.0});
+    topo.graph.add_bidirectional(0, 2, LinkParams{50.0, 0.0});
+    topo.graph.add_bidirectional(2, 3, LinkParams{50.0, 0.0});
+    topo.publisher_edges = {0};
+    topo.subscriber_homes = {3};
+    Subscription sub;
+    sub.subscriber = 0;
+    sub.home = 3;
+    sub.allowed_delay = minutes(2.0);
+    sub.price = 2.0;
+    FabricOptions fabric_options;
+    fabric_options.repairable = repairable;
+    return std::make_pair(
+        topo, std::make_unique<RoutingFabric>(
+                  topo, std::vector<Subscription>{sub}, fabric_options));
+  };
+
+  FaultPlan plan;
+  plan.link_outages.push_back(LinkOutage{0.0, kNoDeadline, 1, 3});
+
+  const auto strategy = make_strategy(StrategyKind::kEbpc);
+  const auto run_diamond = [&](bool repair) {
+    auto [topo, fabric] = build_diamond(repair);
+    SimulatorOptions options;
+    options.faults = compile_plan(plan, topo.graph);
+    if (repair) options.repair_fabric = fabric.get();
+    Simulator sim(&topo, &topo.graph, fabric.get(), strategy.get(), options,
+                  Rng(3));
+    std::vector<std::shared_ptr<const Message>> messages;
+    for (MessageId i = 0; i < 4; ++i) {
+      messages.push_back(std::make_shared<Message>(
+          i, 0, 100.0 + 200.0 * static_cast<double>(i), 10.0,
+          std::vector<Attribute>{}));
+    }
+    run_with(sim, std::move(messages));
+    return sim.collector().valid_deliveries();
+  };
+
+  EXPECT_EQ(run_diamond(/*repair=*/false), 0u);
+  EXPECT_EQ(run_diamond(/*repair=*/true), 4u);
+}
+
+// The same storm scenarios through run_simulation must produce an exactly
+// identical SimResult at every shard count.
+void expect_same_result(const SimResult& sequential, const SimResult& sharded,
+                        const std::string& label) {
+  EXPECT_EQ(sequential.published, sharded.published) << label;
+  EXPECT_EQ(sequential.receptions, sharded.receptions) << label;
+  EXPECT_EQ(sequential.deliveries, sharded.deliveries) << label;
+  EXPECT_EQ(sequential.valid_deliveries, sharded.valid_deliveries) << label;
+  EXPECT_EQ(sequential.total_interested, sharded.total_interested) << label;
+  EXPECT_EQ(sequential.delivery_rate, sharded.delivery_rate) << label;
+  EXPECT_EQ(sequential.earning, sharded.earning) << label;
+  EXPECT_EQ(sequential.potential_earning, sharded.potential_earning) << label;
+  EXPECT_EQ(sequential.purged_expired, sharded.purged_expired) << label;
+  EXPECT_EQ(sequential.purged_hopeless, sharded.purged_hopeless) << label;
+  EXPECT_EQ(sequential.lost_copies, sharded.lost_copies) << label;
+  EXPECT_EQ(sequential.max_input_queue, sharded.max_input_queue) << label;
+  EXPECT_EQ(sequential.mean_valid_delay_ms, sharded.mean_valid_delay_ms)
+      << label;
+  EXPECT_EQ(sequential.end_time, sharded.end_time) << label;
+}
+
+TEST(FaultStormEquivalence, StormConfigGrid) {
+  std::vector<std::pair<std::string, SimConfig>> configs;
+
+  // Ring: the consecutive links are known, so outages and flaps can be
+  // addressed directly.  Mixed link churn plus a broker crash window.
+  {
+    SimConfig config =
+        paper_base_config(ScenarioKind::kSsd, 10.0, StrategyKind::kEbpc, 31);
+    config.workload.duration = seconds(30.0);
+    config.topology = TopologyKind::kRing;
+    config.broker_count = 16;
+    config.faults.link_outages.push_back(
+        LinkOutage{seconds(3.0), seconds(9.0), 2, 3});
+    config.faults.flaps.push_back(
+        LinkFlap{8, 9, seconds(5.0), seconds(4.0), seconds(0.5), 4});
+    config.faults.broker_outages.push_back(
+        BrokerOutage{seconds(4.0), seconds(12.0), 5});
+    configs.emplace_back("ring_churn", config);
+  }
+  // Ring with routing repair and serialized processing: the fabric is
+  // patched at fault batches in both engines.
+  {
+    SimConfig config =
+        paper_base_config(ScenarioKind::kPsd, 12.0, StrategyKind::kPc, 37);
+    config.workload.duration = seconds(30.0);
+    config.topology = TopologyKind::kRing;
+    config.broker_count = 14;
+    config.serialize_processing = true;
+    config.repair_routing = true;
+    config.faults.link_outages.push_back(
+        LinkOutage{seconds(2.0), seconds(20.0), 4, 5});
+    config.faults.link_outages.push_back(
+        LinkOutage{seconds(6.0), seconds(14.0), 10, 11});
+    config.faults.flaps.push_back(
+        LinkFlap{0, 1, seconds(8.0), seconds(3.0), seconds(1.0), 3});
+    configs.emplace_back("ring_repair", config);
+  }
+  // Mesh: a killer storm centered on a hub, online estimation and a
+  // flash-crowd burst riding on top.
+  {
+    SimConfig config =
+        paper_base_config(ScenarioKind::kBoth, 12.0, StrategyKind::kEbpc, 41);
+    config.workload.duration = seconds(30.0);
+    config.topology = TopologyKind::kRandomMesh;
+    config.broker_count = 18;
+    config.extra_edges = 14;
+    config.online_estimation = true;
+    config.belief_noise_frac = 0.2;
+    RegionStorm storm;
+    storm.at = seconds(6.0);
+    storm.epicenter = 3;
+    storm.radius = 2;
+    storm.recovery_delay = seconds(8.0);
+    storm.recovery_jitter = seconds(2.0);
+    storm.kill_brokers = true;
+    config.faults.storms.push_back(storm);
+    config.workload.bursts.push_back(
+        WorkloadConfig::PublishBurst{seconds(7.0), seconds(3.0), 4.0});
+    configs.emplace_back("mesh_storm", config);
+  }
+  // Mesh storm with repair: the strongest interaction — incremental SPT
+  // repair driven from inside both engines at every batch.
+  {
+    SimConfig config =
+        paper_base_config(ScenarioKind::kSsd, 15.0, StrategyKind::kEb, 43);
+    config.workload.duration = seconds(30.0);
+    config.topology = TopologyKind::kRandomMesh;
+    config.broker_count = 16;
+    config.extra_edges = 12;
+    config.repair_routing = true;
+    RegionStorm storm;
+    storm.at = seconds(5.0);
+    storm.epicenter = 7;
+    storm.radius = 1;
+    storm.recovery_delay = seconds(10.0);
+    storm.recovery_jitter = seconds(1.0);
+    config.faults.storms.push_back(storm);
+    config.faults.broker_outages.push_back(
+        BrokerOutage{seconds(15.0), seconds(22.0), 2});
+    configs.emplace_back("mesh_storm_repair", config);
+  }
+
+  for (const auto& [name, base] : configs) {
+    SimConfig sequential_config = base;
+    sequential_config.shards = 0;
+    const SimResult sequential = run_simulation(sequential_config);
+    EXPECT_GT(sequential.published, 0u) << name;
+    for (const std::size_t shards : {1u, 2u, 4u, 7u}) {
+      SimConfig sharded_config = base;
+      sharded_config.shards = shards;
+      const SimResult sharded = run_simulation(sharded_config);
+      expect_same_result(sequential, sharded,
+                         name + "/P" + std::to_string(shards));
+    }
+  }
+}
+
+/// Ring overlay driven directly so both engines can carry a MemoryTrace
+/// through a storm.
+struct StormRing {
+  Topology topo;
+  std::unique_ptr<RoutingFabric> fabric;
+  std::unique_ptr<const Strategy> strategy = make_strategy(StrategyKind::kEbpc);
+
+  explicit StormRing(std::size_t brokers = 8) {
+    topo.graph.resize(brokers);
+    for (std::size_t b = 0; b < brokers; ++b) {
+      topo.graph.add_bidirectional(
+          static_cast<BrokerId>(b), static_cast<BrokerId>((b + 1) % brokers),
+          LinkParams{40.0 + 5.0 * (b % 3), 8.0});
+    }
+    topo.publisher_edges = {0, static_cast<BrokerId>(brokers / 2)};
+    std::vector<Subscription> subs;
+    for (std::size_t b = 0; b < brokers; ++b) {
+      topo.subscriber_homes.push_back(static_cast<BrokerId>(b));
+      Subscription sub;
+      sub.subscriber = static_cast<SubscriberId>(b);
+      sub.home = static_cast<BrokerId>(b);
+      sub.allowed_delay = minutes(2.0);
+      sub.price = 1.0 + static_cast<double>(b % 4);
+      subs.push_back(sub);
+    }
+    fabric = std::make_unique<RoutingFabric>(topo, std::move(subs));
+  }
+
+  std::vector<std::shared_ptr<const Message>> make_messages() const {
+    std::vector<std::shared_ptr<const Message>> messages;
+    for (MessageId i = 0; i < 40; ++i) {
+      messages.push_back(std::make_shared<Message>(
+          i, static_cast<PublisherId>(i % 2), 250.0 * static_cast<double>(i),
+          30.0 + static_cast<double>(i % 5), std::vector<Attribute>{}));
+    }
+    return messages;
+  }
+};
+
+TEST(FaultStormEquivalence, TraceStreamsMatchUnderStorm) {
+  const StormRing rig;
+  FaultPlan plan;
+  RegionStorm storm;
+  storm.at = 2000.0;
+  storm.epicenter = 3;
+  storm.radius = 1;
+  storm.recovery_delay = 3000.0;
+  storm.recovery_jitter = 500.0;
+  storm.kill_brokers = true;
+  plan.storms.push_back(storm);
+  plan.flaps.push_back(LinkFlap{6, 7, 1500.0, 2500.0, 400.0, 3});
+  plan.broker_outages.push_back(BrokerOutage{7000.0, 9000.0, 5});
+
+  SimulatorOptions options;
+  options.online_estimation = true;
+  options.faults = compile_plan(plan, rig.topo.graph, /*seed=*/17);
+
+  MemoryTrace sequential_trace;
+  Simulator sequential(&rig.topo, &rig.topo.graph, rig.fabric.get(),
+                       rig.strategy.get(), options, Rng(99));
+  sequential.set_trace(&sequential_trace);
+  run_with(sequential, rig.make_messages());
+  EXPECT_GT(sequential.collector().deliveries(), 0u);
+
+  for (const std::size_t shards : {2u, 3u, 7u}) {
+    SimulatorOptions sharded_options = options;
+    sharded_options.shards = shards;
+    MemoryTrace parallel_trace;
+    ParallelSimulator parallel(&rig.topo, &rig.topo.graph, rig.fabric.get(),
+                               rig.strategy.get(), sharded_options, Rng(99));
+    parallel.set_trace(&parallel_trace);
+    for (auto& message : rig.make_messages()) {
+      parallel.schedule_publish(std::move(message));
+    }
+    parallel.run();
+
+    EXPECT_EQ(parallel.now(), sequential.now()) << shards;
+    EXPECT_EQ(parallel.collector().earning(), sequential.collector().earning())
+        << shards;
+    EXPECT_EQ(parallel.collector().lost_copies(),
+              sequential.collector().lost_copies())
+        << shards;
+    ASSERT_EQ(parallel_trace.size(), sequential_trace.size()) << shards;
+    for (std::size_t i = 0; i < sequential_trace.size(); ++i) {
+      const TraceEvent& want = sequential_trace.events()[i];
+      const TraceEvent& got = parallel_trace.events()[i];
+      ASSERT_EQ(got.time, want.time) << "event " << i << " P" << shards;
+      ASSERT_EQ(got.kind, want.kind) << "event " << i << " P" << shards;
+      ASSERT_EQ(got.message, want.message) << "event " << i << " P" << shards;
+      ASSERT_EQ(got.broker, want.broker) << "event " << i << " P" << shards;
+      ASSERT_EQ(got.neighbor, want.neighbor) << "event " << i;
+      ASSERT_EQ(got.subscriber, want.subscriber) << "event " << i;
+      ASSERT_EQ(got.valid, want.valid) << "event " << i;
+    }
+    for (std::size_t e = 0; e < rig.topo.graph.edge_count(); ++e) {
+      const auto* want = sequential.estimator(static_cast<EdgeId>(e));
+      const auto* got = parallel.estimator(static_cast<EdgeId>(e));
+      ASSERT_EQ(want == nullptr, got == nullptr) << e;
+      if (want != nullptr) {
+        EXPECT_EQ(got->sample_count(), want->sample_count()) << e;
+        EXPECT_EQ(got->samples().mean(), want->samples().mean()) << e;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bdps

@@ -102,6 +102,57 @@ inline std::vector<GoldenCase> golden_cases() {
     add("mesh_kitchen_sink", config);
   }
 
+  // Fault storm without repair: a killer region storm, a flap and a broker
+  // crash window over a mesh — down links hold copies, crashes drop queues
+  // (sim/faults/).  Pins hold/kick ordering and the batch seq reservation.
+  {
+    SimConfig config = paper_base_config(ScenarioKind::kSsd, 12.0,
+                                         StrategyKind::kEbpc, 13);
+    config.workload.duration = minutes(2.0);
+    config.topology = TopologyKind::kRandomMesh;
+    config.broker_count = 24;
+    config.extra_edges = 18;
+    RegionStorm storm;
+    storm.at = seconds(20.0);
+    storm.epicenter = 5;
+    storm.radius = 2;
+    storm.recovery_delay = seconds(25.0);
+    storm.recovery_jitter = seconds(5.0);
+    storm.kill_brokers = true;
+    config.faults.storms.push_back(storm);
+    config.faults.flaps.push_back(
+        LinkFlap{0, 1, seconds(40.0), seconds(15.0), seconds(2.0), 3});
+    config.faults.broker_outages.push_back(
+        BrokerOutage{seconds(70.0), seconds(90.0), 10});
+    config.workload.bursts.push_back(
+        WorkloadConfig::PublishBurst{seconds(25.0), seconds(10.0), 3.0});
+    add("mesh_fault_storm", config);
+  }
+
+  // The same storm shape with incremental routing repair: fault batches
+  // patch the fabric (affected-subtree SPT recompute, row surgery) in both
+  // engines.
+  {
+    SimConfig config = paper_base_config(ScenarioKind::kBoth, 12.0,
+                                         StrategyKind::kEbpc, 13);
+    config.workload.duration = minutes(2.0);
+    config.topology = TopologyKind::kRandomMesh;
+    config.broker_count = 24;
+    config.extra_edges = 18;
+    config.repair_routing = true;
+    config.serialize_processing = true;
+    RegionStorm storm;
+    storm.at = seconds(30.0);
+    storm.epicenter = 8;
+    storm.radius = 2;
+    storm.recovery_delay = seconds(30.0);
+    storm.recovery_jitter = seconds(4.0);
+    config.faults.storms.push_back(storm);
+    config.faults.link_outages.push_back(
+        LinkOutage{seconds(60.0), seconds(80.0), 0, 1});
+    add("mesh_storm_repair", config);
+  }
+
   return cases;
 }
 

@@ -109,5 +109,22 @@ TEST(EdgeFlags, TracksBitsAndSetCount) {
   EXPECT_TRUE(flags.none());
 }
 
+TEST(EdgeFlags, ClearWipesAllBitsAndCount) {
+  EdgeFlags flags(200);
+  for (EdgeId id = 0; id < 200; id += 3) flags.set(id);
+  EXPECT_EQ(flags.count(), 67u);
+  flags.clear();
+  EXPECT_TRUE(flags.none());
+  EXPECT_EQ(flags.count(), 0u);
+  EXPECT_EQ(flags.size(), 200u);  // Clear keeps the sizing.
+  for (EdgeId id = 0; id < 200; ++id) EXPECT_FALSE(flags.test(id)) << id;
+  // Set/reset bookkeeping still consistent after a wipe (restore path).
+  flags.set(5);
+  flags.set(5);
+  EXPECT_EQ(flags.count(), 1u);
+  flags.reset(5);
+  EXPECT_TRUE(flags.none());
+}
+
 }  // namespace
 }  // namespace bdps

@@ -1,0 +1,56 @@
+// Multi-process live cluster: the brokerd control plane.
+//
+// One controller process owns the run; each of the config's `shards`
+// daemon processes (tools/brokerd re-exec'ed with daemon=1) hosts one
+// LiveMode::kSocket LiveNetwork shard.  The control plane is strictly
+// request/reply over blocking loopback connections (net/socket_link.h
+// BlockingConn) in the same wire format the trunks speak:
+//
+//   daemon -> controller   Hello{shard, role=kController}   (identify)
+//   controller -> daemon   kConfig{format_live_config text}
+//   daemon -> controller   kPortReply{shard, trunk port}    (world built)
+//   controller -> daemon   kPorts{all trunk ports}
+//   daemon -> controller   kStatusReply                     (trunks up)
+//   controller -> daemon   kStart                           (driver thread
+//                                                            paces local
+//                                                            publishes +
+//                                                            fault replay)
+//   controller -> daemon   kStatus ... kStatusReply polls until every
+//                          driver is done and the cluster-wide outstanding
+//                          sum reads zero twice in a row (the trunks'
+//                          ownership-transfer accounting makes that sum
+//                          safe to read across processes)
+//   controller -> daemon   kDump -> kDelivery* + kSummary   (merge)
+//   controller -> daemon   kShutdown                        (exit 0)
+//
+// A daemon that fails sends kError{what} and exits non-zero; the
+// controller folds that (and spawn/bind/timeout failures) into a
+// std::runtime_error for the caller to report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "experiment/live.h"
+
+namespace bdps {
+
+/// Controller side: spawns `config.shards` daemons (>= 2; the config is
+/// forced to LiveMode::kSocket), runs the control protocol above and
+/// returns the merged result.  `brokerd_path` is the daemon executable to
+/// re-exec (normally argv[0] of tools/brokerd, or the path a test
+/// resolved).  Throws std::runtime_error on spawn/protocol/daemon failure;
+/// spawned processes are reaped on every path.
+LiveRunResult run_live_cluster(const LiveRunConfig& config,
+                               const std::string& brokerd_path);
+
+/// Daemon side: dials the controller on 127.0.0.1:`controller_port`,
+/// serves shard `shard` until kShutdown.  Returns a process exit code.
+int run_live_daemon(std::uint16_t controller_port, int shard);
+
+/// Escapes a string for inclusion in a JSON double-quoted literal
+/// (backslash, quote, and control characters) — the tools' error-output
+/// helper.
+std::string json_escape(const std::string& raw);
+
+}  // namespace bdps

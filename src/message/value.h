@@ -24,6 +24,13 @@ class Value {
 
   bool is_number() const { return !std::holds_alternative<std::string>(data_); }
   bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  /// Distinguishes the integer alternative inside is_number() — the wire
+  /// format (net/wire.h) preserves the stored alternative bit-exactly
+  /// instead of flattening everything to double.
+  bool is_int() const { return std::holds_alternative<std::int64_t>(data_); }
+
+  /// Integer view; only valid when is_int().
+  std::int64_t as_int() const { return std::get<std::int64_t>(data_); }
 
   /// Numeric view; only valid when is_number().
   double as_double() const;

@@ -1,0 +1,440 @@
+#include "net/endpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace bdps {
+
+namespace {
+
+constexpr std::uint64_t kKeyWake = 0;
+constexpr std::uint64_t kKeyListener = 1;
+constexpr std::uint64_t kKeyDial = 2;
+constexpr std::uint64_t kKeyIn = 3;
+constexpr std::uint64_t kKeyPending = 4;
+
+std::uint64_t make_key(std::uint64_t kind, std::uint64_t index) {
+  return (kind << 32) | index;
+}
+
+}  // namespace
+
+NetEndpoint::NetEndpoint(const NetEndpointOptions& options,
+                         ForwardHandler on_forward, AckHandler on_acked,
+                         PeerStateHandler on_peer_state)
+    : options_(options),
+      on_forward_(std::move(on_forward)),
+      on_acked_(std::move(on_acked)),
+      on_peer_state_(std::move(on_peer_state)),
+      listener_(0) {
+  peers_.resize(static_cast<std::size_t>(options_.shard_count));
+  tx_.resize(static_cast<std::size_t>(options_.shard_count));
+  poller_.add(wake_.fd(), make_key(kKeyWake, 0), true, false);
+  poller_.add(listener_.fd(), make_key(kKeyListener, 0), true, false);
+}
+
+NetEndpoint::~NetEndpoint() { stop(); }
+
+void NetEndpoint::connect(const std::vector<std::uint16_t>& ports) {
+  if (thread_.joinable()) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (int peer = 0; peer < options_.shard_count; ++peer) {
+    if (peer == options_.shard) continue;
+    Peer& p = peers_[static_cast<std::size_t>(peer)];
+    p.dial_port = peer < static_cast<int>(ports.size())
+                      ? ports[static_cast<std::size_t>(peer)]
+                      : 0;
+    p.reconnect_pending = true;
+    p.reconnect_at = now;
+  }
+  thread_ = std::thread([this] { net_loop(); });
+}
+
+bool NetEndpoint::wait_connected(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const int want = options_.shard_count - 1;
+  while (connected_count_.load(std::memory_order_acquire) < want) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+bool NetEndpoint::forward_remote(int peer, BrokerId target,
+                                 const std::shared_ptr<const Message>& message) {
+  {
+    std::lock_guard<std::mutex> lock(tx_mutex_);
+    if (stopped_) return false;
+    PeerTx& tx = tx_[static_cast<std::size_t>(peer)];
+    ForwardFrame forward;
+    forward.seq = tx.next_seq++;
+    forward.target = target;
+    forward.message = *message;
+    std::vector<std::uint8_t> bytes = encode_frame(Frame{std::move(forward)});
+    tx.staged.insert(tx.staged.end(), bytes.begin(), bytes.end());
+    tx.unacked.emplace_back(tx.next_seq - 1, std::move(bytes));
+  }
+  forwards_sent_.fetch_add(1, std::memory_order_relaxed);
+  wake_.signal();
+  return true;
+}
+
+void NetEndpoint::drop_peer(int peer) {
+  {
+    std::lock_guard<std::mutex> lock(command_mutex_);
+    drop_requests_.push_back(peer);
+  }
+  wake_.signal();
+}
+
+std::uint64_t NetEndpoint::stop() {
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(tx_mutex_);
+    first = !stopped_;
+    stopped_ = true;
+  }
+  stop_requested_.store(true, std::memory_order_release);
+  wake_.signal();
+  if (thread_.joinable()) thread_.join();
+  if (!first) return 0;
+  std::uint64_t lost = 0;
+  std::lock_guard<std::mutex> lock(tx_mutex_);
+  for (const PeerTx& tx : tx_) lost += tx.unacked.size();
+  return lost;
+}
+
+std::uint64_t NetEndpoint::unacked_total() const {
+  std::lock_guard<std::mutex> lock(tx_mutex_);
+  std::uint64_t total = 0;
+  for (const PeerTx& tx : tx_) total += tx.unacked.size();
+  return total;
+}
+
+void NetEndpoint::net_loop() {
+  std::vector<Poller::Event> events;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    poller_.wait(poll_timeout_ms(), events);
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    for (const Poller::Event& event : events) {
+      const std::uint64_t kind = event.key >> 32;
+      const std::uint32_t index = static_cast<std::uint32_t>(event.key);
+      switch (kind) {
+        case kKeyWake:
+          wake_.drain();
+          break;
+        case kKeyListener:
+          accept_ready();
+          break;
+        case kKeyDial:
+          handle_dial_event(static_cast<int>(index), event);
+          break;
+        case kKeyIn:
+          handle_in_event(static_cast<int>(index), event);
+          break;
+        case kKeyPending:
+          handle_pending_event(index, event);
+          break;
+        default:
+          break;
+      }
+    }
+    apply_commands();
+    const auto now = std::chrono::steady_clock::now();
+    for (int peer = 0; peer < options_.shard_count; ++peer) {
+      Peer& p = peers_[static_cast<std::size_t>(peer)];
+      if (p.reconnect_pending && now >= p.reconnect_at) {
+        p.reconnect_pending = false;
+        start_dial(peer);
+      }
+    }
+    drain_staged();
+  }
+}
+
+int NetEndpoint::poll_timeout_ms() const {
+  bool any = false;
+  auto earliest = std::chrono::steady_clock::time_point::max();
+  for (const Peer& p : peers_) {
+    if (p.reconnect_pending && p.reconnect_at < earliest) {
+      earliest = p.reconnect_at;
+      any = true;
+    }
+  }
+  if (!any) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  if (earliest <= now) return 0;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      earliest - now)
+                      .count();
+  return static_cast<int>(std::min<long long>(ms + 1, 1000));
+}
+
+void NetEndpoint::start_dial(int peer) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  try {
+    p.dial.dial(p.dial_port);
+  } catch (const std::exception&) {
+    schedule_reconnect(peer);  // fd exhaustion: retry after backoff
+    return;
+  }
+  if (p.dial.closed()) {  // synchronous refusal
+    schedule_reconnect(peer);
+    return;
+  }
+  poller_.add(p.dial.fd(), make_key(kKeyDial, static_cast<std::uint64_t>(peer)),
+              true, p.dial.wants_write());
+  if (p.dial.open()) on_dial_established(peer);
+}
+
+void NetEndpoint::on_dial_established(int peer) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  p.backoff_ms = 0.0;
+  HelloFrame hello;
+  hello.shard = static_cast<std::uint32_t>(options_.shard);
+  hello.shard_count = static_cast<std::uint32_t>(options_.shard_count);
+  hello.role = PeerRole::kPeer;
+  std::vector<std::uint8_t> bytes;
+  encode_frame(Frame{hello}, bytes);
+  // The first ack lets the peer trim its unacked window even if our
+  // earlier acks died with the previous connection.
+  encode_frame(Frame{AckFrame{p.last_seq_from}}, bytes);
+  {
+    std::lock_guard<std::mutex> lock(tx_mutex_);
+    PeerTx& tx = tx_[static_cast<std::size_t>(peer)];
+    for (const auto& [seq, encoded] : tx.unacked) {
+      bytes.insert(bytes.end(), encoded.begin(), encoded.end());
+    }
+    // Everything unacked is now on the socket; staged is a suffix of
+    // unacked, so clearing it prevents a duplicate send.
+    tx.staged.clear();
+  }
+  p.dial.send(bytes);
+  connected_count_.fetch_add(1, std::memory_order_release);
+  if (on_peer_state_) on_peer_state_(peer, true);
+  flush_peer(peer);
+}
+
+void NetEndpoint::handle_dial_down(int peer) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  p.dial.close_now();
+  p.dial_assembler = FrameAssembler{};
+  {
+    std::lock_guard<std::mutex> lock(tx_mutex_);
+    // Staged bytes were never socketed; their frames survive in unacked
+    // and ride the reconnect replay.
+    tx_[static_cast<std::size_t>(peer)].staged.clear();
+  }
+  connected_count_.fetch_sub(1, std::memory_order_release);
+  reconnects_.fetch_add(1, std::memory_order_relaxed);
+  if (on_peer_state_) on_peer_state_(peer, false);
+  schedule_reconnect(peer);
+}
+
+void NetEndpoint::schedule_reconnect(int peer) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  p.backoff_ms = p.backoff_ms <= 0.0
+                     ? options_.reconnect_initial_ms
+                     : std::min(p.backoff_ms * 2.0, options_.reconnect_max_ms);
+  p.reconnect_pending = true;
+  p.reconnect_at =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(static_cast<long long>(p.backoff_ms * 1000.0));
+}
+
+void NetEndpoint::handle_dial_event(int peer, const Poller::Event& event) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (p.dial.closed()) return;  // stale event from this batch
+  if (p.dial.connecting()) {
+    if (event.writable || event.hangup) {
+      if (p.dial.finish_connect()) {
+        on_dial_established(peer);
+      } else {
+        schedule_reconnect(peer);  // refused: was never up, no state change
+      }
+    }
+    return;
+  }
+  if (event.readable || event.hangup) {
+    // The peer's accepted side is read-only; inbound traffic here can only
+    // be EOF/RST (or protocol garbage, treated the same).
+    if (!p.dial.read_into(p.dial_assembler)) {
+      handle_dial_down(peer);
+      return;
+    }
+    try {
+      while (p.dial_assembler.next()) {
+      }
+    } catch (const WireError&) {
+      handle_dial_down(peer);
+      return;
+    }
+  }
+  if (event.writable) flush_peer(peer);
+}
+
+void NetEndpoint::handle_in_event(int peer, const Poller::Event& event) {
+  (void)event;
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (p.in.closed()) return;
+  const bool alive = p.in.read_into(p.in_assembler);
+  try {
+    process_inbound(peer, p.in_assembler);
+  } catch (const WireError&) {
+    p.in.close_now();
+    p.in_assembler = FrameAssembler{};
+    return;
+  }
+  if (!alive) p.in_assembler = FrameAssembler{};
+}
+
+void NetEndpoint::handle_pending_event(std::uint64_t id,
+                                       const Poller::Event& event) {
+  (void)event;
+  auto it = std::find_if(pending_.begin(), pending_.end(),
+                         [id](const auto& entry) { return entry.first == id; });
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  if (!pending.link->read_into(pending.assembler)) {
+    pending_.erase(it);
+    return;
+  }
+  std::optional<Frame> frame;
+  try {
+    frame = pending.assembler.next();
+  } catch (const WireError&) {
+    pending_.erase(it);
+    return;
+  }
+  if (!frame) return;  // need more bytes for the hello
+  const HelloFrame* hello = std::get_if<HelloFrame>(&frame->payload);
+  if (hello == nullptr || hello->role != PeerRole::kPeer ||
+      static_cast<int>(hello->shard) >= options_.shard_count ||
+      static_cast<int>(hello->shard) == options_.shard) {
+    pending_.erase(it);
+    return;
+  }
+  const int peer = static_cast<int>(hello->shard);
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  p.in.close_now();  // a reconnect replaces any previous inbound trunk
+  p.in = std::move(*pending.link);
+  p.in_assembler = std::move(pending.assembler);
+  pending_.erase(it);
+  poller_.modify(p.in.fd(), make_key(kKeyIn, static_cast<std::uint64_t>(peer)),
+                 true, false);
+  try {
+    process_inbound(peer, p.in_assembler);  // frames buffered behind the hello
+  } catch (const WireError&) {
+    p.in.close_now();
+    p.in_assembler = FrameAssembler{};
+  }
+}
+
+void NetEndpoint::process_inbound(int peer, FrameAssembler& assembler) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  bool ack_due = false;
+  while (std::optional<Frame> frame = assembler.next()) {
+    if (const ForwardFrame* f = std::get_if<ForwardFrame>(&frame->payload)) {
+      if (f->seq > p.last_seq_from) {
+        p.last_seq_from = f->seq;
+        forwards_received_.fetch_add(1, std::memory_order_relaxed);
+        // The handler increments the owner's outstanding count before we
+        // return and ack — the sender's decrement can never race a copy
+        // that is not yet accounted for.
+        if (on_forward_) on_forward_(f->target, f->message);
+      }
+      ack_due = true;  // even a replayed duplicate refreshes the ack
+    } else if (const AckFrame* a = std::get_if<AckFrame>(&frame->payload)) {
+      std::uint64_t delta = 0;
+      {
+        std::lock_guard<std::mutex> lock(tx_mutex_);
+        PeerTx& tx = tx_[static_cast<std::size_t>(peer)];
+        const std::uint64_t upto = std::min(a->seq, tx.next_seq - 1);
+        if (upto > tx.acked_through) {
+          delta = upto - tx.acked_through;
+          tx.acked_through = upto;
+          while (!tx.unacked.empty() && tx.unacked.front().first <= upto) {
+            tx.unacked.pop_front();
+          }
+        }
+      }
+      if (delta > 0 && on_acked_) on_acked_(delta);
+    }
+    // Other frame types (redundant hellos, future control traffic) are
+    // ignored on a data trunk.
+  }
+  if (ack_due && p.dial.open()) {
+    std::vector<std::uint8_t> bytes;
+    encode_frame(Frame{AckFrame{p.last_seq_from}}, bytes);
+    p.dial.send(bytes);
+    flush_peer(peer);
+  }
+}
+
+void NetEndpoint::accept_ready() {
+  for (;;) {
+    const int fd = listener_.accept_connection();
+    if (fd < 0) break;
+    Pending pending;
+    pending.link = std::make_unique<SocketLink>();
+    pending.link->adopt(fd);
+    const std::uint64_t id = next_pending_id_++;
+    poller_.add(fd, make_key(kKeyPending, id), true, false);
+    pending_.emplace_back(id, std::move(pending));
+  }
+}
+
+void NetEndpoint::drain_staged() {
+  for (int peer = 0; peer < options_.shard_count; ++peer) {
+    if (peer == options_.shard) continue;
+    Peer& p = peers_[static_cast<std::size_t>(peer)];
+    if (!p.dial.open()) continue;
+    bool touched = false;
+    {
+      std::lock_guard<std::mutex> lock(tx_mutex_);
+      std::vector<std::uint8_t>& staged =
+          tx_[static_cast<std::size_t>(peer)].staged;
+      if (!staged.empty()) {
+        p.dial.send(staged);
+        staged.clear();
+        touched = true;
+      }
+    }
+    if (touched || p.dial.buffered_bytes() > 0) flush_peer(peer);
+  }
+}
+
+void NetEndpoint::flush_peer(int peer) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (!p.dial.open()) return;
+  if (!p.dial.flush()) {
+    handle_dial_down(peer);
+    return;
+  }
+  poller_.modify(p.dial.fd(), make_key(kKeyDial, static_cast<std::uint64_t>(peer)),
+                 true, p.dial.wants_write());
+}
+
+void NetEndpoint::apply_commands() {
+  std::vector<int> drops;
+  {
+    std::lock_guard<std::mutex> lock(command_mutex_);
+    drops.swap(drop_requests_);
+  }
+  for (const int peer : drops) {
+    if (peer < 0 || peer >= options_.shard_count || peer == options_.shard) {
+      continue;
+    }
+    Peer& p = peers_[static_cast<std::size_t>(peer)];
+    if (p.dial.open()) {
+      handle_dial_down(peer);
+    } else if (p.dial.connecting()) {
+      p.dial.close_now();
+      schedule_reconnect(peer);
+    }
+    // Already down: a reconnect is pending, nothing to drop.
+  }
+}
+
+}  // namespace bdps

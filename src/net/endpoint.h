@@ -1,0 +1,194 @@
+// NetEndpoint: the data-plane trunk transport of one overlay shard.
+//
+// Shards are fully meshed: every shard dials every other shard's trunk
+// listener, and the two directions of a shard pair are *independent*
+// connections — a dialed trunk carries only this shard's output (kHello,
+// kForward copies, kAck receipts for traffic received *from* that peer),
+// an accepted trunk is read-only.  One epoll thread owns all sockets;
+// reactor workers hand copies over with forward_remote(), which stages
+// bytes under a mutex and rings an eventfd doorbell.
+//
+// Reliability is a per-trunk cumulative-ack window.  Each kForward gets a
+// monotonic sequence number (from 1); the encoded bytes stay in an
+// `unacked` deque until the peer's cumulative kAck covers them, and a
+// reconnect replays the whole deque in order after kHello (the receiver
+// dedups via its last-seen seq — TCP FIFO plus in-order replay keep the
+// stream contiguous).  Dropped trunks redial with capped exponential
+// backoff; every up/down transition of *our* dialed trunk is surfaced
+// through on_peer_state so the owner can drive set_link_state for the cut
+// edges served by that trunk (fault-storm replay forces real disconnects
+// through drop_peer and the same path heals them).
+//
+// Outstanding-copy accounting transfers ownership, it never gaps: a true
+// return from forward_remote means the endpoint holds the sender's
+// outstanding increment until the covering ack arrives (on_acked(n) hands
+// it back), while the receiving shard increments *before* its ack is
+// sent.  Summed over shards, outstanding therefore never transiently hits
+// zero while a copy is in flight — sum(outstanding) == 0 across a stable
+// re-poll is a rigorous cluster-drain barrier.  stop() returns the number
+// of still-unacked copies so the caller can settle them as losses.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "message/message.h"
+#include "net/poller.h"
+#include "net/socket_link.h"
+#include "net/wire.h"
+
+namespace bdps {
+
+struct NetEndpointOptions {
+  int shard = 0;
+  int shard_count = 1;
+  /// First redial delay after a trunk drops; doubles per failed attempt.
+  double reconnect_initial_ms = 5.0;
+  /// Backoff ceiling.
+  double reconnect_max_ms = 250.0;
+};
+
+class NetEndpoint {
+ public:
+  /// `on_forward(target, message)` runs on the net thread for every newly
+  /// deposited copy and MUST increment the owner's outstanding count
+  /// before returning (the ack that licenses the sender's decrement is
+  /// sent after the whole read batch).  `on_acked(n)` releases n
+  /// sender-side outstanding increments.  `on_peer_state(peer, up)`
+  /// reports dialed-trunk transitions.
+  using ForwardHandler = std::function<void(BrokerId, const Message&)>;
+  using AckHandler = std::function<void(std::uint64_t)>;
+  using PeerStateHandler = std::function<void(int, bool)>;
+
+  /// Binds the trunk listener (ephemeral loopback port; port() is valid
+  /// immediately).  The net thread starts in connect().
+  NetEndpoint(const NetEndpointOptions& options, ForwardHandler on_forward,
+              AckHandler on_acked, PeerStateHandler on_peer_state);
+  ~NetEndpoint();
+
+  NetEndpoint(const NetEndpoint&) = delete;
+  NetEndpoint& operator=(const NetEndpoint&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Starts the net thread and dials every other shard.  `ports` is
+  /// indexed by shard id (our own entry is ignored).
+  void connect(const std::vector<std::uint16_t>& ports);
+
+  /// Blocks until every dialed trunk is up (or the deadline passes).
+  bool wait_connected(std::chrono::milliseconds timeout);
+
+  /// Hands one copy to the transport (any thread).  True: the endpoint
+  /// now owns the caller's outstanding increment (released via on_acked
+  /// or counted into stop()'s return).  False: the endpoint is stopped —
+  /// the caller keeps ownership and must settle the copy itself.
+  bool forward_remote(int peer, BrokerId target,
+                      const std::shared_ptr<const Message>& message);
+
+  /// Fault injection: closes our dialed trunk to `peer` (a real TCP
+  /// disconnect; on_peer_state(peer, false) fires on the net thread) and
+  /// lets the normal backoff schedule heal it.
+  void drop_peer(int peer);
+
+  /// Stops the net thread and returns the number of forwards never
+  /// covered by an ack — copies the cluster must count as lost.
+  /// Idempotent; later calls return 0.
+  std::uint64_t stop();
+
+  std::uint64_t forwards_sent() const {
+    return forwards_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t forwards_received() const {
+    return forwards_received_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+  /// Forwards currently awaiting a cumulative ack (diagnostic).
+  std::uint64_t unacked_total() const;
+
+ private:
+  struct PeerTx {
+    std::uint64_t next_seq = 1;
+    std::uint64_t acked_through = 0;
+    /// (seq, encoded kForward) awaiting the peer's cumulative ack.
+    std::deque<std::pair<std::uint64_t, std::vector<std::uint8_t>>> unacked;
+    /// Encoded frames staged by forward_remote but not yet handed to the
+    /// socket (always a suffix of `unacked`).
+    std::vector<std::uint8_t> staged;
+  };
+
+  struct Peer {
+    SocketLink dial;
+    FrameAssembler dial_assembler;
+    SocketLink in;
+    FrameAssembler in_assembler;
+    std::uint16_t dial_port = 0;
+    std::uint64_t last_seq_from = 0;
+    double backoff_ms = 0.0;
+    bool reconnect_pending = false;
+    std::chrono::steady_clock::time_point reconnect_at{};
+  };
+
+  struct Pending {
+    std::unique_ptr<SocketLink> link;
+    FrameAssembler assembler;
+  };
+
+  void net_loop();
+  void start_dial(int peer);
+  void on_dial_established(int peer);
+  void handle_dial_down(int peer);
+  void schedule_reconnect(int peer);
+  void handle_dial_event(int peer, const Poller::Event& event);
+  void handle_in_event(int peer, const Poller::Event& event);
+  void handle_pending_event(std::uint64_t id, const Poller::Event& event);
+  void process_inbound(int peer, FrameAssembler& assembler);
+  void accept_ready();
+  void drain_staged();
+  void flush_peer(int peer);
+  void apply_commands();
+  int poll_timeout_ms() const;
+
+  NetEndpointOptions options_;
+  ForwardHandler on_forward_;
+  AckHandler on_acked_;
+  PeerStateHandler on_peer_state_;
+
+  TcpListener listener_;
+  Poller poller_;
+  WakeFd wake_;
+
+  /// Net-thread-only connection state, indexed by shard id.
+  std::vector<Peer> peers_;
+  std::uint64_t next_pending_id_ = 0;
+  std::vector<std::pair<std::uint64_t, Pending>> pending_;
+
+  /// Shared Tx state (forward_remote callers + net thread).
+  mutable std::mutex tx_mutex_;
+  std::vector<PeerTx> tx_;
+  bool stopped_ = false;
+
+  /// Peers whose dialed trunk should be force-dropped (net thread drains).
+  std::mutex command_mutex_;
+  std::vector<int> drop_requests_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<int> connected_count_{0};
+  std::atomic<std::uint64_t> forwards_sent_{0};
+  std::atomic<std::uint64_t> forwards_received_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+
+  std::thread thread_;
+  bool joined_ = false;
+};
+
+}  // namespace bdps

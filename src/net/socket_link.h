@@ -1,0 +1,152 @@
+// Non-blocking loopback TCP primitives for the broker overlay.
+//
+// TcpListener binds 127.0.0.1 (ephemeral port by default) and accepts
+// non-blocking connections.  SocketLink is one connection's state: the Tx
+// half is the reactor's TxAwaitWritable state in socket form — writes go
+// into an outbound buffer, flush() pushes until EAGAIN, and wants_write()
+// tells the poller when EPOLLOUT interest is needed; the Rx half reads
+// into a scratch buffer that feeds a FrameAssembler (incremental frame
+// reassembly across arbitrary read boundaries).
+//
+// BlockingConn is the control-plane counterpart: tools/brokerd's
+// controller <-> daemon exchanges are strictly request/reply at human
+// cadence, so plain blocking send/receive with the same wire format keeps
+// that code free of readiness bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace bdps {
+
+/// Sets O_NONBLOCK; throws std::runtime_error on failure.
+void make_nonblocking(int fd);
+
+class TcpListener {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral).  Throws
+  /// std::runtime_error on bind failure (port in use, no sockets).
+  explicit TcpListener(std::uint16_t port = 0);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  int fd() const { return fd_; }
+  std::uint16_t port() const { return port_; }
+
+  /// Accepts one pending connection (returned fd is non-blocking and
+  /// cloexec); -1 when none is pending.
+  int accept_connection();
+
+  void close_now();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Tx side of a non-blocking connection (mirrors the reactor's Tx state
+/// machine vocabulary: kIdle = buffer empty, kAwaitWritable = partial
+/// write parked on EPOLLOUT).
+enum class SocketTxState { kIdle, kAwaitWritable };
+
+class SocketLink {
+ public:
+  SocketLink() = default;
+  ~SocketLink() { close_now(); }
+
+  SocketLink(SocketLink&& other) noexcept;
+  SocketLink& operator=(SocketLink&& other) noexcept;
+  SocketLink(const SocketLink&) = delete;
+  SocketLink& operator=(const SocketLink&) = delete;
+
+  /// Starts a non-blocking connect to 127.0.0.1:`port`.  The link is then
+  /// `connecting` until the poller reports writability and
+  /// finish_connect() confirms; throws std::runtime_error only when no
+  /// socket can be created at all.
+  void dial(std::uint16_t port);
+
+  /// Adopts an accepted fd (already non-blocking).
+  void adopt(int fd);
+
+  int fd() const { return fd_; }
+  bool open() const { return fd_ >= 0 && !connecting_; }
+  bool connecting() const { return fd_ >= 0 && connecting_; }
+  bool closed() const { return fd_ < 0; }
+
+  /// Resolves a pending non-blocking connect after EPOLLOUT: true when
+  /// established; false closes the link (connection refused, ...).
+  bool finish_connect();
+
+  /// Queues bytes for transmission (no syscall; call flush()).
+  void send(const std::uint8_t* data, std::size_t size);
+  void send(const std::vector<std::uint8_t>& bytes) {
+    send(bytes.data(), bytes.size());
+  }
+
+  /// Writes buffered bytes until EAGAIN or empty.  False = fatal error;
+  /// the link is closed.
+  bool flush();
+
+  /// Reads whatever is available into the assembler.  False = EOF or
+  /// fatal error; the link is closed.  Complete frames are drained by the
+  /// caller via `assembler.next()`.
+  bool read_into(FrameAssembler& assembler);
+
+  SocketTxState tx_state() const {
+    return buffer_.empty() ? SocketTxState::kIdle
+                           : SocketTxState::kAwaitWritable;
+  }
+  bool wants_write() const { return connecting() || !buffer_.empty(); }
+  std::size_t buffered_bytes() const { return buffer_.size() - offset_; }
+
+  void close_now();
+
+ private:
+  int fd_ = -1;
+  bool connecting_ = false;
+  /// Outbound bytes not yet accepted by the kernel; `offset_` marks the
+  /// partial-write position (compacted lazily).
+  std::vector<std::uint8_t> buffer_;
+  std::size_t offset_ = 0;
+};
+
+/// Blocking control-plane connection (see header comment).
+class BlockingConn {
+ public:
+  BlockingConn() = default;
+  explicit BlockingConn(int fd) : fd_(fd) {}
+  ~BlockingConn() { close_now(); }
+
+  BlockingConn(BlockingConn&& other) noexcept;
+  BlockingConn& operator=(BlockingConn&& other) noexcept;
+  BlockingConn(const BlockingConn&) = delete;
+  BlockingConn& operator=(const BlockingConn&) = delete;
+
+  /// Blocking connect to 127.0.0.1:`port`; false on failure.
+  bool dial(std::uint16_t port);
+
+  bool open() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends one frame fully; false on any error (connection closed).
+  bool send_frame(const Frame& frame);
+
+  /// Receives the next frame; nullopt on EOF/error.  Throws WireError on a
+  /// malformed stream.
+  std::optional<Frame> recv_frame();
+
+  void close_now();
+
+ private:
+  int fd_ = -1;
+  FrameAssembler assembler_;
+  std::vector<std::uint8_t> scratch_;
+};
+
+}  // namespace bdps

@@ -4,9 +4,9 @@
 // runtime demonstrates the same OutputQueue/SchedulerState/purge engine
 // under real concurrency, with deliveries checked against deadlines in
 // (scaled) real time.  The clock and stats here are shared by both
-// execution modes: the reactor worker pool (runtime/reactor.h, the
-// default — transmissions are timer-wheel deadlines) and the legacy
-// thread-per-link oracle (threads sleeping through sampled durations).
+// execution modes: the in-process reactor worker pool (runtime/reactor.h —
+// transmissions are timer-wheel deadlines) and the socket-backed shard
+// runtime layered on top of it (net/endpoint.h trunks).
 #pragma once
 
 #include <atomic>
@@ -71,9 +71,13 @@ class LiveStats {
   void on_reception() { receptions_.fetch_add(1, std::memory_order_relaxed); }
   void on_purge(const PurgeStats& stats);
   void on_delivery(const LiveDelivery& delivery);
+  /// Copies destroyed by faults (broker crash wipes, severed trunks) —
+  /// distinct from deadline purges.
+  void on_loss(std::size_t n) { lost_.fetch_add(n, std::memory_order_relaxed); }
 
   std::size_t receptions() const { return receptions_.load(); }
   std::size_t purged() const { return purged_.load(); }
+  std::size_t lost() const { return lost_.load(); }
   std::vector<LiveDelivery> deliveries() const;
   std::size_t valid_deliveries() const;
   double earning() const;
@@ -81,6 +85,7 @@ class LiveStats {
  private:
   std::atomic<std::size_t> receptions_{0};
   std::atomic<std::size_t> purged_{0};
+  std::atomic<std::size_t> lost_{0};
   mutable std::mutex mutex_;
   std::vector<LiveDelivery> deliveries_;
 };

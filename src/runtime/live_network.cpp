@@ -1,36 +1,12 @@
 #include "runtime/live_network.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <stdexcept>
 
 #include "broker/fanout.h"
 #include "broker/output_queue.h"
-#include "runtime/channel.h"
 
 namespace bdps {
-
-struct LiveNetwork::LinkWorker {
-  BrokerId from = kNoBroker;
-  BrokerId to = kNoBroker;
-  LinkModel true_link;
-  Rng rng;
-  std::mutex mutex;
-  std::condition_variable cv;
-  /// The simulator's queue engine, verbatim: owns the waiting messages and
-  /// the per-queue SchedulerState; guarded by `mutex`.
-  OutputQueue out;
-  /// Fault churn (guarded by `mutex`): while down the sender holds — no
-  /// picks — until link-up or stop (stop flushes down links).
-  bool down = false;
-
-  explicit LinkWorker(const LiveLinkSpec& spec, const Strategy* strategy)
-      : from(spec.from),
-        to(spec.to),
-        true_link(spec.params),
-        rng(spec.rng),
-        out(spec.to, spec.edge, spec.params, strategy) {}
-};
 
 LiveNetwork::LiveNetwork(const Topology* topology, const RoutingFabric* fabric,
                          const Strategy* strategy, LiveOptions options)
@@ -40,6 +16,22 @@ LiveNetwork::LiveNetwork(const Topology* topology, const RoutingFabric* fabric,
       options_(options),
       clock_(options.speedup) {
   const std::size_t n = topology_->graph.broker_count();
+  const bool socket = options_.mode == LiveMode::kSocket;
+
+  if (socket) {
+    broker_shard_ = options_.net.broker_shard;
+    if (broker_shard_.empty()) {
+      broker_shard_.assign(n, static_cast<std::uint32_t>(options_.net.shard));
+    }
+    if (broker_shard_.size() != n) {
+      throw std::invalid_argument(
+          "live network: broker_shard size != broker count");
+    }
+    if (options_.net.shard < 0 ||
+        options_.net.shard >= options_.net.shard_count) {
+      throw std::invalid_argument("live network: shard out of range");
+    }
+  }
 
   // Which directed links some subscription routes over.
   out_links_.resize(n);
@@ -65,11 +57,12 @@ LiveNetwork::LiveNetwork(const Topology* topology, const RoutingFabric* fabric,
               return ea.to < eb.to;
             });
   needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
-  link_count_ = needed.size();
 
   // The engines' per-edge stream discipline: split once per *true* edge in
   // edge-id order, whether or not the link is served, so a link's stream is
-  // a pure function of (seed, topology) — never of the subscription set.
+  // a pure function of (seed, topology) — never of the subscription set,
+  // and never of the shard layout (each stream is consumed by exactly one
+  // shard, the one serving the edge).
   Rng link_root(options_.seed);
   std::vector<Rng> streams;
   streams.reserve(topology_->graph.edge_count());
@@ -77,42 +70,71 @@ LiveNetwork::LiveNetwork(const Topology* topology, const RoutingFabric* fabric,
     streams.push_back(link_root.split());
   }
 
+  if (socket) cut_edges_of_peer_.resize(options_.net.shard_count);
+
   std::vector<LiveLinkSpec> specs;
   specs.reserve(needed.size());
   for (const EdgeId edge : needed) {
     const Edge& e = topology_->graph.edge(edge);
+    // Links follow their *source* broker's shard; a shard serves the full
+    // transmission simulation of its outgoing cut edges and only the
+    // deposit crosses the trunk.
+    if (socket && broker_shard_[e.from] !=
+                      static_cast<std::uint32_t>(options_.net.shard)) {
+      continue;
+    }
     specs.push_back(LiveLinkSpec{e.from, e.to, edge, e.link.params(),
                                  streams[static_cast<std::size_t>(edge)]});
     // (from, to)-sorted iteration makes each out_links_ row ascending by
     // neighbour — the order FanOutGrouper::bind requires.
     out_links_[e.from].push_back(LinkRef{e.to, edge});
+    if (socket && broker_shard_[e.to] !=
+                      static_cast<std::uint32_t>(options_.net.shard)) {
+      cut_edges_of_peer_[broker_shard_[e.to]].push_back(edge);
+    }
+  }
+  link_count_ = specs.size();
+
+  if (socket) {
+    edge_fault_down_.assign(topology_->graph.edge_count(), 0);
+    trunk_up_.assign(static_cast<std::size_t>(options_.net.shard_count), 0);
+    NetEndpointOptions net_options;
+    net_options.shard = options_.net.shard;
+    net_options.shard_count = options_.net.shard_count;
+    net_options.reconnect_initial_ms = options_.net.reconnect_initial_ms;
+    net_options.reconnect_max_ms = options_.net.reconnect_max_ms;
+    endpoint_ = std::make_unique<NetEndpoint>(
+        net_options,
+        [this](BrokerId target, const Message& message) {
+          on_trunk_forward(target, message);
+        },
+        [this](std::uint64_t n_acked) { on_trunk_acked(n_acked); },
+        [this](int peer, bool up) { on_trunk_peer_state(peer, up); });
   }
 
-  if (options_.mode == LiveMode::kReactor) {
-    ReactorOptions reactor_options;
-    reactor_options.processing_delay = options_.processing_delay;
-    reactor_options.purge = options_.purge;
-    reactor_options.workers = options_.workers;
-    reactor_options.wheel_tick_ms = options_.wheel_tick_ms;
-    reactor_ = std::make_unique<Reactor>(topology_, fabric_, strategy_,
-                                         reactor_options, &clock_, &stats_,
-                                         &outstanding_, std::move(specs),
-                                         &out_links_);
-    return;
+  ReactorOptions reactor_options;
+  reactor_options.processing_delay = options_.processing_delay;
+  reactor_options.purge = options_.purge;
+  reactor_options.workers = options_.workers;
+  reactor_options.wheel_tick_ms = options_.wheel_tick_ms;
+  if (socket) {
+    reactor_options.broker_shard = &broker_shard_;
+    reactor_options.shard = static_cast<std::uint32_t>(options_.net.shard);
+    reactor_options.forwarder = [this](int peer, BrokerId target,
+                                       const std::shared_ptr<const Message>&
+                                           message) {
+      return endpoint_->forward_remote(peer, target, message);
+    };
   }
+  reactor_ = std::make_unique<Reactor>(topology_, fabric_, strategy_,
+                                       reactor_options, &clock_, &stats_,
+                                       &outstanding_, std::move(specs),
+                                       &out_links_);
 
-  // Thread-per-link: blocking inbox per broker, one worker per link.
-  inboxes_.reserve(n);
-  for (std::size_t b = 0; b < n; ++b) {
-    inboxes_.push_back(
-        std::make_unique<Channel<std::shared_ptr<const Message>>>());
-  }
-  size_totals_.resize(n);
-  for (auto& t : size_totals_) t = std::make_unique<SizeTotal>();
-  link_by_edge_.assign(topology_->graph.edge_count(), nullptr);
-  for (const LiveLinkSpec& spec : specs) {
-    links_.push_back(std::make_unique<LinkWorker>(spec, strategy_));
-    link_by_edge_[spec.edge] = links_.back().get();
+  // Cut edges start held: a trunk that is not yet established cannot carry
+  // deposits.  on_trunk_peer_state raises them as trunks come up.
+  for (const std::vector<EdgeId>& edges : cut_edges_of_peer_) {
+    for (const EdgeId edge : edges) reactor_->set_link_state(edge, false);
   }
 }
 
@@ -122,32 +144,27 @@ void LiveNetwork::start() {
   if (started_) return;
   started_ = true;
   clock_.start();
-  if (reactor_) {
-    reactor_->start();
-    return;
-  }
-  for (std::size_t b = 0; b < inboxes_.size(); ++b) {
-    threads_.emplace_back(
-        [this, b] { receiver_loop(static_cast<BrokerId>(b)); });
-  }
-  for (auto& link : links_) {
-    threads_.emplace_back([this, worker = link.get()] { sender_loop(*worker); });
-  }
+  reactor_->start();
 }
 
 void LiveNetwork::publish(PublisherId publisher,
                           const Message& template_message) {
+  publish(publisher, template_message, next_message_id_.fetch_add(1));
+}
+
+void LiveNetwork::publish(PublisherId publisher,
+                          const Message& template_message, MessageId id) {
   const BrokerId home =
       topology_->publisher_edges.at(static_cast<std::size_t>(publisher));
+  if (!serves(home)) {
+    throw std::invalid_argument(
+        "live network: publisher's edge broker is not in this shard");
+  }
   auto message = std::make_shared<Message>(
-      next_message_id_.fetch_add(1), publisher, clock_.now(),
-      template_message.size_kb(), template_message.head(),
-      template_message.allowed_delay());
+      id, publisher, clock_.now(), template_message.size_kb(),
+      template_message.head(), template_message.allowed_delay());
   outstanding_.fetch_add(1);
-  const bool accepted =
-      reactor_ ? reactor_->publish(home, std::move(message))
-               : inboxes_[home]->push(std::move(message));
-  if (!accepted) {
+  if (!reactor_->publish(home, std::move(message))) {
     outstanding_.fetch_sub(1);
   }
 }
@@ -158,6 +175,16 @@ void LiveNetwork::drain() {
   }
 }
 
+bool LiveNetwork::serves(BrokerId broker) const {
+  if (options_.mode != LiveMode::kSocket) return true;
+  return broker_shard_[static_cast<std::size_t>(broker)] ==
+         static_cast<std::uint32_t>(options_.net.shard);
+}
+
+int LiveNetwork::shard_of(BrokerId broker) const {
+  return static_cast<int>(broker_shard_[static_cast<std::size_t>(broker)]);
+}
+
 void LiveNetwork::set_link_state(BrokerId a, BrokerId b, bool up) {
   for (const EdgeId edge :
        {topology_->graph.edge_id(a, b), topology_->graph.edge_id(b, a)}) {
@@ -166,153 +193,111 @@ void LiveNetwork::set_link_state(BrokerId a, BrokerId b, bool up) {
 }
 
 void LiveNetwork::set_edge_state(EdgeId edge, bool up) {
-  if (reactor_) {
+  if (edge < 0 ||
+      static_cast<std::size_t>(edge) >= topology_->graph.edge_count()) {
+    return;
+  }
+  if (options_.mode != LiveMode::kSocket) {
     reactor_->set_link_state(edge, up);
     return;
   }
-  LinkWorker* worker = link_by_edge_[edge];
-  if (worker == nullptr) return;  // No subscription routes over this link.
-  {
-    const std::lock_guard<std::mutex> lock(worker->mutex);
-    worker->down = !up;
+  const Edge& e = topology_->graph.edge(edge);
+  if (!serves(e.from)) return;  // The owning shard replays this half.
+  if (serves(e.to)) {           // Intra-shard: plain reactor churn.
+    reactor_->set_link_state(edge, up);
+    return;
   }
-  worker->cv.notify_all();
+  // Cut edge: the fault flag folds with the trunk state, and a fault-down
+  // severs the trunk for real — reconnect backoff plus this same fold
+  // bring the edge back once both halves clear.
+  const int peer = shard_of(e.to);
+  bool effective = false;
+  {
+    const std::lock_guard<std::mutex> lock(net_state_mutex_);
+    edge_fault_down_[static_cast<std::size_t>(edge)] = up ? 0 : 1;
+    effective = up && trunk_up_[static_cast<std::size_t>(peer)] != 0;
+  }
+  reactor_->set_link_state(edge, effective);
+  if (!up && endpoint_) endpoint_->drop_peer(peer);
+}
+
+void LiveNetwork::set_broker_state(BrokerId broker, bool up) {
+  if (broker < 0 ||
+      static_cast<std::size_t>(broker) >= topology_->graph.broker_count()) {
+    return;
+  }
+  if (!serves(broker)) return;
+  reactor_->set_broker_state(broker, up);
 }
 
 void LiveNetwork::stop() {
-  if (reactor_) {
-    reactor_->stop();
-    return;
-  }
-  if (stop_started_.exchange(true)) {
-    for (auto& thread : threads_) {
-      if (thread.joinable()) thread.join();
+  if (endpoint_) {
+    // Transport first: copies the peers never acked are settled as losses
+    // so the reactor workers can observe outstanding == 0 and exit.  Any
+    // forward the reactor attempts after this point is refused by the
+    // endpoint and settled by the reactor itself.
+    const std::uint64_t unacked = endpoint_->stop();
+    if (unacked > 0) {
+      stats_.on_loss(unacked);
+      outstanding_.fetch_sub(unacked, std::memory_order_release);
     }
-    return;
   }
-  // Two-phase shutdown.  Releasing the senders while receivers still run
-  // would let a sender observe (stopping, queue empty) and exit just
-  // before its upstream receiver enqueues one more copy — a stranded copy
-  // and a drain() that never returns.  So: close the inboxes and join the
-  // receivers first (after which no new copy can enter a sender queue),
-  // only then raise stopping_ for the senders, which flush what remains
-  // (transmissions toward closed inboxes are dropped and accounted).
-  for (auto& inbox : inboxes_) inbox->close();
-  const std::size_t receivers = std::min(inboxes_.size(), threads_.size());
-  for (std::size_t i = 0; i < receivers; ++i) {
-    if (threads_[i].joinable()) threads_[i].join();
-  }
-  stopping_.store(true);
-  for (auto& link : links_) {
-    // The empty critical section orders the notify after any in-progress
-    // wait decision (same pattern as Reactor::wake): a sender that read
-    // stopping_ == false under its mutex is already parked in wait when
-    // this lock is granted, so the notify cannot be lost.
-    { const std::lock_guard<std::mutex> lock(link->mutex); }
-    link->cv.notify_all();
-  }
-  for (auto& thread : threads_) {
-    if (thread.joinable()) thread.join();
-  }
-  threads_.clear();
+  if (reactor_) reactor_->stop();
 }
 
-void LiveNetwork::receiver_loop(BrokerId broker) {
-  Channel<std::shared_ptr<const Message>>& inbox = *inboxes_[broker];
-  // Match scratch and fan-out grouper reused across messages (one receiver
-  // thread per broker) — the same sorted-slot grouping Broker::process
-  // uses, churn filter included; each group's edge id indexes the flat
-  // worker table directly.
-  std::vector<const SubscriptionEntry*> matched;
-  FanOutGrouper grouper;
-  grouper.bind(out_links_[broker]);
-  for (;;) {
-    // Batched drain: one lock round-trip per burst instead of per message
-    // (Channel::pop_all swaps the deque out whole).
-    auto batch = inbox.pop_all();
-    if (batch.empty()) return;  // Closed and drained.
-    for (auto& popped : batch) {
-      const std::shared_ptr<const Message> message = std::move(popped);
+std::uint16_t LiveNetwork::trunk_port() const {
+  return endpoint_ ? endpoint_->port() : 0;
+}
 
-      stats_.on_reception();
-      clock_.sleep_for(options_.processing_delay);
-      const TimeMs now = clock_.now();
+void LiveNetwork::connect_trunks(const std::vector<std::uint16_t>& ports) {
+  if (endpoint_) endpoint_->connect(ports);
+}
 
-      size_totals_[broker]->kb.fetch_add(message->size_kb());
-      size_totals_[broker]->count.fetch_add(1);
+bool LiveNetwork::wait_trunks(std::chrono::milliseconds timeout) {
+  return endpoint_ ? endpoint_->wait_connected(timeout) : true;
+}
 
-      fabric_->match_at(broker, *message, matched);
-      grouper.group(matched, *message);
+std::uint64_t LiveNetwork::trunk_forwards_sent() const {
+  return endpoint_ ? endpoint_->forwards_sent() : 0;
+}
 
-      for (const SubscriptionEntry* entry : grouper.local()) {
-        const TimeMs delay = message->elapsed(now);
-        const TimeMs deadline = entry->effective_deadline(*message);
-        stats_.on_delivery(LiveDelivery{entry->subscription->subscriber,
-                                        message->id(), delay,
-                                        delay <= deadline,
-                                        entry->subscription->price});
-      }
+std::uint64_t LiveNetwork::trunk_forwards_received() const {
+  return endpoint_ ? endpoint_->forwards_received() : 0;
+}
 
-      for (FanOutGroup& group : grouper.groups()) {
-        if (group.targets.empty()) continue;
-        LinkWorker* worker = link_by_edge_[group.edge];
-        QueuedMessage queued{message, now, std::move(group.targets)};
-        group.targets = {};  // Moved-from: reset to a clean empty slot.
-        // Fold the scoring kernel on the receiver thread, outside the
-        // sender's lock: picks and purges on the hot sender loop then never
-        // touch the subscription table.
-        precompute_scores(queued, options_.processing_delay);
-        outstanding_.fetch_add(1);
-        {
-          const std::lock_guard<std::mutex> lock(worker->mutex);
-          worker->out.enqueue(std::move(queued));
-        }
-        worker->cv.notify_one();
-      }
+std::uint64_t LiveNetwork::trunk_reconnects() const {
+  return endpoint_ ? endpoint_->reconnects() : 0;
+}
 
-      outstanding_.fetch_sub(1, std::memory_order_release);
-    }
+void LiveNetwork::on_trunk_forward(BrokerId target, const Message& message) {
+  // Deposit at the locally served downstream broker.  The increment lands
+  // *before* the endpoint acks this forward (the handler runs inline in
+  // the net thread's read batch), so the sender's release of its own
+  // increment can never leave the cluster-wide sum at zero with the copy
+  // alive.
+  outstanding_.fetch_add(1);
+  if (!reactor_->publish(target, std::make_shared<Message>(message))) {
+    outstanding_.fetch_sub(1, std::memory_order_release);
+    stats_.on_loss(1);
   }
 }
 
-void LiveNetwork::sender_loop(LinkWorker& worker) {
-  for (;;) {
-    QueuedMessage chosen;
-    {
-      std::unique_lock<std::mutex> lock(worker.mutex);
-      // A down link holds its queue (stop still flushes: pending copies
-      // are finished rather than stranded, the legacy shutdown contract).
-      worker.cv.wait(lock, [&] {
-        return stopping_.load() || (!worker.down && !worker.out.empty());
-      });
-      if (worker.out.empty()) return;  // Stopping with nothing queued.
+void LiveNetwork::on_trunk_acked(std::uint64_t n) {
+  outstanding_.fetch_sub(n, std::memory_order_release);
+}
 
-      const SizeTotal& totals = *size_totals_[worker.from];
-      const std::size_t count = totals.count.load();
-      const double average_kb =
-          count == 0 ? 0.0 : totals.kb.load() / static_cast<double>(count);
-      const SchedulingContext context{
-          clock_.now(), options_.processing_delay,
-          worker.out.head_of_line_estimate(average_kb)};
-
-      PurgeStats purge_stats;
-      auto taken = worker.out.take_next(context, options_.purge, &purge_stats);
-      stats_.on_purge(purge_stats);
-      if (purge_stats.expired + purge_stats.hopeless > 0) {
-        outstanding_.fetch_sub(purge_stats.expired + purge_stats.hopeless,
-                               std::memory_order_release);
-      }
-      if (!taken.has_value()) continue;  // Queue emptied by the purge.
-      chosen = std::move(*taken);
+void LiveNetwork::on_trunk_peer_state(int peer, bool up) {
+  std::vector<std::pair<EdgeId, bool>> updates;
+  {
+    const std::lock_guard<std::mutex> lock(net_state_mutex_);
+    trunk_up_[static_cast<std::size_t>(peer)] = up ? 1 : 0;
+    for (const EdgeId edge : cut_edges_of_peer_[static_cast<std::size_t>(peer)]) {
+      updates.emplace_back(
+          edge, up && edge_fault_down_[static_cast<std::size_t>(edge)] == 0);
     }
-
-    const TimeMs duration =
-        worker.true_link.sample_send_time(worker.rng, chosen.message->size_kb());
-    clock_.sleep_for(duration);
-
-    if (!inboxes_[worker.to]->push(std::move(chosen.message))) {
-      outstanding_.fetch_sub(1, std::memory_order_release);
-    }
+  }
+  for (const auto& [edge, state] : updates) {
+    reactor_->set_link_state(edge, state);
   }
 }
 

@@ -1,11 +1,10 @@
-// Live broker overlay — event-driven reactor by default, with the legacy
-// thread-per-link runtime kept one release as a differential-test oracle.
+// Live broker overlay — event-driven reactor, in-process or socket-backed.
 //
 // Both modes drive the *same* engine the discrete-event simulator proves:
 // OutputQueue + SchedulerState picks, eq. (11) purges, FanOutGrouper
 // admission (publisher mask + activation-window churn filter), deadlines
 // checked in (scaled) real time against the LiveClock.  They differ only
-// in execution:
+// in reach:
 //
 //   * LiveMode::kReactor (default) — a fixed pool of N workers
 //     (runtime/reactor.h): brokers are assigned to workers with the
@@ -13,28 +12,42 @@
 //     machines sleep as timers in a hierarchical wheel
 //     (common/timer_wheel.h), and cross-worker handoff rides SpscQueue
 //     mailboxes plus an epoch/condvar wake protocol.  Thread count is
-//     hardware-sized, so one process serves 10k+ links.
-//   * LiveMode::kThreadPerLink — one receiver thread per broker plus one
-//     sender thread per subscribed directed link, blocking Channel
-//     inboxes, threads sleeping through PD and transmissions.  Topology-
-//     sized thread counts cap it at a few hundred links; it survives as
-//     the behavioural oracle the stress suite diffs the reactor against.
+//     hardware-sized, so one process serves 10k+ links.  (The old
+//     thread-per-link oracle this mode was differentially tested against
+//     is retired; the reactor is now the in-process reference the socket
+//     mode diffs against.)
+//   * LiveMode::kSocket — one shard of a distributed overlay.  The
+//     instance owns the brokers LiveNetOptions::broker_shard assigns to
+//     it plus every directed link *leaving* them; a transmission that
+//     completes toward a remote broker rides a loopback TCP trunk
+//     (net/endpoint.h: epoll loop, per-trunk cumulative-ack reliability,
+//     capped-backoff reconnect) instead of a worker mailbox.  Fault
+//     replay on a cut edge forces a real disconnect (drop_peer) and the
+//     healed trunk re-enters through the same set_link_state path the
+//     storm engine drives.
 //
 // Transmission sampling follows the engines' per-edge RNG stream
-// discipline in both modes: one stream split from LiveOptions::seed per
-// true EdgeId (edge-id order), so a link's draw sequence is a pure
-// function of the seed and the topology — independent of worker
-// interleaving, mode, and which other links exist.
+// discipline: one stream split from LiveOptions::seed per true EdgeId
+// (edge-id order), so a link's draw sequence is a pure function of the
+// seed and the topology — independent of worker interleaving, mode, and
+// shard layout (each stream is consumed by exactly one shard, the one
+// serving the edge).
 //
-// An outstanding-work counter lets `drain()` block until every copy in
-// flight has been delivered, purged or dropped; `stop()` finishes pending
-// work and joins all threads (also invoked by the destructor).
+// Outstanding-copy accounting is ownership-transferring (see
+// net/endpoint.h): a copy forwarded to a peer keeps its local increment
+// until the peer's cumulative ack arrives, while the peer increments
+// before acking — summed over shards the counter never transiently hits
+// zero mid-flight, so cluster drain is `sum(outstanding) == 0` re-checked
+// once for stability.  Single-instance `drain()` blocks on the local
+// counter; `stop()` settles unacked trunk copies as losses, then finishes
+// pending reactor work and joins all threads.
 #pragma once
 
 #include <optional>
 #include <thread>
 #include <utility>
 
+#include "net/endpoint.h"
 #include "runtime/live_broker.h"
 #include "runtime/reactor.h"
 #include "scheduling/purge.h"
@@ -43,10 +56,22 @@
 namespace bdps {
 
 enum class LiveMode {
-  /// Reactor worker pool + timer wheel (the default).
+  /// Reactor worker pool + timer wheel, whole overlay in-process (default).
   kReactor,
-  /// Legacy thread-per-link oracle (one release of grace, then removal).
-  kThreadPerLink,
+  /// One shard of the overlay; cut edges ride loopback TCP trunks.
+  kSocket,
+};
+
+/// Shard layout + transport knobs for LiveMode::kSocket.
+struct LiveNetOptions {
+  int shard = 0;
+  int shard_count = 1;
+  /// Shard id of every broker in the full topology.  Empty = every broker
+  /// is local (single-shard socket mode).
+  std::vector<std::uint32_t> broker_shard;
+  /// Trunk redial backoff: first delay, doubling to the cap.
+  double reconnect_initial_ms = 5.0;
+  double reconnect_max_ms = 250.0;
 };
 
 struct LiveOptions {
@@ -54,19 +79,22 @@ struct LiveOptions {
   PurgePolicy purge;
   /// Simulated milliseconds per real millisecond.
   double speedup = 100.0;
-  /// Seeds the per-EdgeId transmission RNG streams (both modes).
+  /// Seeds the per-EdgeId transmission RNG streams.
   std::uint64_t seed = 1;
   LiveMode mode = LiveMode::kReactor;
-  /// Reactor worker count; 0 = hardware threads.  Ignored by
-  /// kThreadPerLink (its thread count is the topology's).
+  /// Reactor worker count; 0 = hardware threads.
   std::size_t workers = 0;
   /// Reactor timer resolution in simulated milliseconds.
   TimeMs wheel_tick_ms = 0.25;
+  /// Socket-mode shard layout (ignored by kReactor).
+  LiveNetOptions net;
 };
 
 class LiveNetwork {
  public:
-  /// All referenced objects must outlive the network.
+  /// All referenced objects must outlive the network.  In socket mode the
+  /// trunk listener is bound here (trunk_port() is valid immediately);
+  /// call connect_trunks() with every shard's port before start().
   LiveNetwork(const Topology* topology, const RoutingFabric* fabric,
               const Strategy* strategy, LiveOptions options);
   ~LiveNetwork();
@@ -74,55 +102,90 @@ class LiveNetwork {
   LiveNetwork(const LiveNetwork&) = delete;
   LiveNetwork& operator=(const LiveNetwork&) = delete;
 
-  /// Starts the clock and the runtime threads (N workers or per-link).
+  /// Starts the clock and the reactor workers.
   void start();
 
   /// Publishes a message now (the publish timestamp is taken from the live
-  /// clock; `template_message`'s id/head/size/deadline are kept).
+  /// clock; `template_message`'s head/size/deadline are kept; the id is
+  /// allocated from a process-local counter).  The publisher's edge broker
+  /// must be served by this instance.
   void publish(PublisherId publisher, const Message& template_message);
 
-  /// Blocks until no message copies remain in flight.
+  /// Cluster variant: the caller assigns the message id, so delivery
+  /// records align across processes that each pace a slice of the
+  /// workload.
+  void publish(PublisherId publisher, const Message& template_message,
+               MessageId id);
+
+  /// Blocks until no message copies remain in flight *locally*.  For a
+  /// multi-shard cluster, quiesce on the sum of outstanding() across
+  /// instances instead (a local zero is not stable while a peer still
+  /// holds unacked copies toward us).
   void drain();
 
   /// Fault churn: marks the undirected link (a, b) down or up in both
   /// directions (thread-safe, applied asynchronously by the owning
-  /// workers).  While down the link's queue *holds* its copies — reactor
-  /// mode additionally cancels the in-flight transmission timer and
-  /// requeues the copy; thread-per-link mode lets a transmission already
-  /// on the wire finish (the sender thread is sleeping through it), so
-  /// timing differs but the eventual delivery set does not.  Callers must
-  /// bring links back up (or rely on purges) before drain(), or held
-  /// copies keep it blocked.  Unknown or unserved links are ignored.
+  /// workers).  While down the link's queue *holds* its copies (the
+  /// in-flight transmission timer is cancelled and the copy requeued).
+  /// Callers must bring links back up (or rely on purges) before drain(),
+  /// or held copies keep it blocked.  Unknown or unserved links are
+  /// ignored.  In socket mode a down cut edge also severs its trunk (a
+  /// real TCP disconnect); the trunk heals itself with capped backoff and
+  /// the edge re-enters service once both the fault is lifted *and* the
+  /// trunk is re-established.
   void set_link_state(BrokerId a, BrokerId b, bool up);
 
   /// Single-direction variant keyed by the true graph's EdgeId (the
   /// vocabulary of CompiledFaults batches).
   void set_edge_state(EdgeId edge, bool up);
 
-  /// Stops and joins all threads (idempotent).
+  /// Crashes or restarts one broker with the simulator's semantics: the
+  /// input queue and every outgoing link queue are wiped (losses), and
+  /// arrivals while down are lost.  Ignored for brokers this instance
+  /// does not serve.  Fault compilation already folds a broker outage
+  /// into its incident edges, so callers replaying CompiledFaults batches
+  /// get the link-down half from set_edge_state.
+  void set_broker_state(BrokerId broker, bool up);
+
+  /// Stops and joins all threads (idempotent).  Socket mode first stops
+  /// the transport and settles never-acked trunk copies as losses so the
+  /// reactor workers can observe a zero outstanding count and exit.
   void stop();
 
   const LiveStats& stats() const { return stats_; }
   const LiveClock& clock() const { return clock_; }
   LiveMode mode() const { return options_.mode; }
-  /// Reactor worker count; 0 in thread-per-link mode.
   std::size_t worker_count() const {
     return reactor_ ? reactor_->worker_count() : 0;
   }
-  /// Directed subscribed links the runtime serves (either mode).
+  /// Directed subscribed links this instance serves.
   std::size_t link_count() const { return link_count_; }
 
+  /// True when `broker` is assigned to this instance's shard.
+  bool serves(BrokerId broker) const;
+  /// In-flight copies owned by this instance (includes trunk copies not
+  /// yet acked by their receiving peer).
+  std::size_t outstanding() const {
+    return outstanding_.load(std::memory_order_acquire);
+  }
+
+  // ---- Socket mode ----
+  /// Trunk listen port (0 unless socket mode).
+  std::uint16_t trunk_port() const;
+  /// Dials every peer shard; `ports` is indexed by shard id.
+  void connect_trunks(const std::vector<std::uint16_t>& ports);
+  /// Blocks until every dialed trunk is up (false on timeout).
+  bool wait_trunks(std::chrono::milliseconds timeout);
+  /// Transport diagnostics (0 unless socket mode).
+  std::uint64_t trunk_forwards_sent() const;
+  std::uint64_t trunk_forwards_received() const;
+  std::uint64_t trunk_reconnects() const;
+
  private:
-  struct LinkWorker;
-
-  /// Running totals backing the per-broker average message size (eq. 6).
-  struct SizeTotal {
-    std::atomic<double> kb{0.0};
-    std::atomic<std::size_t> count{0};
-  };
-
-  void receiver_loop(BrokerId broker);
-  void sender_loop(LinkWorker& worker);
+  void on_trunk_forward(BrokerId target, const Message& message);
+  void on_trunk_acked(std::uint64_t n);
+  void on_trunk_peer_state(int peer, bool up);
+  int shard_of(BrokerId broker) const;
 
   const Topology* topology_;
   const RoutingFabric* fabric_;
@@ -133,28 +196,25 @@ class LiveNetwork {
   LiveStats stats_;
 
   /// Per-broker downstream links (ascending neighbour order): each
-  /// receiver's / reactor broker's FanOutGrouper binding.
+  /// reactor broker's FanOutGrouper binding.
   std::vector<std::vector<LinkRef>> out_links_;
   std::size_t link_count_ = 0;
 
-  // ---- Reactor mode ----
   std::unique_ptr<Reactor> reactor_;
 
-  // ---- Thread-per-link mode ----
-  std::vector<std::unique_ptr<Channel<std::shared_ptr<const Message>>>>
-      inboxes_;
-  std::vector<std::unique_ptr<SizeTotal>> size_totals_;
-  std::vector<std::unique_ptr<LinkWorker>> links_;
-  /// Flat per-edge worker table (nullptr where the link carries no
-  /// subscriptions); the edge ids in a receiver's fan-out groups index it.
-  EdgeMap<LinkWorker*> link_by_edge_;
-  std::vector<std::thread> threads_;
+  // ---- Socket mode ----
+  std::unique_ptr<NetEndpoint> endpoint_;
+  /// Shard id per broker (socket mode; empty otherwise).
+  std::vector<std::uint32_t> broker_shard_;
+  /// Served cut edges grouped by destination peer shard.
+  std::vector<std::vector<EdgeId>> cut_edges_of_peer_;
+  /// Effective cut-edge state = !fault_down && trunk_up; both halves flip
+  /// from different threads, so the fold is mutex-guarded.
+  std::mutex net_state_mutex_;
+  std::vector<char> edge_fault_down_;  // indexed by EdgeId (served cuts only)
+  std::vector<char> trunk_up_;         // indexed by peer shard
 
   std::atomic<std::size_t> outstanding_{0};
-  /// Idempotence latch for stop(); senders watch stopping_, which is
-  /// raised only after the receivers have been joined (see stop()).
-  std::atomic<bool> stop_started_{false};
-  std::atomic<bool> stopping_{false};
   bool started_ = false;
   std::atomic<MessageId> next_message_id_{0};
 };

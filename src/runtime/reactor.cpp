@@ -44,6 +44,10 @@ struct Reactor::TimerEvent {
 struct Reactor::BrokerState {
   std::deque<std::shared_ptr<const Message>> input;
   bool processing = false;  // A PD timer is pending for input.front().
+  /// The pending PD timer, so a crash can cancel it with the queue.
+  TimerWheel<TimerEvent>::TimerId rx_timer;
+  /// Crashed: queues were wiped, arrivals are lost until restart.
+  bool down = false;
   FanOutGrouper grouper;
   std::vector<const SubscriptionEntry*> matched;
   // Running totals behind the eq. (6) average message size; worker-local
@@ -88,11 +92,12 @@ struct Reactor::Worker {
   std::vector<std::unique_ptr<SpscQueue<Inbound>>> inbound;
   /// External entry point (publish arrives from arbitrary user threads).
   Channel<Inbound> injector;
-  /// Link up/down transitions from set_link_state (arbitrary threads);
-  /// applied by the owning worker between drains.  Low traffic, so a
-  /// plain mutex-guarded vector suffices.
+  /// Link and broker up/down transitions from set_link_state /
+  /// set_broker_state (arbitrary threads); applied by the owning worker
+  /// between drains.  Low traffic, so a plain mutex-guarded vector
+  /// suffices.
   std::mutex command_mutex;
-  std::vector<LinkCommand> commands;
+  std::vector<Command> commands;
   /// Wake protocol: producers bump `epoch` *after* pushing, then notify;
   /// the worker snapshots it before draining and parks only while it is
   /// unchanged — either side losing the race still observes the other.
@@ -127,9 +132,12 @@ Reactor::Reactor(const Topology* topology, const RoutingFabric* fabric,
   }
 
   link_by_edge_.assign(topology_->graph.edge_count(), -1);
+  links_of_broker_.resize(n);
   links_.reserve(links.size());
   for (LiveLinkSpec& spec : links) {
     link_by_edge_[spec.edge] = static_cast<std::int32_t>(links_.size());
+    links_of_broker_[spec.from].push_back(
+        static_cast<std::uint32_t>(links_.size()));
     links_.push_back(std::make_unique<LinkState>(spec, strategy_));
   }
 
@@ -202,21 +210,37 @@ void Reactor::set_link_state(EdgeId edge, bool up) {
   Worker& worker = *workers_[owner_of_broker_[links_[index]->from]];
   {
     const std::lock_guard<std::mutex> lock(worker.command_mutex);
-    worker.commands.push_back(
-        LinkCommand{static_cast<std::uint32_t>(index), up});
+    worker.commands.push_back(Command{Command::Kind::kLink,
+                                      static_cast<std::uint32_t>(index), up});
   }
   wake(worker);
 }
 
-void Reactor::apply_link_commands(Worker& worker) {
-  std::vector<LinkCommand> batch;
+void Reactor::set_broker_state(BrokerId broker, bool up) {
+  if (static_cast<std::size_t>(broker) >= brokers_.size()) return;
+  Worker& worker = *workers_[owner_of_broker_[broker]];
+  {
+    const std::lock_guard<std::mutex> lock(worker.command_mutex);
+    worker.commands.push_back(Command{Command::Kind::kBroker,
+                                      static_cast<std::uint32_t>(broker), up});
+  }
+  wake(worker);
+}
+
+void Reactor::apply_commands(Worker& worker) {
+  std::vector<Command> batch;
   {
     const std::lock_guard<std::mutex> lock(worker.command_mutex);
     if (worker.commands.empty()) return;
     batch.swap(worker.commands);
   }
-  for (const LinkCommand& command : batch) {
-    LinkState& link = *links_[command.link_index];
+  for (const Command& command : batch) {
+    if (command.kind == Command::Kind::kBroker) {
+      apply_broker_command(worker, static_cast<BrokerId>(command.index),
+                           command.up);
+      continue;
+    }
+    LinkState& link = *links_[command.index];
     if (!command.up) {
       link.down = true;
       if (link.busy) {
@@ -231,9 +255,42 @@ void Reactor::apply_link_commands(Worker& worker) {
     } else {
       link.down = false;
       if (!link.busy && !link.out.empty()) {
-        start_transmission(worker, command.link_index);
+        start_transmission(worker, command.index);
       }
     }
+  }
+}
+
+void Reactor::apply_broker_command(Worker& worker, BrokerId broker, bool up) {
+  BrokerState& state = *brokers_[broker];
+  if (up) {
+    state.down = false;  // Queues are empty; nothing to restart.
+    return;
+  }
+  if (state.down) return;
+  state.down = true;
+  // The simulator's crash semantics: every copy the broker holds — queued
+  // input, the message being processed, every outgoing OutputQueue and any
+  // transmission already on the wire — dies with it.
+  std::size_t lost = state.input.size();
+  state.input.clear();
+  if (state.processing) {
+    worker.wheel.cancel(state.rx_timer);
+    state.processing = false;
+  }
+  for (const std::uint32_t link_index : links_of_broker_[broker]) {
+    LinkState& link = *links_[link_index];
+    if (link.busy) {
+      worker.wheel.cancel(link.tx_timer);
+      link.busy = false;
+      link.in_flight = QueuedMessage{};
+      ++lost;
+    }
+    lost += link.out.clear();
+  }
+  if (lost > 0) {
+    stats_->on_loss(lost);
+    outstanding_->fetch_sub(lost, std::memory_order_release);
   }
 }
 
@@ -246,7 +303,7 @@ void Reactor::worker_loop(Worker& worker) {
   for (;;) {
     const std::uint64_t epoch =
         worker.epoch.load(std::memory_order_acquire);
-    apply_link_commands(worker);
+    apply_commands(worker);
     drain_inbound(worker);
     advance_wheel(worker);
     // Exit order matters: the injector must be observed *closed* before
@@ -322,6 +379,11 @@ void Reactor::wake(Worker& worker) {
 void Reactor::deposit(Worker& worker, BrokerId broker,
                       std::shared_ptr<const Message> message) {
   BrokerState& state = *brokers_[broker];
+  if (state.down) {  // Arrival at a crashed broker: the copy is lost.
+    stats_->on_loss(1);
+    outstanding_->fetch_sub(1, std::memory_order_release);
+    return;
+  }
   state.input.push_back(std::move(message));
   if (!state.processing) {
     state.processing = true;
@@ -330,7 +392,7 @@ void Reactor::deposit(Worker& worker, BrokerId broker,
 }
 
 void Reactor::schedule_rx(Worker& worker, BrokerId broker) {
-  worker.wheel.schedule(
+  brokers_[broker]->rx_timer = worker.wheel.schedule(
       tick_ceil(clock_->now() + options_.processing_delay),
       TimerEvent{static_cast<std::uint32_t>(broker), /*tx=*/false});
 }
@@ -422,13 +484,26 @@ void Reactor::on_tx_done(Worker& worker, std::uint32_t link_index) {
   std::shared_ptr<const Message> message = std::move(link.in_flight.message);
   link.in_flight = QueuedMessage{};
 
-  const std::uint32_t owner = owner_of_broker_[link.to];
-  if (owner == worker.id) {
-    deposit(worker, link.to, std::move(message));
+  if (options_.broker_shard != nullptr &&
+      (*options_.broker_shard)[link.to] != options_.shard) {
+    // The downstream broker lives in another process.  A true return
+    // transfers the copy's outstanding increment to the transport (held
+    // until the peer's cumulative ack); false means the transport is
+    // stopped and the copy dies here.
+    const int peer = static_cast<int>((*options_.broker_shard)[link.to]);
+    if (!options_.forwarder || !options_.forwarder(peer, link.to, message)) {
+      stats_->on_loss(1);
+      outstanding_->fetch_sub(1, std::memory_order_release);
+    }
   } else {
-    Worker& target = *workers_[owner];
-    target.inbound[worker.id]->push(Inbound{link.to, std::move(message)});
-    wake(target);
+    const std::uint32_t owner = owner_of_broker_[link.to];
+    if (owner == worker.id) {
+      deposit(worker, link.to, std::move(message));
+    } else {
+      Worker& target = *workers_[owner];
+      target.inbound[worker.id]->push(Inbound{link.to, std::move(message)});
+      wake(target);
+    }
   }
 
   // The link is free at this instant: pop the next pick inline (or go

@@ -38,6 +38,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -59,6 +60,17 @@ struct ReactorOptions {
   /// use the exact clock, so resolution only quantises when callbacks run;
   /// 0.25 sim ms is far below any PD/transmission scale the paper uses.
   TimeMs wheel_tick_ms = 0.25;
+  /// Cross-process serving (socket mode): shard id of every broker in the
+  /// full topology (nullptr = everything is local).  A transmission whose
+  /// downstream broker lives in another shard is handed to `forwarder`
+  /// instead of deposited.  A true return transfers the copy's outstanding
+  /// increment to the transport (released when the covering ack arrives);
+  /// false means the transport is gone — the reactor settles the copy as a
+  /// loss itself.
+  const std::vector<std::uint32_t>* broker_shard = nullptr;
+  std::uint32_t shard = 0;
+  std::function<bool(int, BrokerId, const std::shared_ptr<const Message>&)>
+      forwarder;
 };
 
 /// One directed overlay link the runtime serves: resolved by LiveNetwork
@@ -108,18 +120,30 @@ class Reactor {
   /// re-arms it.  Unknown or unserved edges are ignored.
   void set_link_state(EdgeId edge, bool up);
 
+  /// Crashes or restarts one broker (thread-safe, applied asynchronously
+  /// by the owning worker).  A crash is the simulator's semantics: the
+  /// input queue and every outgoing OutputQueue are wiped (copies counted
+  /// as losses), the pending rx/tx timers die with them, and later
+  /// arrivals are lost until the broker comes back up.  The *links* of a
+  /// crashed broker are governed separately via set_link_state — fault
+  /// compilation folds a broker outage into its incident edges.
+  void set_broker_state(BrokerId broker, bool up);
+
  private:
   struct Inbound;
   struct TimerEvent;
   struct BrokerState;
   struct LinkState;
   struct Worker;
-  struct LinkCommand {
-    std::uint32_t link_index = 0;
+  struct Command {
+    enum class Kind : std::uint8_t { kLink, kBroker };
+    Kind kind = Kind::kLink;
+    std::uint32_t index = 0;  // links_ index (kLink) or BrokerId (kBroker).
     bool up = false;
   };
 
-  void apply_link_commands(Worker& worker);
+  void apply_commands(Worker& worker);
+  void apply_broker_command(Worker& worker, BrokerId broker, bool up);
 
   std::uint64_t tick_ceil(TimeMs at) const;
   void worker_loop(Worker& worker);
@@ -146,6 +170,8 @@ class Reactor {
   std::vector<std::unique_ptr<LinkState>> links_;
   /// Flat per-edge index into links_ (-1 where no subscription routes).
   EdgeMap<std::int32_t> link_by_edge_;
+  /// Served links grouped by their source broker (crash wipes walk this).
+  std::vector<std::vector<std::uint32_t>> links_of_broker_;
   /// ShardPlan assignment: which worker owns each broker (and its links).
   std::vector<std::uint32_t> owner_of_broker_;
   std::vector<std::unique_ptr<Worker>> workers_;

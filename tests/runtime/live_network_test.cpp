@@ -49,17 +49,19 @@ struct LiveRig {
   }
 };
 
-/// Every behavioural test runs in both modes: the reactor is the default
-/// engine, the thread-per-link runtime is the oracle it must match.
+/// Every behavioural test runs in both modes: the reactor is the
+/// in-process engine, and single-shard socket mode must behave
+/// identically with the trunk endpoint idling in the loop (every broker
+/// local, no peers — the degenerate cluster).
 class LiveNetworkModes : public ::testing::TestWithParam<LiveMode> {};
 
 INSTANTIATE_TEST_SUITE_P(BothModes, LiveNetworkModes,
                          ::testing::Values(LiveMode::kReactor,
-                                           LiveMode::kThreadPerLink),
+                                           LiveMode::kSocket),
                          [](const auto& info) {
                            return info.param == LiveMode::kReactor
                                       ? "Reactor"
-                                      : "ThreadPerLink";
+                                      : "Socket";
                          });
 
 TEST_P(LiveNetworkModes, DeliversPublishedMessagesToAllSubscribers) {
@@ -146,9 +148,8 @@ TEST_P(LiveNetworkModes, StopIsIdempotentAndDestructorSafe) {
 TEST_P(LiveNetworkModes, PublishRacingStopNeverStrandsCopies) {
   // Hammer publish from another thread while stop() runs.  Every accepted
   // copy must be fully processed (or dropped with its accounting unwound)
-  // before stop returns, in both modes: a reactor worker may not exit
-  // with its injector open, and a legacy sender may not exit before its
-  // upstream receiver has.  A stranded copy shows up as drain() hanging.
+  // before stop returns: a reactor worker may not exit with its injector
+  // open.  A stranded copy shows up as drain() hanging.
   LiveRig rig;
   for (int round = 0; round < 10; ++round) {
     LiveNetwork net(&rig.topo, rig.fabric.get(), rig.scheduler.get(),

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace bdps {
 namespace {
 
@@ -27,6 +29,17 @@ LiveRunConfig small_config(LiveMode mode) {
   return config;
 }
 
+std::vector<std::pair<SubscriberId, MessageId>> delivery_multiset(
+    const LiveRunResult& r) {
+  std::vector<std::pair<SubscriberId, MessageId>> out;
+  out.reserve(r.delivery_log.size());
+  for (const LiveDelivery& d : r.delivery_log) {
+    out.emplace_back(d.subscriber, d.message);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 TEST(RunLive, ReactorRunsASimConfigWorkloadToCompletion) {
   const LiveRunResult r = run_live(small_config(LiveMode::kReactor));
   EXPECT_GT(r.published, 0u);
@@ -34,23 +47,26 @@ TEST(RunLive, ReactorRunsASimConfigWorkloadToCompletion) {
   EXPECT_GT(r.links, 0u);
   EXPECT_EQ(r.workers, 2u);
   EXPECT_EQ(r.purged, 0u);
+  EXPECT_EQ(r.lost, 0u);
   EXPECT_EQ(r.valid_deliveries, r.deliveries);
+  EXPECT_EQ(r.delivery_log.size(), r.deliveries);
   EXPECT_GT(r.wall_ms, 0.0);
 }
 
 TEST(RunLive, ModesAgreeOnTheWorkloadTotals) {
   const LiveRunResult reactor = run_live(small_config(LiveMode::kReactor));
-  const LiveRunResult oracle =
-      run_live(small_config(LiveMode::kThreadPerLink));
-  // Same seed -> same topology, workload and routing; with generous
-  // deadlines both runtimes must deliver the identical matched totals.
-  EXPECT_EQ(reactor.published, oracle.published);
-  EXPECT_EQ(reactor.deliveries, oracle.deliveries);
-  EXPECT_EQ(reactor.valid_deliveries, oracle.valid_deliveries);
-  EXPECT_DOUBLE_EQ(reactor.earning, oracle.earning);
-  EXPECT_EQ(reactor.links, oracle.links);
-  EXPECT_EQ(oracle.workers, 0u) << "oracle mode reports no reactor pool";
+  const LiveRunResult socket = run_live(small_config(LiveMode::kSocket));
+  // Same seed -> same topology, workload, routing and message ids; with
+  // generous deadlines both runtimes must deliver the identical matched
+  // (subscriber, message) multiset, not merely equal totals.
+  EXPECT_EQ(reactor.published, socket.published);
+  EXPECT_EQ(reactor.deliveries, socket.deliveries);
+  EXPECT_EQ(reactor.valid_deliveries, socket.valid_deliveries);
+  EXPECT_DOUBLE_EQ(reactor.earning, socket.earning);
+  EXPECT_EQ(reactor.links, socket.links);
   EXPECT_GT(reactor.workers, 0u);
+  EXPECT_GT(socket.workers, 0u);
+  EXPECT_EQ(delivery_multiset(reactor), delivery_multiset(socket));
 }
 
 TEST(RunLive, MessageLimitCapsThePublishedWorkload) {
@@ -58,6 +74,59 @@ TEST(RunLive, MessageLimitCapsThePublishedWorkload) {
   config.message_limit = 3;
   const LiveRunResult r = run_live(config);
   EXPECT_EQ(r.published, 3u);
+}
+
+TEST(LiveConfig, FormatParseRoundTripIsBitExact) {
+  LiveRunConfig config = small_config(LiveMode::kSocket);
+  config.sim.seed = 1234567890123ull;
+  config.sim.ebpc_weight = 0.37;
+  config.sim.processing_delay = 2.125;
+  config.sim.purge.epsilon = 1e-4;
+  config.sim.workload.scenario = ScenarioKind::kBoth;
+  config.sim.workload.poisson_arrivals = false;
+  config.sim.workload.churn_fraction = 0.25;
+  config.sim.workload.bursts.push_back(
+      WorkloadConfig::PublishBurst{1000.0, 500.0, 3.5});
+  config.sim.grid_torus = true;
+  config.shards = 4;
+  config.workers = 3;
+  config.speedup = 777.5;
+  config.reconnect_initial_ms = 2.5;
+  config.sim.faults.link_outages.push_back(LinkOutage{100.0, 320.0, 1, 2});
+
+  const std::string text = format_live_config(config);
+  const LiveRunConfig parsed = parse_live_config(text);
+
+  // Bit-exactness shows up two ways: the re-serialized text is identical,
+  // and both configs build the identical world (same seed-split order,
+  // same message schedule).
+  EXPECT_EQ(format_live_config(parsed), text);
+  EXPECT_EQ(parsed.sim.seed, config.sim.seed);
+  EXPECT_EQ(parsed.sim.strategy, config.sim.strategy);
+  EXPECT_EQ(parsed.sim.workload.scenario, config.sim.workload.scenario);
+  EXPECT_EQ(parsed.sim.workload.bursts.size(), 1u);
+  EXPECT_EQ(parsed.sim.faults.link_outages.size(), 1u);
+  EXPECT_EQ(parsed.shards, 4u);
+  EXPECT_EQ(parsed.mode, LiveMode::kSocket);
+
+  const LiveWorld a = build_live_world(config);
+  const LiveWorld b = build_live_world(parsed);
+  ASSERT_EQ(a.messages.size(), b.messages.size());
+  for (std::size_t i = 0; i < a.messages.size(); ++i) {
+    EXPECT_EQ(a.messages[i]->id(), b.messages[i]->id());
+    EXPECT_EQ(a.messages[i]->publish_time(), b.messages[i]->publish_time());
+    EXPECT_EQ(a.messages[i]->publisher(), b.messages[i]->publisher());
+  }
+  EXPECT_EQ(a.topology.graph.edge_count(), b.topology.graph.edge_count());
+}
+
+TEST(LiveConfig, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_live_config("topology=not-a-topology\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_live_config("mode=carrier-pigeon\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_live_config("ssd_tiers=1.0,2.0,3.0\n"),
+               std::invalid_argument);
 }
 
 }  // namespace

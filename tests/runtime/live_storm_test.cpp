@@ -1,12 +1,9 @@
 // Link churn in the live runtime: down links hold, link-up releases, and
-// the same storm yields the same delivery set in both execution modes.
-//
-// The reactor tears down the Tx state machine on link-down (cancels the
-// wheel timer, requeues the in-flight copy); thread-per-link lets a
-// transmission already on the wire finish.  Timing therefore differs —
-// the *delivery multiset* must not, and with recovery before drain and
-// purging off it must equal the full (message x subscriber) product in
-// either mode.
+// the same storm yields the same delivery set in both execution modes
+// (reactor, and single-shard socket — the same Tx teardown with the trunk
+// endpoint in the loop).  Timing may differ — the *delivery multiset*
+// must not, and with recovery before drain and purging off it must equal
+// the full (message x subscriber) product in either mode.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -63,11 +60,11 @@ class LiveStormModes : public ::testing::TestWithParam<LiveMode> {};
 
 INSTANTIATE_TEST_SUITE_P(BothModes, LiveStormModes,
                          ::testing::Values(LiveMode::kReactor,
-                                           LiveMode::kThreadPerLink),
+                                           LiveMode::kSocket),
                          [](const auto& info) {
                            return info.param == LiveMode::kReactor
                                       ? "Reactor"
-                                      : "ThreadPerLink";
+                                      : "Socket";
                          });
 
 TEST_P(LiveStormModes, DownLinkHoldsUntilLinkUpReleases) {
@@ -211,13 +208,13 @@ TEST(LiveStormEquivalence, DeliverySetsMatchAcrossModes) {
   ASSERT_FALSE(faults.batches().empty());
 
   const auto reactor = run_storm(rig, LiveMode::kReactor, faults);
-  const auto oracle = run_storm(rig, LiveMode::kThreadPerLink, faults);
+  const auto socket = run_storm(rig, LiveMode::kSocket, faults);
 
   // With recovery before drain and purging off, nothing may be lost: both
   // modes deliver the full message x subscriber product — and therefore
   // the exact same multiset.
   EXPECT_EQ(reactor.size(), 30u * 5u);
-  EXPECT_EQ(reactor, oracle);
+  EXPECT_EQ(reactor, socket);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // Live-runtime stress + differential suite: the reactor must survive a
 // 1k-link topology with a hardware-sized worker pool and deliver exactly
-// the message set the thread-per-link oracle delivers.
+// the message set the (single-shard) socket runtime delivers — the same
+// engine with the trunk endpoint in the loop.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -13,10 +14,8 @@
 namespace bdps {
 namespace {
 
-// ThreadSanitizer multiplies per-thread cost; the oracle mode's
-// topology-sized thread count is exactly what we are retiring, so shrink
-// the stress width there (the reactor path is unaffected and still runs
-// the full suite under plain builds).
+// ThreadSanitizer multiplies per-thread cost; shrink the stress width
+// there (plain builds still run the full suite).
 #if defined(__SANITIZE_THREAD__)
 constexpr std::size_t kSpokes = 192;
 #elif defined(__has_feature)
@@ -109,12 +108,12 @@ TEST(LiveStress, ThousandLinkStarBothModesDeliverTheSameSet) {
   constexpr int kMessages = 4;
   const DeliverySet reactor =
       run_star(rig, LiveMode::kReactor, kMessages, kSpokes);
-  const DeliverySet oracle =
-      run_star(rig, LiveMode::kThreadPerLink, kMessages, kSpokes);
+  const DeliverySet socket =
+      run_star(rig, LiveMode::kSocket, kMessages, kSpokes);
   EXPECT_EQ(reactor.size(),
             static_cast<std::size_t>(kMessages) * kSpokes);
-  EXPECT_EQ(reactor, oracle)
-      << "reactor and thread-per-link delivered different message sets";
+  EXPECT_EQ(reactor, socket)
+      << "reactor and socket modes delivered different message sets";
 }
 
 TEST(LiveStress, MultiHopMeshBothModesDeliverTheSameSet) {
@@ -164,8 +163,8 @@ TEST(LiveStress, MultiHopMeshBothModesDeliverTheSameSet) {
   };
 
   const DeliverySet reactor = run_mesh(LiveMode::kReactor);
-  const DeliverySet oracle = run_mesh(LiveMode::kThreadPerLink);
-  EXPECT_EQ(reactor, oracle);
+  const DeliverySet socket = run_mesh(LiveMode::kSocket);
+  EXPECT_EQ(reactor, socket);
   EXPECT_FALSE(reactor.empty()) << "workload matched nothing — vacuous test";
 }
 

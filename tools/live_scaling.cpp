@@ -1,13 +1,16 @@
-// Live-runtime link-ceiling probe — the numbers behind BENCH_pr5.json.
+// Live-runtime link-ceiling probe — the numbers behind BENCH_pr7.json.
 //
 // Sweeps the star-of-chains broom over link counts and runs the same
 // flood workload through both execution modes, recording wall time,
-// sustained link-transmissions per second, peak thread count, and whether
-// the mode completed at all.  Thread-per-link is given a wall budget per
-// row (default 120 s); once it blows the budget or fails to spawn, larger
-// rows are marked infeasible without being attempted — that boundary is
-// the "practical link ceiling" ISSUE/PERF.md quote.  Reactor rows also
-// sweep the `workers` knob at the largest size.
+// sustained link-transmissions per second, thread count, and whether the
+// mode completed at all.  Reactor rows run the whole overlay in one
+// process; socket rows split it into a 2-shard in-process cluster whose
+// cut edges ride loopback TCP trunks — the same transport the distributed
+// daemon (tools/brokerd) runs one-shard-per-process, so the gap between
+// the two curves is the wire cost per transmission.  Socket rows get a
+// wall budget per row (default 120 s); once a row blows the budget or
+// fails, larger rows are marked infeasible without being attempted.
+// Reactor rows also sweep the `workers` knob at a mid scale.
 //
 //   ./live_scaling [budget_s=120] [messages=4]
 //
@@ -17,7 +20,6 @@
 #include <exception>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/config.h"
@@ -44,21 +46,25 @@ struct Probe {
   std::string error;
   double wall_ms = 0.0;
   double tx_per_sec = 0.0;
+  unsigned long long trunk_forwards = 0;  // Copies that crossed TCP.
 };
 
-Probe run_probe(const Topology& topo, const RoutingFabric& fabric,
-                const Strategy& strategy, LiveMode mode, std::size_t workers,
-                int messages) {
-  Probe probe;
-  probe.links = topo.graph.edge_count() / 2;  // Directed hub->leaf side.
-  probe.mode = mode == LiveMode::kReactor ? "reactor" : "thread_per_link";
+LiveOptions probe_options(std::size_t workers) {
   LiveOptions opt;
   opt.processing_delay = 0.1;
   opt.speedup = 20000.0;
-  opt.mode = mode;
   opt.workers = workers;
+  return opt;
+}
+
+Probe run_probe_reactor(const Topology& topo, const RoutingFabric& fabric,
+                        const Strategy& strategy, std::size_t workers,
+                        int messages) {
+  Probe probe;
+  probe.links = topo.graph.edge_count() / 2;  // Directed hub->leaf side.
+  probe.mode = "reactor";
   try {
-    LiveNetwork net(&topo, &fabric, &strategy, opt);
+    LiveNetwork net(&topo, &fabric, &strategy, probe_options(workers));
     const auto start = std::chrono::steady_clock::now();
     net.start();
     const Message tick(0, 0, 0.0, 1.0, {{"A1", Value(1.0)}}, kNoDeadline);
@@ -67,9 +73,7 @@ Probe run_probe(const Topology& topo, const RoutingFabric& fabric,
     const auto end = std::chrono::steady_clock::now();
     net.stop();
     probe.workers = net.worker_count();
-    probe.threads = mode == LiveMode::kReactor
-                        ? net.worker_count()
-                        : topo.graph.broker_count() + net.link_count();
+    probe.threads = net.worker_count();
     probe.wall_ms =
         std::chrono::duration<double, std::milli>(end - start).count();
     probe.completed = net.stats().deliveries().size() ==
@@ -82,14 +86,76 @@ Probe run_probe(const Topology& topo, const RoutingFabric& fabric,
                                  probe.wall_ms
                            : 0.0;
   } catch (const std::exception& e) {
-    probe.error = e.what();  // E.g. thread spawn failure at scale.
+    probe.error = e.what();
+  }
+  return probe;
+}
+
+/// 2-shard in-process cluster over loopback trunks: the socket-mode row.
+Probe run_probe_socket(const Topology& topo, const RoutingFabric& fabric,
+                       const Strategy& strategy, int messages) {
+  Probe probe;
+  probe.links = topo.graph.edge_count() / 2;
+  probe.mode = "socket_x2";
+  try {
+    const std::vector<std::uint32_t> broker_shard =
+        live_broker_shards(topo.graph, 2);
+    std::vector<std::unique_ptr<LiveNetwork>> nets;
+    std::vector<LiveNetwork*> raw;
+    for (int shard = 0; shard < 2; ++shard) {
+      LiveOptions opt = probe_options(0);
+      opt.mode = LiveMode::kSocket;
+      opt.net.shard = shard;
+      opt.net.shard_count = 2;
+      opt.net.broker_shard = broker_shard;
+      nets.push_back(
+          std::make_unique<LiveNetwork>(&topo, &fabric, &strategy, opt));
+      raw.push_back(nets.back().get());
+    }
+    const std::vector<std::uint16_t> ports = {nets[0]->trunk_port(),
+                                              nets[1]->trunk_port()};
+    for (const auto& net : nets) net->connect_trunks(ports);
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& net : nets) net->start();
+    for (const auto& net : nets) {
+      if (!net->wait_trunks(std::chrono::milliseconds(10000))) {
+        throw std::runtime_error("trunks never came up");
+      }
+    }
+    const Message tick(0, 0, 0.0, 1.0, {{"A1", Value(1.0)}}, kNoDeadline);
+    LiveNetwork* hub_home = nets[0]->serves(0) ? raw[0] : raw[1];
+    for (int i = 0; i < messages; ++i) hub_home->publish(0, tick);
+    drain_live_cluster(raw);
+    const auto end = std::chrono::steady_clock::now();
+    std::size_t delivered = 0;
+    std::size_t links = 0;
+    for (const auto& net : nets) {
+      net->stop();
+      delivered += net->stats().deliveries().size();
+      links += net->link_count();
+      probe.workers += net->worker_count();
+      probe.trunk_forwards += net->trunk_forwards_sent();
+    }
+    // Each shard runs its worker pool plus the endpoint's net thread.
+    probe.threads = probe.workers + 2;
+    probe.wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    probe.completed = delivered == static_cast<std::size_t>(messages) *
+                                       topo.subscriber_count();
+    if (!probe.completed) probe.error = "lost deliveries";
+    probe.tx_per_sec =
+        probe.wall_ms > 0.0 ? 1000.0 * static_cast<double>(messages) *
+                                  static_cast<double>(links) / probe.wall_ms
+                            : 0.0;
+  } catch (const std::exception& e) {
+    probe.error = e.what();
   }
   return probe;
 }
 
 /// Backslash-escapes quotes/backslashes and strips control characters, so
 /// an arbitrary exception message cannot break the JSON output line.
-std::string json_escape(const std::string& raw) {
+std::string escape(const std::string& raw) {
   std::string out;
   out.reserve(raw.size());
   for (const char c : raw) {
@@ -100,14 +166,14 @@ std::string json_escape(const std::string& raw) {
 }
 
 void emit(const Probe& p) {
-  const std::string error = json_escape(p.error);
+  const std::string error = escape(p.error);
   std::printf(
       "{\"links\": %zu, \"mode\": \"%s\", \"workers\": %zu, "
       "\"threads\": %zu, \"completed\": %s, \"wall_ms\": %.1f, "
-      "\"tx_per_sec\": %.0f%s%s%s}\n",
+      "\"tx_per_sec\": %.0f, \"trunk_forwards\": %llu%s%s%s}\n",
       p.links, p.mode.c_str(), p.workers, p.threads,
       p.completed ? "true" : "false", p.wall_ms, p.tx_per_sec,
-      error.empty() ? "" : ", \"error\": \"", error.c_str(),
+      p.trunk_forwards, error.empty() ? "" : ", \"error\": \"", error.c_str(),
       error.empty() ? "" : "\"");
   std::fflush(stdout);
   std::fprintf(stderr, "%-16s %7zu links  %6zu threads  %9.1f ms  %s\n",
@@ -133,30 +199,28 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr, "live link-scaling probe (%d msgs, budget %.0f s)\n",
                messages, budget_ms / 1000.0);
-  bool thread_mode_alive = true;
+  bool socket_mode_alive = true;
   for (const Row& row : rows) {
     const Topology topo =
         build_star_of_chains(row.chains, row.depth, LinkParams{0.2, 0.02});
     const RoutingFabric fabric(topo, flood_subscriptions(topo));
     const auto strategy = make_strategy(StrategyKind::kEb);
 
-    emit(run_probe(topo, fabric, *strategy, LiveMode::kReactor, 0, messages));
+    emit(run_probe_reactor(topo, fabric, *strategy, 0, messages));
 
     if (row.reactor_only) continue;
-    if (!thread_mode_alive) {
+    if (!socket_mode_alive) {
       Probe skipped;
       skipped.links = row.chains * row.depth;
-      skipped.mode = "thread_per_link";
-      skipped.threads = topo.graph.broker_count() + row.chains * row.depth;
+      skipped.mode = "socket_x2";
       skipped.error = "skipped: previous row failed or blew the budget";
       emit(skipped);
       continue;
     }
-    const Probe probe = run_probe(topo, fabric, *strategy,
-                                  LiveMode::kThreadPerLink, 0, messages);
+    const Probe probe = run_probe_socket(topo, fabric, *strategy, messages);
     emit(probe);
     if (!probe.completed || probe.wall_ms > budget_ms) {
-      thread_mode_alive = false;  // The ceiling: stop escalating.
+      socket_mode_alive = false;  // The ceiling: stop escalating.
     }
   }
 
@@ -166,8 +230,7 @@ int main(int argc, char** argv) {
     const RoutingFabric fabric(topo, flood_subscriptions(topo));
     const auto strategy = make_strategy(StrategyKind::kEb);
     for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
-      emit(run_probe(topo, fabric, *strategy, LiveMode::kReactor, workers,
-                     messages));
+      emit(run_probe_reactor(topo, fabric, *strategy, workers, messages));
     }
   }
   return 0;

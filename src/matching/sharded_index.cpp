@@ -1,0 +1,354 @@
+#include "matching/sharded_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace bdps::matching {
+
+MatchFabric::ShardSnapshot::~ShardSnapshot() {
+  // Long overlay lists must not unwind recursively (the shared_ptr chain
+  // nests one destructor frame per node): unlink iteratively for every
+  // node this snapshot holds the last reference to.
+  std::shared_ptr<const OverlayNode> node = std::move(overlay);
+  while (node != nullptr && node.use_count() == 1) {
+    std::shared_ptr<const OverlayNode> next =
+        std::move(const_cast<OverlayNode&>(*node).next);
+    node = std::move(next);
+  }
+}
+
+MatchScratch::~MatchScratch() {
+  if (slot_ != nullptr) domain_->release_slot(slot_);
+}
+
+void MatchScratch::bind(EpochDomain& domain) {
+  if (slot_ != nullptr) {
+    assert(domain_ == &domain &&
+           "a MatchScratch binds to a single EpochDomain for its lifetime");
+    return;
+  }
+  domain_ = &domain;
+  slot_ = domain.acquire_slot();
+}
+
+MatchFabric::MatchFabric(MatchFabricOptions options, EpochDomain* domain)
+    : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.rebuild_divisor == 0) options_.rebuild_divisor = 1;
+  if (options_.rebuild_min == 0) options_.rebuild_min = 1;
+  if (options_.rebuild_cap < options_.rebuild_min) {
+    options_.rebuild_cap = options_.rebuild_min;
+  }
+  if (domain == nullptr) {
+    owned_domain_ = std::make_unique<EpochDomain>();
+    domain = owned_domain_.get();
+  }
+  domain_ = domain;
+  shards_.reserve(options_.shards + 1);
+  for (std::size_t i = 0; i < options_.shards + 1; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+MatchFabric::~MatchFabric() = default;
+
+std::size_t MatchFabric::shard_of(const FilterSignature& sig) const {
+  const std::string& attr = sig.selective_attribute();
+  if (attr.empty()) return 0;  // Fallback shard.
+  return 1 + std::hash<std::string>{}(attr) % options_.shards;
+}
+
+std::size_t MatchFabric::overlay_threshold(std::size_t core_size) const {
+  std::size_t t = core_size / options_.rebuild_divisor;
+  if (t < options_.rebuild_min) t = options_.rebuild_min;
+  if (t > options_.rebuild_cap) t = options_.rebuild_cap;
+  return t;
+}
+
+RowId MatchFabric::add(const Filter& filter) { return add(filter, {}); }
+
+RowId MatchFabric::add(const Filter& filter,
+                       const std::vector<Filter>& or_filters) {
+  std::lock_guard<std::mutex> lock(rows_mu_);
+  const RowId row = rows_.size();
+  rows_.emplace_back();
+  ++live_rows_;
+  // Published (release) before any shard publishes a snapshot that can
+  // emit this row, so readers always see a bound covering what they match.
+  row_bound_.store(rows_.size(), std::memory_order_release);
+
+  FilterSignature sig = FilterSignature::of(filter);
+  install_unit(shard_of(sig), filter, std::move(sig), row, rows_[row]);
+  for (const Filter& f : or_filters) {
+    FilterSignature s = FilterSignature::of(f);
+    install_unit(shard_of(s), f, std::move(s), row, rows_[row]);
+  }
+  return row;
+}
+
+void MatchFabric::remove(RowId row) {
+  std::lock_guard<std::mutex> lock(rows_mu_);
+  if (row >= rows_.size()) return;
+  bool removed_any = false;
+  for (auto& [shard_index, unit] : rows_[row]) {
+    Shard& shard = *shards_[shard_index];
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    if (!unit->alive.load(std::memory_order_relaxed)) continue;
+    removed_any = true;
+    // Tombstone: matches stop emitting the unit immediately; its index
+    // footprint is folded away by the next rebuild.
+    unit->alive.store(false, std::memory_order_relaxed);
+    --shard.live_units;
+    ++shard.dead_since_rebuild;
+    const ShardSnapshot* cur = shard.owner.get();
+    const std::size_t core_size =
+        cur != nullptr && cur->core != nullptr ? cur->core->roots.size() : 0;
+    if (shard.dead_since_rebuild > overlay_threshold(core_size)) {
+      rebuild_locked(shard);
+    }
+  }
+  if (removed_any) --live_rows_;
+}
+
+std::int32_t MatchFabric::find_root(const Shard& shard,
+                                    const std::vector<CoreRoot>& roots,
+                                    const FilterSignature& sig,
+                                    std::size_t max_probe, bool* equal) {
+  *equal = false;
+  const auto eq = shard.roots_by_hash.find(sig.hash());
+  if (eq != shard.roots_by_hash.end()) {
+    for (const std::uint32_t k : eq->second) {
+      if (roots[k].unit->sig.equivalent(sig)) {
+        *equal = true;
+        return static_cast<std::int32_t>(k);
+      }
+    }
+  }
+  std::size_t probes = 0;
+  std::int32_t found = -1;
+  auto probe_anchor = [&](const std::string& anchor) {
+    const auto it = shard.roots_by_anchor.find(anchor);
+    if (it == shard.roots_by_anchor.end()) return false;
+    for (const std::uint32_t k : it->second) {
+      if (probes++ >= max_probe) return true;  // Give up, stay a root.
+      if (roots[k].unit->sig.covers(sig)) {
+        found = static_cast<std::int32_t>(k);
+        return true;
+      }
+    }
+    return false;
+  };
+  // A coverer constrains a subset of sig's attributes, so its anchor (its
+  // smallest constrained name) is one of sig's names — or "" (wildcards).
+  static const std::string kNoAnchor;
+  if (probe_anchor(kNoAnchor)) return found;
+  for (const NumericConstraint& nc : sig.numeric_constraints()) {
+    if (probe_anchor(nc.name)) return found;
+  }
+  for (const StringConstraint& sc : sig.string_constraints()) {
+    if (probe_anchor(sc.name)) return found;
+  }
+  return found;
+}
+
+void MatchFabric::install_unit(
+    std::size_t shard_index, const Filter& filter, FilterSignature sig,
+    RowId row, std::vector<std::pair<std::uint32_t, Unit*>>& placed) {
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.units.emplace_back(filter, std::move(sig), row);
+  Unit* unit = &shard.units.back();
+  ++shard.live_units;
+  placed.emplace_back(static_cast<std::uint32_t>(shard_index), unit);
+
+  const ShardSnapshot* cur = shard.owner.get();
+  const std::size_t core_size =
+      cur != nullptr && cur->core != nullptr ? cur->core->roots.size() : 0;
+  const std::size_t overlay_len = (cur != nullptr ? cur->overlay_len : 0) + 1;
+  if (overlay_len > overlay_threshold(core_size)) {
+    rebuild_locked(shard);  // Folds the new unit in with everything else.
+    return;
+  }
+
+  std::int32_t core_root = -1;
+  bool equal = false;
+  if (options_.covering && cur != nullptr && cur->core != nullptr) {
+    core_root = find_root(shard, cur->core->roots, unit->sig,
+                          options_.max_cover_probe, &equal);
+  }
+  auto node = std::make_shared<OverlayNode>();
+  node->next = cur != nullptr ? cur->overlay : nullptr;
+  node->unit = unit;
+  node->core_root = core_root;
+  node->equal = equal;
+  auto snapshot = std::make_shared<ShardSnapshot>();
+  snapshot->core = cur != nullptr ? cur->core : nullptr;
+  snapshot->overlay = std::move(node);
+  snapshot->overlay_len = overlay_len;
+  publish_locked(shard, std::move(snapshot));
+}
+
+void MatchFabric::rebuild_locked(Shard& shard) {
+  auto core = std::make_shared<CoreIndex>();
+  shard.roots_by_hash.clear();
+  shard.roots_by_anchor.clear();
+  // Greedy, insertion-ordered root selection: a unit joins the first
+  // existing root that equals or covers it, else becomes a root itself.
+  for (Unit& unit : shard.units) {
+    if (!unit.alive.load(std::memory_order_relaxed)) continue;
+    std::int32_t root = -1;
+    bool equal = false;
+    if (options_.covering) {
+      root = find_root(shard, core->roots, unit.sig, options_.max_cover_probe,
+                       &equal);
+    }
+    if (root >= 0) {
+      core->roots[static_cast<std::size_t>(root)].members.push_back(
+          CoreMember{&unit, equal});
+      continue;
+    }
+    const auto ordinal = static_cast<std::uint32_t>(core->roots.size());
+    const SubscriptionIndex::EntryId id = core->index.add(unit.filter);
+    assert(id == ordinal && "core index ids must mirror root ordinals");
+    (void)id;
+    core->roots.push_back(CoreRoot{&unit, {}});
+    shard.roots_by_hash[unit.sig.hash()].push_back(ordinal);
+    shard.roots_by_anchor[unit.sig.anchor_attribute()].push_back(ordinal);
+  }
+  core->index.finalize();
+  shard.dead_since_rebuild = 0;
+  ++shard.rebuilds;
+  auto snapshot = std::make_shared<ShardSnapshot>();
+  snapshot->core = std::move(core);
+  publish_locked(shard, std::move(snapshot));
+}
+
+void MatchFabric::publish_locked(
+    Shard& shard, std::shared_ptr<const ShardSnapshot> snapshot) {
+  // Order matters: swap the read pointer first, then epoch-retire the old
+  // snapshot — EpochDomain's protocol requires the object be unreachable
+  // to new pins before its retire stamp is taken.
+  shard.published.store(snapshot.get(), std::memory_order_seq_cst);
+  std::shared_ptr<const ShardSnapshot> old = std::move(shard.owner);
+  shard.owner = std::move(snapshot);
+  ++shard.publications;
+  domain_->retire(std::move(old));
+}
+
+const std::vector<RowId>& MatchFabric::match(const Message& message,
+                                             MatchScratch& scratch) const {
+  scratch.bind(*domain_);
+  ++scratch.row_generation_;
+  if (scratch.row_generation_ == 0) {
+    std::fill(scratch.row_gen_.begin(), scratch.row_gen_.end(), 0u);
+    scratch.row_generation_ = 1;
+  }
+  const std::uint32_t row_generation = scratch.row_generation_;
+  scratch.result_.clear();
+
+  // Pinned for the whole fan-out: every shard snapshot loaded below stays
+  // alive until the pin drops, however long the match takes.
+  EpochDomain::Pin pin(*domain_, *scratch.slot_);
+
+  auto emit = [&](const Unit* unit, bool needs_eval) {
+    if (!unit->alive.load(std::memory_order_relaxed)) return;
+    if (scratch.row_gen_.size() <= unit->row) {
+      scratch.row_gen_.resize(unit->row + 1, 0u);
+    }
+    if (scratch.row_gen_[unit->row] == row_generation) return;
+    if (needs_eval && !unit->filter.matches(message)) return;
+    scratch.row_gen_[unit->row] = row_generation;
+    scratch.result_.push_back(unit->row);
+  };
+
+  for (const auto& shard : shards_) {
+    const ShardSnapshot* snap =
+        shard->published.load(std::memory_order_seq_cst);
+    if (snap == nullptr) continue;
+
+    std::uint32_t root_generation = 0;
+    if (snap->core != nullptr) {
+      const std::vector<CoreRoot>& roots = snap->core->roots;
+      if (scratch.root_gen_.size() < roots.size()) {
+        scratch.root_gen_.resize(roots.size(), 0u);
+      }
+      ++scratch.root_generation_;
+      if (scratch.root_generation_ == 0) {
+        std::fill(scratch.root_gen_.begin(), scratch.root_gen_.end(), 0u);
+        scratch.root_generation_ = 1;
+      }
+      root_generation = scratch.root_generation_;
+
+      // A core hit is exact: the root's own row needs no re-evaluation,
+      // equal members ride along for free, covered members are checked
+      // directly — but only ever on a root hit.
+      for (const SubscriptionIndex::EntryId k :
+           snap->core->index.match(message, scratch.index_scratch_)) {
+        scratch.root_gen_[k] = root_generation;
+        const CoreRoot& root = roots[k];
+        emit(root.unit, /*needs_eval=*/false);
+        for (const CoreMember& member : root.members) {
+          emit(member.unit, /*needs_eval=*/!member.equal);
+        }
+      }
+    }
+
+    // One overlay walk per shard: members piggyback on the root marks set
+    // above, standalone units are evaluated directly.
+    for (const OverlayNode* node = snap->overlay.get(); node != nullptr;
+         node = node->next.get()) {
+      if (node->core_root >= 0) {
+        if (root_generation != 0 &&
+            scratch.root_gen_[static_cast<std::size_t>(node->core_root)] ==
+                root_generation) {
+          emit(node->unit, /*needs_eval=*/!node->equal);
+        }
+      } else {
+        emit(node->unit, /*needs_eval=*/true);
+      }
+    }
+  }
+
+  // Canonical match order: ascending row id (shared with RoutingFabric's
+  // reference engine so the two are byte-comparable downstream).
+  std::sort(scratch.result_.begin(), scratch.result_.end());
+  return scratch.result_;
+}
+
+MatchFabric::Stats MatchFabric::stats() const {
+  Stats stats;
+  std::lock_guard<std::mutex> lock(rows_mu_);
+  stats.total_rows = rows_.size();
+  stats.live_rows = live_rows_;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    stats.live_units += shard.live_units;
+    stats.rebuilds += shard.rebuilds;
+    stats.publications += shard.publications;
+    const ShardSnapshot* snap = shard.owner.get();
+    if (snap == nullptr) continue;
+    if (snap->core != nullptr) {
+      stats.index_roots += snap->core->roots.size();
+      for (const CoreRoot& root : snap->core->roots) {
+        for (const CoreMember& member : root.members) {
+          if (!member.unit->alive.load(std::memory_order_relaxed)) continue;
+          member.equal ? ++stats.equal_members : ++stats.covered_members;
+        }
+      }
+    }
+    for (const OverlayNode* node = snap->overlay.get(); node != nullptr;
+         node = node->next.get()) {
+      ++stats.overlay_units;
+      if (node->core_root < 0) {
+        ++stats.index_roots;
+      } else if (node->unit->alive.load(std::memory_order_relaxed)) {
+        node->equal ? ++stats.equal_members : ++stats.covered_members;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace bdps::matching

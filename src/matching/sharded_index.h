@@ -1,0 +1,256 @@
+// Sharded, snapshot-published, covering-compressed matching fabric.
+//
+// A broker carrying ~10^6 subscriptions cannot serve them from one mutable
+// counting index: every add re-sorts shared predicate runs, every match
+// races every add, and near-duplicate filters (the common case — popular
+// attributes draw popular thresholds) each pay full index freight.  The
+// fabric splits the problem three ways:
+//
+//   * SHARDING — filters are partitioned by hash of their most selective
+//     indexed attribute (FilterSignature::selective_attribute); filters
+//     with no indexable constraint land in a dedicated fallback shard.
+//     An add or remove touches exactly one shard; a match fans across all
+//     shards reusing one caller-owned scratch.
+//
+//   * SNAPSHOT READS — each shard publishes an immutable ShardSnapshot
+//     through an atomic pointer guarded by an EpochDomain (snapshot.h).
+//     Readers pin an epoch once per match and never take a lock; writers
+//     rebuild or extend off the read path and swap.  A snapshot is a
+//     finalized core counting index over *covering roots* plus a small
+//     persistent-list overlay of recent adds; when the overlay outgrows
+//     max(rebuild_min, min(rebuild_cap, core/rebuild_divisor)) the writer
+//     folds everything into a fresh core (amortised O(1) index work per
+//     add).  Removals tombstone the unit's atomic alive flag — visible
+//     immediately, reclaimed at the next rebuild.
+//
+//   * COVERING/MERGING — a new filter provably implied by an existing
+//     root (FilterSignature::covers, exact over the interval+string
+//     conjunct language, conservative otherwise) is stored as a *member*
+//     of that root instead of a new index entry: the root row acts as the
+//     covering row, its member list as the refcount.  Signature-equivalent
+//     members are emitted on a root hit with no re-evaluation at all;
+//     strictly-covered members are direct-evaluated only when their root
+//     hits.  Because every member still emits its own RowId, merging is
+//     loss-free for row-exact consumers (the kernel's per-row scoring, the
+//     golden matrices) and therefore safe fabric-wide, not just per next
+//     hop; the compression shows up as index entries per live row.
+//
+// match() returns row ids in ascending order — the fabric's (and
+// RoutingFabric's) canonical match order, so reference and sharded engines
+// are byte-comparable.
+//
+// Thread-safety: match() is lock-free and safe from any number of threads,
+// each with its own MatchScratch.  add()/remove() serialise on internal
+// mutexes and may run concurrently with matches (a concurrent match sees
+// the row either way — both linearisations are valid).  Unit storage is
+// append-only for the fabric's lifetime: removed rows stop matching but
+// their memory is reclaimed only by shard rebuilds' root lists, not
+// returned to the allocator (bounded by total adds).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "matching/signature.h"
+#include "matching/snapshot.h"
+#include "message/index.h"
+
+namespace bdps::matching {
+
+using RowId = std::size_t;
+
+struct MatchFabricOptions {
+  /// Hash shards, plus one implicit fallback shard for non-indexable
+  /// filters (shard index 0).
+  std::size_t shards = 8;
+  /// Enables covering/equivalence merging; off, every filter is its own
+  /// index root (the differential-testing configuration).
+  bool covering = true;
+  /// Root candidates inspected per cover probe before conservatively
+  /// giving up (a missed cover only costs compression, never correctness).
+  std::size_t max_cover_probe = 32;
+  /// Overlay length that triggers a core rebuild:
+  /// max(rebuild_min, min(rebuild_cap, core_size / rebuild_divisor)).
+  /// rebuild_min bounds rebuild churn for small shards, rebuild_divisor
+  /// keeps total rebuild work O(divisor * adds), rebuild_cap bounds the
+  /// per-match overlay walk for huge shards.  The cap is the scale knob
+  /// that matters at 10^6 rows: once it clamps the geometric threshold
+  /// (core > cap * divisor per shard), total rebuild work degrades from
+  /// O(divisor * adds) to O(adds^2 / cap) — 16384 defers that onset to
+  /// ~10M subscriptions at the default shard count, and the longer
+  /// overlay it admits is cheap to walk (root-mark gated; see match()).
+  std::size_t rebuild_min = 64;
+  std::size_t rebuild_cap = 16384;
+  std::size_t rebuild_divisor = 8;
+};
+
+class MatchFabric;
+
+/// Caller-owned (one per reader thread) match state: the per-shard index
+/// scratch, row/root deduplication marks, the result buffer, and this
+/// reader's epoch slot.  Binds to a fabric's EpochDomain on first use and
+/// must not outlive that domain.
+class MatchScratch {
+ public:
+  MatchScratch() = default;
+  ~MatchScratch();
+  MatchScratch(const MatchScratch&) = delete;
+  MatchScratch& operator=(const MatchScratch&) = delete;
+
+ private:
+  friend class MatchFabric;
+
+  void bind(EpochDomain& domain);
+
+  SubscriptionIndex::Scratch index_scratch_;
+  std::vector<std::uint32_t> row_gen_;   // Dedupe rows across shards/units.
+  std::uint32_t row_generation_ = 0;
+  std::vector<std::uint32_t> root_gen_;  // Hit roots, per shard visit.
+  std::uint32_t root_generation_ = 0;
+  std::vector<RowId> result_;
+  EpochDomain* domain_ = nullptr;
+  EpochDomain::Slot* slot_ = nullptr;
+};
+
+class MatchFabric {
+ public:
+  struct Stats {
+    std::size_t live_rows = 0;
+    std::size_t total_rows = 0;       // Ids ever issued.
+    std::size_t live_units = 0;       // Disjunct conjunctions alive.
+    std::size_t index_roots = 0;      // Core roots + standalone overlay.
+    std::size_t equal_members = 0;    // Merged with zero eval cost.
+    std::size_t covered_members = 0;  // Evaluated only on root hits.
+    std::size_t overlay_units = 0;
+    std::size_t rebuilds = 0;
+    std::size_t publications = 0;
+    /// Live units per index entry — the covering compression ratio.
+    double compression() const {
+      return index_roots == 0
+                 ? 1.0
+                 : static_cast<double>(live_units) /
+                       static_cast<double>(index_roots);
+    }
+  };
+
+  /// `domain` may be shared across fabrics (e.g. one per-RoutingFabric
+  /// domain so a multi-broker match pins once); the fabric owns a private
+  /// domain when none is given.
+  explicit MatchFabric(MatchFabricOptions options = {},
+                       EpochDomain* domain = nullptr);
+  ~MatchFabric();
+  MatchFabric(const MatchFabric&) = delete;
+  MatchFabric& operator=(const MatchFabric&) = delete;
+
+  /// Registers a subscription (a conjunctive filter plus optional extra
+  /// disjuncts); returns a dense RowId.  Ids are never reused.
+  RowId add(const Filter& filter);
+  RowId add(const Filter& filter, const std::vector<Filter>& or_filters);
+
+  /// Tombstones a row: it stops matching immediately; its storage is
+  /// folded away by the owning shards' next rebuilds.  Idempotent.
+  void remove(RowId row);
+
+  /// Ids issued so far (== the exclusive upper bound of returned RowIds).
+  std::size_t row_bound() const {
+    return row_bound_.load(std::memory_order_acquire);
+  }
+
+  /// Row ids matching `message`, ascending, each exactly once.  Lock-free;
+  /// returns a reference into `scratch`.
+  const std::vector<RowId>& match(const Message& message,
+                                  MatchScratch& scratch) const;
+
+  Stats stats() const;
+
+  EpochDomain& domain() { return *domain_; }
+
+ private:
+  struct Unit {
+    Unit(Filter f, FilterSignature s, RowId r)
+        : filter(std::move(f)), sig(std::move(s)), row(r) {}
+    Filter filter;
+    FilterSignature sig;
+    RowId row;
+    std::atomic<bool> alive{true};
+  };
+
+  struct CoreMember {
+    const Unit* unit;
+    bool equal;  // Signature-equivalent to the root: emit without eval.
+  };
+  /// One core index entry: the covering unit and the rows it subsumes.
+  struct CoreRoot {
+    const Unit* unit;
+    std::vector<CoreMember> members;
+  };
+  struct CoreIndex {
+    SubscriptionIndex index;  // Finalized; EntryId k <-> roots[k].
+    std::vector<CoreRoot> roots;
+  };
+  /// Persistent (newest-first) overlay list: sharing the tail lets a
+  /// writer publish an extended overlay in O(1) without copying.
+  struct OverlayNode {
+    std::shared_ptr<const OverlayNode> next;
+    const Unit* unit;
+    std::int32_t core_root;  // >= 0: member of core root; -1: standalone.
+    bool equal;
+  };
+  struct ShardSnapshot {
+    ShardSnapshot() = default;
+    ~ShardSnapshot();  // Unlinks the overlay iteratively (no deep recursion).
+    std::shared_ptr<const CoreIndex> core;  // Null until the first rebuild.
+    std::shared_ptr<const OverlayNode> overlay;
+    std::size_t overlay_len = 0;
+  };
+  struct Shard {
+    std::mutex mu;  // Writers only; readers go through `published`.
+    std::atomic<const ShardSnapshot*> published{nullptr};
+    std::shared_ptr<const ShardSnapshot> owner;  // Keeps *published alive.
+    std::deque<Unit> units;  // Append-only, address-stable.
+    std::size_t live_units = 0;
+    std::size_t dead_since_rebuild = 0;
+    // Writer-side probe maps over the current core's roots.
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
+        roots_by_hash;
+    std::unordered_map<std::string, std::vector<std::uint32_t>>
+        roots_by_anchor;
+    std::size_t rebuilds = 0;
+    std::size_t publications = 0;
+  };
+
+  std::size_t shard_of(const FilterSignature& sig) const;
+  /// Root to merge `sig` under (shard.mu held): equivalence by hash first,
+  /// then a bounded cover probe over roots anchored at each of sig's
+  /// constrained attributes (plus "" for wildcard roots).  -1 when none.
+  static std::int32_t find_root(const Shard& shard,
+                                const std::vector<CoreRoot>& roots,
+                                const FilterSignature& sig,
+                                std::size_t max_probe, bool* equal);
+  void install_unit(std::size_t shard_index, const Filter& filter,
+                    FilterSignature sig, RowId row,
+                    std::vector<std::pair<std::uint32_t, Unit*>>& placed);
+  void rebuild_locked(Shard& shard);
+  void publish_locked(Shard& shard,
+                      std::shared_ptr<const ShardSnapshot> snapshot);
+  std::size_t overlay_threshold(std::size_t core_size) const;
+
+  MatchFabricOptions options_;
+  std::unique_ptr<EpochDomain> owned_domain_;
+  EpochDomain* domain_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // [0] is the fallback.
+
+  mutable std::mutex rows_mu_;
+  /// Row -> owning (shard, unit) pairs; one entry per disjunct.
+  std::vector<std::vector<std::pair<std::uint32_t, Unit*>>> rows_;
+  std::size_t live_rows_ = 0;
+  std::atomic<std::size_t> row_bound_{0};
+};
+
+}  // namespace bdps::matching

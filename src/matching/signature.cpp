@@ -1,0 +1,260 @@
+#include "matching/signature.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace bdps::matching {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Exact, deterministic rendering for the structural-equality fallback.
+/// Predicate::to_string goes through default iostream precision, which can
+/// render *different* operands identically — a false merge.  Hexfloat (and
+/// a type tag) is collision-free.
+std::string canonical_value_key(const Value& v) {
+  if (v.is_string()) return "s:" + v.as_string();
+  char buf[40];
+  if (v.is_int()) {
+    std::snprintf(buf, sizeof buf, "i:%lld",
+                  static_cast<long long>(v.as_int()));
+  } else {
+    std::snprintf(buf, sizeof buf, "d:%a", v.as_double());
+  }
+  return buf;
+}
+
+std::string canonical_predicate_key(const Predicate& p) {
+  std::string key = p.attribute;
+  key += '\x1f';
+  key += static_cast<char>('0' + static_cast<int>(p.op));
+  key += '\x1f';
+  key += canonical_value_key(p.operand);
+  if (p.op == Op::kInRange) {
+    key += '\x1f';
+    key += canonical_value_key(p.operand2);
+  }
+  return key;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s) {
+  h = fnv1a(h, s.data(), s.size());
+  return fnv1a(h, "\x1f", 1);
+}
+
+std::uint64_t fnv1a_double(std::uint64_t h, double d) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(d);
+  return fnv1a(h, &bits, sizeof bits);
+}
+
+/// Selectivity rank for selective_attribute(): lower is more selective.
+int constraint_rank(double lo, double hi) {
+  if (std::nextafter(lo, kInf) >= hi) return 0;  // Point (equality).
+  if (std::isfinite(lo) && std::isfinite(hi)) return 1;
+  return 2;  // Half-bounded.
+}
+
+}  // namespace
+
+FilterSignature FilterSignature::of(const Filter& filter) {
+  FilterSignature sig;
+
+  for (const Predicate& p : filter.predicates()) {
+    const bool indexable_operand =
+        p.operand.is_number() && std::isfinite(p.operand.as_double());
+    double lo = -kInf;
+    double hi = kInf;
+    bool canonical = false;
+    switch (p.op) {
+      case Op::kLt:
+      case Op::kLe:
+        if (indexable_operand) {
+          const double c = p.operand.as_double();
+          hi = p.op == Op::kLe ? std::nextafter(c, kInf) : c;
+          canonical = true;
+        }
+        break;
+      case Op::kGt:
+      case Op::kGe:
+        if (indexable_operand) {
+          const double c = p.operand.as_double();
+          lo = p.op == Op::kGe ? c : std::nextafter(c, kInf);
+          canonical = true;
+        }
+        break;
+      case Op::kEq:
+        if (indexable_operand) {
+          lo = p.operand.as_double();
+          hi = std::nextafter(lo, kInf);
+          canonical = true;
+        } else if (p.operand.is_string()) {
+          // Merge into the string constraints below.
+          bool merged = false;
+          for (StringConstraint& sc : sig.strs_) {
+            if (sc.name != p.attribute) continue;
+            merged = true;
+            if (sc.value != p.operand.as_string()) sig.never_ = true;
+          }
+          if (!merged) {
+            sig.strs_.push_back(
+                StringConstraint{p.attribute, p.operand.as_string()});
+          }
+          continue;
+        }
+        break;
+      case Op::kNe:
+      case Op::kInRange:
+        break;
+    }
+    if (!canonical) {
+      sig.exact_ = false;
+      sig.opaque_.push_back(canonical_predicate_key(p));
+      continue;
+    }
+    bool merged = false;
+    for (NumericConstraint& nc : sig.nums_) {
+      if (nc.name != p.attribute) continue;
+      merged = true;
+      nc.lo = std::max(nc.lo, lo);
+      nc.hi = std::min(nc.hi, hi);
+    }
+    if (!merged) sig.nums_.push_back(NumericConstraint{p.attribute, lo, hi});
+  }
+
+  // A value is a number or a string, never both: an attribute carrying
+  // constraints of both kinds is contradictory, as is an empty interval.
+  for (const NumericConstraint& nc : sig.nums_) {
+    if (!(nc.lo < nc.hi)) sig.never_ = true;
+    for (const StringConstraint& sc : sig.strs_) {
+      if (sc.name == nc.name) sig.never_ = true;
+    }
+  }
+
+  std::sort(sig.nums_.begin(), sig.nums_.end(),
+            [](const NumericConstraint& a, const NumericConstraint& b) {
+              return a.name < b.name;
+            });
+  std::sort(sig.strs_.begin(), sig.strs_.end(),
+            [](const StringConstraint& a, const StringConstraint& b) {
+              return a.name < b.name;
+            });
+  std::sort(sig.opaque_.begin(), sig.opaque_.end());
+
+  if (!sig.nums_.empty()) sig.anchor_ = sig.nums_.front().name;
+  if (!sig.strs_.empty() &&
+      (sig.anchor_.empty() || sig.strs_.front().name < sig.anchor_)) {
+    sig.anchor_ = sig.strs_.front().name;
+  }
+
+  // Most selective canonical constraint: string/point equality beats
+  // bounded intervals beats half-bounded; width then name break ties.
+  int best_rank = 3;
+  double best_width = kInf;
+  for (const NumericConstraint& nc : sig.nums_) {
+    const int rank = constraint_rank(nc.lo, nc.hi);
+    const double width = nc.hi - nc.lo;
+    if (rank < best_rank || (rank == best_rank && width < best_width) ||
+        (rank == best_rank && width == best_width &&
+         nc.name < sig.selective_)) {
+      best_rank = rank;
+      best_width = width;
+      sig.selective_ = nc.name;
+    }
+  }
+  for (const StringConstraint& sc : sig.strs_) {
+    if (0 < best_rank || (0 == best_rank && sc.name < sig.selective_)) {
+      best_rank = 0;
+      best_width = 0.0;
+      sig.selective_ = sc.name;
+    }
+  }
+
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const NumericConstraint& nc : sig.nums_) {
+    h = fnv1a_str(h, nc.name);
+    h = fnv1a_double(h, nc.lo);
+    h = fnv1a_double(h, nc.hi);
+  }
+  for (const StringConstraint& sc : sig.strs_) {
+    h = fnv1a_str(h, sc.name);
+    h = fnv1a_str(h, sc.value);
+  }
+  for (const std::string& op : sig.opaque_) h = fnv1a_str(h, op);
+  const unsigned char flags =
+      static_cast<unsigned char>((sig.exact_ ? 1 : 0) | (sig.never_ ? 2 : 0));
+  h = fnv1a(h, &flags, 1);
+  sig.hash_ = h;
+  return sig;
+}
+
+bool FilterSignature::covers(const FilterSignature& other) const {
+  // A provably empty filter is covered by anything.
+  if (other.never_) return true;
+  // An inexact coverer cannot reason about its opaque part; only full
+  // structural equality is safe.  A provably-empty coverer covers nothing
+  // non-empty.
+  if (!exact_ || never_) return equivalent(other);
+
+  // Every canonical constraint of the coverer must be implied by `other`'s
+  // canonical part (which over-approximates other's true match set, so
+  // containment of the relaxation implies containment of the truth).
+  for (const NumericConstraint& need : nums_) {
+    const auto it = std::lower_bound(
+        other.nums_.begin(), other.nums_.end(), need.name,
+        [](const NumericConstraint& nc, const std::string& name) {
+          return nc.name < name;
+        });
+    if (it == other.nums_.end() || it->name != need.name) return false;
+    if (!(it->lo >= need.lo && it->hi <= need.hi)) return false;
+  }
+  for (const StringConstraint& need : strs_) {
+    const auto it = std::lower_bound(
+        other.strs_.begin(), other.strs_.end(), need.name,
+        [](const StringConstraint& sc, const std::string& name) {
+          return sc.name < name;
+        });
+    if (it == other.strs_.end() || it->name != need.name) return false;
+    if (it->value != need.value) return false;
+  }
+  return true;
+}
+
+bool FilterSignature::equivalent(const FilterSignature& other) const {
+  if (hash_ != other.hash_ || exact_ != other.exact_ ||
+      never_ != other.never_ || nums_.size() != other.nums_.size() ||
+      strs_.size() != other.strs_.size() ||
+      opaque_.size() != other.opaque_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < nums_.size(); ++i) {
+    if (nums_[i].name != other.nums_[i].name ||
+        std::bit_cast<std::uint64_t>(nums_[i].lo) !=
+            std::bit_cast<std::uint64_t>(other.nums_[i].lo) ||
+        std::bit_cast<std::uint64_t>(nums_[i].hi) !=
+            std::bit_cast<std::uint64_t>(other.nums_[i].hi)) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < strs_.size(); ++i) {
+    if (strs_[i].name != other.strs_[i].name ||
+        strs_[i].value != other.strs_[i].value) {
+      return false;
+    }
+  }
+  return std::equal(opaque_.begin(), opaque_.end(), other.opaque_.begin());
+}
+
+}  // namespace bdps::matching

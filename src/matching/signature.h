@@ -1,0 +1,119 @@
+// Canonical filter signatures: the covering/merging algebra.
+//
+// Content-based pub/sub tables are dominated by near-duplicate filters —
+// popular attributes draw popular thresholds — and a broker that stores
+// every duplicate re-propagates, re-indexes and re-scores the same
+// predicate thousands of times.  Covering is the classic fix: when a new
+// subscription's filter is *implied* by an existing one toward the same
+// next hop, the table keeps one covering row with a refcount instead of a
+// new row.
+//
+// The implication check works on a canonical interval form of the index's
+// conjunct language (message/index.h): every finite numeric comparison or
+// equality folds into one half-open interval [lo, hi) per attribute (the
+// same nextafter folding the counting index uses for inclusive bounds),
+// string equalities become exact (attribute, value) constraints, and
+// everything else — kNe, kInRange, string orderings, non-finite operands —
+// stays an *opaque* predicate.  Over the interval+string part the check is
+// exact; opaque predicates make a signature conservative:
+//
+//   * an inexact filter can still BE covered (dropping its opaque
+//     predicates only enlarges its match set, so containment of the
+//     relaxed form implies containment of the true form), but
+//   * an inexact filter never covers anything except a structurally
+//     identical filter (we cannot reason about its opaque part).
+//
+// Missing-attribute semantics (a predicate on an absent attribute fails)
+// are what make attrs(coverer) ⊆ attrs(covered) necessary: a message
+// matching the covered filter must carry — and satisfy — every attribute
+// the coverer constrains.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "message/filter.h"
+
+namespace bdps::matching {
+
+/// One canonical numeric constraint: attribute value in [lo, hi).
+struct NumericConstraint {
+  std::string name;
+  double lo = 0.0;  // -inf encodes "unbounded below".
+  double hi = 0.0;  // +inf encodes "unbounded above".
+};
+
+/// One canonical string-equality constraint.
+struct StringConstraint {
+  std::string name;
+  std::string value;
+};
+
+class FilterSignature {
+ public:
+  FilterSignature() = default;
+
+  /// Canonicalizes `filter`: intersects per-attribute intervals, sorts
+  /// constraints by name, detects contradictions, and collects the opaque
+  /// remainder.
+  static FilterSignature of(const Filter& filter);
+
+  /// No predicates at all: matches every message (wildcard).
+  bool wildcard() const {
+    return nums_.empty() && strs_.empty() && opaque_.empty();
+  }
+  /// Canonical form proves the filter matches nothing (contradictory
+  /// constraints on one attribute).  Opaque predicates never set this.
+  bool never_matches() const { return never_; }
+  /// True when the canonical form captures the filter exactly (no opaque
+  /// predicates) — the precondition for this signature to cover others.
+  bool exact() const { return exact_; }
+
+  /// match(other) ⊆ match(this), decided conservatively: false only means
+  /// "not provably covered".  Requires exact() on this side (or full
+  /// structural equality); other may be inexact — see the header comment.
+  bool covers(const FilterSignature& other) const;
+
+  /// Same canonical form *and* same opaque remainder: the two filters are
+  /// interchangeable for matching (an exact-equality merge needs no
+  /// re-evaluation of the merged filter, ever).
+  bool equivalent(const FilterSignature& other) const;
+
+  /// Hash of the full canonical form; equivalent() signatures hash alike,
+  /// so it keys the exact-duplicate merge map.
+  std::uint64_t hash() const { return hash_; }
+
+  /// Lexicographically smallest constrained attribute name — the shard /
+  /// cover-candidate key.  Empty for wildcards and for signatures whose
+  /// only predicates are opaque.
+  const std::string& anchor_attribute() const { return anchor_; }
+
+  /// The attribute of the *most selective* canonical constraint: string
+  /// and point equalities beat bounded intervals beat half-bounded ones;
+  /// interval width breaks ties, name order makes it deterministic.  Empty
+  /// when nothing is canonical — such filters go to the fallback shard.
+  const std::string& selective_attribute() const { return selective_; }
+
+  const std::vector<NumericConstraint>& numeric_constraints() const {
+    return nums_;
+  }
+  const std::vector<StringConstraint>& string_constraints() const {
+    return strs_;
+  }
+  /// Canonical renderings of the opaque predicates (sorted), used for the
+  /// structural-equality fallback.
+  const std::vector<std::string>& opaque_predicates() const { return opaque_; }
+
+ private:
+  std::vector<NumericConstraint> nums_;  // Sorted by name, one per name.
+  std::vector<StringConstraint> strs_;   // Sorted by name, one per name.
+  std::vector<std::string> opaque_;      // Sorted canonical renderings.
+  std::string anchor_;
+  std::string selective_;
+  bool exact_ = true;
+  bool never_ = false;
+  std::uint64_t hash_ = 0;
+};
+
+}  // namespace bdps::matching

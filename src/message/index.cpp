@@ -1,6 +1,7 @@
 #include "message/index.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 
@@ -8,7 +9,6 @@ namespace bdps {
 
 SubscriptionIndex::EntryId SubscriptionIndex::add(const Filter& filter) {
   const EntryId external = external_count_++;
-  external_generation_.push_back(0);
   add_internal(filter, external);
   return external;
 }
@@ -38,10 +38,15 @@ void SubscriptionIndex::add_internal(const Filter& filter, EntryId external) {
   required_.push_back(static_cast<std::uint32_t>(entry.indexed_predicates));
   external_of_.push_back(static_cast<std::uint32_t>(external));
   needs_direct_.push_back(entry.direct_predicates > 0 ? 1 : 0);
-  counter_gen_.push_back(0);
   // Numeric predicate lists are (re)sorted lazily on the next match();
   // sorting per add would make bulk installation quadratic.
   sorted_ = false;
+}
+
+void SubscriptionIndex::finalize() {
+  ensure_sorted();
+  rebuild_direct_only_cache();
+  rebuild_entry_map();
 }
 
 void SubscriptionIndex::ensure_sorted() const {
@@ -139,40 +144,64 @@ void SubscriptionIndex::index_predicate(const Predicate& predicate,
 const std::vector<SubscriptionIndex::EntryId>& SubscriptionIndex::match(
     const Message& message) const {
   ensure_sorted();
-  // Start a fresh generation; counters and external marks are reset lazily
-  // on first touch.
-  ++current_generation_;
-  if (current_generation_ == 0) {
-    // Wrapped around: hard-reset so stale generations cannot alias.
-    std::fill(counter_gen_.begin(), counter_gen_.end(), std::uint64_t{0});
-    std::fill(external_generation_.begin(), external_generation_.end(), 0u);
-    current_generation_ = 1;
+  rebuild_direct_only_cache();
+  return match_core(message, scratch_);
+}
+
+const std::vector<SubscriptionIndex::EntryId>& SubscriptionIndex::match(
+    const Message& message, Scratch& scratch) const {
+  // The const overload must never fall back to the lazy (mutating) cache
+  // rebuilds — finalize() is the builder's hand-off point to readers.
+  assert(finalized() &&
+         "SubscriptionIndex::match(message, scratch) requires finalize()");
+  return match_core(message, scratch);
+}
+
+const std::vector<SubscriptionIndex::EntryId>& SubscriptionIndex::match_core(
+    const Message& message, Scratch& scratch) const {
+  // Adapt the scratch to this index (grow-only; a fresh generation makes
+  // any stale state unreadable) and start a new generation.  Counters and
+  // external marks are reset lazily on first touch.
+  if (scratch.counter_gen.size() < entries_.size()) {
+    scratch.counter_gen.resize(entries_.size(), 0);
   }
-  candidates_.clear();
-  result_.clear();
+  if (scratch.external_generation.size() < external_count_) {
+    scratch.external_generation.resize(external_count_, 0);
+  }
+  ++scratch.generation;
+  if (scratch.generation == 0) {
+    // Wrapped around: hard-reset so stale generations cannot alias.
+    std::fill(scratch.counter_gen.begin(), scratch.counter_gen.end(),
+              std::uint64_t{0});
+    std::fill(scratch.external_generation.begin(),
+              scratch.external_generation.end(), 0u);
+    scratch.generation = 1;
+  }
+  const std::uint32_t generation = scratch.generation;
+  scratch.candidates.clear();
+  scratch.result.clear();
 
   // One satisfied predicate for internal entry `id`.  The per-entry word
   // packs (generation << 32 | count): a stale generation resets the count
-  // in-register, and the entry joins candidates_ exactly once — the moment
-  // its count crosses its predicate total.
-  const std::uint64_t tagged =
-      static_cast<std::uint64_t>(current_generation_) << 32;
+  // in-register, and the entry joins the candidates exactly once — the
+  // moment its count crosses its predicate total.
+  const std::uint64_t tagged = static_cast<std::uint64_t>(generation) << 32;
   auto bump = [&](InternalId id) {
-    std::uint64_t cg = counter_gen_[id];
-    if ((cg >> 32) != current_generation_) cg = tagged;
+    std::uint64_t cg = scratch.counter_gen[id];
+    if ((cg >> 32) != generation) cg = tagged;
     ++cg;
-    counter_gen_[id] = cg;
+    scratch.counter_gen[id] = cg;
     if (static_cast<std::uint32_t>(cg) == required_[id]) {
-      candidates_.push_back(id);
+      scratch.candidates.push_back(id);
     }
   };
 
   // Emits an external id into the (reused) result buffer at most once per
   // match — generation marks replace the former sort + unique pass.
-  auto emit = [this](EntryId external) {
-    if (external_generation_[external] == current_generation_) return;
-    external_generation_[external] = current_generation_;
-    result_.push_back(external);
+  auto emit = [&](EntryId external) {
+    if (scratch.external_generation[external] == generation) return;
+    scratch.external_generation[external] = generation;
+    scratch.result.push_back(external);
   };
 
   for (const auto& attribute : message.head()) {
@@ -222,7 +251,7 @@ const std::vector<SubscriptionIndex::EntryId>& SubscriptionIndex::match(
     emit(external_of_[id]);
   }
 
-  for (const InternalId id : candidates_) {
+  for (const InternalId id : scratch.candidates) {
     if (needs_direct_[id] && !entries_[id].filter.matches(message)) {
       continue;
     }
@@ -230,30 +259,39 @@ const std::vector<SubscriptionIndex::EntryId>& SubscriptionIndex::match(
   }
 
   // Entries with no indexable predicate are never counted; scan directly.
-  rebuild_direct_only_cache();
   for (const EntryId id : direct_only_) {
     if (entries_[id].filter.matches(message)) {
       emit(external_of_[id]);
     }
   }
 
-  return result_;
+  // Canonical ascending-id order.  Matched ids feed order-sensitive
+  // floating-point reductions (kernel scoring sums, the simulator's
+  // matched-price totals), so every matching engine — this index, the
+  // sharded fabric — must emit in one agreed order to stay bitwise
+  // comparable.
+  std::sort(scratch.result.begin(), scratch.result.end());
+
+  return scratch.result;
 }
 
 bool SubscriptionIndex::matches_entry(EntryId id,
                                       const Message& message) const {
   if (id >= external_count_) return false;
-  if (!entry_map_valid_) {
-    internal_by_external_.assign(external_count_, {});
-    for (EntryId internal = 0; internal < entries_.size(); ++internal) {
-      internal_by_external_[entries_[internal].external].push_back(internal);
-    }
-    entry_map_valid_ = true;
-  }
+  rebuild_entry_map();
   for (const EntryId internal : internal_by_external_[id]) {
     if (entries_[internal].filter.matches(message)) return true;
   }
   return false;
+}
+
+void SubscriptionIndex::rebuild_entry_map() const {
+  if (entry_map_valid_) return;
+  internal_by_external_.assign(external_count_, {});
+  for (EntryId internal = 0; internal < entries_.size(); ++internal) {
+    internal_by_external_[entries_[internal].external].push_back(internal);
+  }
+  entry_map_valid_ = true;
 }
 
 void SubscriptionIndex::rebuild_direct_only_cache() const {

@@ -55,6 +55,20 @@ class SubscriptionIndex {
  public:
   using EntryId = std::size_t;
 
+  /// Caller-owned match state, for concurrent readers over one *finalized*
+  /// index (snapshot matching: many reactor workers share an immutable
+  /// index, each bringing its own Scratch).  A Scratch adapts to any index
+  /// it is handed — arrays grow on demand and the per-call generation bump
+  /// makes stale state from another index (or a previous call) unreadable —
+  /// so one Scratch can serve every shard of a sharded fabric in turn.
+  struct Scratch {
+    std::vector<std::uint64_t> counter_gen;
+    std::vector<std::uint32_t> external_generation;
+    std::vector<std::uint32_t> candidates;
+    std::vector<EntryId> result;
+    std::uint32_t generation = 0;
+  };
+
   SubscriptionIndex() = default;
 
   /// Registers a filter; returns a dense id that match() reports back.
@@ -68,14 +82,33 @@ class SubscriptionIndex {
   /// Number of distinct ids (not internal disjuncts).
   std::size_t size() const { return external_count_; }
 
+  /// Sorts the numeric runs and builds every lazy cache now, so that the
+  /// const match(message, scratch) overload never has to mutate the index.
+  /// Call after the last add when the index is handed to concurrent
+  /// readers; add()/add_disjunct() invalidate it again.
+  void finalize();
+  bool finalized() const {
+    return sorted_ && direct_only_cache_valid_ && entry_map_valid_;
+  }
+
   /// Returns the ids of all subscriptions matching `message`, each exactly
-  /// once (even when several disjuncts fire), in unspecified — but
-  /// deterministic — order.  The reference points into a scratch buffer
-  /// reused by the next match() call on this index; copy it to keep it.
+  /// once (even when several disjuncts fire), in ascending id order (the
+  /// canonical match order every engine emits, keeping order-sensitive
+  /// floating-point consumers bitwise comparable across engines).  The
+  /// reference points into a scratch buffer reused by the next match()
+  /// call on this index; copy it to keep it.
   const std::vector<EntryId>& match(const Message& message) const;
+
+  /// Pure-read variant against caller-owned scratch: requires finalized().
+  /// Touches no index state, so any number of threads may match the same
+  /// index concurrently as long as each brings its own Scratch.  Returns a
+  /// reference to scratch.result.
+  const std::vector<EntryId>& match(const Message& message,
+                                    Scratch& scratch) const;
 
   /// Direct evaluation of one registered id across its disjuncts (used by
   /// tests and fallback paths); only this id's filters are consulted.
+  /// Read-only (and thus thread-safe) once finalized.
   bool matches_entry(EntryId id, const Message& message) const;
 
  private:
@@ -120,7 +153,10 @@ class SubscriptionIndex {
                        Entry& entry);
   void add_internal(const Filter& filter, EntryId external);
   void rebuild_direct_only_cache() const;
+  void rebuild_entry_map() const;
   void ensure_sorted() const;
+  const std::vector<EntryId>& match_core(const Message& message,
+                                         Scratch& scratch) const;
 
   std::size_t external_count_ = 0;
 
@@ -146,15 +182,11 @@ class SubscriptionIndex {
   // Entries with no indexable predicate; rebuilt lazily after adds.
   mutable std::vector<EntryId> direct_only_;
   mutable bool direct_only_cache_valid_ = true;
-  // Scratch state sized to entries_ / external_count_; mutable so match()
-  // stays const.  Each internal entry packs (generation << 32 | count) in
-  // one word, so a bump is a single load/store with lazy reset; an entry
-  // joins candidates_ the instant its count crosses its predicate total.
-  mutable std::vector<std::uint64_t> counter_gen_;
-  mutable std::vector<std::uint32_t> external_generation_;
-  mutable std::vector<InternalId> candidates_;
-  mutable std::vector<EntryId> result_;
-  mutable std::uint32_t current_generation_ = 0;
+  // Internal scratch backing the classic match() overload; the per-entry
+  // word packs (generation << 32 | count), so a bump is a single load/store
+  // with lazy reset.  Mutable so match() stays const; external-scratch
+  // callers never touch it.
+  mutable Scratch scratch_;
 };
 
 }  // namespace bdps

@@ -1,4 +1,20 @@
 #include "message/message.h"
 
-// Message is header-only today; this TU anchors the header in the build so
-// include hygiene is checked even when no out-of-line member exists.
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+namespace bdps {
+
+bool head_has_unique_attribute_names(const std::vector<Attribute>& head) {
+  if (head.size() < 2) return true;
+  // Heads are tiny (a handful of attributes); a sorted name-view scan beats
+  // hashing and allocates only the view array.
+  std::vector<std::string_view> names;
+  names.reserve(head.size());
+  for (const Attribute& attr : head) names.emplace_back(attr.name);
+  std::sort(names.begin(), names.end());
+  return std::adjacent_find(names.begin(), names.end()) == names.end();
+}
+
+}  // namespace bdps

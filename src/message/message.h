@@ -20,6 +20,15 @@ struct Attribute {
   Value value;
 };
 
+/// True when every attribute name occurs at most once in `head`.  Heads
+/// with repeated names are legal messages, but they sit outside the
+/// counting index's equivalence contract (message/index.h: Message::find
+/// consults only the first occurrence while the counting pass sees every
+/// occurrence) — construction paths that feed the matching engine assert
+/// this in debug builds, and tests/message/index_boundary_test.cpp pins
+/// the documented divergence.
+bool head_has_unique_attribute_names(const std::vector<Attribute>& head);
+
 class Message {
  public:
   Message() = default;

@@ -1,6 +1,7 @@
 #include "net/wire.h"
 
 #include <bit>
+#include <cassert>
 #include <cstring>
 
 namespace bdps {
@@ -214,6 +215,9 @@ Message read_message(Reader& r) {
     attr.value = read_value(r);
     head.push_back(std::move(attr));
   }
+  // Decoded heads feed the matching engines, whose equivalence contract
+  // requires unique attribute names (message/message.h).
+  assert(head_has_unique_attribute_names(head));
   return Message(id, publisher, publish_time, size_kb, std::move(head),
                  allowed_delay);
 }

@@ -1,6 +1,7 @@
 #include "routing/fabric.h"
 
 #include <algorithm>
+#include <cassert>
 #include <set>
 #include <stdexcept>
 
@@ -47,7 +48,20 @@ RoutingFabric::RoutingFabric(const Topology& topology,
   }
   const std::size_t n = topology.graph.broker_count();
   tables_.resize(n);
-  broker_indexes_.resize(n);
+  if (options_.engine == MatchEngine::kReference) {
+    broker_indexes_.resize(n);
+  } else {
+    matching::MatchFabricOptions match_options;
+    match_options.shards = options_.match_shards;
+    match_options.covering = options_.covering;
+    broker_fabrics_.resize(n);
+    broker_scratches_.resize(n);
+    for (std::size_t b = 0; b < n; ++b) {
+      broker_fabrics_[b] = std::make_unique<matching::MatchFabric>(
+          match_options, &match_domain_);
+      broker_scratches_[b] = std::make_unique<matching::MatchScratch>();
+    }
+  }
   if (options_.repairable) {
     graph_ = topology.graph;
     publisher_edges_ = topology.publisher_edges;
@@ -138,12 +152,7 @@ RoutingFabric::RoutingFabric(const Topology& topology,
             broker, static_cast<std::uint32_t>(tables_[broker].size())});
       }
       tables_[broker].add(entry);
-      {
-        const auto id = broker_indexes_[broker].add(sub.filter);
-        for (const Filter& f : sub.or_filters) {
-          broker_indexes_[broker].add_disjunct(id, f);
-        }
-      }
+      install_match_row(broker, sub);
 
       const auto alt_it = alt_hops.find(broker);
       if (alt_it != alt_hops.end()) {
@@ -156,10 +165,7 @@ RoutingFabric::RoutingFabric(const Topology& topology,
           alt_entry.next_hop_edge = topology.graph.edge_id(broker, alt);
           alt_entry.path = alt_stats;
           tables_[broker].add(alt_entry);
-          const auto alt_id = broker_indexes_[broker].add(sub.filter);
-          for (const Filter& f : sub.or_filters) {
-            broker_indexes_[broker].add_disjunct(alt_id, f);
-          }
+          install_match_row(broker, sub);
         }
       }
     }
@@ -173,6 +179,22 @@ RoutingFabric::RoutingFabric(const Topology& topology,
   }
 }
 
+void RoutingFabric::install_match_row(BrokerId broker,
+                                      const Subscription& sub) {
+  if (options_.engine == MatchEngine::kReference) {
+    const auto id = broker_indexes_[broker].add(sub.filter);
+    for (const Filter& f : sub.or_filters) {
+      broker_indexes_[broker].add_disjunct(id, f);
+    }
+    return;
+  }
+  const matching::RowId row =
+      broker_fabrics_[broker]->add(sub.filter, sub.or_filters);
+  (void)row;
+  assert(row + 1 == tables_[broker].size() &&
+         "matching row ids must mirror table row indices");
+}
+
 std::vector<const SubscriptionEntry*> RoutingFabric::match_at(
     BrokerId broker, const Message& message) const {
   std::vector<const SubscriptionEntry*> matched;
@@ -183,17 +205,35 @@ std::vector<const SubscriptionEntry*> RoutingFabric::match_at(
 void RoutingFabric::match_at(
     BrokerId broker, const Message& message,
     std::vector<const SubscriptionEntry*>& out) const {
+  if (options_.engine == MatchEngine::kReference) {
+    out.clear();
+    const SubscriptionTable& table = tables_[broker];
+    for (const auto id : broker_indexes_[broker].match(message)) {
+      out.push_back(&table.entries()[id]);
+    }
+    return;
+  }
+  match_at(broker, message, *broker_scratches_[broker], out);
+}
+
+void RoutingFabric::match_at(
+    BrokerId broker, const Message& message, matching::MatchScratch& scratch,
+    std::vector<const SubscriptionEntry*>& out) const {
+  if (options_.engine == MatchEngine::kReference) {
+    match_at(broker, message, out);
+    return;
+  }
   out.clear();
   const SubscriptionTable& table = tables_[broker];
-  for (const auto id : broker_indexes_[broker].match(message)) {
-    out.push_back(&table.entries()[id]);
+  for (const matching::RowId row :
+       broker_fabrics_[broker]->match(message, scratch)) {
+    out.push_back(&table.entries()[row]);
   }
 }
 
-std::vector<std::size_t> RoutingFabric::match_all(
+const std::vector<std::size_t>& RoutingFabric::match_all(
     const Message& message) const {
-  const auto& ids = global_index_.match(message);
-  return std::vector<std::size_t>(ids.begin(), ids.end());
+  return global_index_.match(message);
 }
 
 const ShortestPathTree& RoutingFabric::tree_toward(BrokerId home) const {
@@ -276,10 +316,7 @@ std::size_t RoutingFabric::reinstall(
     rows.push_back(RowRef{
         broker, static_cast<std::uint32_t>(tables_[broker].size())});
     tables_[broker].add(entry);
-    const auto id = broker_indexes_[broker].add(sub.filter);
-    for (const Filter& f : sub.or_filters) {
-      broker_indexes_[broker].add_disjunct(id, f);
-    }
+    install_match_row(broker, sub);
   }
   return installed.size();
 }

@@ -15,12 +15,27 @@
 #include <memory>
 #include <vector>
 
+#include "matching/sharded_index.h"
+#include "matching/snapshot.h"
 #include "message/index.h"
 #include "routing/spt.h"
 #include "routing/subscription.h"
 #include "topology/builders.h"
 
 namespace bdps {
+
+/// Which per-broker matching engine backs match_at.
+enum class MatchEngine {
+  /// One mutable counting index per broker (message/index.h) — the
+  /// original engine, kept as the differential oracle.  Concurrent
+  /// match_at calls are safe only for distinct brokers.
+  kReference,
+  /// Sharded, snapshot-published, covering-compressed fabric per broker
+  /// (matching/sharded_index.h) — the scaling engine and the default.
+  /// match_at is lock-free and safe from any number of threads, for any
+  /// brokers, when each caller brings its own matching::MatchScratch.
+  kSharded,
+};
 
 struct FabricOptions {
   /// Single-path routing (§3.3, the paper's choice) when false.  When true,
@@ -35,6 +50,21 @@ struct FabricOptions {
   /// incrementally as links fail and recover mid-run.  Incompatible with
   /// multipath (alternate rows are not repaired).
   bool repairable = false;
+  /// Per-broker matching engine.  Both emit identical row sets in the
+  /// canonical ascending-row order (golden-matrix pinned), so this only
+  /// trades mutation/concurrency behaviour against memory layout.
+  MatchEngine engine = MatchEngine::kSharded;
+  /// kSharded tuning: covering/equivalence merging and hash shard count
+  /// (plus the fabric's fallback shard; see MatchFabricOptions).  The
+  /// default is a single hash shard: per-broker tables here hold tens to
+  /// thousands of rows, where every extra shard is one more index walk on
+  /// the match path (match throughput is flat in shard count even at 100k
+  /// rows — BENCH_pr8.json shard_sweep — so fan-out only pays when
+  /// writers contend, not for these logically-const tables).  Million-row
+  /// single-fabric constructions (bench/tools) size MatchFabricOptions
+  /// directly.
+  bool covering = true;
+  std::size_t match_shards = 1;
 };
 
 class RoutingFabric {
@@ -42,10 +72,13 @@ class RoutingFabric {
   /// Builds tables for `topology` with the given subscriptions.  The fabric
   /// keeps its own copy of the subscriptions; entry pointers refer into it.
   ///
-  /// Thread-safety: after construction the fabric is logically const, but
-  /// match_at/match_all use per-index scratch state — concurrent calls are
-  /// safe only for *different* broker ids (the live runtime's one-thread-
-  /// per-broker layout) and match_all must not race with itself.
+  /// Thread-safety: after construction the fabric is logically const.  The
+  /// scratch-less match_at overload uses per-broker scratch state, so
+  /// concurrent calls are safe only for *different* broker ids (the live
+  /// runtime's broker-ownership layout) under either engine; with
+  /// MatchEngine::kSharded the scratch-taking overload is additionally
+  /// safe for the *same* broker from many threads (each caller its own
+  /// scratch).  match_all must not race with itself.
   RoutingFabric(const Topology& topology,
                 std::vector<Subscription> subscriptions,
                 FabricOptions options = {});
@@ -64,8 +97,8 @@ class RoutingFabric {
     return tables_[broker];
   }
 
-  /// Table rows of `broker` whose filters match `message` (uses the
-  /// broker's counting index).
+  /// Table rows of `broker` whose filters match `message`, in ascending
+  /// row order (the canonical match order of both engines).
   std::vector<const SubscriptionEntry*> match_at(BrokerId broker,
                                                  const Message& message) const;
 
@@ -74,10 +107,19 @@ class RoutingFabric {
   void match_at(BrokerId broker, const Message& message,
                 std::vector<const SubscriptionEntry*>& out) const;
 
+  /// Fully concurrent variant (kSharded): lock-free for any broker set as
+  /// long as each caller owns `scratch`.  Under kReference the scratch is
+  /// ignored and the distinct-brokers contract applies.
+  void match_at(BrokerId broker, const Message& message,
+                matching::MatchScratch& scratch,
+                std::vector<const SubscriptionEntry*>& out) const;
+
   /// Indices (into subscription(i)) of all subscriptions in the system
-  /// matching `message`; defines ts_i in eq. (1) and the earning ceiling of
-  /// eq. (2).
-  std::vector<std::size_t> match_all(const Message& message) const;
+  /// matching `message`, ascending; defines ts_i in eq. (1) and the
+  /// earning ceiling of eq. (2).  Returns a reference into a scratch
+  /// buffer reused by the next match_all call — copy to keep (callers on
+  /// the hot path iterate in place; see the thread-safety note above).
+  const std::vector<std::size_t>& match_all(const Message& message) const;
 
   /// The shortest-path tree toward a subscriber's home broker (shared by
   /// all subscriptions at that broker); mainly for tests and diagnostics.
@@ -109,12 +151,28 @@ class RoutingFabric {
   std::size_t reinstall(std::size_t sub_index, const ShortestPathTree& tree,
                         const std::vector<std::uint8_t>& changed);
 
+  /// Registers `sub`'s filters as the next matching row of `broker` under
+  /// the active engine; the returned/implied row id always equals the
+  /// broker table's row index (row-id alignment).
+  void install_match_row(BrokerId broker, const Subscription& sub);
+
   FabricOptions options_;
   std::vector<Subscription> subscriptions_;
   std::vector<SubscriptionTable> tables_;
   std::vector<SubscriptionIndex> broker_indexes_;
   SubscriptionIndex global_index_;
   std::map<BrokerId, ShortestPathTree> trees_;
+
+  // ---- kSharded engine state ----
+  /// One epoch domain shared by every broker fabric: a reader slot pins
+  /// once per match regardless of broker, and retired snapshots from all
+  /// brokers share one reclamation scan.
+  matching::EpochDomain match_domain_;
+  std::vector<std::unique_ptr<matching::MatchFabric>> broker_fabrics_;
+  /// Backing scratches for the scratch-less match_at overload (the
+  /// per-broker concurrency contract); unused when callers bring theirs.
+  mutable std::vector<std::unique_ptr<matching::MatchScratch>>
+      broker_scratches_;
 
   // ---- Repairable-fabric state (unused unless options_.repairable) ----
   /// Position of one live table row of a subscription: tables_[broker]'s

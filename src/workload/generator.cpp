@@ -1,12 +1,20 @@
 #include "workload/generator.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <string>
 
 namespace bdps {
 
 namespace {
 std::string attribute_name(int index) { return "A" + std::to_string(index + 1); }
+
+/// Churn-pool attribute names; a distinct prefix from the §6.1 "A" space
+/// so mixed workloads cannot alias.
+std::string churn_attribute_name(std::size_t index) {
+  return "Z" + std::to_string(index + 1);
+}
 }  // namespace
 
 std::vector<std::shared_ptr<const Message>> generate_messages(
@@ -26,6 +34,10 @@ std::vector<std::shared_ptr<const Message>> generate_messages(
         config.scenario == ScenarioKind::kSsd
             ? kNoDeadline
             : rng.uniform(config.psd_delay_lo, config.psd_delay_hi);
+    // Heads with repeated attribute names sit outside the matching
+    // engines' equivalence contract (message/message.h); every generator
+    // feeding the index pins uniqueness here.
+    assert(head_has_unique_attribute_names(head));
     messages.push_back(std::make_shared<Message>(
         /*id=*/0, static_cast<PublisherId>(p), t, config.message_size_kb,
         std::move(head), allowed));
@@ -115,6 +127,148 @@ std::vector<Subscription> generate_subscriptions(Rng& rng,
     subscriptions.push_back(std::move(sub));
   }
   return subscriptions;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  cdf_.reserve(n == 0 ? 1 : n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < (n == 0 ? 1 : n); ++k) {
+    total += std::pow(static_cast<double>(k + 1), -exponent);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const std::size_t k = static_cast<std::size_t>(it - cdf_.begin());
+  return k < cdf_.size() ? k : cdf_.size() - 1;
+}
+
+ChurnWorkload::ChurnWorkload(const ChurnWorkloadConfig& config)
+    : config_(config),
+      attribute_zipf_(config.attribute_pool, config.attribute_exponent),
+      threshold_zipf_(config.threshold_pool, config.threshold_exponent),
+      filter_rng_(0),
+      message_rng_(0),
+      op_rng_(0) {
+  // Seed-split stream discipline (experiment/runner.cpp's idiom): each
+  // stream is split from the root in a fixed order, so drawing more
+  // filters never perturbs the message schedule and vice versa.
+  Rng root(config_.seed);
+  filter_rng_ = root.split();
+  message_rng_ = root.split();
+  op_rng_ = root.split();
+}
+
+Filter ChurnWorkload::next_filter() {
+  const std::size_t count =
+      config_.predicates_min +
+      filter_rng_.uniform_index(config_.predicates_max -
+                                config_.predicates_min + 1);
+  const double span = config_.value_hi - config_.value_lo;
+  // Threshold grid point for a sampled rank (popular ranks repeat, which
+  // is what manufactures exact-duplicate filters).
+  const auto threshold = [&](std::size_t rank) {
+    return config_.value_lo +
+           span * (static_cast<double>(rank) + 0.5) /
+               static_cast<double>(threshold_zipf_.size());
+  };
+
+  Filter filter;
+  std::vector<std::size_t> used;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Distinct attributes per filter (conjuncts on one attribute would
+    // just intersect); bounded resampling keeps the draw deterministic.
+    std::size_t attr = attribute_zipf_.sample(filter_rng_);
+    for (int tries = 0;
+         tries < 8 && std::count(used.begin(), used.end(), attr) != 0;
+         ++tries) {
+      attr = attribute_zipf_.sample(filter_rng_);
+    }
+    if (std::count(used.begin(), used.end(), attr) != 0) continue;
+    used.push_back(attr);
+    const std::string name = churn_attribute_name(attr);
+
+    const double cls = filter_rng_.uniform();
+    const std::size_t rank = threshold_zipf_.sample(filter_rng_);
+    if (cls < config_.wide_fraction) {
+      // Wide single-bound comparison — the natural cover root.
+      filter.where(name, filter_rng_.uniform() < 0.5 ? Op::kLe : Op::kGe,
+                   Value(threshold(rank)));
+    } else if (cls < config_.wide_fraction + config_.string_fraction) {
+      filter.where(name, Op::kEq, Value("s" + std::to_string(rank)));
+    } else if (cls < config_.wide_fraction + config_.string_fraction +
+                         config_.eq_fraction) {
+      filter.where(name, Op::kEq, Value(threshold(rank)));
+    } else {
+      // Bounded interval [t(rank), t(rank) + width], width itself from the
+      // threshold stream so popular (lo, width) pairs collide.
+      const std::size_t width_rank = threshold_zipf_.sample(filter_rng_);
+      const double lo = threshold(rank);
+      const double width =
+          span * (static_cast<double>(width_rank) + 1.0) /
+          static_cast<double>(threshold_zipf_.size());
+      filter.where(name, Op::kGe, Value(lo));
+      filter.where(name, Op::kLe, Value(std::min(lo + width,
+                                                 config_.value_hi)));
+    }
+  }
+  return filter;
+}
+
+Message ChurnWorkload::next_message() {
+  std::vector<Attribute> head;
+  head.reserve(config_.message_attributes);
+  std::vector<std::size_t> used;
+  for (std::size_t i = 0; i < config_.message_attributes; ++i) {
+    std::size_t attr = attribute_zipf_.sample(message_rng_);
+    for (int tries = 0;
+         tries < 8 && std::count(used.begin(), used.end(), attr) != 0;
+         ++tries) {
+      attr = attribute_zipf_.sample(message_rng_);
+    }
+    if (std::count(used.begin(), used.end(), attr) != 0) continue;
+    used.push_back(attr);
+    const std::string name = churn_attribute_name(attr);
+    // Values split between the threshold grid (hitting equality filters
+    // and interval endpoints) and the continuum.
+    if (message_rng_.uniform() < 0.25) {
+      const std::size_t rank = threshold_zipf_.sample(message_rng_);
+      const double span = config_.value_hi - config_.value_lo;
+      if (message_rng_.uniform() < 0.25) {
+        head.push_back(Attribute{name, Value("s" + std::to_string(rank))});
+      } else {
+        head.push_back(Attribute{
+            name, Value(config_.value_lo +
+                        span * (static_cast<double>(rank) + 0.5) /
+                            static_cast<double>(threshold_zipf_.size()))});
+      }
+    } else {
+      head.push_back(Attribute{
+          name,
+          Value(message_rng_.uniform(config_.value_lo, config_.value_hi))});
+    }
+  }
+  assert(head_has_unique_attribute_names(head));
+  const MessageId id = next_message_id_++;
+  return Message(id, /*publisher=*/0,
+                 /*publish_time=*/static_cast<TimeMs>(id),
+                 /*size_kb=*/1.0, std::move(head));
+}
+
+ChurnOp ChurnWorkload::next_op(double remove_fraction,
+                               std::size_t live_count) {
+  ChurnOp op;
+  if (live_count > 0 && op_rng_.uniform() < remove_fraction) {
+    op.kind = ChurnOp::Kind::kRemove;
+    op.victim = op_rng_.uniform_index(live_count);
+    return op;
+  }
+  op.kind = ChurnOp::Kind::kAdd;
+  op.filter = next_filter();
+  return op;
 }
 
 }  // namespace bdps

@@ -22,4 +22,90 @@ std::vector<Subscription> generate_subscriptions(Rng& rng,
                                                  const WorkloadConfig& config,
                                                  const Topology& topology);
 
+/// Deterministic Zipf(exponent) sampler over ranks 0..n-1: weight of rank
+/// k is (k+1)^-exponent.  One uniform draw and a binary search over the
+/// precomputed CDF per sample, so it is cheap enough for hot generation
+/// loops and exactly reproducible from the Rng stream (the bench, the
+/// scaling probe and the fuzz tests all share it).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+  std::size_t size() const { return cdf_.size(); }
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Matching-fabric churn workload (popularity-skewed filter space).
+///
+/// Real content-based workloads are head-heavy: a few attributes and a few
+/// thresholds draw most of the subscriptions, which is exactly what makes
+/// covering/equivalence merging pay.  Attributes and operand thresholds
+/// are drawn from Zipf pools, so exact duplicates (equivalence merges) and
+/// wide single-bound filters (cover roots) arise at controllable rates.
+struct ChurnWorkloadConfig {
+  std::uint64_t seed = 1;
+  /// Attribute name pool ("Z1".."Zn") and its popularity skew.
+  std::size_t attribute_pool = 64;
+  double attribute_exponent = 1.1;
+  /// Discrete operand thresholds per attribute (popular thresholds create
+  /// exact-duplicate filters) and their skew.
+  std::size_t threshold_pool = 64;
+  double threshold_exponent = 1.0;
+  /// Predicates per filter, uniform in [min, max].
+  std::size_t predicates_min = 1;
+  std::size_t predicates_max = 3;
+  /// Operand/value range the threshold grid spans.
+  double value_lo = 0.0;
+  double value_hi = 100.0;
+  /// Per-predicate class mix: wide single-bound comparisons (the cover
+  /// roots), string equalities, numeric point equalities; the remainder
+  /// are bounded intervals (kGe + kLe pairs).
+  double wide_fraction = 0.15;
+  double string_fraction = 0.10;
+  double eq_fraction = 0.10;
+  /// Attributes per published message head (distinct names).
+  std::size_t message_attributes = 6;
+};
+
+/// One step of a churn schedule.
+struct ChurnOp {
+  enum class Kind { kAdd, kRemove };
+  Kind kind = Kind::kAdd;
+  Filter filter;           // kAdd only.
+  std::size_t victim = 0;  // kRemove only: index into the live set.
+};
+
+/// Deterministic generator bundling the seed-split streams (filters,
+/// messages, op schedule) so every consumer reproduces the identical
+/// workload from a ChurnWorkloadConfig alone.
+class ChurnWorkload {
+ public:
+  explicit ChurnWorkload(const ChurnWorkloadConfig& config);
+
+  const ChurnWorkloadConfig& config() const { return config_; }
+
+  /// Next subscription filter from the filter stream.
+  Filter next_filter();
+
+  /// Next published message (head drawn from the same popularity pools;
+  /// ids sequential, publish times 1 ms apart).
+  Message next_message();
+
+  /// Next schedule step: a remove of a uniform victim in [0, live_count)
+  /// with probability remove_fraction (when anything is live), else an add
+  /// of the next filter.
+  ChurnOp next_op(double remove_fraction, std::size_t live_count);
+
+ private:
+  ChurnWorkloadConfig config_;
+  ZipfSampler attribute_zipf_;
+  ZipfSampler threshold_zipf_;
+  Rng filter_rng_;
+  Rng message_rng_;
+  Rng op_rng_;
+  MessageId next_message_id_ = 0;
+};
+
 }  // namespace bdps

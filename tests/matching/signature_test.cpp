@@ -1,0 +1,198 @@
+#include "matching/signature.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace bdps::matching {
+namespace {
+
+FilterSignature sig(const Filter& f) { return FilterSignature::of(f); }
+
+Filter where(const std::string& attr, Op op, Value v) {
+  Filter f;
+  f.where(attr, op, std::move(v));
+  return f;
+}
+
+TEST(FilterSignature, WildcardIsExactAndCoversNothingButItself) {
+  const FilterSignature w = sig(Filter{});
+  EXPECT_TRUE(w.wildcard());
+  EXPECT_TRUE(w.exact());
+  EXPECT_FALSE(w.never_matches());
+  EXPECT_EQ(w.anchor_attribute(), "");
+  EXPECT_EQ(w.selective_attribute(), "");
+  // An unconstrained filter covers every filter (match(any) subset of all).
+  EXPECT_TRUE(w.covers(sig(where("A", Op::kLt, Value(5.0)))));
+}
+
+TEST(FilterSignature, ConjunctsOnOneAttributeIntersect) {
+  Filter f;
+  f.where("A", Op::kLt, Value(5.0)).where("A", Op::kGe, Value(1.0));
+  const FilterSignature s = sig(f);
+  ASSERT_EQ(s.numeric_constraints().size(), 1u);
+  EXPECT_EQ(s.numeric_constraints()[0].lo, 1.0);
+  EXPECT_EQ(s.numeric_constraints()[0].hi, 5.0);
+  EXPECT_TRUE(s.exact());
+}
+
+TEST(FilterSignature, ContradictionIsNeverMatches) {
+  Filter f;
+  f.where("A", Op::kGt, Value(5.0)).where("A", Op::kLt, Value(3.0));
+  EXPECT_TRUE(sig(f).never_matches());
+
+  // Mixed-type constraints on one attribute can never both hold.
+  Filter mixed;
+  mixed.where("A", Op::kEq, Value("x")).where("A", Op::kLt, Value(3.0));
+  EXPECT_TRUE(sig(mixed).never_matches());
+
+  // Two different string equalities on one attribute.
+  Filter strings;
+  strings.where("A", Op::kEq, Value("x")).where("A", Op::kEq, Value("y"));
+  EXPECT_TRUE(sig(strings).never_matches());
+}
+
+TEST(FilterSignature, InclusiveBoundsFoldExactly) {
+  // kLe c and kLt nextafter(c, +inf) describe the same half-open interval,
+  // so their signatures are equivalent — the same folding the counting
+  // index uses.
+  const double c = 5.0;
+  const double up = std::nextafter(c, std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(sig(where("A", Op::kLe, Value(c)))
+                  .equivalent(sig(where("A", Op::kLt, Value(up)))));
+  EXPECT_TRUE(sig(where("A", Op::kGt, Value(c)))
+                  .equivalent(sig(where("A", Op::kGe, Value(up)))));
+}
+
+TEST(FilterSignature, CoversWidensAndRespectsBoundaries) {
+  const FilterSignature wide = sig(where("A", Op::kLt, Value(10.0)));
+  EXPECT_TRUE(wide.covers(sig(where("A", Op::kLt, Value(5.0)))));
+  EXPECT_TRUE(wide.covers(sig(where("A", Op::kLe, Value(5.0)))));
+  EXPECT_TRUE(wide.covers(sig(where("A", Op::kLt, Value(10.0)))));
+  // A <= 10 admits exactly 10, which A < 10 rejects.
+  EXPECT_FALSE(wide.covers(sig(where("A", Op::kLe, Value(10.0)))));
+  EXPECT_FALSE(sig(where("A", Op::kLt, Value(5.0))).covers(wide));
+  // Point equality at an interior value is covered.
+  EXPECT_TRUE(wide.covers(sig(where("A", Op::kEq, Value(3.0)))));
+  EXPECT_FALSE(wide.covers(sig(where("A", Op::kEq, Value(10.0)))));
+}
+
+TEST(FilterSignature, CoversRequiresAttributeSubset) {
+  // Missing-attribute semantics: a message matching {A<5, B<2} carries a
+  // satisfying A, so A<10 covers it...
+  Filter narrow;
+  narrow.where("A", Op::kLt, Value(5.0)).where("B", Op::kLt, Value(2.0));
+  EXPECT_TRUE(sig(where("A", Op::kLt, Value(10.0))).covers(sig(narrow)));
+  // ...but a coverer constraining an attribute the covered filter does not
+  // mention can reject messages the covered filter accepts.
+  EXPECT_FALSE(sig(where("C", Op::kLt, Value(10.0))).covers(sig(narrow)));
+  EXPECT_FALSE(sig(narrow).covers(sig(where("A", Op::kLt, Value(5.0)))));
+}
+
+TEST(FilterSignature, StringConstraintsCoverOnlyExactValue) {
+  const FilterSignature goog = sig(where("sym", Op::kEq, Value("GOOG")));
+  Filter both;
+  both.where("sym", Op::kEq, Value("GOOG")).where("A", Op::kLt, Value(5.0));
+  EXPECT_TRUE(goog.covers(sig(both)));
+  EXPECT_FALSE(goog.covers(sig(where("sym", Op::kEq, Value("MSFT")))));
+  EXPECT_FALSE(sig(both).covers(goog));
+}
+
+TEST(FilterSignature, OpaquePredicatesMakeSignatureInexact) {
+  const FilterSignature ne = sig(where("A", Op::kNe, Value(3.0)));
+  EXPECT_FALSE(ne.exact());
+  EXPECT_FALSE(ne.never_matches());
+  // Inexact signatures cover only structurally identical filters...
+  EXPECT_TRUE(ne.covers(sig(where("A", Op::kNe, Value(3.0)))));
+  EXPECT_FALSE(ne.covers(sig(where("A", Op::kNe, Value(4.0)))));
+  EXPECT_FALSE(ne.covers(sig(where("A", Op::kLt, Value(1.0)))));
+  // ...but can themselves BE covered through their canonical relaxation:
+  // dropping A != 3 from {A < 5, A != 3} only enlarges the match set.
+  Filter inexact_narrow;
+  inexact_narrow.where("A", Op::kLt, Value(5.0))
+      .where("A", Op::kNe, Value(3.0));
+  EXPECT_TRUE(sig(where("A", Op::kLt, Value(10.0))).covers(sig(inexact_narrow)));
+}
+
+TEST(FilterSignature, NonFiniteOperandsAreOpaque) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const FilterSignature s = sig(where("A", Op::kLt, Value(inf)));
+  EXPECT_FALSE(s.exact());
+  EXPECT_FALSE(s.never_matches());
+  EXPECT_EQ(s.numeric_constraints().size(), 0u);
+  EXPECT_EQ(s.opaque_predicates().size(), 1u);
+}
+
+TEST(FilterSignature, NeverMatchesIsCoveredByEverything) {
+  Filter contradiction;
+  contradiction.where("A", Op::kGt, Value(5.0)).where("A", Op::kLt, Value(3.0));
+  const FilterSignature never = sig(contradiction);
+  EXPECT_TRUE(sig(where("B", Op::kEq, Value(1.0))).covers(never));
+  // A provably-empty coverer covers nothing non-empty.
+  EXPECT_FALSE(never.covers(sig(where("A", Op::kLt, Value(1.0)))));
+  EXPECT_TRUE(never.covers(never));
+}
+
+TEST(FilterSignature, EquivalenceIsOrderInsensitive) {
+  Filter ab;
+  ab.where("A", Op::kLt, Value(5.0)).where("B", Op::kGe, Value(2.0));
+  Filter ba;
+  ba.where("B", Op::kGe, Value(2.0)).where("A", Op::kLt, Value(5.0));
+  EXPECT_TRUE(sig(ab).equivalent(sig(ba)));
+  EXPECT_EQ(sig(ab).hash(), sig(ba).hash());
+  EXPECT_FALSE(sig(ab).equivalent(sig(where("A", Op::kLt, Value(5.0)))));
+}
+
+TEST(FilterSignature, NearbyOperandsNeverFalselyMerge) {
+  // Predicate::to_string-style default precision would render these two
+  // operands identically; the canonical keys must not.
+  const double a = 1.0;
+  const double b = std::nextafter(a, 2.0);
+  EXPECT_FALSE(sig(where("A", Op::kNe, Value(a)))
+                   .equivalent(sig(where("A", Op::kNe, Value(b)))));
+  EXPECT_FALSE(sig(where("A", Op::kLt, Value(a)))
+                   .equivalent(sig(where("A", Op::kLt, Value(b)))));
+}
+
+TEST(FilterSignature, AnchorIsSmallestConstrainedName) {
+  Filter f;
+  f.where("C", Op::kLt, Value(5.0)).where("B", Op::kEq, Value("x"));
+  EXPECT_EQ(sig(f).anchor_attribute(), "B");
+  // Opaque-only filters have no canonical constraints to anchor on.
+  EXPECT_EQ(sig(where("A", Op::kNe, Value(1.0))).anchor_attribute(), "");
+}
+
+TEST(FilterSignature, SelectiveAttributePrefersTighterConstraints) {
+  // String equality (a point) beats a bounded interval beats half-bounded.
+  Filter f;
+  f.where("A", Op::kLt, Value(5.0))
+      .where("B", Op::kGe, Value(1.0))
+      .where("B", Op::kLe, Value(2.0))
+      .where("C", Op::kEq, Value("x"));
+  EXPECT_EQ(sig(f).selective_attribute(), "C");
+
+  Filter no_string;
+  no_string.where("A", Op::kLt, Value(5.0))
+      .where("B", Op::kGe, Value(1.0))
+      .where("B", Op::kLe, Value(2.0));
+  EXPECT_EQ(sig(no_string).selective_attribute(), "B");
+
+  EXPECT_EQ(sig(where("A", Op::kLt, Value(5.0))).selective_attribute(), "A");
+  // Numeric point equality ranks with string equality.
+  Filter point;
+  point.where("A", Op::kGe, Value(1.0))
+      .where("A", Op::kLe, Value(9.0))
+      .where("D", Op::kEq, Value(3.0));
+  EXPECT_EQ(sig(point).selective_attribute(), "D");
+  // No canonical constraint at all: the fallback-shard signal.
+  EXPECT_EQ(sig(where("A", Op::kNe, Value(1.0))).selective_attribute(), "");
+}
+
+TEST(FilterSignature, IntOperandsFoldLikeDoubles) {
+  EXPECT_TRUE(sig(where("A", Op::kLt, Value(static_cast<std::int64_t>(5))))
+                  .equivalent(sig(where("A", Op::kLt, Value(5.0)))));
+}
+
+}  // namespace
+}  // namespace bdps::matching

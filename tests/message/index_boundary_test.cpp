@@ -1,0 +1,101 @@
+// Pins the matching engines' equivalence *boundary*: heads with repeated
+// attribute names.  Filter::matches resolves an attribute to its first
+// occurrence (Message::find), while the counting index bumps a predicate
+// counter for every occurrence — so on a duplicate-name head the two can
+// legitimately disagree.  Unique names per head is therefore a documented
+// contract (message/message.h): the workload generators assert it on every
+// construction path that feeds the index, and this test pins the exact
+// divergence so a future "fix" on either side trips loudly instead of
+// silently moving the boundary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "matching/sharded_index.h"
+#include "message/index.h"
+
+namespace bdps {
+namespace {
+
+/// NOTE: deliberately violates the unique-names contract; never feed such
+/// heads through Message paths that assert head_has_unique_attribute_names.
+Message duplicate_head_message() {
+  return Message(1, 0, 0.0, 1.0, {{"A", Value(1.0)}, {"A", Value(5.0)}});
+}
+
+TEST(HeadContract, DetectorFlagsDuplicates) {
+  EXPECT_TRUE(head_has_unique_attribute_names({}));
+  EXPECT_TRUE(head_has_unique_attribute_names({{"A", Value(1.0)}}));
+  EXPECT_TRUE(head_has_unique_attribute_names(
+      {{"A", Value(1.0)}, {"B", Value(1.0)}}));
+  EXPECT_FALSE(head_has_unique_attribute_names(
+      {{"A", Value(1.0)}, {"B", Value(2.0)}, {"A", Value(5.0)}}));
+}
+
+TEST(HeadContract, IndexAndBruteForceDivergeOnDuplicateNames) {
+  const Message dup = duplicate_head_message();
+
+  // Divergence 1: a predicate satisfied by the *second* occurrence.  The
+  // index counts every occurrence, so A > 2 fires on the 5.0; direct
+  // evaluation resolves A to the first occurrence (1.0) and fails.
+  {
+    Filter f;
+    f.where("A", Op::kGt, Value(2.0));
+    SubscriptionIndex index;
+    index.add(f);
+    EXPECT_EQ(index.match(dup).size(), 1u);  // Counting pass: matches.
+    EXPECT_FALSE(f.matches(dup));            // First occurrence: fails.
+  }
+
+  // Divergence 2 (the sharper one): a filter contradictory under
+  // first-occurrence semantics — A < 2 && A > 2 — is satisfied by the
+  // counting pass with each conjunct served by a *different* occurrence.
+  {
+    Filter f;
+    f.where("A", Op::kLt, Value(2.0)).where("A", Op::kGt, Value(2.0));
+    SubscriptionIndex index;
+    index.add(f);
+    EXPECT_EQ(index.match(dup).size(), 1u);
+    EXPECT_FALSE(f.matches(dup));
+  }
+
+  // On a unique-name head the engines agree, including at the boundary
+  // value — the contract is only about duplicates.
+  {
+    const Message ok(1, 0, 0.0, 1.0, {{"A", Value(5.0)}});
+    Filter f;
+    f.where("A", Op::kGe, Value(5.0));
+    SubscriptionIndex index;
+    index.add(f);
+    EXPECT_EQ(index.match(ok).size(), 1u);
+    EXPECT_TRUE(f.matches(ok));
+  }
+}
+
+TEST(HeadContract, ShardedFabricInheritsTheSameBoundary) {
+  // The sharded fabric evaluates covered members and fallback rows with
+  // Filter::matches but roots with the counting index; on duplicate-name
+  // heads those can differ, which is exactly why the contract bars such
+  // heads rather than asking engines to reconcile them.  On unique-name
+  // heads both paths agree (the fuzz suite); here we only pin that the
+  // fabric's root path shows the same every-occurrence semantics as the
+  // raw index.
+  matching::MatchFabricOptions options;
+  options.covering = false;
+  options.rebuild_min = 1;  // Second add folds the shard into a core.
+  matching::MatchFabric fabric(options);
+  matching::MatchScratch scratch;
+  Filter f;
+  f.where("A", Op::kGt, Value(2.0));
+  fabric.add(f);
+  fabric.add(f);
+
+  const Message dup = duplicate_head_message();
+  const auto& got = fabric.match(dup, scratch);
+  EXPECT_EQ(got, (std::vector<matching::RowId>{0, 1}));  // Counting semantics.
+  EXPECT_FALSE(f.matches(dup));
+}
+
+}  // namespace
+}  // namespace bdps

@@ -1,0 +1,118 @@
+// Microbenchmark: compiled predicate programs vs the interpreter.
+//
+// The compile tier's bet (matching/program/) is that one flat pass over a
+// root's member disjuncts beats per-member Filter::matches walks once the
+// member list is long enough.  This bench measures both sides of that
+// crossover on the Zipf churn corpus:
+//
+//   * BM_InterpretMembers — one message against N member filters through
+//     Filter::matches, the cold tier's cost.
+//   * BM_ProgramEvaluate  — the same N members through one compiled
+//     PredicateProgram::evaluate batch pass (slots resolved once,
+//     SoA interval compares, interned string equality).
+//   * BM_ProgramCompile   — the one-time lowering cost, which the fabric
+//     amortises over every post-compile root hit (the tiering threshold
+//     MatchFabricOptions::compile_hot_hits exists because of this row).
+//
+// items_processed counts member evaluations, so items/s is directly
+// comparable between the interpret and evaluate rows; the crossover
+// member count is where their per-item costs meet (PERF.md).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "matching/program/program.h"
+#include "message/filter.h"
+#include "workload/generator.h"
+
+namespace {
+
+using bdps::ChurnWorkload;
+using bdps::ChurnWorkloadConfig;
+using bdps::Filter;
+using bdps::Message;
+using bdps::matching::program::PredicateProgram;
+using bdps::matching::program::ProgramEval;
+
+ChurnWorkload make_workload() {
+  ChurnWorkloadConfig config;
+  config.seed = 41;
+  return ChurnWorkload(config);
+}
+
+/// N member filters and a probe-message ring from one deterministic
+/// corpus; members are kept alive by the caller (fallbacks point into
+/// them).
+struct Corpus {
+  std::vector<Filter> members;
+  std::vector<const Filter*> pointers;
+  std::vector<Message> probes;
+};
+
+Corpus make_corpus(std::int64_t member_count) {
+  Corpus corpus;
+  ChurnWorkload workload = make_workload();
+  corpus.members.reserve(static_cast<std::size_t>(member_count));
+  for (std::int64_t i = 0; i < member_count; ++i) {
+    corpus.members.push_back(workload.next_filter());
+  }
+  for (const Filter& f : corpus.members) corpus.pointers.push_back(&f);
+  for (int i = 0; i < 64; ++i) corpus.probes.push_back(workload.next_message());
+  return corpus;
+}
+
+void BM_InterpretMembers(benchmark::State& state) {
+  const Corpus corpus = make_corpus(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Message& m = corpus.probes[i++ % corpus.probes.size()];
+    std::size_t matched = 0;
+    for (const Filter& f : corpus.members) {
+      matched += f.matches(m) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InterpretMembers)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64)->Arg(256)
+    ->ArgNames({"members"});
+
+void BM_ProgramEvaluate(benchmark::State& state) {
+  const Corpus corpus = make_corpus(state.range(0));
+  const PredicateProgram program = PredicateProgram::compile(corpus.pointers);
+  ProgramEval eval;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Message& m = corpus.probes[i++ % corpus.probes.size()];
+    program.evaluate(m, eval);
+    std::size_t matched = 0;
+    for (const std::uint8_t v : eval.matched) matched += v;
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["slots"] = static_cast<double>(program.slot_count());
+  state.counters["iv_tests"] =
+      static_cast<double>(program.interval_test_count());
+  state.counters["fallbacks"] =
+      static_cast<double>(program.fallback_count());
+}
+BENCHMARK(BM_ProgramEvaluate)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64)->Arg(256)
+    ->ArgNames({"members"});
+
+void BM_ProgramCompile(benchmark::State& state) {
+  const Corpus corpus = make_corpus(state.range(0));
+  for (auto _ : state) {
+    PredicateProgram program = PredicateProgram::compile(corpus.pointers);
+    benchmark::DoNotOptimize(program);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ProgramCompile)
+    ->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->ArgNames({"members"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

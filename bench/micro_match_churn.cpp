@@ -37,6 +37,7 @@ void BM_FabricMatch(benchmark::State& state) {
   ChurnWorkload workload = make_workload();
   MatchFabricOptions options;
   options.covering = state.range(1) != 0;
+  options.compile_hot_hits = static_cast<std::size_t>(state.range(2));
   MatchFabric fabric(options);
   for (std::int64_t i = 0; i < state.range(0); ++i) {
     fabric.add(workload.next_filter());
@@ -44,17 +45,26 @@ void BM_FabricMatch(benchmark::State& state) {
   std::vector<Message> probes;
   for (int i = 0; i < 64; ++i) probes.push_back(workload.next_message());
   MatchScratch scratch;
+  // Warm the compile tier: hot roots cross compile_hot_hits and get their
+  // programs built before the timed loop (no-op with hits=0).
+  for (std::size_t w = 0; w < probes.size(); ++w) {
+    benchmark::DoNotOptimize(fabric.match(probes[w], scratch));
+  }
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(fabric.match(probes[i++ % probes.size()],
                                           scratch));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
-  state.counters["compression"] = fabric.stats().compression();
+  const MatchFabric::Stats stats = fabric.stats();
+  state.counters["compression"] = stats.compression();
+  state.counters["compiled_roots"] =
+      static_cast<double>(stats.compiled_roots);
+  state.counters["vm_evals"] = static_cast<double>(stats.vm_member_evals);
 }
 BENCHMARK(BM_FabricMatch)
-    ->ArgsProduct({{1000, 10000, 100000}, {0, 1}})
-    ->ArgNames({"subs", "cover"});
+    ->ArgsProduct({{1000, 10000, 100000}, {0, 1}, {0, 4}})
+    ->ArgNames({"subs", "cover", "hits"});
 
 void BM_ReferenceIndexMatch(benchmark::State& state) {
   ChurnWorkload workload = make_workload();
@@ -131,6 +141,12 @@ void BM_FabricMatchUnderChurn(benchmark::State& state) {
   stop.store(true, std::memory_order_release);
   writer.join();
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  // Default options compile hot roots mid-churn; surface how many programs
+  // were (re)built while the reader was being timed.
+  const MatchFabric::Stats stats = fabric.stats();
+  state.counters["compiled_roots"] =
+      static_cast<double>(stats.compiled_roots);
+  state.counters["compiles"] = static_cast<double>(stats.compiles);
 }
 BENCHMARK(BM_FabricMatchUnderChurn)
     ->Arg(10000)->Arg(100000)

@@ -141,6 +141,8 @@ LiveOptions live_options_for(const LiveRunConfig& config, int shard,
   options.net.broker_shard = std::move(broker_shard);
   options.net.reconnect_initial_ms = config.reconnect_initial_ms;
   options.net.reconnect_max_ms = config.reconnect_max_ms;
+  options.net.bind_host = config.bind_host;
+  options.net.peer_hosts = config.peer_hosts;
   return options;
 }
 
@@ -353,6 +355,13 @@ std::string format_live_config(const LiveRunConfig& c) {
   out << "shards=" << c.shards << '\n';
   out << "reconnect_initial_ms=" << hexf(c.reconnect_initial_ms) << '\n';
   out << "reconnect_max_ms=" << hexf(c.reconnect_max_ms) << '\n';
+  out << "net_bind_host=" << c.bind_host << '\n';
+  out << "net_peer_hosts=";  // Comma list indexed by shard id.
+  for (std::size_t i = 0; i < c.peer_hosts.size(); ++i) {
+    if (i > 0) out << ',';
+    out << c.peer_hosts[i];
+  }
+  out << '\n';
 
   if (!c.sim.faults.empty()) {
     out << "%%faults\n" << format_fault_plan(c.sim.faults);
@@ -471,6 +480,24 @@ LiveRunConfig parse_live_config(const std::string& text) {
   c.reconnect_initial_ms =
       kv.get_double("reconnect_initial_ms", c.reconnect_initial_ms);
   c.reconnect_max_ms = kv.get_double("reconnect_max_ms", c.reconnect_max_ms);
+  c.bind_host = kv.get_string("net_bind_host", c.bind_host);
+  if (kv.has("net_peer_hosts")) {
+    // Comma list indexed by shard id; an empty value means no overrides
+    // (every trunk dials loopback).  KeyValueConfig has no string-list
+    // getter, so split here — hosts are IPv4 literals, commas never nest.
+    c.peer_hosts.clear();
+    const std::string flat = kv.get_string("net_peer_hosts", "");
+    if (!flat.empty()) {
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t comma = flat.find(',', start);
+        c.peer_hosts.push_back(flat.substr(
+            start, comma == std::string::npos ? comma : comma - start));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    }
+  }
 
   if (!faults_text.empty()) {
     c.sim.faults = parse_fault_plan(faults_text);

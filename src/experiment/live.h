@@ -62,6 +62,13 @@ struct LiveRunConfig {
   /// Trunk redial backoff (socket mode).
   double reconnect_initial_ms = 5.0;
   double reconnect_max_ms = 250.0;
+  /// Socket-mode trunk addressing: IPv4 literal each shard's listener
+  /// binds ("" = loopback, the in-process-cluster default) and the host
+  /// dialed per peer shard (indexed by shard id; missing/empty = loopback).
+  /// A multi-machine brokerd cluster sets bind_host="0.0.0.0" and lists
+  /// every shard's address in peer_hosts.
+  std::string bind_host;
+  std::vector<std::string> peer_hosts;
 };
 
 struct LiveRunResult {

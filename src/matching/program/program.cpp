@@ -1,0 +1,206 @@
+#include "matching/program/program.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace bdps::matching::program {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One member's canonical constraint on one attribute while compiling:
+/// the running interval intersection and/or the required string value.
+struct AttrConstraint {
+  bool has_interval = false;
+  double lo = -kInf;
+  double hi = kInf;  // Inclusive.
+  bool has_string = false;
+  std::string value;
+  bool never = false;  // Contradiction on this attribute.
+};
+
+/// Folds `pred` into `c`.  False when the predicate is outside the
+/// compiled language (the member must fall back to Filter::matches).
+bool fold_predicate(const Predicate& pred, AttrConstraint& c) {
+  if (pred.op == Op::kEq && pred.operand.is_string()) {
+    if (c.has_string && c.value != pred.operand.as_string()) c.never = true;
+    c.has_string = true;
+    c.value = pred.operand.as_string();
+    return true;
+  }
+  if (!pred.operand.is_number()) return false;
+  const double v = pred.operand.as_double();
+  if (!std::isfinite(v)) return false;
+  switch (pred.op) {
+    case Op::kLt:
+      c.hi = std::min(c.hi, std::nextafter(v, -kInf));
+      break;
+    case Op::kLe:
+      c.hi = std::min(c.hi, v);
+      break;
+    case Op::kGt:
+      c.lo = std::max(c.lo, std::nextafter(v, kInf));
+      break;
+    case Op::kGe:
+      c.lo = std::max(c.lo, v);
+      break;
+    case Op::kEq:
+      c.lo = std::max(c.lo, v);
+      c.hi = std::min(c.hi, v);
+      break;
+    case Op::kInRange: {
+      if (!pred.operand2.is_number()) return false;
+      const double v2 = pred.operand2.as_double();
+      if (!std::isfinite(v2)) return false;
+      c.lo = std::max(c.lo, v);
+      c.hi = std::min(c.hi, v2);
+      break;
+    }
+    case Op::kNe:
+      return false;  // "!= c" is two disjoint intervals; interpret it.
+  }
+  c.has_interval = true;
+  return true;
+}
+
+/// Per-slot test runs accumulated across members before the SoA arrays
+/// are laid out (std::map: deterministic slot order by attribute name).
+struct SlotBuild {
+  std::vector<std::pair<double, double>> intervals;  // (lo, hi) inclusive.
+  std::vector<std::uint32_t> iv_members;
+  std::vector<std::string> strings;
+  std::vector<std::uint32_t> str_members;
+};
+
+}  // namespace
+
+PredicateProgram PredicateProgram::compile(
+    const std::vector<const Filter*>& members) {
+  PredicateProgram prog;
+  prog.required_.assign(members.size(), 0);
+
+  std::map<std::string, SlotBuild> builds;
+  for (std::uint32_t m = 0; m < members.size(); ++m) {
+    const Filter& filter = *members[m];
+    std::map<std::string, AttrConstraint> attrs;
+    bool fallback = false;
+    for (const Predicate& pred : filter.predicates()) {
+      if (!fold_predicate(pred, attrs[pred.attribute])) {
+        fallback = true;
+        break;
+      }
+    }
+    // A counting member needs one test per constrained attribute; heads
+    // that big do not occur, but degrade safely rather than overflow.
+    if (!fallback && attrs.size() >= kNever) fallback = true;
+    if (fallback) {
+      prog.required_[m] = kNever;
+      prog.fallbacks_.emplace_back(m, members[m]);
+      continue;
+    }
+    bool never = false;
+    for (const auto& [name, c] : attrs) {
+      // A value is one type: requiring both a string equality and a
+      // numeric interval on the same attribute is a contradiction, as is
+      // an empty interval.
+      if (c.never || (c.has_string && c.has_interval) ||
+          (c.has_interval && c.lo > c.hi)) {
+        never = true;
+        break;
+      }
+    }
+    if (never) {
+      prog.required_[m] = kNever;  // No tests emitted: count stays short.
+      continue;
+    }
+    for (const auto& [name, c] : attrs) {
+      SlotBuild& slot = builds[name];
+      if (c.has_string) {
+        slot.strings.push_back(c.value);
+        slot.str_members.push_back(m);
+      } else {
+        slot.intervals.emplace_back(c.lo, c.hi);
+        slot.iv_members.push_back(m);
+      }
+    }
+    prog.required_[m] = static_cast<std::uint16_t>(attrs.size());
+  }
+
+  // Flatten to the SoA layout: per slot, a contiguous interval run and a
+  // contiguous string run.
+  prog.slots_.reserve(builds.size());
+  for (auto& [name, build] : builds) {
+    Slot slot;
+    slot.name = name;
+    slot.iv_begin = static_cast<std::uint32_t>(prog.iv_lo_.size());
+    for (std::size_t i = 0; i < build.intervals.size(); ++i) {
+      prog.iv_lo_.push_back(build.intervals[i].first);
+      prog.iv_hi_.push_back(build.intervals[i].second);
+      prog.iv_member_.push_back(build.iv_members[i]);
+    }
+    slot.iv_end = static_cast<std::uint32_t>(prog.iv_lo_.size());
+    slot.str_begin = static_cast<std::uint32_t>(prog.str_id_.size());
+    for (std::size_t i = 0; i < build.strings.size(); ++i) {
+      const auto inserted = prog.interned_.emplace(
+          build.strings[i], static_cast<std::uint32_t>(prog.interned_.size()));
+      prog.str_id_.push_back(inserted.first->second);
+      prog.str_member_.push_back(build.str_members[i]);
+    }
+    slot.str_end = static_cast<std::uint32_t>(prog.str_id_.size());
+    prog.slots_.push_back(std::move(slot));
+  }
+  return prog;
+}
+
+void PredicateProgram::evaluate(const Message& message,
+                                ProgramEval& eval) const {
+  eval.counts.assign(required_.size(), 0);
+  eval.hits.resize(iv_lo_.size());
+  std::uint16_t* counts = eval.counts.data();
+
+  for (const Slot& slot : slots_) {
+    const Value* value = message.find(slot.name);
+    if (value == nullptr) continue;
+    if (value->is_number()) {
+      const double v = value->as_double();
+      const double* lo = iv_lo_.data();
+      const double* hi = iv_hi_.data();
+      std::uint8_t* hits = eval.hits.data();
+      // Two passes: the compare loop has no data dependences and
+      // auto-vectorizes; the scatter-add stays scalar but branch-free.
+      for (std::uint32_t i = slot.iv_begin; i < slot.iv_end; ++i) {
+        hits[i] = static_cast<std::uint8_t>(
+            static_cast<int>(lo[i] <= v) & static_cast<int>(v <= hi[i]));
+      }
+      const std::uint32_t* mem = iv_member_.data();
+      for (std::uint32_t i = slot.iv_begin; i < slot.iv_end; ++i) {
+        counts[mem[i]] = static_cast<std::uint16_t>(counts[mem[i]] + hits[i]);
+      }
+    } else {
+      std::uint32_t id = kUnknownString;
+      const auto it = interned_.find(value->as_string());
+      if (it != interned_.end()) id = it->second;
+      const std::uint32_t* ids = str_id_.data();
+      const std::uint32_t* mem = str_member_.data();
+      for (std::uint32_t i = slot.str_begin; i < slot.str_end; ++i) {
+        counts[mem[i]] =
+            static_cast<std::uint16_t>(counts[mem[i]] + (ids[i] == id));
+      }
+    }
+  }
+
+  eval.matched.resize(required_.size());
+  const std::uint16_t* required = required_.data();
+  std::uint8_t* matched = eval.matched.data();
+  for (std::size_t m = 0; m < required_.size(); ++m) {
+    matched[m] = static_cast<std::uint8_t>(counts[m] == required[m]);
+  }
+  for (const auto& [m, filter] : fallbacks_) {
+    matched[m] = static_cast<std::uint8_t>(filter->matches(message));
+  }
+}
+
+}  // namespace bdps::matching::program

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <functional>
 
 namespace bdps::matching {
@@ -40,6 +41,8 @@ MatchFabric::MatchFabric(MatchFabricOptions options, EpochDomain* domain)
   if (options_.rebuild_cap < options_.rebuild_min) {
     options_.rebuild_cap = options_.rebuild_min;
   }
+  if (options_.compile_min_members == 0) options_.compile_min_members = 1;
+  active_hash_shards_ = options_.promote_rows == 0 ? options_.shards : 1;
   if (domain == nullptr) {
     owned_domain_ = std::make_unique<EpochDomain>();
     domain = owned_domain_.get();
@@ -54,9 +57,10 @@ MatchFabric::MatchFabric(MatchFabricOptions options, EpochDomain* domain)
 MatchFabric::~MatchFabric() = default;
 
 std::size_t MatchFabric::shard_of(const FilterSignature& sig) const {
+  // Callers hold rows_mu_ (active_hash_shards_ is promoted under it).
   const std::string& attr = sig.selective_attribute();
   if (attr.empty()) return 0;  // Fallback shard.
-  return 1 + std::hash<std::string>{}(attr) % options_.shards;
+  return 1 + std::hash<std::string>{}(attr) % active_hash_shards_;
 }
 
 std::size_t MatchFabric::overlay_threshold(std::size_t core_size) const {
@@ -77,6 +81,15 @@ RowId MatchFabric::add(const Filter& filter,
   // Published (release) before any shard publishes a snapshot that can
   // emit this row, so readers always see a bound covering what they match.
   row_bound_.store(rows_.size(), std::memory_order_release);
+
+  // Row-count shard promotion: the row that crosses promote_rows (and all
+  // later ones) already fans across the full shard count.  Existing units
+  // stay where they were installed — match order is row-ascending
+  // regardless of placement, so the flip never changes a match set.
+  if (active_hash_shards_ < options_.shards &&
+      rows_.size() > options_.promote_rows) {
+    active_hash_shards_ = options_.shards;
+  }
 
   FilterSignature sig = FilterSignature::of(filter);
   install_unit(shard_of(sig), filter, std::move(sig), row, rows_[row]);
@@ -106,6 +119,8 @@ void MatchFabric::remove(RowId row) {
         cur != nullptr && cur->core != nullptr ? cur->core->roots.size() : 0;
     if (shard.dead_since_rebuild > overlay_threshold(core_size)) {
       rebuild_locked(shard);
+    } else if (shard.compile_wanted.load(std::memory_order_acquire)) {
+      compile_hot_locked(shard);  // Reader-requested; we hold the lock.
     }
   }
   if (removed_any) --live_rows_;
@@ -186,7 +201,11 @@ void MatchFabric::install_unit(
   snapshot->core = cur != nullptr ? cur->core : nullptr;
   snapshot->overlay = std::move(node);
   snapshot->overlay_len = overlay_len;
+  snapshot->programs = cur != nullptr ? cur->programs : nullptr;
   publish_locked(shard, std::move(snapshot));
+  if (shard.compile_wanted.load(std::memory_order_acquire)) {
+    compile_hot_locked(shard);  // Reader-requested; we hold the lock.
+  }
 }
 
 void MatchFabric::rebuild_locked(Shard& shard) {
@@ -217,15 +236,93 @@ void MatchFabric::rebuild_locked(Shard& shard) {
     shard.roots_by_anchor[unit.sig.anchor_attribute()].push_back(ordinal);
   }
   core->index.finalize();
+  for (CoreRoot& root : core->roots) {
+    std::uint32_t eval_members = 0;
+    for (const CoreMember& member : root.members) {
+      eval_members += member.equal ? 0u : 1u;
+    }
+    root.eval_members = eval_members;
+  }
+  // The rebuild is the cheap compile point (immutable input, already off
+  // the read path): roots that crossed the hot threshold — including ones
+  // compiled for the previous core, whose heat lives on their units —
+  // come out of the rebuild compiled.
+  std::shared_ptr<ProgramSet> programs;
+  if (options_.compile_hot_hits > 0) {
+    for (std::size_t k = 0; k < core->roots.size(); ++k) {
+      const CoreRoot& root = core->roots[k];
+      if (!wants_program(root)) continue;
+      if (programs == nullptr) {
+        programs = std::make_shared<ProgramSet>();
+        programs->programs.resize(core->roots.size());
+      }
+      programs->programs[k] = compile_root_locked(shard, root);
+    }
+  }
+  shard.compile_wanted.store(false, std::memory_order_relaxed);
   shard.dead_since_rebuild = 0;
   ++shard.rebuilds;
   auto snapshot = std::make_shared<ShardSnapshot>();
   snapshot->core = std::move(core);
+  snapshot->programs = std::move(programs);
+  publish_locked(shard, std::move(snapshot));
+}
+
+bool MatchFabric::wants_program(const CoreRoot& root) const {
+  return options_.compile_hot_hits > 0 &&
+         root.eval_members >= options_.compile_min_members &&
+         root.unit->hits.load(std::memory_order_relaxed) >=
+             options_.compile_hot_hits;
+}
+
+std::shared_ptr<const program::PredicateProgram>
+MatchFabric::compile_root_locked(Shard& shard, const CoreRoot& root) const {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<const Filter*> members;
+  members.reserve(root.eval_members);
+  for (const CoreMember& member : root.members) {
+    if (!member.equal) members.push_back(&member.unit->filter);
+  }
+  auto compiled = std::make_shared<program::PredicateProgram>(
+      program::PredicateProgram::compile(members));
+  shard.compile_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  ++shard.compiles;
+  return compiled;
+}
+
+void MatchFabric::compile_hot_locked(Shard& shard) const {
+  shard.compile_wanted.store(false, std::memory_order_relaxed);
+  if (options_.compile_hot_hits == 0) return;
+  const ShardSnapshot* cur = shard.owner.get();
+  if (cur == nullptr || cur->core == nullptr) return;
+  const std::vector<CoreRoot>& roots = cur->core->roots;
+  const ProgramSet* old = cur->programs.get();
+  std::shared_ptr<ProgramSet> next;
+  for (std::size_t k = 0; k < roots.size(); ++k) {
+    const bool compiled = old != nullptr && k < old->programs.size() &&
+                          old->programs[k] != nullptr;
+    if (compiled || !wants_program(roots[k])) continue;
+    if (next == nullptr) {
+      next = std::make_shared<ProgramSet>();
+      if (old != nullptr) next->programs = old->programs;
+      next->programs.resize(roots.size());
+    }
+    next->programs[k] = compile_root_locked(shard, roots[k]);
+  }
+  if (next == nullptr) return;  // Lost the race: already compiled.
+  auto snapshot = std::make_shared<ShardSnapshot>();
+  snapshot->core = cur->core;
+  snapshot->overlay = cur->overlay;
+  snapshot->overlay_len = cur->overlay_len;
+  snapshot->programs = std::move(next);
   publish_locked(shard, std::move(snapshot));
 }
 
 void MatchFabric::publish_locked(
-    Shard& shard, std::shared_ptr<const ShardSnapshot> snapshot) {
+    Shard& shard, std::shared_ptr<const ShardSnapshot> snapshot) const {
   // Order matters: swap the read pointer first, then epoch-retire the old
   // snapshot — EpochDomain's protocol requires the object be unreachable
   // to new pins before its retire stamp is taken.
@@ -251,13 +348,22 @@ const std::vector<RowId>& MatchFabric::match(const Message& message,
   // alive until the pin drops, however long the match takes.
   EpochDomain::Pin pin(*domain_, *scratch.slot_);
 
+  const std::uint32_t hot_hits =
+      static_cast<std::uint32_t>(options_.compile_hot_hits);
+  std::uint64_t vm_evals = 0;
+  std::uint64_t vm_fallbacks = 0;
+  std::uint64_t interp_evals = 0;
+
   auto emit = [&](const Unit* unit, bool needs_eval) {
     if (!unit->alive.load(std::memory_order_relaxed)) return;
     if (scratch.row_gen_.size() <= unit->row) {
       scratch.row_gen_.resize(unit->row + 1, 0u);
     }
     if (scratch.row_gen_[unit->row] == row_generation) return;
-    if (needs_eval && !unit->filter.matches(message)) return;
+    if (needs_eval) {
+      ++interp_evals;
+      if (!unit->filter.matches(message)) return;
+    }
     scratch.row_gen_[unit->row] = row_generation;
     scratch.result_.push_back(unit->row);
   };
@@ -266,10 +372,12 @@ const std::vector<RowId>& MatchFabric::match(const Message& message,
     const ShardSnapshot* snap =
         shard->published.load(std::memory_order_seq_cst);
     if (snap == nullptr) continue;
+    bool saw_hot_uncompiled = false;
 
     std::uint32_t root_generation = 0;
     if (snap->core != nullptr) {
       const std::vector<CoreRoot>& roots = snap->core->roots;
+      const ProgramSet* programs = snap->programs.get();
       if (scratch.root_gen_.size() < roots.size()) {
         scratch.root_gen_.resize(roots.size(), 0u);
       }
@@ -281,13 +389,46 @@ const std::vector<RowId>& MatchFabric::match(const Message& message,
       root_generation = scratch.root_generation_;
 
       // A core hit is exact: the root's own row needs no re-evaluation,
-      // equal members ride along for free, covered members are checked
-      // directly — but only ever on a root hit.
+      // equal members ride along for free, covered members are checked —
+      // but only ever on a root hit, and through the root's compiled
+      // program (one batch pass over all of them) once it has one.
       for (const SubscriptionIndex::EntryId k :
            snap->core->index.match(message, scratch.index_scratch_)) {
         scratch.root_gen_[k] = root_generation;
         const CoreRoot& root = roots[k];
         emit(root.unit, /*needs_eval=*/false);
+        const program::PredicateProgram* prog =
+            programs != nullptr && k < programs->programs.size()
+                ? programs->programs[k].get()
+                : nullptr;
+        if (prog != nullptr) {
+          prog->evaluate(message, scratch.program_eval_);
+          vm_evals += prog->member_count() - prog->fallback_count();
+          vm_fallbacks += prog->fallback_count();
+          const std::uint8_t* matched = scratch.program_eval_.matched.data();
+          std::size_t m = 0;
+          for (const CoreMember& member : root.members) {
+            if (member.equal) {
+              emit(member.unit, /*needs_eval=*/false);
+            } else if (matched[m++] != 0) {
+              emit(member.unit, /*needs_eval=*/false);
+            }
+          }
+          continue;
+        }
+        // Interpreted root: evaluate members the generic way and account
+        // the hit toward the compile tier.  The counter is bumped racily
+        // and only below the threshold — contention on a hot root's cache
+        // line stops as soon as it saturates.
+        if (hot_hits != 0 &&
+            root.eval_members >= options_.compile_min_members) {
+          std::uint32_t h = root.unit->hits.load(std::memory_order_relaxed);
+          if (h < hot_hits) {
+            root.unit->hits.store(h + 1, std::memory_order_relaxed);
+            ++h;
+          }
+          if (h >= hot_hits) saw_hot_uncompiled = true;
+        }
         for (const CoreMember& member : root.members) {
           emit(member.unit, /*needs_eval=*/!member.equal);
         }
@@ -308,6 +449,29 @@ const std::vector<RowId>& MatchFabric::match(const Message& message,
         emit(node->unit, /*needs_eval=*/true);
       }
     }
+
+    // Compile-tier handoff, after this shard's snapshot is consumed: flag
+    // the shard so the next writer compiles, and volunteer ourselves when
+    // the lock is free.  try_lock keeps readers wait-free with respect to
+    // each other and to writers; the pinned epoch keeps `snap` (and every
+    // snapshot retired by our own republish) alive meanwhile.
+    if (saw_hot_uncompiled) {
+      shard->compile_wanted.store(true, std::memory_order_release);
+      if (shard->mu.try_lock()) {
+        std::lock_guard<std::mutex> lock(shard->mu, std::adopt_lock);
+        compile_hot_locked(*shard);
+      }
+    }
+  }
+
+  if (vm_evals != 0) {
+    vm_member_evals_.fetch_add(vm_evals, std::memory_order_relaxed);
+  }
+  if (vm_fallbacks != 0) {
+    vm_fallback_evals_.fetch_add(vm_fallbacks, std::memory_order_relaxed);
+  }
+  if (interp_evals != 0) {
+    interp_member_evals_.fetch_add(interp_evals, std::memory_order_relaxed);
   }
 
   // Canonical match order: ascending row id (shared with RoutingFabric's
@@ -321,14 +485,28 @@ MatchFabric::Stats MatchFabric::stats() const {
   std::lock_guard<std::mutex> lock(rows_mu_);
   stats.total_rows = rows_.size();
   stats.live_rows = live_rows_;
+  stats.active_shards = active_hash_shards_;
+  stats.vm_member_evals = vm_member_evals_.load(std::memory_order_relaxed);
+  stats.vm_fallback_evals =
+      vm_fallback_evals_.load(std::memory_order_relaxed);
+  stats.interp_member_evals =
+      interp_member_evals_.load(std::memory_order_relaxed);
+  std::uint64_t compile_ns = 0;
   for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> shard_lock(shard.mu);
     stats.live_units += shard.live_units;
     stats.rebuilds += shard.rebuilds;
     stats.publications += shard.publications;
+    stats.compiles += shard.compiles;
+    compile_ns += shard.compile_ns;
     const ShardSnapshot* snap = shard.owner.get();
     if (snap == nullptr) continue;
+    if (snap->programs != nullptr) {
+      for (const auto& prog : snap->programs->programs) {
+        if (prog != nullptr) ++stats.compiled_roots;
+      }
+    }
     if (snap->core != nullptr) {
       stats.index_roots += snap->core->roots.size();
       for (const CoreRoot& root : snap->core->roots) {
@@ -348,6 +526,7 @@ MatchFabric::Stats MatchFabric::stats() const {
       }
     }
   }
+  stats.compile_ms = static_cast<double>(compile_ns) / 1e6;
   return stats;
 }
 

@@ -35,6 +35,20 @@
 //     golden matrices) and therefore safe fabric-wide, not just per next
 //     hop; the compression shows up as index entries per live row.
 //
+//   * TIERED COMPILATION — covered members are the read-side cost at
+//     scale: every hit on a popular root re-evaluates its member list
+//     through the generic Filter::matches tree.  Roots start on that
+//     interpreter; once a root's hit counter passes compile_hot_hits its
+//     evaluated members are lowered into one flat PredicateProgram
+//     (program/program.h — per-attribute slots, SoA interval bounds,
+//     interned string ids, counting batch evaluation), and subsequent
+//     hits evaluate all members in a single pass.  Compilation happens
+//     off the read path: at snapshot rebuilds, on the next writer to
+//     touch the shard, or by a reader volunteering through a try_lock.
+//     Programs ride the snapshots, so EpochDomain retire reclaims them
+//     with the core they were compiled for, and add/remove stays cheap
+//     under churn (cold filters never pay compile costs).
+//
 // match() returns row ids in ascending order — the fabric's (and
 // RoutingFabric's) canonical match order, so reference and sharded engines
 // are byte-comparable.
@@ -57,6 +71,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "matching/program/program.h"
 #include "matching/signature.h"
 #include "matching/snapshot.h"
 #include "message/index.h"
@@ -88,6 +103,25 @@ struct MatchFabricOptions {
   std::size_t rebuild_min = 64;
   std::size_t rebuild_cap = 16384;
   std::size_t rebuild_divisor = 8;
+  /// Compile tier: a core root whose hit counter reaches this many match
+  /// hits gets its evaluated members lowered into a PredicateProgram
+  /// (program/program.h) — at the next rebuild, at the next write to its
+  /// shard, or by a reader volunteering through a try_lock (never blocking
+  /// other readers).  0 disables compilation; members then always
+  /// interpret through Filter::matches.
+  std::size_t compile_hot_hits = 4;
+  /// Roots with fewer evaluated (non-equal) members than this stay on the
+  /// interpreter: below the crossover the per-hit program dispatch costs
+  /// more than the member walk it replaces (bench/micro_filter_program).
+  std::size_t compile_min_members = 4;
+  /// Row-count shard promotion: with a value N > 0 the fabric routes every
+  /// indexable filter to ONE hash shard until more than N rows have been
+  /// issued, then fans new filters across all `shards` (existing units
+  /// stay put — match results are shard-layout independent).  Per-broker
+  /// tables hold tens to thousands of rows, where every extra shard is one
+  /// more index walk per match; the full fan-out only pays once writers
+  /// contend and rebuilds grow.  0 = fully sharded from the first row.
+  std::size_t promote_rows = 0;
 };
 
 class MatchFabric;
@@ -114,6 +148,7 @@ class MatchScratch {
   std::vector<std::uint32_t> root_gen_;  // Hit roots, per shard visit.
   std::uint32_t root_generation_ = 0;
   std::vector<RowId> result_;
+  program::ProgramEval program_eval_;  // Compiled-root batch evaluation.
   EpochDomain* domain_ = nullptr;
   EpochDomain::Slot* slot_ = nullptr;
 };
@@ -130,6 +165,18 @@ class MatchFabric {
     std::size_t overlay_units = 0;
     std::size_t rebuilds = 0;
     std::size_t publications = 0;
+    /// Hash shards new filters currently fan across (promote_rows).
+    std::size_t active_shards = 0;
+    // ---- Compile tier ----
+    std::size_t compiled_roots = 0;  // Roots with a live program.
+    std::size_t compiles = 0;        // Programs built, cumulative.
+    double compile_ms = 0.0;         // Wall time spent compiling.
+    /// Member verdicts produced by compiled programs vs. by the
+    /// Filter::matches interpreter (covered members + overlay + program
+    /// fallbacks), cumulative over every match() call.
+    std::uint64_t vm_member_evals = 0;
+    std::uint64_t vm_fallback_evals = 0;
+    std::uint64_t interp_member_evals = 0;
     /// Live units per index entry — the covering compression ratio.
     double compression() const {
       return index_roots == 0
@@ -179,6 +226,12 @@ class MatchFabric {
     FilterSignature sig;
     RowId row;
     std::atomic<bool> alive{true};
+    /// Root-hit counter driving the compile tier.  Lives on the unit, not
+    /// the root, so heat survives rebuilds (root ordinals reshuffle, the
+    /// covering unit persists).  Bumped racily below compile_hot_hits and
+    /// left alone after (lost updates only delay compilation).  Mutable:
+    /// readers reach it through the snapshot's const Unit pointers.
+    mutable std::atomic<std::uint32_t> hits{0};
   };
 
   struct CoreMember {
@@ -189,10 +242,19 @@ class MatchFabric {
   struct CoreRoot {
     const Unit* unit;
     std::vector<CoreMember> members;
+    /// Members with equal == false — the compile unit's size (filled once
+    /// after the rebuild's member assignment).
+    std::uint32_t eval_members = 0;
   };
   struct CoreIndex {
     SubscriptionIndex index;  // Finalized; EntryId k <-> roots[k].
     std::vector<CoreRoot> roots;
+  };
+  /// Programs for a core's roots, by root ordinal (null = interpreted).
+  /// Shared between successive snapshots of the same core: a hot-compile
+  /// republish swaps in a new ProgramSet without touching core or overlay.
+  struct ProgramSet {
+    std::vector<std::shared_ptr<const program::PredicateProgram>> programs;
   };
   /// Persistent (newest-first) overlay list: sharing the tail lets a
   /// writer publish an extended overlay in O(1) without copying.
@@ -208,6 +270,7 @@ class MatchFabric {
     std::shared_ptr<const CoreIndex> core;  // Null until the first rebuild.
     std::shared_ptr<const OverlayNode> overlay;
     std::size_t overlay_len = 0;
+    std::shared_ptr<const ProgramSet> programs;  // Null = all interpreted.
   };
   struct Shard {
     std::mutex mu;  // Writers only; readers go through `published`.
@@ -223,6 +286,11 @@ class MatchFabric {
         roots_by_anchor;
     std::size_t rebuilds = 0;
     std::size_t publications = 0;
+    /// Raised by readers that saw a hot, uncompiled root; drained by the
+    /// next writer to hold mu (or by a reader winning the try_lock).
+    std::atomic<bool> compile_wanted{false};
+    std::size_t compiles = 0;
+    std::uint64_t compile_ns = 0;
   };
 
   std::size_t shard_of(const FilterSignature& sig) const;
@@ -237,8 +305,19 @@ class MatchFabric {
                     FilterSignature sig, RowId row,
                     std::vector<std::pair<std::uint32_t, Unit*>>& placed);
   void rebuild_locked(Shard& shard);
+  /// Root is hot enough and big enough to pay for a program.
+  bool wants_program(const CoreRoot& root) const;
+  /// Compiles `root`'s evaluated members (timing into the shard counters).
+  std::shared_ptr<const program::PredicateProgram> compile_root_locked(
+      Shard& shard, const CoreRoot& root) const;
+  /// Compile point off the rebuild path: builds programs for every hot,
+  /// still-interpreted root of the current snapshot and republishes with
+  /// the core and overlay shared.  Requires shard.mu; const because
+  /// readers volunteer through it (the fabric's logical state — the row
+  /// set — is untouched).
+  void compile_hot_locked(Shard& shard) const;
   void publish_locked(Shard& shard,
-                      std::shared_ptr<const ShardSnapshot> snapshot);
+                      std::shared_ptr<const ShardSnapshot> snapshot) const;
   std::size_t overlay_threshold(std::size_t core_size) const;
 
   MatchFabricOptions options_;
@@ -251,6 +330,14 @@ class MatchFabric {
   std::vector<std::vector<std::pair<std::uint32_t, Unit*>>> rows_;
   std::size_t live_rows_ = 0;
   std::atomic<std::size_t> row_bound_{0};
+  /// Hash shards shard_of currently routes to (rows_mu_; see
+  /// MatchFabricOptions::promote_rows).  All shards_ slots exist from
+  /// construction, so promotion never reallocates under readers.
+  std::size_t active_hash_shards_ = 1;
+  /// Reader-side tier tallies (one relaxed add per counter per match).
+  mutable std::atomic<std::uint64_t> vm_member_evals_{0};
+  mutable std::atomic<std::uint64_t> vm_fallback_evals_{0};
+  mutable std::atomic<std::uint64_t> interp_member_evals_{0};
 };
 
 }  // namespace bdps::matching

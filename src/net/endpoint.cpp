@@ -27,7 +27,7 @@ NetEndpoint::NetEndpoint(const NetEndpointOptions& options,
       on_forward_(std::move(on_forward)),
       on_acked_(std::move(on_acked)),
       on_peer_state_(std::move(on_peer_state)),
-      listener_(0) {
+      listener_(0, options.bind_host) {
   peers_.resize(static_cast<std::size_t>(options_.shard_count));
   tx_.resize(static_cast<std::size_t>(options_.shard_count));
   poller_.add(wake_.fd(), make_key(kKeyWake, 0), true, false);
@@ -45,6 +45,9 @@ void NetEndpoint::connect(const std::vector<std::uint16_t>& ports) {
     p.dial_port = peer < static_cast<int>(ports.size())
                       ? ports[static_cast<std::size_t>(peer)]
                       : 0;
+    p.dial_host = peer < static_cast<int>(options_.peer_hosts.size())
+                      ? options_.peer_hosts[static_cast<std::size_t>(peer)]
+                      : std::string{};
     p.reconnect_pending = true;
     p.reconnect_at = now;
   }
@@ -174,9 +177,9 @@ int NetEndpoint::poll_timeout_ms() const {
 void NetEndpoint::start_dial(int peer) {
   Peer& p = peers_[static_cast<std::size_t>(peer)];
   try {
-    p.dial.dial(p.dial_port);
+    p.dial.dial(p.dial_port, p.dial_host);
   } catch (const std::exception&) {
-    schedule_reconnect(peer);  // fd exhaustion: retry after backoff
+    schedule_reconnect(peer);  // fd exhaustion / bad host literal: back off
     return;
   }
   if (p.dial.closed()) {  // synchronous refusal

@@ -36,6 +36,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -54,6 +55,12 @@ struct NetEndpointOptions {
   double reconnect_initial_ms = 5.0;
   /// Backoff ceiling.
   double reconnect_max_ms = 250.0;
+  /// IPv4 literal the trunk listener binds ("" = 127.0.0.1, "0.0.0.0" =
+  /// all interfaces).  Name resolution stays outside the data plane.
+  std::string bind_host;
+  /// IPv4 literal dialed per peer shard, indexed by shard id; missing or
+  /// empty entries keep the loopback default (single-host deployments).
+  std::vector<std::string> peer_hosts;
 };
 
 class NetEndpoint {
@@ -68,8 +75,9 @@ class NetEndpoint {
   using AckHandler = std::function<void(std::uint64_t)>;
   using PeerStateHandler = std::function<void(int, bool)>;
 
-  /// Binds the trunk listener (ephemeral loopback port; port() is valid
-  /// immediately).  The net thread starts in connect().
+  /// Binds the trunk listener (ephemeral port on options.bind_host,
+  /// loopback by default; port() is valid immediately).  The net thread
+  /// starts in connect().
   NetEndpoint(const NetEndpointOptions& options, ForwardHandler on_forward,
               AckHandler on_acked, PeerStateHandler on_peer_state);
   ~NetEndpoint();
@@ -80,7 +88,8 @@ class NetEndpoint {
   std::uint16_t port() const { return listener_.port(); }
 
   /// Starts the net thread and dials every other shard.  `ports` is
-  /// indexed by shard id (our own entry is ignored).
+  /// indexed by shard id (our own entry is ignored); each dial targets
+  /// options.peer_hosts[shard] when set, loopback otherwise.
   void connect(const std::vector<std::uint16_t>& ports);
 
   /// Blocks until every dialed trunk is up (or the deadline passes).
@@ -132,6 +141,7 @@ class NetEndpoint {
     SocketLink in;
     FrameAssembler in_assembler;
     std::uint16_t dial_port = 0;
+    std::string dial_host;
     std::uint64_t last_seq_from = 0;
     double backoff_ms = 0.0;
     bool reconnect_pending = false;

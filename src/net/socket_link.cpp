@@ -20,11 +20,19 @@ namespace {
   throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
 }
 
-sockaddr_in loopback(std::uint16_t port) {
+/// IPv4 socket address for `host`:`port`.  An empty host keeps the
+/// historical loopback default; otherwise the host must be a dotted-quad
+/// literal ("0.0.0.0" binds all interfaces) — name resolution is the
+/// deployment layer's job, configs carry addresses.
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (host.empty()) {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("not an IPv4 address literal: " + host);
+  }
   return addr;
 }
 
@@ -47,11 +55,18 @@ void make_nonblocking(int fd) {
   }
 }
 
-TcpListener::TcpListener(std::uint16_t port) {
+TcpListener::TcpListener(std::uint16_t port, const std::string& bind_host) {
   fd_ = make_tcp_socket();
   const int one = 1;
   setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr = loopback(port);
+  sockaddr_in addr;
+  try {
+    addr = make_addr(bind_host, port);
+  } catch (const std::exception&) {
+    close(fd_);
+    fd_ = -1;
+    throw;
+  }
   if (bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
     const int err = errno;
     close(fd_);
@@ -117,11 +132,11 @@ SocketLink& SocketLink::operator=(SocketLink&& other) noexcept {
   return *this;
 }
 
-void SocketLink::dial(std::uint16_t port) {
+void SocketLink::dial(std::uint16_t port, const std::string& host) {
   close_now();
+  const sockaddr_in addr = make_addr(host, port);  // Throws before any fd.
   fd_ = make_tcp_socket();
   make_nonblocking(fd_);
-  sockaddr_in addr = loopback(port);
   const int rc =
       connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
   if (rc == 0) {
@@ -232,15 +247,16 @@ BlockingConn& BlockingConn::operator=(BlockingConn&& other) noexcept {
   return *this;
 }
 
-bool BlockingConn::dial(std::uint16_t port) {
+bool BlockingConn::dial(std::uint16_t port, const std::string& host) {
   close_now();
+  sockaddr_in addr;
   int fd = -1;
   try {
+    addr = make_addr(host, port);
     fd = make_tcp_socket();
   } catch (const std::exception&) {
     return false;
   }
-  sockaddr_in addr = loopback(port);
   if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     close(fd);

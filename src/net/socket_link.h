@@ -1,6 +1,7 @@
-// Non-blocking loopback TCP primitives for the broker overlay.
+// Non-blocking TCP primitives for the broker overlay.
 //
-// TcpListener binds 127.0.0.1 (ephemeral port by default) and accepts
+// TcpListener binds an IPv4 address (127.0.0.1 and an ephemeral port by
+// default; pass a dotted-quad literal to bind a real interface) and accepts
 // non-blocking connections.  SocketLink is one connection's state: the Tx
 // half is the reactor's TxAwaitWritable state in socket form — writes go
 // into an outbound buffer, flush() pushes until EAGAIN, and wants_write()
@@ -17,6 +18,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "net/wire.h"
@@ -28,9 +30,12 @@ void make_nonblocking(int fd);
 
 class TcpListener {
  public:
-  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral).  Throws
-  /// std::runtime_error on bind failure (port in use, no sockets).
-  explicit TcpListener(std::uint16_t port = 0);
+  /// Binds and listens on `bind_host`:`port` (0 = ephemeral; an empty
+  /// host = 127.0.0.1, "0.0.0.0" = all interfaces).  Throws
+  /// std::runtime_error on bind failure (port in use, no sockets) or a
+  /// host that is not an IPv4 literal.
+  explicit TcpListener(std::uint16_t port = 0,
+                       const std::string& bind_host = {});
   ~TcpListener();
 
   TcpListener(const TcpListener&) = delete;
@@ -65,11 +70,12 @@ class SocketLink {
   SocketLink(const SocketLink&) = delete;
   SocketLink& operator=(const SocketLink&) = delete;
 
-  /// Starts a non-blocking connect to 127.0.0.1:`port`.  The link is then
-  /// `connecting` until the poller reports writability and
-  /// finish_connect() confirms; throws std::runtime_error only when no
-  /// socket can be created at all.
-  void dial(std::uint16_t port);
+  /// Starts a non-blocking connect to `host`:`port` (empty host =
+  /// 127.0.0.1).  The link is then `connecting` until the poller reports
+  /// writability and finish_connect() confirms; throws std::runtime_error
+  /// only when no socket can be created at all or the host is not an IPv4
+  /// literal.
+  void dial(std::uint16_t port, const std::string& host = {});
 
   /// Adopts an accepted fd (already non-blocking).
   void adopt(int fd);
@@ -128,8 +134,9 @@ class BlockingConn {
   BlockingConn(const BlockingConn&) = delete;
   BlockingConn& operator=(const BlockingConn&) = delete;
 
-  /// Blocking connect to 127.0.0.1:`port`; false on failure.
-  bool dial(std::uint16_t port);
+  /// Blocking connect to `host`:`port` (empty host = 127.0.0.1); false on
+  /// failure, including a host that is not an IPv4 literal.
+  bool dial(std::uint16_t port, const std::string& host = {});
 
   bool open() const { return fd_ >= 0; }
   int fd() const { return fd_; }

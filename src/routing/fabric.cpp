@@ -54,6 +54,8 @@ RoutingFabric::RoutingFabric(const Topology& topology,
     matching::MatchFabricOptions match_options;
     match_options.shards = options_.match_shards;
     match_options.covering = options_.covering;
+    match_options.promote_rows = options_.match_promote_rows;
+    match_options.compile_hot_hits = options_.match_compile_hot_hits;
     broker_fabrics_.resize(n);
     broker_scratches_.resize(n);
     for (std::size_t b = 0; b < n; ++b) {

@@ -55,16 +55,22 @@ struct FabricOptions {
   /// trades mutation/concurrency behaviour against memory layout.
   MatchEngine engine = MatchEngine::kSharded;
   /// kSharded tuning: covering/equivalence merging and hash shard count
-  /// (plus the fabric's fallback shard; see MatchFabricOptions).  The
-  /// default is a single hash shard: per-broker tables here hold tens to
-  /// thousands of rows, where every extra shard is one more index walk on
-  /// the match path (match throughput is flat in shard count even at 100k
-  /// rows — BENCH_pr8.json shard_sweep — so fan-out only pays when
-  /// writers contend, not for these logically-const tables).  Million-row
-  /// single-fabric constructions (bench/tools) size MatchFabricOptions
-  /// directly.
+  /// (plus the fabric's fallback shard; see MatchFabricOptions).
+  /// Per-broker tables promote from ONE hash shard to match_shards once
+  /// they exceed match_promote_rows rows: small tables pay for every
+  /// extra shard with one more index walk per match (throughput is flat
+  /// in shard count even at 100k rows — BENCH_pr8.json shard_sweep),
+  /// while million-row tables need the fan-out for writer contention and
+  /// rebuild cost.  The promotion is a pure layout change — match sets
+  /// and their canonical order never depend on it — so scaled-clock
+  /// verifies stay deterministic.  Million-row single-fabric
+  /// constructions (bench/tools) size MatchFabricOptions directly.
   bool covering = true;
-  std::size_t match_shards = 1;
+  std::size_t match_shards = 8;
+  std::size_t match_promote_rows = 8192;
+  /// Hot-root compile threshold forwarded to
+  /// MatchFabricOptions::compile_hot_hits (0 disables the compile tier).
+  std::size_t match_compile_hot_hits = 4;
 };
 
 class RoutingFabric {
@@ -126,6 +132,15 @@ class RoutingFabric {
   const ShortestPathTree& tree_toward(BrokerId home) const;
 
   bool repairable() const { return options_.repairable; }
+
+  /// The kSharded matching fabric behind `broker`'s table — compile-tier
+  /// and shard-promotion statistics for tools and tests.  Null under
+  /// MatchEngine::kReference.
+  const matching::MatchFabric* match_fabric(BrokerId broker) const {
+    return static_cast<std::size_t>(broker) < broker_fabrics_.size()
+               ? broker_fabrics_[broker].get()
+               : nullptr;
+  }
 
   /// The graph routing was computed over (repairable fabrics only; engines
   /// with a differently-id'd true graph translate edge ids through it).

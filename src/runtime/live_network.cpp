@@ -103,6 +103,8 @@ LiveNetwork::LiveNetwork(const Topology* topology, const RoutingFabric* fabric,
     net_options.shard_count = options_.net.shard_count;
     net_options.reconnect_initial_ms = options_.net.reconnect_initial_ms;
     net_options.reconnect_max_ms = options_.net.reconnect_max_ms;
+    net_options.bind_host = options_.net.bind_host;
+    net_options.peer_hosts = options_.net.peer_hosts;
     endpoint_ = std::make_unique<NetEndpoint>(
         net_options,
         [this](BrokerId target, const Message& message) {

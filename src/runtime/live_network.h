@@ -19,7 +19,8 @@
 //   * LiveMode::kSocket — one shard of a distributed overlay.  The
 //     instance owns the brokers LiveNetOptions::broker_shard assigns to
 //     it plus every directed link *leaving* them; a transmission that
-//     completes toward a remote broker rides a loopback TCP trunk
+//     completes toward a remote broker rides a TCP trunk — loopback by
+//     default, real interfaces via LiveNetOptions::bind_host/peer_hosts
 //     (net/endpoint.h: epoll loop, per-trunk cumulative-ack reliability,
 //     capped-backoff reconnect) instead of a worker mailbox.  Fault
 //     replay on a cut edge forces a real disconnect (drop_peer) and the
@@ -58,7 +59,8 @@ namespace bdps {
 enum class LiveMode {
   /// Reactor worker pool + timer wheel, whole overlay in-process (default).
   kReactor,
-  /// One shard of the overlay; cut edges ride loopback TCP trunks.
+  /// One shard of the overlay; cut edges ride TCP trunks (loopback unless
+  /// LiveNetOptions names real hosts).
   kSocket,
 };
 
@@ -72,6 +74,13 @@ struct LiveNetOptions {
   /// Trunk redial backoff: first delay, doubling to the cap.
   double reconnect_initial_ms = 5.0;
   double reconnect_max_ms = 250.0;
+  /// IPv4 literal the trunk listener binds ("" = 127.0.0.1 — the
+  /// single-host default; "0.0.0.0" = all interfaces for real
+  /// multi-machine deployments).
+  std::string bind_host;
+  /// IPv4 literal dialed per peer shard, indexed by shard id; missing or
+  /// empty entries dial loopback.
+  std::vector<std::string> peer_hosts;
 };
 
 struct LiveOptions {

@@ -99,6 +99,94 @@ TEST(MatchFabricConcurrent, ReadersRaceChurnWriter) {
   }
 }
 
+TEST(MatchFabricConcurrent, CompileTierRacesReadersAndChurnWriter) {
+  // The compile tier's three publication paths all race here: rebuilds
+  // compile hot roots inline, writers drain reader-raised compile_wanted
+  // flags, and readers themselves volunteer through try_lock mid-match.
+  // hits=1/min_members=1 makes every matched root hot immediately, so
+  // program republishes happen constantly under the reader load (the TSan
+  // matching preset runs this).
+  MatchFabricOptions options;
+  options.shards = 2;
+  options.rebuild_min = 16;
+  options.compile_hot_hits = 1;
+  options.compile_min_members = 1;
+  MatchFabric fabric(options);
+
+  ChurnWorkloadConfig config;
+  config.seed = 17;
+  config.attribute_pool = 8;   // Heavy collisions: big covering roots.
+  config.threshold_pool = 6;
+  ChurnWorkload workload(config);
+
+  constexpr std::size_t kAdds = 1200;
+  std::vector<Filter> filters;
+  filters.reserve(kAdds);
+  for (std::size_t i = 0; i < kAdds; ++i) {
+    filters.push_back(workload.next_filter());
+  }
+  std::vector<Message> probes;
+  for (int i = 0; i < 32; ++i) probes.push_back(workload.next_message());
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    Rng remove_rng(5);
+    for (std::size_t i = 0; i < kAdds; ++i) {
+      const RowId row = fabric.add(filters[i]);
+      ASSERT_EQ(row, i);
+      if (i > 0 && i % 5 == 0) {
+        fabric.remove(remove_rng.uniform_index(i));
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      MatchScratch scratch;
+      std::size_t iterations = 0;
+      while (!done.load(std::memory_order_acquire) || iterations < 80) {
+        const Message& m = probes[(iterations + static_cast<std::size_t>(r)) %
+                                  probes.size()];
+        const auto& got = fabric.match(m, scratch);
+        ASSERT_TRUE(std::is_sorted(got.begin(), got.end()));
+        ASSERT_TRUE(std::adjacent_find(got.begin(), got.end()) == got.end());
+        for (const RowId row : got) {
+          ASSERT_LT(row, filters.size());
+          ASSERT_TRUE(filters[row].matches(m)) << "row " << row;
+        }
+        ++iterations;
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+
+  // Quiesced: compiled answers equal brute force over the live set, and
+  // the tier demonstrably ran.
+  std::vector<bool> alive(kAdds, true);
+  {
+    Rng remove_rng(5);
+    for (std::size_t i = 0; i < kAdds; ++i) {
+      if (i > 0 && i % 5 == 0) alive[remove_rng.uniform_index(i)] = false;
+    }
+  }
+  MatchScratch scratch;
+  for (const Message& m : probes) {
+    std::vector<RowId> expect;
+    for (std::size_t i = 0; i < kAdds; ++i) {
+      if (alive[i] && filters[i].matches(m)) expect.push_back(i);
+    }
+    ASSERT_EQ(fabric.match(m, scratch), expect);
+  }
+  const MatchFabric::Stats stats = fabric.stats();
+  EXPECT_GT(stats.compiles, 0u);
+  EXPECT_GT(stats.compiled_roots, 0u);
+  EXPECT_GT(stats.vm_member_evals, 0u);
+}
+
 TEST(MatchFabricConcurrent, ManyScratchesShareOneDomainSlotPool) {
   MatchFabric fabric;
   for (int i = 0; i < 8; ++i) {

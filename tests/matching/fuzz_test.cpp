@@ -41,20 +41,29 @@ std::vector<RowId> brute_force(const std::vector<BruteRow>& rows,
   return out;
 }
 
-/// (seed, shards, covering, rebuild_min) — shards == 1 exercises the
-/// degenerate everything-in-one-shard layout, tiny rebuild_min exercises
-/// the rebuild/fold path constantly.
-using FuzzParam = std::tuple<std::uint64_t, std::size_t, bool, std::size_t>;
+/// (seed, shards, covering, rebuild_min, compile_hits) — shards == 1
+/// exercises the degenerate everything-in-one-shard layout, tiny
+/// rebuild_min exercises the rebuild/fold path constantly, and
+/// compile_hits > 0 runs the compiled-program tier (hits=1 compiles every
+/// matched root, so churn keeps flipping roots across the hot threshold
+/// and programs are rebuilt/dropped along the rebuild cadence).
+using FuzzParam =
+    std::tuple<std::uint64_t, std::size_t, bool, std::size_t, std::size_t>;
 
 class MatchFabricFuzz : public ::testing::TestWithParam<FuzzParam> {};
 
 TEST_P(MatchFabricFuzz, AgreesWithBruteForceUnderChurn) {
-  const auto [seed, shards, covering, rebuild_min] = GetParam();
+  const auto [seed, shards, covering, rebuild_min, compile_hits] = GetParam();
 
   MatchFabricOptions options;
   options.shards = shards;
   options.covering = covering;
   options.rebuild_min = rebuild_min;
+  options.compile_hot_hits = compile_hits;
+  // Compile even two-member roots so programs carry as much of the match
+  // as possible when the tier is on (or_filters, opaque remainders and
+  // boundary folds all route through evaluate()).
+  options.compile_min_members = compile_hits > 0 ? 1 : 4;
   MatchFabric fabric(options);
   MatchScratch scratch;
 
@@ -108,19 +117,37 @@ TEST_P(MatchFabricFuzz, AgreesWithBruteForceUnderChurn) {
   } else {
     EXPECT_EQ(stats.equal_members + stats.covered_members, 0u);
   }
+  if (compile_hits == 1 && covering) {
+    // hits=1 + min_members=1: every probe burst re-heats its roots, so the
+    // tier must actually have engaged (otherwise the corpus silently
+    // stopped covering the compiled path).  Covering-off roots have no
+    // evaluated members, hence nothing to compile.
+    EXPECT_GT(stats.compiles, 0u);
+    EXPECT_GT(stats.vm_member_evals, 0u);
+  } else if (compile_hits == 0 || !covering) {
+    EXPECT_EQ(stats.compiles, 0u);
+    EXPECT_EQ(stats.vm_member_evals, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Corpus, MatchFabricFuzz,
-    ::testing::Values(FuzzParam{1, 8, true, 64}, FuzzParam{2, 8, false, 64},
-                      FuzzParam{3, 1, true, 4}, FuzzParam{4, 1, false, 4},
-                      FuzzParam{5, 3, true, 8}, FuzzParam{6, 16, true, 16},
-                      FuzzParam{7, 2, true, 4}, FuzzParam{8, 4, false, 8}),
+    ::testing::Values(
+        FuzzParam{1, 8, true, 64, 0}, FuzzParam{2, 8, false, 64, 0},
+        FuzzParam{3, 1, true, 4, 0}, FuzzParam{4, 1, false, 4, 0},
+        FuzzParam{5, 3, true, 8, 0}, FuzzParam{6, 16, true, 16, 0},
+        FuzzParam{7, 2, true, 4, 0}, FuzzParam{8, 4, false, 8, 0},
+        // Compiled tier on: hits=1 compiles everything ever matched,
+        // hits=3 keeps roots flipping across the threshold under churn.
+        FuzzParam{9, 8, true, 64, 1}, FuzzParam{10, 1, true, 4, 1},
+        FuzzParam{11, 4, true, 8, 3}, FuzzParam{12, 8, false, 16, 1},
+        FuzzParam{13, 2, true, 4, 2}, FuzzParam{14, 16, true, 32, 1}),
     [](const ::testing::TestParamInfo<FuzzParam>& info) {
       return "seed" + std::to_string(std::get<0>(info.param)) + "_shards" +
              std::to_string(std::get<1>(info.param)) +
              (std::get<2>(info.param) ? "_cover" : "_nocover") + "_rb" +
-             std::to_string(std::get<3>(info.param));
+             std::to_string(std::get<3>(info.param)) + "_hits" +
+             std::to_string(std::get<4>(info.param));
     });
 
 /// The workload generator itself must be reproducible: two instances of

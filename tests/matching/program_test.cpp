@@ -1,0 +1,247 @@
+// PredicateProgram unit suite: the compiled tier's equivalence contract
+// against Filter::matches, pinned at the places it could plausibly break —
+// nextafter boundary folds (kLt/kGt vs kLe/kGe at shared thresholds),
+// +-inf message values against inclusive bounds, kInRange, string
+// equality interning, fallback members (kNe, string orderings, non-finite
+// operands), contradictory members, and slot sharing across members.
+#include "matching/program/program.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/generator.h"
+
+namespace bdps::matching::program {
+namespace {
+
+Message make_message(std::vector<Attribute> head) {
+  return Message(1, 0, 0.0, 50.0, std::move(head));
+}
+
+Filter where(const std::string& attr, Op op, Value v, Value v2 = Value()) {
+  Filter f;
+  f.where(attr, op, std::move(v), std::move(v2));
+  return f;
+}
+
+/// Compiles `members` and checks evaluate() against Filter::matches for
+/// every probe — the contract the fabric's differential fuzz relies on.
+void expect_equivalent(const std::vector<Filter>& members,
+                       const std::vector<Message>& probes) {
+  std::vector<const Filter*> pointers;
+  for (const Filter& f : members) pointers.push_back(&f);
+  const PredicateProgram program = PredicateProgram::compile(pointers);
+  ASSERT_EQ(program.member_count(), members.size());
+  ProgramEval eval;
+  for (std::size_t p = 0; p < probes.size(); ++p) {
+    program.evaluate(probes[p], eval);
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      ASSERT_EQ(eval.matched[m] != 0, members[m].matches(probes[p]))
+          << "member " << m << " (" << members[m].to_string() << ") probe "
+          << p;
+    }
+  }
+}
+
+TEST(PredicateProgram, StrictBoundsFoldExactlyAtSharedThresholds) {
+  // All four comparison shapes on one threshold: the nextafter folds must
+  // reproduce the strict/inclusive split at c exactly, including one ulp
+  // on either side.
+  const double c = 5.0;
+  const std::vector<Filter> members = {
+      where("A", Op::kLt, Value(c)), where("A", Op::kLe, Value(c)),
+      where("A", Op::kGt, Value(c)), where("A", Op::kGe, Value(c)),
+      where("A", Op::kEq, Value(c))};
+  std::vector<Message> probes;
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double v :
+       {c, std::nextafter(c, -inf), std::nextafter(c, inf), 0.0, -inf, inf,
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::lowest(),
+        std::numeric_limits<double>::denorm_min()}) {
+    probes.push_back(make_message({{"A", Value(v)}}));
+  }
+  probes.push_back(make_message({}));  // Missing attribute: nothing matches.
+  expect_equivalent(members, probes);
+}
+
+TEST(PredicateProgram, InfiniteMessageValuesAgainstFiniteBounds) {
+  // The inclusive-bound representation exists for exactly this case: a
+  // half-open fold would misclassify v = +inf under an unbounded-above
+  // interval.  kLe DBL_MAX must reject +inf, kGe lowest() must reject
+  // -inf's complement, etc.
+  const std::vector<Filter> members = {
+      where("A", Op::kLe, Value(std::numeric_limits<double>::max())),
+      where("A", Op::kGe, Value(std::numeric_limits<double>::lowest())),
+      where("A", Op::kLt, Value(std::numeric_limits<double>::max())),
+      where("A", Op::kGt, Value(std::numeric_limits<double>::lowest()))};
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<Message> probes;
+  for (const double v : {inf, -inf, 0.0, std::numeric_limits<double>::max(),
+                         std::numeric_limits<double>::lowest()}) {
+    probes.push_back(make_message({{"A", Value(v)}}));
+  }
+  expect_equivalent(members, probes);
+}
+
+TEST(PredicateProgram, InRangeIsInclusiveBothEnds) {
+  const std::vector<Filter> members = {
+      where("A", Op::kInRange, Value(2.0), Value(4.0)),
+      where("A", Op::kInRange, Value(3.0), Value(3.0)),   // Point range.
+      where("A", Op::kInRange, Value(4.0), Value(2.0))};  // Empty range.
+  std::vector<Message> probes;
+  for (const double v : {1.0, 2.0, 2.5, 3.0, 4.0, 4.5}) {
+    probes.push_back(make_message({{"A", Value(v)}}));
+  }
+  expect_equivalent(members, probes);
+}
+
+TEST(PredicateProgram, ConjunctionsCountAcrossSharedSlots) {
+  // Members constraining overlapping attribute sets: slots are shared,
+  // counts must land on the right member.
+  std::vector<Filter> members;
+  {
+    Filter f;
+    f.where("A", Op::kGe, Value(1.0));
+    f.where("B", Op::kLt, Value(5.0));
+    members.push_back(std::move(f));
+  }
+  {
+    Filter f;
+    f.where("A", Op::kLt, Value(3.0));
+    f.where("C", Op::kGt, Value(0.0));
+    members.push_back(std::move(f));
+  }
+  {
+    Filter f;  // Same attribute twice: both predicates must hold.
+    f.where("A", Op::kGe, Value(1.0));
+    f.where("A", Op::kLe, Value(2.0));
+    members.push_back(std::move(f));
+  }
+  members.push_back(Filter{});  // Wildcard member: required count 0.
+  std::vector<Message> probes = {
+      make_message({{"A", Value(2.0)}, {"B", Value(1.0)}, {"C", Value(1.0)}}),
+      make_message({{"A", Value(2.5)}, {"B", Value(9.0)}}),
+      make_message({{"A", Value(0.5)}, {"C", Value(1.0)}}),
+      make_message({{"B", Value(1.0)}}),
+      make_message({})};
+  expect_equivalent(members, probes);
+}
+
+TEST(PredicateProgram, StringEqualityComparesInternedIds) {
+  const std::vector<Filter> members = {
+      where("S", Op::kEq, Value(std::string("alpha"))),
+      where("S", Op::kEq, Value(std::string("beta"))),
+      where("T", Op::kEq, Value(std::string("alpha")))};
+  const std::vector<Message> probes = {
+      make_message({{"S", Value(std::string("alpha"))}}),
+      make_message({{"S", Value(std::string("beta"))},
+                    {"T", Value(std::string("alpha"))}}),
+      make_message({{"S", Value(std::string("gamma"))}}),  // Never interned.
+      make_message({{"S", Value(7.0)}}),  // Type mismatch on a string slot.
+      make_message({})};
+  expect_equivalent(members, probes);
+}
+
+TEST(PredicateProgram, UncompilablePredicatesFallBackToInterpreter) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<Filter> members = {
+      where("A", Op::kNe, Value(3.0)),                      // kNe.
+      where("S", Op::kLt, Value(std::string("m"))),         // String order.
+      where("A", Op::kLe, Value(nan)),                      // NaN operand.
+      where("A", Op::kGe,
+            Value(std::numeric_limits<double>::infinity())),  // Inf operand.
+      where("A", Op::kLt, Value(3.0))};                     // Compiled peer.
+  std::vector<const Filter*> pointers;
+  for (const Filter& f : members) pointers.push_back(&f);
+  const PredicateProgram program = PredicateProgram::compile(pointers);
+  EXPECT_GE(program.fallback_count(), 4u);
+  const std::vector<Message> probes = {
+      make_message({{"A", Value(2.0)}, {"S", Value(std::string("a"))}}),
+      make_message({{"A", Value(3.0)}, {"S", Value(std::string("z"))}}),
+      make_message({{"A", Value(std::numeric_limits<double>::infinity())}}),
+      make_message({})};
+  expect_equivalent(members, probes);
+}
+
+TEST(PredicateProgram, ContradictoryMembersNeverMatch) {
+  std::vector<Filter> members;
+  {
+    Filter f;  // Empty numeric interval.
+    f.where("A", Op::kGt, Value(5.0));
+    f.where("A", Op::kLt, Value(5.0));
+    members.push_back(std::move(f));
+  }
+  {
+    Filter f;  // Clashing string equalities.
+    f.where("S", Op::kEq, Value(std::string("x")));
+    f.where("S", Op::kEq, Value(std::string("y")));
+    members.push_back(std::move(f));
+  }
+  {
+    Filter f;  // Number-equality vs string-equality on one attribute.
+    f.where("A", Op::kEq, Value(2.0));
+    f.where("A", Op::kEq, Value(std::string("two")));
+    members.push_back(std::move(f));
+  }
+  const std::vector<Message> probes = {
+      make_message({{"A", Value(5.0)}, {"S", Value(std::string("x"))}}),
+      make_message({{"A", Value(2.0)}, {"S", Value(std::string("y"))}}),
+      make_message({{"A", Value(std::string("two"))}})};
+  expect_equivalent(members, probes);
+}
+
+TEST(PredicateProgram, DuplicateMessageAttributesUseFirstOccurrence) {
+  // Message::find returns the first occurrence; the program resolves each
+  // slot through the same lookup, so duplicate-name heads stay equivalent.
+  const std::vector<Filter> members = {where("A", Op::kGe, Value(3.0)),
+                                       where("A", Op::kLt, Value(3.0))};
+  const std::vector<Message> probes = {
+      make_message({{"A", Value(5.0)}, {"A", Value(1.0)}}),
+      make_message({{"A", Value(1.0)}, {"A", Value(5.0)}})};
+  expect_equivalent(members, probes);
+}
+
+TEST(PredicateProgram, ZipfCorpusEquivalenceSweep) {
+  // Randomized closure over the generator the fabric benches use: every
+  // (member, probe) verdict must agree with the interpreter.
+  for (const std::uint64_t seed : {21ULL, 22ULL, 23ULL}) {
+    ChurnWorkloadConfig config;
+    config.seed = seed;
+    config.attribute_pool = 10;
+    config.threshold_pool = 6;
+    ChurnWorkload workload(config);
+    std::vector<Filter> members;
+    for (int i = 0; i < 96; ++i) members.push_back(workload.next_filter());
+    std::vector<Message> probes;
+    for (int i = 0; i < 64; ++i) probes.push_back(workload.next_message());
+    expect_equivalent(members, probes);
+  }
+}
+
+TEST(PredicateProgram, EvaluateIsReentrantAcrossScratches) {
+  // One immutable program, two scratches, interleaved evaluations.
+  const std::vector<Filter> members = {where("A", Op::kLt, Value(5.0)),
+                                       where("A", Op::kGe, Value(5.0))};
+  std::vector<const Filter*> pointers;
+  for (const Filter& f : members) pointers.push_back(&f);
+  const PredicateProgram program = PredicateProgram::compile(pointers);
+  ProgramEval a;
+  ProgramEval b;
+  const Message low = make_message({{"A", Value(1.0)}});
+  const Message high = make_message({{"A", Value(9.0)}});
+  program.evaluate(low, a);
+  program.evaluate(high, b);
+  EXPECT_NE(a.matched[0], 0);
+  EXPECT_EQ(a.matched[1], 0);
+  EXPECT_EQ(b.matched[0], 0);
+  EXPECT_NE(b.matched[1], 0);
+}
+
+}  // namespace
+}  // namespace bdps::matching::program

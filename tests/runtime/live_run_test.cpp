@@ -92,6 +92,8 @@ TEST(LiveConfig, FormatParseRoundTripIsBitExact) {
   config.workers = 3;
   config.speedup = 777.5;
   config.reconnect_initial_ms = 2.5;
+  config.bind_host = "0.0.0.0";
+  config.peer_hosts = {"10.0.0.1", "", "10.0.0.3", "10.0.0.4"};
   config.sim.faults.link_outages.push_back(LinkOutage{100.0, 320.0, 1, 2});
 
   const std::string text = format_live_config(config);
@@ -108,6 +110,8 @@ TEST(LiveConfig, FormatParseRoundTripIsBitExact) {
   EXPECT_EQ(parsed.sim.faults.link_outages.size(), 1u);
   EXPECT_EQ(parsed.shards, 4u);
   EXPECT_EQ(parsed.mode, LiveMode::kSocket);
+  EXPECT_EQ(parsed.bind_host, "0.0.0.0");
+  EXPECT_EQ(parsed.peer_hosts, config.peer_hosts);
 
   const LiveWorld a = build_live_world(config);
   const LiveWorld b = build_live_world(parsed);

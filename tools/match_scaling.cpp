@@ -60,6 +60,13 @@ struct Probe {
   std::size_t covered_members = 0;
   std::size_t rebuilds = 0;
   std::size_t publications = 0;
+  // Compile-tier state after the timed probes (sharded rows only).
+  std::size_t compile_hits = 0;  // Threshold the row ran with (0 = off).
+  std::size_t compiled_roots = 0;
+  std::size_t compiles = 0;
+  double compile_ms = 0.0;
+  std::uint64_t vm_member_evals = 0;
+  std::uint64_t interp_member_evals = 0;
 };
 
 using Clock = std::chrono::steady_clock;
@@ -108,17 +115,20 @@ void time_matches(Probe& p, ChurnWorkload& workload, std::size_t probes,
 }
 
 Probe run_sharded(std::size_t subs, std::size_t shards, bool covering,
-                  std::size_t probes, std::size_t churn_ops) {
+                  std::size_t probes, std::size_t churn_ops,
+                  std::size_t compile_hits = MatchFabricOptions{}.compile_hot_hits) {
   Probe p;
   p.subs = subs;
   p.engine = "sharded";
   p.shards = shards;
   p.covering = covering;
+  p.compile_hits = compile_hits;
   try {
     ChurnWorkload workload(corpus_config());
     MatchFabricOptions options;
     options.shards = shards;
     options.covering = covering;
+    options.compile_hot_hits = compile_hits;
     MatchFabric fabric(options);
 
     const auto build_start = Clock::now();
@@ -146,6 +156,17 @@ Probe run_sharded(std::size_t subs, std::size_t shards, bool covering,
                        : 0.0;
 
     MatchScratch scratch;
+    // Warm the compile tier: enough untimed matches for hot roots to cross
+    // compile_hot_hits and the reader-volunteer path to build their
+    // programs, so the timed probes measure the steady state of the row's
+    // configured tier (with compile_hits=0 this is just cache warm-up).
+    const std::size_t warmup =
+        compile_hits > 0 ? std::max<std::size_t>(4 * compile_hits, 64) : 16;
+    for (std::size_t i = 0; i < warmup; ++i) {
+      const Message m = workload.next_message();
+      (void)fabric.match(m, scratch);
+    }
+
     time_matches(p, workload, probes,
                  [&](const Message& m) { return fabric.match(m, scratch).size(); });
 
@@ -156,6 +177,11 @@ Probe run_sharded(std::size_t subs, std::size_t shards, bool covering,
     p.covered_members = stats.covered_members;
     p.rebuilds = stats.rebuilds;
     p.publications = stats.publications;
+    p.compiled_roots = stats.compiled_roots;
+    p.compiles = stats.compiles;
+    p.compile_ms = stats.compile_ms;
+    p.vm_member_evals = stats.vm_member_evals;
+    p.interp_member_evals = stats.interp_member_evals;
     p.completed = true;
   } catch (const std::exception& e) {
     p.error = e.what();
@@ -212,20 +238,28 @@ void emit(const Probe& p) {
       "\"match_per_sec\": %.0f, \"mean_matches\": %.1f, "
       "\"compression\": %.3f, \"index_roots\": %zu, "
       "\"equal_members\": %zu, \"covered_members\": %zu, "
-      "\"rebuilds\": %zu, \"publications\": %zu%s%s%s}\n",
+      "\"rebuilds\": %zu, \"publications\": %zu, "
+      "\"compile_hits\": %zu, \"compiled_roots\": %zu, \"compiles\": %zu, "
+      "\"compile_ms\": %.2f, \"vm_member_evals\": %llu, "
+      "\"interp_member_evals\": %llu%s%s%s}\n",
       p.subs, p.engine.c_str(), p.shards, p.covering ? "true" : "false",
       p.completed ? "true" : "false", p.build_ms, p.adds_per_sec,
       p.churn_per_sec, p.match_p50_us, p.match_p99_us, p.match_per_sec,
       p.mean_matches, p.compression, p.index_roots, p.equal_members,
-      p.covered_members, p.rebuilds, p.publications,
+      p.covered_members, p.rebuilds, p.publications, p.compile_hits,
+      p.compiled_roots, p.compiles, p.compile_ms,
+      static_cast<unsigned long long>(p.vm_member_evals),
+      static_cast<unsigned long long>(p.interp_member_evals),
       error.empty() ? "" : ", \"error\": \"", error.c_str(),
       error.empty() ? "" : "\"");
   std::fflush(stdout);
   std::fprintf(stderr,
-               "%-9s %8zu subs  %2zu shards  cover=%d  p50 %7.1f us  "
-               "p99 %8.1f us  %8.0f match/s  x%.2f  %s\n",
+               "%-9s %8zu subs  %2zu shards  cover=%d  hits=%zu  "
+               "p50 %7.1f us  p99 %8.1f us  %8.0f match/s  x%.2f  "
+               "%zu prog  %s\n",
                p.engine.c_str(), p.subs, p.shards, p.covering ? 1 : 0,
-               p.match_p50_us, p.match_p99_us, p.match_per_sec, p.compression,
+               p.compile_hits, p.match_p50_us, p.match_p99_us, p.match_per_sec,
+               p.compression, p.compiled_roots,
                p.completed ? "ok" : p.error.c_str());
 }
 
@@ -282,6 +316,12 @@ int main(int argc, char** argv) {
       // Covering ablation: same corpus, merging off.
       emit(run_sharded(extras_subs, MatchFabricOptions{}.shards,
                        /*covering=*/false, probes, churn_ops));
+      // Compile-tier ablation: same corpus, programs off — the interpret
+      // baseline the compiled rows above are compared against (PERF.md
+      // compiled-programs table).
+      emit(run_sharded(extras_subs, MatchFabricOptions{}.shards,
+                       /*covering=*/true, probes, churn_ops,
+                       /*compile_hits=*/0));
     }
     // Shard-count sensitivity (PERF.md table).
     for (const std::size_t shards : shard_sweep) {

@@ -17,11 +17,19 @@
 // items_processed counts member evaluations, so items/s is directly
 // comparable between the interpret and evaluate rows; the crossover
 // member count is where their per-item costs meet (PERF.md).
+//
+// BM_ProgramEvaluate runs a members x kernel grid: kernel=0 forces the
+// portable scalar kernel, kernel=1 lets the runtime dispatcher pick the
+// widest ISA this host supports (the row label names the kernel that
+// actually ran, so the JSON is self-describing on any machine).  The
+// scalar/simd delta at each width is the SIMD tier's contribution to the
+// crossover.
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
 #include "matching/program/program.h"
+#include "matching/program/simd.h"
 #include "message/filter.h"
 #include "workload/generator.h"
 
@@ -33,6 +41,7 @@ using bdps::Filter;
 using bdps::Message;
 using bdps::matching::program::PredicateProgram;
 using bdps::matching::program::ProgramEval;
+namespace simd = bdps::matching::program::simd;
 
 ChurnWorkload make_workload() {
   ChurnWorkloadConfig config;
@@ -75,10 +84,18 @@ void BM_InterpretMembers(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_InterpretMembers)
-    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64)->Arg(256)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(256)
     ->ArgNames({"members"});
 
 void BM_ProgramEvaluate(benchmark::State& state) {
+  // kernel=0: forced portable scalar; kernel=1: runtime-dispatched SIMD.
+  // The label records the kernel that actually evaluated the batch.
+  if (state.range(1) == 0) {
+    simd::force_kernel("portable");
+  } else {
+    simd::force_kernel(nullptr);  // Auto: widest ISA this host dispatches.
+  }
+  state.SetLabel(simd::active_kernel_name());
   const Corpus corpus = make_corpus(state.range(0));
   const PredicateProgram program = PredicateProgram::compile(corpus.pointers);
   ProgramEval eval;
@@ -96,10 +113,11 @@ void BM_ProgramEvaluate(benchmark::State& state) {
       static_cast<double>(program.interval_test_count());
   state.counters["fallbacks"] =
       static_cast<double>(program.fallback_count());
+  simd::force_kernel(nullptr);
 }
 BENCHMARK(BM_ProgramEvaluate)
-    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64)->Arg(256)
-    ->ArgNames({"members"});
+    ->ArgsProduct({{2, 4, 8, 16, 32, 64, 256}, {0, 1}})
+    ->ArgNames({"members", "kernel"});
 
 void BM_ProgramCompile(benchmark::State& state) {
   const Corpus corpus = make_corpus(state.range(0));

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "matching/program/simd.h"
 #include "matching/sharded_index.h"
 #include "message/index.h"
 #include "workload/generator.h"
@@ -56,11 +57,18 @@ void BM_FabricMatch(benchmark::State& state) {
                                           scratch));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  // The label names the SIMD kernel the batch evaluator dispatched (the
+  // same compiled tier runs with hits=0, it just never engages).
+  state.SetLabel(bdps::matching::program::simd::active_kernel_name());
   const MatchFabric::Stats stats = fabric.stats();
   state.counters["compression"] = stats.compression();
   state.counters["compiled_roots"] =
       static_cast<double>(stats.compiled_roots);
   state.counters["vm_evals"] = static_cast<double>(stats.vm_member_evals);
+  state.counters["vm_batch_evals"] =
+      static_cast<double>(stats.vm_batch_evals);
+  state.counters["shared_programs"] =
+      static_cast<double>(stats.shared_programs);
 }
 BENCHMARK(BM_FabricMatch)
     ->ArgsProduct({{1000, 10000, 100000}, {0, 1}, {0, 4}})
@@ -142,11 +150,18 @@ void BM_FabricMatchUnderChurn(benchmark::State& state) {
   writer.join();
   state.SetItemsProcessed(state.iterations() * state.range(0));
   // Default options compile hot roots mid-churn; surface how many programs
-  // were (re)built while the reader was being timed.
+  // were (re)built while the reader was being timed, how often the batch
+  // evaluator ran, what the program cache shared across rebuilds, and
+  // which SIMD kernel dispatched.
+  state.SetLabel(bdps::matching::program::simd::active_kernel_name());
   const MatchFabric::Stats stats = fabric.stats();
   state.counters["compiled_roots"] =
       static_cast<double>(stats.compiled_roots);
   state.counters["compiles"] = static_cast<double>(stats.compiles);
+  state.counters["vm_batch_evals"] =
+      static_cast<double>(stats.vm_batch_evals);
+  state.counters["shared_programs"] =
+      static_cast<double>(stats.shared_programs);
 }
 BENCHMARK(BM_FabricMatchUnderChurn)
     ->Arg(10000)->Arg(100000)

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <map>
+
+#include "matching/program/simd.h"
 
 namespace bdps::matching::program {
 
@@ -77,6 +80,29 @@ struct SlotBuild {
 
 }  // namespace
 
+void SlotValues::reset(const Message& message) {
+  const std::vector<Attribute>& head = message.head();
+  std::size_t capacity = 4;
+  while (capacity < head.size() * 2) capacity *= 2;
+  table_.assign(capacity, Entry{});
+  mask_ = capacity - 1;
+  for (const Attribute& attr : head) {
+    const std::size_t hash = std::hash<std::string>{}(attr.name);
+    std::size_t i = hash & mask_;
+    for (;; i = (i + 1) & mask_) {
+      Entry& entry = table_[i];
+      if (entry.name == nullptr) {
+        entry.hash = hash;
+        entry.name = &attr.name;
+        entry.value = &attr.value;
+        break;
+      }
+      // First occurrence wins on duplicate names (Message::find parity).
+      if (entry.hash == hash && *entry.name == attr.name) break;
+    }
+  }
+}
+
 PredicateProgram PredicateProgram::compile(
     const std::vector<const Filter*>& members) {
   PredicateProgram prog;
@@ -135,6 +161,7 @@ PredicateProgram PredicateProgram::compile(
   for (auto& [name, build] : builds) {
     Slot slot;
     slot.name = name;
+    slot.name_hash = std::hash<std::string>{}(name);
     slot.iv_begin = static_cast<std::uint32_t>(prog.iv_lo_.size());
     for (std::size_t i = 0; i < build.intervals.size(); ++i) {
       prog.iv_lo_.push_back(build.intervals[i].first);
@@ -156,48 +183,35 @@ PredicateProgram PredicateProgram::compile(
 }
 
 void PredicateProgram::evaluate(const Message& message,
+                                const SlotValues& values,
                                 ProgramEval& eval) const {
+  const simd::Kernel& kernel = simd::active_kernel();
   eval.counts.assign(required_.size(), 0);
-  eval.hits.resize(iv_lo_.size());
   std::uint16_t* counts = eval.counts.data();
 
   for (const Slot& slot : slots_) {
-    const Value* value = message.find(slot.name);
+    const Value* value = values.find(slot.name, slot.name_hash);
     if (value == nullptr) continue;
     if (value->is_number()) {
-      const double v = value->as_double();
-      const double* lo = iv_lo_.data();
-      const double* hi = iv_hi_.data();
-      std::uint8_t* hits = eval.hits.data();
-      // Two passes: the compare loop has no data dependences and
-      // auto-vectorizes; the scatter-add stays scalar but branch-free.
-      for (std::uint32_t i = slot.iv_begin; i < slot.iv_end; ++i) {
-        hits[i] = static_cast<std::uint8_t>(
-            static_cast<int>(lo[i] <= v) & static_cast<int>(v <= hi[i]));
-      }
-      const std::uint32_t* mem = iv_member_.data();
-      for (std::uint32_t i = slot.iv_begin; i < slot.iv_end; ++i) {
-        counts[mem[i]] = static_cast<std::uint16_t>(counts[mem[i]] + hits[i]);
-      }
+      kernel.iv_accumulate(iv_lo_.data() + slot.iv_begin,
+                           iv_hi_.data() + slot.iv_begin,
+                           iv_member_.data() + slot.iv_begin,
+                           slot.iv_end - slot.iv_begin, value->as_double(),
+                           counts);
     } else {
       std::uint32_t id = kUnknownString;
       const auto it = interned_.find(value->as_string());
       if (it != interned_.end()) id = it->second;
-      const std::uint32_t* ids = str_id_.data();
-      const std::uint32_t* mem = str_member_.data();
-      for (std::uint32_t i = slot.str_begin; i < slot.str_end; ++i) {
-        counts[mem[i]] =
-            static_cast<std::uint16_t>(counts[mem[i]] + (ids[i] == id));
-      }
+      kernel.str_accumulate(str_id_.data() + slot.str_begin,
+                            str_member_.data() + slot.str_begin,
+                            slot.str_end - slot.str_begin, id, counts);
     }
   }
 
   eval.matched.resize(required_.size());
-  const std::uint16_t* required = required_.data();
+  kernel.reduce_verdicts(counts, required_.data(), required_.size(),
+                         eval.matched.data());
   std::uint8_t* matched = eval.matched.data();
-  for (std::size_t m = 0; m < required_.size(); ++m) {
-    matched[m] = static_cast<std::uint8_t>(counts[m] == required[m]);
-  }
   for (const auto& [m, filter] : fallbacks_) {
     matched[m] = static_cast<std::uint8_t>(filter->matches(message));
   }

@@ -27,9 +27,12 @@
 //     string value is looked up once per slot, then every test is a single
 //     integer compare.
 //   * COUNTING — a member matches when its pass count reaches required_
-//     [member] (its number of tests).  The inner loops are branch-minimal
-//     (`counts[m] += (lo <= v) & (v <= hi)`); the interval compares run
-//     through a flat hit buffer first so the compare pass vectorizes.
+//     [member] (its number of tests).  The inner loops run through the
+//     runtime-dispatched SIMD kernels in simd.h: wide ordered compares
+//     over the bound SoA folded to a movemask, a sparse ctz-driven
+//     scatter into the uint16 count vector, and a bulk compare of counts
+//     against required_ for the verdicts.  Every kernel (avx2/sse2/neon/
+//     portable) produces byte-identical buffers.
 //   * FALLBACKS — predicates outside the compiled language (kNe, string
 //     orderings, non-finite operands) keep their member on the interpreter:
 //     the program evaluates it via Filter::matches and overrides the
@@ -47,6 +50,7 @@
 // any number of readers share one program.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -58,12 +62,49 @@
 
 namespace bdps::matching::program {
 
+/// One message's attribute values resolved ONCE and shared across every
+/// program evaluated against it — the fabric's batch entry point: a match
+/// that hits hundreds of compiled roots resolves the head a single time
+/// instead of once per program per slot.  Open-addressed over name hashes
+/// precomputed at program compile time, so a slot lookup is a probe plus
+/// at most one string compare instead of a head scan.
+///
+/// The view borrows the head's strings and values: it must not outlive
+/// the message and must be reset() after the message changes.
+class SlotValues {
+ public:
+  /// (Re)binds to `message`'s head.  Duplicate names keep the first
+  /// occurrence, mirroring Message::find.
+  void reset(const Message& message);
+
+  /// Value of the attribute named `name`, where `hash` is
+  /// std::hash<std::string>{}(name); nullptr when absent.
+  const Value* find(const std::string& name, std::size_t hash) const {
+    if (table_.empty()) return nullptr;
+    for (std::size_t i = hash & mask_;; i = (i + 1) & mask_) {
+      const Entry& entry = table_[i];
+      if (entry.name == nullptr) return nullptr;
+      if (entry.hash == hash && *entry.name == name) return entry.value;
+    }
+  }
+
+ private:
+  struct Entry {
+    std::size_t hash = 0;
+    const std::string* name = nullptr;  // nullptr = empty bucket.
+    const Value* value = nullptr;
+  };
+  std::vector<Entry> table_;
+  std::size_t mask_ = 0;
+};
+
 /// Caller-owned evaluation scratch (one per reader thread): pass counts,
-/// the vectorizable interval hit buffer, and the per-member verdicts.
+/// the per-member verdicts, and a slot-value view for the convenience
+/// overload of evaluate() (the fabric passes its own shared view).
 struct ProgramEval {
   std::vector<std::uint16_t> counts;
-  std::vector<std::uint8_t> hits;
   std::vector<std::uint8_t> matched;
+  SlotValues values;
 };
 
 class PredicateProgram {
@@ -84,8 +125,17 @@ class PredicateProgram {
 
   /// Evaluates every member against `message` in one pass; afterwards
   /// eval.matched[m] != 0 iff members[m]->matches(message) (NaN caveat in
-  /// the header comment).
-  void evaluate(const Message& message, ProgramEval& eval) const;
+  /// the header comment).  Resolves slots through eval.values.
+  void evaluate(const Message& message, ProgramEval& eval) const {
+    eval.values.reset(message);
+    evaluate(message, eval.values, eval);
+  }
+
+  /// Batch entry point: `values` is a caller-owned view already reset()
+  /// to `message`, shared across every program evaluated against it.
+  /// Verdicts are identical to the convenience overload.
+  void evaluate(const Message& message, const SlotValues& values,
+                ProgramEval& eval) const;
 
  private:
   /// One constrained attribute: its contiguous test runs in the SoA
@@ -93,6 +143,7 @@ class PredicateProgram {
   /// different members type the same attribute differently).
   struct Slot {
     std::string name;
+    std::size_t name_hash = 0;  // std::hash<std::string>{}(name).
     std::uint32_t iv_begin = 0;
     std::uint32_t iv_end = 0;
     std::uint32_t str_begin = 0;

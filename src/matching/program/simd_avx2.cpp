@@ -1,0 +1,132 @@
+// AVX2 kernel: 16 interval tests per iteration (four 4-lane ordered
+// compares folded into one 16-bit movemask), 8-wide interned-id compares,
+// and 16-wide verdict reduction over the uint16 count vectors.
+//
+// This TU is compiled with -mavx2 (set per-source in CMakeLists.txt, only
+// on x86-64 and only when the compiler supports the flag) and must stay
+// leaf-only — no STL, no shared inline functions — so the linker can never
+// leak AVX2 code into call sites reached on non-AVX2 machines (see
+// simd_kernels.h).  Whether the *running* CPU has AVX2 is checked by the
+// dispatcher before this kernel is ever installed.
+#include "matching/program/simd_kernels.h"
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(_M_X64))
+
+#include <immintrin.h>
+
+namespace bdps::matching::program::simd {
+namespace {
+
+void iv_accumulate_avx2(const double* lo, const double* hi,
+                        const std::uint32_t* member, std::size_t n, double v,
+                        std::uint16_t* counts) {
+  const __m256d vv = _mm256_set1_pd(v);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    // _CMP_LE_OQ: ordered quiet <= — false when either side is NaN, the
+    // exact scalar semantics the equivalence contract pins.
+    unsigned mask = 0;
+    for (unsigned k = 0; k < 4; ++k) {
+      const __m256d ge = _mm256_cmp_pd(_mm256_loadu_pd(lo + i + 4 * k), vv,
+                                       _CMP_LE_OQ);
+      const __m256d le = _mm256_cmp_pd(vv, _mm256_loadu_pd(hi + i + 4 * k),
+                                       _CMP_LE_OQ);
+      mask |= static_cast<unsigned>(_mm256_movemask_pd(_mm256_and_pd(ge, le)))
+              << (4 * k);
+    }
+    // Sparse scatter: hot programs mostly miss, so the typical block is
+    // mask == 0 and costs one test; hits pay one ctz-indexed add each.
+    while (mask != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      const std::uint32_t m = member[i + b];
+      counts[m] = static_cast<std::uint16_t>(counts[m] + 1);
+    }
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d ge = _mm256_cmp_pd(_mm256_loadu_pd(lo + i), vv, _CMP_LE_OQ);
+    const __m256d le = _mm256_cmp_pd(vv, _mm256_loadu_pd(hi + i), _CMP_LE_OQ);
+    unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_pd(_mm256_and_pd(ge, le)));
+    while (mask != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      const std::uint32_t m = member[i + b];
+      counts[m] = static_cast<std::uint16_t>(counts[m] + 1);
+    }
+  }
+  for (; i < n; ++i) {
+    const std::uint16_t h =
+        static_cast<std::uint16_t>(static_cast<int>(lo[i] <= v) &
+                                   static_cast<int>(v <= hi[i]));
+    counts[member[i]] = static_cast<std::uint16_t>(counts[member[i]] + h);
+  }
+}
+
+void str_accumulate_avx2(const std::uint32_t* ids, const std::uint32_t* member,
+                         std::size_t n, std::uint32_t id,
+                         std::uint16_t* counts) {
+  const __m256i vid = _mm256_set1_epi32(static_cast<int>(id));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i eq = _mm256_cmpeq_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + i)), vid);
+    unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+    while (mask != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      const std::uint32_t m = member[i + b];
+      counts[m] = static_cast<std::uint16_t>(counts[m] + 1);
+    }
+  }
+  for (; i < n; ++i) {
+    counts[member[i]] =
+        static_cast<std::uint16_t>(counts[member[i]] + (ids[i] == id));
+  }
+}
+
+void reduce_verdicts_avx2(const std::uint16_t* counts,
+                          const std::uint16_t* required, std::size_t n,
+                          std::uint8_t* matched) {
+  std::size_t i = 0;
+  const __m128i one = _mm_set1_epi8(1);
+  for (; i + 16 <= n; i += 16) {
+    const __m256i eq = _mm256_cmpeq_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(counts + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(required + i)));
+    // Pack the two 128-bit halves in order: signed saturation keeps 0xFFFF
+    // lanes at 0xFF, `& 1` normalizes to the portable kernel's 0/1 bytes.
+    const __m128i bytes =
+        _mm_and_si128(_mm_packs_epi16(_mm256_castsi256_si128(eq),
+                                      _mm256_extracti128_si256(eq, 1)),
+                      one);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(matched + i), bytes);
+  }
+  for (; i < n; ++i) {
+    matched[i] = static_cast<std::uint8_t>(counts[i] == required[i]);
+  }
+}
+
+const Kernel kAvx2 = {
+    "avx2",
+    &iv_accumulate_avx2,
+    &str_accumulate_avx2,
+    &reduce_verdicts_avx2,
+};
+
+}  // namespace
+
+namespace detail {
+const Kernel* avx2_kernel() { return &kAvx2; }
+}  // namespace detail
+
+}  // namespace bdps::matching::program::simd
+
+#else  // TU built without AVX2 (non-x86 target or unsupported flag).
+
+namespace bdps::matching::program::simd::detail {
+const Kernel* avx2_kernel() { return nullptr; }
+}  // namespace bdps::matching::program::simd::detail
+
+#endif

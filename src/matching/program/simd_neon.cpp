@@ -1,0 +1,115 @@
+// NEON kernel — the aarch64 baseline (Advanced SIMD is mandatory on
+// AArch64, so no extra compile flags).  8 interval tests per iteration via
+// four 2-lane ordered compares folded into one bitmask, 4-wide interned-id
+// compares, 8-wide verdict narrowing.
+//
+// Leaf-only TU: raw pointers in, stores out (see simd_kernels.h).
+#include "matching/program/simd_kernels.h"
+
+#if defined(__aarch64__) || defined(_M_ARM64)
+
+#include <arm_neon.h>
+
+namespace bdps::matching::program::simd {
+namespace {
+
+inline unsigned pair_mask(uint64x2_t in, unsigned shift) {
+  // Each lane is all-ones or all-zero; fold to two bits.
+  return static_cast<unsigned>((vgetq_lane_u64(in, 0) & 1u) |
+                               ((vgetq_lane_u64(in, 1) & 1u) << 1))
+         << shift;
+}
+
+void iv_accumulate_neon(const double* lo, const double* hi,
+                        const std::uint32_t* member, std::size_t n, double v,
+                        std::uint16_t* counts) {
+  const float64x2_t vv = vdupq_n_f64(v);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // vcleq_f64 lowers to FCMGE (ordered): false on NaN, the scalar `<=`.
+    unsigned mask = 0;
+    for (unsigned k = 0; k < 4; ++k) {
+      const uint64x2_t in =
+          vandq_u64(vcleq_f64(vld1q_f64(lo + i + 2 * k), vv),
+                    vcleq_f64(vv, vld1q_f64(hi + i + 2 * k)));
+      mask |= pair_mask(in, 2 * k);
+    }
+    while (mask != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      const std::uint32_t m = member[i + b];
+      counts[m] = static_cast<std::uint16_t>(counts[m] + 1);
+    }
+  }
+  for (; i < n; ++i) {
+    const std::uint16_t h =
+        static_cast<std::uint16_t>(static_cast<int>(lo[i] <= v) &
+                                   static_cast<int>(v <= hi[i]));
+    counts[member[i]] = static_cast<std::uint16_t>(counts[member[i]] + h);
+  }
+}
+
+void str_accumulate_neon(const std::uint32_t* ids, const std::uint32_t* member,
+                         std::size_t n, std::uint32_t id,
+                         std::uint16_t* counts) {
+  const uint32x4_t vid = vdupq_n_u32(id);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t eq = vceqq_u32(vld1q_u32(ids + i), vid);
+    // Narrow 4x32 -> 4x16 then fold the 64-bit lane into a 4-bit mask.
+    const uint16x4_t narrow = vmovn_u32(eq);
+    std::uint64_t bits = vget_lane_u64(vreinterpret_u64_u16(narrow), 0);
+    unsigned mask = static_cast<unsigned>((bits & 1u) | ((bits >> 15) & 2u) |
+                                          ((bits >> 30) & 4u) |
+                                          ((bits >> 45) & 8u));
+    while (mask != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      const std::uint32_t m = member[i + b];
+      counts[m] = static_cast<std::uint16_t>(counts[m] + 1);
+    }
+  }
+  for (; i < n; ++i) {
+    counts[member[i]] =
+        static_cast<std::uint16_t>(counts[member[i]] + (ids[i] == id));
+  }
+}
+
+void reduce_verdicts_neon(const std::uint16_t* counts,
+                          const std::uint16_t* required, std::size_t n,
+                          std::uint8_t* matched) {
+  std::size_t i = 0;
+  const uint8x8_t one = vdup_n_u8(1);
+  for (; i + 8 <= n; i += 8) {
+    const uint16x8_t eq =
+        vceqq_u16(vld1q_u16(counts + i), vld1q_u16(required + i));
+    // Narrow 0xFFFF/0 lanes to 0xFF/0 bytes, normalize to 0/1.
+    vst1_u8(matched + i, vand_u8(vmovn_u16(eq), one));
+  }
+  for (; i < n; ++i) {
+    matched[i] = static_cast<std::uint8_t>(counts[i] == required[i]);
+  }
+}
+
+const Kernel kNeon = {
+    "neon",
+    &iv_accumulate_neon,
+    &str_accumulate_neon,
+    &reduce_verdicts_neon,
+};
+
+}  // namespace
+
+namespace detail {
+const Kernel* neon_kernel() { return &kNeon; }
+}  // namespace detail
+
+}  // namespace bdps::matching::program::simd
+
+#else  // Not an AArch64 target: stub the getter.
+
+namespace bdps::matching::program::simd::detail {
+const Kernel* neon_kernel() { return nullptr; }
+}  // namespace bdps::matching::program::simd::detail
+
+#endif

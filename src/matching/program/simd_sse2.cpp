@@ -1,0 +1,120 @@
+// SSE2 kernel — the x86-64 baseline (every x86-64 CPU has SSE2, so this
+// TU needs no extra compile flags).  8 interval tests per iteration via
+// four 2-lane ordered compares folded into one movemask; set bits drive a
+// sparse ctz scatter, so the common all-miss block costs one branch.
+//
+// Leaf-only TU: raw pointers in, stores out (see simd_kernels.h).
+#include "matching/program/simd_kernels.h"
+
+#if defined(__SSE2__) && (defined(__x86_64__) || defined(_M_X64))
+
+#include <emmintrin.h>
+
+namespace bdps::matching::program::simd {
+namespace {
+
+void iv_accumulate_sse2(const double* lo, const double* hi,
+                        const std::uint32_t* member, std::size_t n, double v,
+                        std::uint16_t* counts) {
+  const __m128d vv = _mm_set1_pd(v);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // _mm_cmple_pd is the ordered-quiet CMPLEPD: false on NaN, exactly the
+    // scalar `<=`.
+    const __m128d in0 = _mm_and_pd(_mm_cmple_pd(_mm_loadu_pd(lo + i + 0), vv),
+                                   _mm_cmple_pd(vv, _mm_loadu_pd(hi + i + 0)));
+    const __m128d in1 = _mm_and_pd(_mm_cmple_pd(_mm_loadu_pd(lo + i + 2), vv),
+                                   _mm_cmple_pd(vv, _mm_loadu_pd(hi + i + 2)));
+    const __m128d in2 = _mm_and_pd(_mm_cmple_pd(_mm_loadu_pd(lo + i + 4), vv),
+                                   _mm_cmple_pd(vv, _mm_loadu_pd(hi + i + 4)));
+    const __m128d in3 = _mm_and_pd(_mm_cmple_pd(_mm_loadu_pd(lo + i + 6), vv),
+                                   _mm_cmple_pd(vv, _mm_loadu_pd(hi + i + 6)));
+    unsigned mask = static_cast<unsigned>(_mm_movemask_pd(in0)) |
+                    (static_cast<unsigned>(_mm_movemask_pd(in1)) << 2) |
+                    (static_cast<unsigned>(_mm_movemask_pd(in2)) << 4) |
+                    (static_cast<unsigned>(_mm_movemask_pd(in3)) << 6);
+    while (mask != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      const std::uint32_t m = member[i + b];
+      counts[m] = static_cast<std::uint16_t>(counts[m] + 1);
+    }
+  }
+  for (; i < n; ++i) {
+    const std::uint16_t h =
+        static_cast<std::uint16_t>(static_cast<int>(lo[i] <= v) &
+                                   static_cast<int>(v <= hi[i]));
+    counts[member[i]] = static_cast<std::uint16_t>(counts[member[i]] + h);
+  }
+}
+
+void str_accumulate_sse2(const std::uint32_t* ids, const std::uint32_t* member,
+                         std::size_t n, std::uint32_t id,
+                         std::uint16_t* counts) {
+  const __m128i vid = _mm_set1_epi32(static_cast<int>(id));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i eq0 = _mm_cmpeq_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + i + 0)), vid);
+    const __m128i eq1 = _mm_cmpeq_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + i + 4)), vid);
+    unsigned mask =
+        static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(eq0))) |
+        (static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(eq1))) << 4);
+    while (mask != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      const std::uint32_t m = member[i + b];
+      counts[m] = static_cast<std::uint16_t>(counts[m] + 1);
+    }
+  }
+  for (; i < n; ++i) {
+    counts[member[i]] =
+        static_cast<std::uint16_t>(counts[member[i]] + (ids[i] == id));
+  }
+}
+
+void reduce_verdicts_sse2(const std::uint16_t* counts,
+                          const std::uint16_t* required, std::size_t n,
+                          std::uint8_t* matched) {
+  std::size_t i = 0;
+  const __m128i one = _mm_set1_epi8(1);
+  for (; i + 16 <= n; i += 16) {
+    const __m128i eq0 = _mm_cmpeq_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(counts + i + 0)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(required + i + 0)));
+    const __m128i eq1 = _mm_cmpeq_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(counts + i + 8)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(required + i + 8)));
+    // Signed-saturating pack keeps 0xFFFF lanes at 0xFF and zero at zero,
+    // so `& 1` yields the exact 0/1 bytes of the portable kernel.
+    const __m128i bytes = _mm_and_si128(_mm_packs_epi16(eq0, eq1), one);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(matched + i), bytes);
+  }
+  for (; i < n; ++i) {
+    matched[i] = static_cast<std::uint8_t>(counts[i] == required[i]);
+  }
+}
+
+const Kernel kSse2 = {
+    "sse2",
+    &iv_accumulate_sse2,
+    &str_accumulate_sse2,
+    &reduce_verdicts_sse2,
+};
+
+}  // namespace
+
+namespace detail {
+const Kernel* sse2_kernel() { return &kSse2; }
+}  // namespace detail
+
+}  // namespace bdps::matching::program::simd
+
+#else  // Not an SSE2 target: stub the getter.
+
+namespace bdps::matching::program::simd::detail {
+const Kernel* sse2_kernel() { return nullptr; }
+}  // namespace bdps::matching::program::simd::detail
+
+#endif

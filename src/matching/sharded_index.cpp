@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <functional>
+#include <unordered_set>
 
 namespace bdps::matching {
 
@@ -91,11 +92,17 @@ RowId MatchFabric::add(const Filter& filter,
     active_hash_shards_ = options_.shards;
   }
 
+  // shard_of must be sequenced before the std::move below — as call
+  // arguments the two are indeterminately sequenced, and a moved-from
+  // signature has an empty selective attribute, which routes every unit
+  // to the fallback shard.
   FilterSignature sig = FilterSignature::of(filter);
-  install_unit(shard_of(sig), filter, std::move(sig), row, rows_[row]);
+  const std::size_t target = shard_of(sig);
+  install_unit(target, filter, std::move(sig), row, rows_[row]);
   for (const Filter& f : or_filters) {
     FilterSignature s = FilterSignature::of(f);
-    install_unit(shard_of(s), f, std::move(s), row, rows_[row]);
+    const std::size_t or_target = shard_of(s);
+    install_unit(or_target, f, std::move(s), row, rows_[row]);
   }
   return row;
 }
@@ -275,21 +282,91 @@ bool MatchFabric::wants_program(const CoreRoot& root) const {
              options_.compile_hot_hits;
 }
 
+namespace {
+/// Order-sensitive combined hash of the member signatures — the cache
+/// bucket key (FilterSignature::hash already collides only for
+/// near-equivalent filters).
+template <typename Units>
+std::uint64_t program_cache_key(const Units& members) {
+  std::uint64_t key = 0xcbf29ce484222325ull ^ members.size();
+  for (const auto* unit : members) {
+    key = (key ^ unit->sig.hash()) * 0x100000001b3ull;
+  }
+  return key;
+}
+}  // namespace
+
 std::shared_ptr<const program::PredicateProgram>
 MatchFabric::compile_root_locked(Shard& shard, const CoreRoot& root) const {
-  const auto start = std::chrono::steady_clock::now();
-  std::vector<const Filter*> members;
+  std::vector<const Unit*> members;
   members.reserve(root.eval_members);
   for (const CoreMember& member : root.members) {
-    if (!member.equal) members.push_back(&member.unit->filter);
+    if (!member.equal) members.push_back(member.unit);
   }
-  auto compiled = std::make_shared<program::PredicateProgram>(
-      program::PredicateProgram::compile(members));
+  const std::uint64_t key = program_cache_key(members);
+  const auto same_list = [&members](const ProgramCacheEntry& entry) {
+    if (entry.members.size() != members.size()) return false;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      // Same unit (a root recompiled at a rebuild) or an interchangeable
+      // filter (an equal root in another shard).
+      if (entry.members[i] != members[i] &&
+          !entry.members[i]->sig.equivalent(members[i]->sig)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  {
+    std::lock_guard<std::mutex> lock(program_cache_.mu);
+    const auto it = program_cache_.entries.find(key);
+    if (it != program_cache_.entries.end()) {
+      for (const ProgramCacheEntry& entry : it->second) {
+        if (same_list(entry)) {
+          ++program_cache_.hits;
+          return entry.program;
+        }
+      }
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<const Filter*> filters;
+  filters.reserve(members.size());
+  for (const Unit* unit : members) filters.push_back(&unit->filter);
+  auto compiled = std::make_shared<const program::PredicateProgram>(
+      program::PredicateProgram::compile(filters));
   shard.compile_ns += static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
   ++shard.compiles;
+
+  std::lock_guard<std::mutex> lock(program_cache_.mu);
+  // Two shards can race past the lookup and compile the same list twice;
+  // keep the first entry so the cache never holds duplicates.
+  std::vector<ProgramCacheEntry>& bucket = program_cache_.entries[key];
+  for (const ProgramCacheEntry& entry : bucket) {
+    if (same_list(entry)) return entry.program;
+  }
+  bucket.push_back(ProgramCacheEntry{std::move(members), compiled});
+  if (++program_cache_.size >= program_cache_.next_sweep) {
+    // Drop entries no snapshot references any more (rebuilds retired the
+    // cores that rode them); geometric cadence keeps the sweep amortised.
+    for (auto it = program_cache_.entries.begin();
+         it != program_cache_.entries.end();) {
+      std::vector<ProgramCacheEntry>& b = it->second;
+      for (std::size_t i = b.size(); i-- > 0;) {
+        if (b[i].program.use_count() == 1) {
+          b[i] = std::move(b.back());
+          b.pop_back();
+          --program_cache_.size;
+        }
+      }
+      it = b.empty() ? program_cache_.entries.erase(it) : ++it;
+    }
+    program_cache_.next_sweep = std::max<std::size_t>(
+        64, program_cache_.size * 2);
+  }
   return compiled;
 }
 
@@ -353,6 +430,12 @@ const std::vector<RowId>& MatchFabric::match(const Message& message,
   std::uint64_t vm_evals = 0;
   std::uint64_t vm_fallbacks = 0;
   std::uint64_t interp_evals = 0;
+  std::uint64_t batch_evals = 0;
+  // The head is resolved into the hash-probed SlotValues view at the
+  // first compiled-root hit and reused by every program in every shard —
+  // one head walk per message instead of one Message::find per program
+  // slot (the batch entry point of program.h).
+  bool slots_resolved = false;
 
   auto emit = [&](const Unit* unit, bool needs_eval) {
     if (!unit->alive.load(std::memory_order_relaxed)) return;
@@ -402,7 +485,13 @@ const std::vector<RowId>& MatchFabric::match(const Message& message,
                 ? programs->programs[k].get()
                 : nullptr;
         if (prog != nullptr) {
-          prog->evaluate(message, scratch.program_eval_);
+          if (!slots_resolved) {
+            scratch.slot_values_.reset(message);
+            slots_resolved = true;
+          }
+          prog->evaluate(message, scratch.slot_values_,
+                         scratch.program_eval_);
+          ++batch_evals;
           vm_evals += prog->member_count() - prog->fallback_count();
           vm_fallbacks += prog->fallback_count();
           const std::uint8_t* matched = scratch.program_eval_.matched.data();
@@ -473,6 +562,9 @@ const std::vector<RowId>& MatchFabric::match(const Message& message,
   if (interp_evals != 0) {
     interp_member_evals_.fetch_add(interp_evals, std::memory_order_relaxed);
   }
+  if (batch_evals != 0) {
+    vm_batch_evals_.fetch_add(batch_evals, std::memory_order_relaxed);
+  }
 
   // Canonical match order: ascending row id (shared with RoutingFabric's
   // reference engine so the two are byte-comparable downstream).
@@ -491,7 +583,15 @@ MatchFabric::Stats MatchFabric::stats() const {
       vm_fallback_evals_.load(std::memory_order_relaxed);
   stats.interp_member_evals =
       interp_member_evals_.load(std::memory_order_relaxed);
+  stats.vm_batch_evals = vm_batch_evals_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> cache_lock(program_cache_.mu);
+    stats.shared_programs = program_cache_.hits;
+  }
   std::uint64_t compile_ns = 0;
+  // Shared programs ride several shards' snapshots: count each root once
+  // in compiled_roots but each distinct program once in unique_programs.
+  std::unordered_set<const program::PredicateProgram*> seen_programs;
   for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> shard_lock(shard.mu);
@@ -504,7 +604,9 @@ MatchFabric::Stats MatchFabric::stats() const {
     if (snap == nullptr) continue;
     if (snap->programs != nullptr) {
       for (const auto& prog : snap->programs->programs) {
-        if (prog != nullptr) ++stats.compiled_roots;
+        if (prog == nullptr) continue;
+        ++stats.compiled_roots;
+        if (seen_programs.insert(prog.get()).second) ++stats.unique_programs;
       }
     }
     if (snap->core != nullptr) {

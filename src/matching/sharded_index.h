@@ -49,6 +49,22 @@
 //     with the core they were compiled for, and add/remove stays cheap
 //     under churn (cold filters never pay compile costs).
 //
+//     Programs are deduplicated fabric-wide through a signature-keyed
+//     cache: a compile request whose evaluated member list is element-wise
+//     FilterSignature::equivalent to an already-compiled one (the same
+//     root recompiled at a rebuild, or an equal root in another shard —
+//     promotion splits popular filters across shards) shares the existing
+//     program instead of building a new one.  Shared programs are
+//     refcounted by the snapshots that ride them and retired through the
+//     same epoch domain; the cache's own reference is dropped by an
+//     occasional sweep once no snapshot holds the program.
+//
+//     Evaluation is batched per message: match() resolves the head into a
+//     hash-probed SlotValues view once and every compiled program in
+//     every shard reads its slots from that view (program slots carry
+//     precomputed name hashes), and the programs' inner loops run on the
+//     runtime-dispatched SIMD kernels (program/simd.h).
+//
 // match() returns row ids in ascending order — the fabric's (and
 // RoutingFabric's) canonical match order, so reference and sharded engines
 // are byte-comparable.
@@ -149,6 +165,9 @@ class MatchScratch {
   std::uint32_t root_generation_ = 0;
   std::vector<RowId> result_;
   program::ProgramEval program_eval_;  // Compiled-root batch evaluation.
+  /// Message head resolved once per match() and shared by every compiled
+  /// program across every shard (program.h: the batch entry point).
+  program::SlotValues slot_values_;
   EpochDomain* domain_ = nullptr;
   EpochDomain::Slot* slot_ = nullptr;
 };
@@ -169,7 +188,13 @@ class MatchFabric {
     std::size_t active_shards = 0;
     // ---- Compile tier ----
     std::size_t compiled_roots = 0;  // Roots with a live program.
-    std::size_t compiles = 0;        // Programs built, cumulative.
+    /// Distinct live programs across all shards — counted once however
+    /// many roots share them (compiled_roots counts per root).
+    std::size_t unique_programs = 0;
+    std::size_t compiles = 0;        // Programs actually built, cumulative.
+    /// Compile requests served by the cross-shard program cache instead
+    /// of a fresh compile (equal-signature member lists), cumulative.
+    std::size_t shared_programs = 0;
     double compile_ms = 0.0;         // Wall time spent compiling.
     /// Member verdicts produced by compiled programs vs. by the
     /// Filter::matches interpreter (covered members + overlay + program
@@ -177,6 +202,9 @@ class MatchFabric {
     std::uint64_t vm_member_evals = 0;
     std::uint64_t vm_fallback_evals = 0;
     std::uint64_t interp_member_evals = 0;
+    /// Compiled-program batch evaluations (one per compiled root hit),
+    /// cumulative — each resolves its slots from the shared SlotValues.
+    std::uint64_t vm_batch_evals = 0;
     /// Live units per index entry — the covering compression ratio.
     double compression() const {
       return index_roots == 0
@@ -293,6 +321,27 @@ class MatchFabric {
     std::uint64_t compile_ns = 0;
   };
 
+  /// Cross-shard program cache: one entry per distinct evaluated member
+  /// list, keyed by the combined hash of the members' FilterSignatures
+  /// (order-sensitive) and verified element-wise with
+  /// FilterSignature::equivalent — the same interchangeability contract
+  /// equal-member merging already trusts.  Member units are address-stable
+  /// for the fabric's lifetime, so entries stay comparable after
+  /// tombstones; entries whose program no snapshot references any more
+  /// (use_count() == 1) are dropped by an occasional sweep.  Lock order:
+  /// shard.mu -> mu (never the reverse).
+  struct ProgramCacheEntry {
+    std::vector<const Unit*> members;  // Evaluated members, program order.
+    std::shared_ptr<const program::PredicateProgram> program;
+  };
+  struct ProgramCache {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, std::vector<ProgramCacheEntry>> entries;
+    std::size_t size = 0;
+    std::size_t hits = 0;       // Stats::shared_programs.
+    std::size_t next_sweep = 64;
+  };
+
   std::size_t shard_of(const FilterSignature& sig) const;
   /// Root to merge `sig` under (shard.mu held): equivalence by hash first,
   /// then a bounded cover probe over roots anchored at each of sig's
@@ -307,7 +356,10 @@ class MatchFabric {
   void rebuild_locked(Shard& shard);
   /// Root is hot enough and big enough to pay for a program.
   bool wants_program(const CoreRoot& root) const;
-  /// Compiles `root`'s evaluated members (timing into the shard counters).
+  /// Program for `root`'s evaluated members: served from the cross-shard
+  /// cache when an equivalent member list was already compiled, freshly
+  /// compiled (timing into the shard counters) and cached otherwise.
+  /// Requires shard.mu.
   std::shared_ptr<const program::PredicateProgram> compile_root_locked(
       Shard& shard, const CoreRoot& root) const;
   /// Compile point off the rebuild path: builds programs for every hot,
@@ -338,6 +390,9 @@ class MatchFabric {
   mutable std::atomic<std::uint64_t> vm_member_evals_{0};
   mutable std::atomic<std::uint64_t> vm_fallback_evals_{0};
   mutable std::atomic<std::uint64_t> interp_member_evals_{0};
+  mutable std::atomic<std::uint64_t> vm_batch_evals_{0};
+  /// Mutable: readers volunteer compiles through the const match() path.
+  mutable ProgramCache program_cache_;
 };
 
 }  // namespace bdps::matching

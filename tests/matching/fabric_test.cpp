@@ -269,6 +269,103 @@ TEST(MatchFabric, StatsCountDisjunctUnitsSeparately) {
   EXPECT_EQ(stats.live_units, 2u);
 }
 
+TEST(MatchFabric, RebuildReusesTheCachedProgramForAnUnchangedRoot) {
+  // A rebuild recompiles every hot root; when the root's evaluated member
+  // list is unchanged, the program cache must serve the existing program
+  // instead of building a new one — compiles stays put, shared_programs
+  // counts the reuse, and the stats see one unique program.
+  MatchFabricOptions options;
+  options.shards = 4;
+  options.rebuild_min = 1;  // Rebuild on every second add: constant folds.
+  options.compile_hot_hits = 1;
+  MatchFabric fabric(options);
+  MatchScratch scratch;
+
+  std::vector<RowId> expect;
+  expect.push_back(fabric.add(where("X", Op::kLt, Value(100.0))));  // Root.
+  for (int k = 1; k <= 8; ++k) {  // Covered members: the compile unit.
+    expect.push_back(
+        fabric.add(where("X", Op::kLt, Value(static_cast<double>(k)))));
+  }
+  // Two disjoint-interval units so later adds can force rebuilds without
+  // touching the hot root's member list (they merge as equal members of
+  // their own root, never of X < 100).
+  fabric.add(where("X", Op::kGe, Value(200.0)));
+  fabric.add(where("X", Op::kGe, Value(200.0)));
+
+  const Message probe = make_message({{"X", Value(0.5)}});
+  EXPECT_EQ(match(fabric, scratch, probe), expect);  // Heats + volunteers.
+  MatchFabric::Stats stats = fabric.stats();
+  EXPECT_EQ(stats.compiles, 1u);
+  EXPECT_EQ(stats.compiled_roots, 1u);
+  EXPECT_EQ(stats.unique_programs, 1u);
+  EXPECT_EQ(stats.shared_programs, 0u);
+
+  // Force a rebuild that leaves the hot root's member list unchanged.
+  fabric.add(where("X", Op::kGe, Value(200.0)));
+  stats = fabric.stats();
+  EXPECT_EQ(stats.compiles, 1u);          // No recompile...
+  EXPECT_EQ(stats.shared_programs, 1u);   // ...the cache served it.
+  EXPECT_EQ(stats.compiled_roots, 1u);
+  EXPECT_EQ(stats.unique_programs, 1u);
+
+  EXPECT_EQ(match(fabric, scratch, probe), expect);
+  EXPECT_GE(fabric.stats().vm_batch_evals, 1u);
+}
+
+TEST(MatchFabric, EqualRootsInDifferentShardsShareOneProgram) {
+  // Row-count promotion splits a popular filter population across shards:
+  // the pre-promotion copies sit in the single starting shard, the
+  // post-promotion copies in their hash shard.  Both roots compile the
+  // same member list — the second must share the first's program, and
+  // stats() must count the program once (unique_programs) while still
+  // reporting both roots (compiled_roots).
+  MatchFabricOptions options;
+  options.shards = 8;
+  options.promote_rows = 12;
+  options.rebuild_min = 1;
+  options.compile_hot_hits = 1;
+  MatchFabric fabric(options);
+  MatchScratch scratch;
+
+  // An attribute whose hash shard differs from the pre-promotion shard
+  // (index 1), so the two copies really land in different shards.
+  std::string attr;
+  for (int i = 0; i < 64 && attr.empty(); ++i) {
+    const std::string candidate = "G" + std::to_string(i);
+    if (1 + std::hash<std::string>{}(candidate) % 8 != 1) attr = candidate;
+  }
+  ASSERT_FALSE(attr.empty());
+
+  std::vector<RowId> expect;
+  const auto add_group = [&]() {
+    expect.push_back(fabric.add(where(attr, Op::kLt, Value(100.0))));
+    for (int k = 1; k <= 8; ++k) {
+      expect.push_back(
+          fabric.add(where(attr, Op::kLt, Value(static_cast<double>(k)))));
+    }
+    fabric.add(where(attr, Op::kGe, Value(200.0)));  // Rebuild forcers.
+    fabric.add(where(attr, Op::kGe, Value(200.0)));
+  };
+  add_group();                               // Rows 0..10: shard 1.
+  fabric.add(where("F", Op::kGe, Value(0.0)));  // Row 11: crosses nothing.
+  ASSERT_EQ(fabric.stats().active_shards, 1u);
+  add_group();                               // Rows 12..22: promoted shard.
+  ASSERT_EQ(fabric.stats().active_shards, 8u);
+
+  const Message probe = make_message({{attr, Value(0.5)}});
+  EXPECT_EQ(match(fabric, scratch, probe), expect);  // Heats + volunteers.
+
+  const MatchFabric::Stats stats = fabric.stats();
+  EXPECT_EQ(stats.compiles, 1u);         // One real compile...
+  EXPECT_EQ(stats.shared_programs, 1u);  // ...shared by the twin root.
+  EXPECT_EQ(stats.compiled_roots, 2u);   // Both roots carry it.
+  EXPECT_EQ(stats.unique_programs, 1u);  // Counted once after dedup.
+
+  EXPECT_EQ(match(fabric, scratch, probe), expect);
+  EXPECT_GE(fabric.stats().vm_batch_evals, 2u);
+}
+
 TEST(EpochDomain, RetireReclaimsOnlyPastPinnedEpochs) {
   EpochDomain domain;
   EpochDomain::Slot* slot = domain.acquire_slot();

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "matching/program/simd.h"
 #include "matching/sharded_index.h"
 #include "workload/generator.h"
 
@@ -41,19 +42,29 @@ std::vector<RowId> brute_force(const std::vector<BruteRow>& rows,
   return out;
 }
 
-/// (seed, shards, covering, rebuild_min, compile_hits) — shards == 1
-/// exercises the degenerate everything-in-one-shard layout, tiny
+/// (seed, shards, covering, rebuild_min, compile_hits, kernel) — shards
+/// == 1 exercises the degenerate everything-in-one-shard layout, tiny
 /// rebuild_min exercises the rebuild/fold path constantly, and
 /// compile_hits > 0 runs the compiled-program tier (hits=1 compiles every
 /// matched root, so churn keeps flipping roots across the hot threshold
-/// and programs are rebuilt/dropped along the rebuild cadence).
-using FuzzParam =
-    std::tuple<std::uint64_t, std::size_t, bool, std::size_t, std::size_t>;
+/// and programs are rebuilt/dropped along the rebuild cadence).  A
+/// non-empty kernel forces that SIMD dispatch-table entry for the whole
+/// run (skipped when this machine cannot run it), so the brute-force
+/// differential covers every kernel, not just the auto-dispatched one.
+using FuzzParam = std::tuple<std::uint64_t, std::size_t, bool, std::size_t,
+                             std::size_t, std::string>;
 
-class MatchFabricFuzz : public ::testing::TestWithParam<FuzzParam> {};
+class MatchFabricFuzz : public ::testing::TestWithParam<FuzzParam> {
+ protected:
+  ~MatchFabricFuzz() override { program::simd::force_kernel(nullptr); }
+};
 
 TEST_P(MatchFabricFuzz, AgreesWithBruteForceUnderChurn) {
-  const auto [seed, shards, covering, rebuild_min, compile_hits] = GetParam();
+  const auto [seed, shards, covering, rebuild_min, compile_hits, kernel] =
+      GetParam();
+  if (!kernel.empty() && !program::simd::force_kernel(kernel.c_str())) {
+    GTEST_SKIP() << "kernel '" << kernel << "' not dispatchable here";
+  }
 
   MatchFabricOptions options;
   options.shards = shards;
@@ -133,21 +144,29 @@ TEST_P(MatchFabricFuzz, AgreesWithBruteForceUnderChurn) {
 INSTANTIATE_TEST_SUITE_P(
     Corpus, MatchFabricFuzz,
     ::testing::Values(
-        FuzzParam{1, 8, true, 64, 0}, FuzzParam{2, 8, false, 64, 0},
-        FuzzParam{3, 1, true, 4, 0}, FuzzParam{4, 1, false, 4, 0},
-        FuzzParam{5, 3, true, 8, 0}, FuzzParam{6, 16, true, 16, 0},
-        FuzzParam{7, 2, true, 4, 0}, FuzzParam{8, 4, false, 8, 0},
+        FuzzParam{1, 8, true, 64, 0, ""}, FuzzParam{2, 8, false, 64, 0, ""},
+        FuzzParam{3, 1, true, 4, 0, ""}, FuzzParam{4, 1, false, 4, 0, ""},
+        FuzzParam{5, 3, true, 8, 0, ""}, FuzzParam{6, 16, true, 16, 0, ""},
+        FuzzParam{7, 2, true, 4, 0, ""}, FuzzParam{8, 4, false, 8, 0, ""},
         // Compiled tier on: hits=1 compiles everything ever matched,
         // hits=3 keeps roots flipping across the threshold under churn.
-        FuzzParam{9, 8, true, 64, 1}, FuzzParam{10, 1, true, 4, 1},
-        FuzzParam{11, 4, true, 8, 3}, FuzzParam{12, 8, false, 16, 1},
-        FuzzParam{13, 2, true, 4, 2}, FuzzParam{14, 16, true, 32, 1}),
+        FuzzParam{9, 8, true, 64, 1, ""}, FuzzParam{10, 1, true, 4, 1, ""},
+        FuzzParam{11, 4, true, 8, 3, ""}, FuzzParam{12, 8, false, 16, 1, ""},
+        FuzzParam{13, 2, true, 4, 2, ""}, FuzzParam{14, 16, true, 32, 1, ""},
+        // Every dispatch-table kernel forced through the compiled tier
+        // (runs that this host cannot dispatch are skipped at runtime).
+        FuzzParam{15, 4, true, 8, 1, "portable"},
+        FuzzParam{16, 8, true, 16, 1, "sse2"},
+        FuzzParam{17, 2, true, 4, 1, "avx2"},
+        FuzzParam{18, 4, true, 8, 2, "neon"}),
     [](const ::testing::TestParamInfo<FuzzParam>& info) {
+      const std::string& kernel = std::get<5>(info.param);
       return "seed" + std::to_string(std::get<0>(info.param)) + "_shards" +
              std::to_string(std::get<1>(info.param)) +
              (std::get<2>(info.param) ? "_cover" : "_nocover") + "_rb" +
              std::to_string(std::get<3>(info.param)) + "_hits" +
-             std::to_string(std::get<4>(info.param));
+             std::to_string(std::get<4>(info.param)) +
+             (kernel.empty() ? "" : "_" + kernel);
     });
 
 /// The workload generator itself must be reproducible: two instances of

@@ -9,11 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
+#include "matching/program/simd.h"
 #include "workload/generator.h"
 
 namespace bdps::matching::program {
@@ -221,6 +224,196 @@ TEST(PredicateProgram, ZipfCorpusEquivalenceSweep) {
     std::vector<Message> probes;
     for (int i = 0; i < 64; ++i) probes.push_back(workload.next_message());
     expect_equivalent(members, probes);
+  }
+}
+
+// ---- SIMD kernel differential suite ---------------------------------------
+//
+// The hard gate of the SIMD tier: every kernel in the dispatch table,
+// forced in turn, must produce byte-identical count and verdict buffers —
+// on ±1ulp boundary probes, ±inf/NaN/denormal heads, and member counts
+// that leave a partial final vector lane.
+
+/// Restores auto-dispatch (env, then CPU detection) however a test exits.
+struct KernelGuard {
+  ~KernelGuard() { simd::force_kernel(nullptr); }
+};
+
+/// Deterministic member mix for one program width: dense interval runs on
+/// shared slots, conjunctions, string equalities, fallbacks (kNe),
+/// contradictions and wildcards — every compiled shape in one program.
+std::vector<Filter> adversarial_members(std::size_t n, double c) {
+  std::vector<Filter> members;
+  members.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double step = static_cast<double>(i / 8);
+    switch (i % 8) {
+      case 0:
+        members.push_back(where("A", Op::kLt, Value(c + step)));
+        break;
+      case 1:
+        members.push_back(where("A", Op::kGe, Value(c - step)));
+        break;
+      case 2: {
+        Filter f;
+        f.where("A", Op::kGe, Value(c - step));
+        f.where("B", Op::kLe, Value(c + step));
+        members.push_back(std::move(f));
+        break;
+      }
+      case 3:
+        members.push_back(
+            where("B", Op::kInRange, Value(c - step), Value(c + step)));
+        break;
+      case 4:
+        members.push_back(where(
+            "S", Op::kEq, Value(std::string("s") + std::to_string(i % 3))));
+        break;
+      case 5:
+        members.push_back(where("A", Op::kNe, Value(c)));  // Fallback.
+        break;
+      case 6: {
+        Filter f;  // Contradiction: required count is unreachable.
+        f.where("A", Op::kGt, Value(c));
+        f.where("A", Op::kLt, Value(c));
+        members.push_back(std::move(f));
+        break;
+      }
+      default:
+        members.push_back(Filter{});  // Wildcard.
+        break;
+    }
+  }
+  return members;
+}
+
+/// (probe, head contains NaN) — NaN probes stay in the kernel-vs-kernel
+/// bitwise comparison but out of the interpreter check (program.h: NaN
+/// heads sit outside the Filter::matches equivalence contract).
+std::vector<std::pair<Message, bool>> adversarial_probes(double c) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<std::pair<Message, bool>> probes;
+  for (const double v :
+       {c, std::nextafter(c, -inf), std::nextafter(c, inf), c - 1.0, c + 1.0,
+        0.0, -0.0, inf, -inf, std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::lowest(),
+        std::numeric_limits<double>::denorm_min(),
+        -std::numeric_limits<double>::denorm_min()}) {
+    probes.emplace_back(make_message({{"A", Value(v)}, {"B", Value(v)}}),
+                        false);
+    probes.emplace_back(
+        make_message({{"A", Value(v)}, {"S", Value(std::string("s1"))}}),
+        false);
+  }
+  probes.emplace_back(make_message({{"A", Value(nan)}, {"B", Value(nan)}}),
+                      true);
+  probes.emplace_back(make_message({{"A", Value(nan)}, {"B", Value(c)}}),
+                      true);
+  probes.emplace_back(
+      make_message({{"S", Value(std::string("s0"))}, {"B", Value(c)}}), false);
+  probes.emplace_back(make_message({{"S", Value(std::string("zz"))}}), false);
+  probes.emplace_back(make_message({{"A", Value(std::string("s1"))}}),
+                      false);  // Type mismatch on a numeric slot.
+  probes.emplace_back(make_message({}), false);
+  return probes;
+}
+
+TEST(PredicateProgramSimd, DispatchTableAlwaysResolvesPortableLast) {
+  const std::vector<const simd::Kernel*> kernels = simd::available_kernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_STREQ(kernels.back()->name, "portable");
+  EXPECT_NE(simd::active_kernel_name(), nullptr);
+  EXPECT_FALSE(simd::force_kernel("no-such-isa"));
+}
+
+TEST(PredicateProgramSimd, EnvOverridePinsTheKernel) {
+  KernelGuard guard;
+  ASSERT_EQ(::setenv("BDPS_SIMD_KERNEL", "portable", 1), 0);
+  ASSERT_TRUE(simd::force_kernel(nullptr));  // Re-resolve: reads the env.
+  EXPECT_STREQ(simd::active_kernel_name(), "portable");
+  ASSERT_EQ(::unsetenv("BDPS_SIMD_KERNEL"), 0);
+}
+
+TEST(PredicateProgramSimd, AllKernelsBitwiseAgreeOnAdversarialWidths) {
+  KernelGuard guard;
+  const std::vector<const simd::Kernel*> kernels = simd::available_kernels();
+  ASSERT_FALSE(kernels.empty());
+  const double c = 1.5;
+  const auto probes = adversarial_probes(c);
+  // Odd widths leave partial final lanes at every vector width (2/4/8/16);
+  // the larger ones cover the full unrolled blocks.
+  for (const std::size_t width : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 13u, 15u,
+                                  16u, 17u, 31u, 33u, 64u, 100u, 255u}) {
+    const std::vector<Filter> members = adversarial_members(width, c);
+    std::vector<const Filter*> pointers;
+    for (const Filter& f : members) pointers.push_back(&f);
+    const PredicateProgram program = PredicateProgram::compile(pointers);
+    ProgramEval eval;
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      std::vector<std::uint16_t> baseline_counts;
+      std::vector<std::uint8_t> baseline_matched;
+      for (std::size_t k = 0; k < kernels.size(); ++k) {
+        ASSERT_TRUE(simd::force_kernel(kernels[k]->name));
+        program.evaluate(probes[p].first, eval);
+        if (k == 0) {
+          baseline_counts = eval.counts;
+          baseline_matched = eval.matched;
+          continue;
+        }
+        ASSERT_EQ(eval.counts, baseline_counts)
+            << "kernel " << kernels[k]->name << " vs " << kernels[0]->name
+            << " width " << width << " probe " << p;
+        ASSERT_EQ(eval.matched, baseline_matched)
+            << "kernel " << kernels[k]->name << " vs " << kernels[0]->name
+            << " width " << width << " probe " << p;
+      }
+      if (probes[p].second) continue;  // NaN head: kernels-only comparison.
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        ASSERT_EQ(baseline_matched[m] != 0,
+                  members[m].matches(probes[p].first))
+            << "member " << m << " (" << members[m].to_string() << ") width "
+            << width << " probe " << p;
+      }
+    }
+  }
+}
+
+TEST(PredicateProgramSimd, EveryKernelPassesTheZipfEquivalenceSweep) {
+  KernelGuard guard;
+  for (const simd::Kernel* kernel : simd::available_kernels()) {
+    ASSERT_TRUE(simd::force_kernel(kernel->name));
+    ChurnWorkloadConfig config;
+    config.seed = 29;
+    config.attribute_pool = 10;
+    config.threshold_pool = 6;
+    ChurnWorkload workload(config);
+    std::vector<Filter> members;
+    for (int i = 0; i < 96; ++i) members.push_back(workload.next_filter());
+    std::vector<Message> probes;
+    for (int i = 0; i < 64; ++i) probes.push_back(workload.next_message());
+    expect_equivalent(members, probes);
+  }
+}
+
+TEST(PredicateProgramSimd, BatchOverloadMatchesConvenienceOverload) {
+  // The fabric's batch entry point: one SlotValues view shared across
+  // programs must produce the verdicts of the per-call overload.
+  const double c = 1.5;
+  const std::vector<Filter> members = adversarial_members(33, c);
+  std::vector<const Filter*> pointers;
+  for (const Filter& f : members) pointers.push_back(&f);
+  const PredicateProgram program = PredicateProgram::compile(pointers);
+  SlotValues values;
+  ProgramEval plain;
+  ProgramEval batch;
+  for (const auto& [probe, has_nan] : adversarial_probes(c)) {
+    (void)has_nan;  // Bitwise overload parity holds for NaN heads too.
+    program.evaluate(probe, plain);
+    values.reset(probe);
+    program.evaluate(probe, values, batch);
+    ASSERT_EQ(batch.counts, plain.counts);
+    ASSERT_EQ(batch.matched, plain.matched);
   }
 }
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "matching/program/simd.h"
 #include "matching/sharded_index.h"
 #include "message/index.h"
 #include "workload/generator.h"
@@ -67,6 +68,12 @@ struct Probe {
   double compile_ms = 0.0;
   std::uint64_t vm_member_evals = 0;
   std::uint64_t interp_member_evals = 0;
+  // SIMD batch tier (PR 10): the dispatched kernel name, program-cache
+  // hits across shards, distinct live programs, and batch evaluate calls.
+  std::string simd_kernel;
+  std::size_t shared_programs = 0;
+  std::size_t unique_programs = 0;
+  std::uint64_t vm_batch_evals = 0;
 };
 
 using Clock = std::chrono::steady_clock;
@@ -182,6 +189,10 @@ Probe run_sharded(std::size_t subs, std::size_t shards, bool covering,
     p.compile_ms = stats.compile_ms;
     p.vm_member_evals = stats.vm_member_evals;
     p.interp_member_evals = stats.interp_member_evals;
+    p.simd_kernel = matching::program::simd::active_kernel_name();
+    p.shared_programs = stats.shared_programs;
+    p.unique_programs = stats.unique_programs;
+    p.vm_batch_evals = stats.vm_batch_evals;
     p.completed = true;
   } catch (const std::exception& e) {
     p.error = e.what();
@@ -241,7 +252,9 @@ void emit(const Probe& p) {
       "\"rebuilds\": %zu, \"publications\": %zu, "
       "\"compile_hits\": %zu, \"compiled_roots\": %zu, \"compiles\": %zu, "
       "\"compile_ms\": %.2f, \"vm_member_evals\": %llu, "
-      "\"interp_member_evals\": %llu%s%s%s}\n",
+      "\"interp_member_evals\": %llu, \"simd_kernel\": \"%s\", "
+      "\"shared_programs\": %zu, \"unique_programs\": %zu, "
+      "\"vm_batch_evals\": %llu%s%s%s}\n",
       p.subs, p.engine.c_str(), p.shards, p.covering ? "true" : "false",
       p.completed ? "true" : "false", p.build_ms, p.adds_per_sec,
       p.churn_per_sec, p.match_p50_us, p.match_p99_us, p.match_per_sec,
@@ -250,6 +263,8 @@ void emit(const Probe& p) {
       p.compiled_roots, p.compiles, p.compile_ms,
       static_cast<unsigned long long>(p.vm_member_evals),
       static_cast<unsigned long long>(p.interp_member_evals),
+      p.simd_kernel.c_str(), p.shared_programs, p.unique_programs,
+      static_cast<unsigned long long>(p.vm_batch_evals),
       error.empty() ? "" : ", \"error\": \"", error.c_str(),
       error.empty() ? "" : "\"");
   std::fflush(stdout);
